@@ -1,0 +1,269 @@
+// Benchmarks mirroring the paper's evaluation, one family per figure.
+// These are the testing.B counterparts of cmd/prcubench, sized so that
+// `go test -bench=. -benchmem` finishes quickly; the CLI harness is the
+// tool for full sweeps and the normalized/percentage views.
+package prcu_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"prcu"
+	"prcu/citrus"
+	"prcu/hashtable"
+	"prcu/internal/workload"
+)
+
+const (
+	benchReaders  = 16
+	benchKeySpace = 1 << 14
+)
+
+func benchEngines() []struct {
+	name   string
+	mk     func() prcu.RCU
+	domain citrus.Domain
+} {
+	return []struct {
+		name   string
+		mk     func() prcu.RCU
+		domain citrus.Domain
+	}{
+		{"EER-PRCU", func() prcu.RCU { return prcu.NewEER(prcu.Options{MaxReaders: benchReaders}) }, citrus.FuncDomain()},
+		{"D-PRCU", func() prcu.RCU { return prcu.NewD(prcu.Options{MaxReaders: benchReaders}) }, citrus.CompressedDomain(1024)},
+		{"DEER-PRCU", func() prcu.RCU { return prcu.NewDEER(prcu.Options{MaxReaders: benchReaders}) }, citrus.CompressedDomain(1024)},
+		{"TimeRCU", func() prcu.RCU { return prcu.NewTimeRCU(prcu.Options{MaxReaders: benchReaders}) }, citrus.WildcardDomain()},
+		{"TreeRCU", func() prcu.RCU { return prcu.NewTreeRCU(prcu.Options{MaxReaders: benchReaders}) }, citrus.WildcardDomain()},
+		{"URCU", func() prcu.RCU { return prcu.NewURCU(prcu.Options{MaxReaders: benchReaders}) }, citrus.WildcardDomain()},
+		{"DistRCU", func() prcu.RCU { return prcu.NewDistRCU(prcu.Options{MaxReaders: benchReaders}) }, citrus.WildcardDomain()},
+	}
+}
+
+// BenchmarkReadSideEnterExit measures each engine's raw rcu_enter/rcu_exit
+// cost — the per-read overhead Figure 7 exposes at the data structure
+// level.
+func BenchmarkReadSideEnterExit(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.name, func(b *testing.B) {
+			r := e.mk()
+			rd, err := r.Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rd.Unregister()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := prcu.Value(i & 1023)
+				rd.Enter(v)
+				rd.Exit(v)
+			}
+		})
+	}
+}
+
+// BenchmarkFig1WaitVsOp is Figure 1's comparison as two benches: the cost
+// of an uncontended wait-for-readers next to a hash lookup.
+func BenchmarkFig1WaitVsOp(b *testing.B) {
+	b.Run("HashLookup", func(b *testing.B) {
+		r := prcu.NewTimeRCU(prcu.Options{MaxReaders: 2})
+		m := hashtable.New(r, 1<<12)
+		rng := workload.NewRNG(1)
+		for n := 0; n < 2<<12; {
+			if m.Insert(rng.Intn(4<<12), 0) {
+				n++
+			}
+		}
+		h, err := m.NewHandle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Contains(rng.Intn(4 << 12))
+		}
+	})
+	b.Run("WaitForReaders", func(b *testing.B) {
+		r := prcu.NewTimeRCU(prcu.Options{MaxReaders: 2})
+		rd, err := r.Register()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rd.Unregister()
+		rd.Enter(0)
+		rd.Exit(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.WaitForReaders(prcu.All())
+		}
+	})
+}
+
+// benchTree builds a half-full CITRUS tree.
+func benchTree(b *testing.B, r prcu.RCU, d citrus.Domain) *citrus.Tree {
+	b.Helper()
+	t := citrus.New(r, d)
+	h, err := t.NewHandle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	rng := workload.NewRNG(0xfeedface)
+	for t.Size() < benchKeySpace/2 {
+		h.Insert(rng.Intn(benchKeySpace), 0)
+	}
+	return t
+}
+
+// benchTreeMix drives one operation mix over a fresh tree per engine,
+// with RunParallel supplying the concurrency.
+func benchTreeMix(b *testing.B, mix workload.Mix) {
+	for _, e := range benchEngines() {
+		b.Run(e.name, func(b *testing.B) {
+			t := benchTree(b, e.mk(), e.domain)
+			var seed atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h, err := t.NewHandle()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer h.Close()
+				rng := workload.NewRNG(seed.Add(1))
+				for pb.Next() {
+					k := rng.Intn(benchKeySpace)
+					switch mix.Pick(rng) {
+					case workload.OpContains:
+						h.Contains(k)
+					case workload.OpInsert:
+						h.Insert(k, k)
+					default:
+						h.Delete(k)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig5ReadDominated..WriteDominated are Figure 5's workloads.
+func BenchmarkFig5ReadDominated(b *testing.B) { benchTreeMix(b, workload.ReadDominated) }
+
+// BenchmarkFig5Mixed is the 70/15/15 panel.
+func BenchmarkFig5Mixed(b *testing.B) { benchTreeMix(b, workload.Mixed) }
+
+// BenchmarkFig5WriteDominated is the 0/50/50 panel.
+func BenchmarkFig5WriteDominated(b *testing.B) { benchTreeMix(b, workload.WriteDominated) }
+
+// BenchmarkFig7ReadOnly is Figure 7's pure read-overhead probe.
+func BenchmarkFig7ReadOnly(b *testing.B) { benchTreeMix(b, workload.ReadOnly) }
+
+// BenchmarkFig6WaitLatency measures a single wait-for-readers issued
+// against each engine while reader churn runs — Figure 6(b)/(d)'s
+// per-wait latency.
+func BenchmarkFig6WaitLatency(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.name, func(b *testing.B) {
+			r := e.mk()
+			var stop atomic.Bool
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				rd, err := r.Register()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer rd.Unregister()
+				for i := 0; !stop.Load(); i++ {
+					v := prcu.Value(i & 63)
+					rd.Enter(v)
+					rd.Exit(v)
+				}
+			}()
+			pred := prcu.Interval(10, 12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.WaitForReaders(pred)
+			}
+			b.StopTimer()
+			stop.Store(true)
+			<-done
+		})
+	}
+}
+
+// BenchmarkFig9Expand times a full table expansion (the unzip with its
+// per-pointer-change waits) under each engine — Figure 9(b)'s latency.
+func BenchmarkFig9Expand(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				r := e.mk()
+				m := hashtable.New(r, 1<<10)
+				rng := workload.NewRNG(9)
+				for n := 0; n < 4<<10; {
+					if m.Insert(rng.Intn(8<<10), 0) {
+						n++
+					}
+				}
+				b.StartTimer()
+				m.Expand()
+			}
+		})
+	}
+}
+
+// BenchmarkPredicate measures predicate construction + evaluation, the
+// only new cost PRCU puts on the wait path itself.
+func BenchmarkPredicate(b *testing.B) {
+	cases := []struct {
+		name string
+		p    prcu.Predicate
+	}{
+		{"All", prcu.All()},
+		{"Singleton", prcu.Singleton(7)},
+		{"Interval", prcu.Interval(100, 110)},
+		{"Func", prcu.Func(func(v prcu.Value) bool { return v > 100 && v <= 110 })},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sink := false
+			for i := 0; i < b.N; i++ {
+				sink = c.p.Holds(prcu.Value(i & 255))
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkWaitNoReaders measures the floor cost of wait-for-readers with
+// nothing to wait for — the case PRCU optimizes toward, since most
+// targeted waits find no conflicting readers.
+func BenchmarkWaitNoReaders(b *testing.B) {
+	for _, e := range benchEngines() {
+		b.Run(e.name, func(b *testing.B) {
+			r := e.mk()
+			pred := prcu.Singleton(5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.WaitForReaders(pred)
+			}
+		})
+	}
+}
+
+func ExampleNew() {
+	r := prcu.MustNew(prcu.FlavorD, prcu.Options{MaxReaders: 4})
+	rd, _ := r.Register()
+	rd.Enter(42)
+	// ... read the structure region identified by 42 ...
+	rd.Exit(42)
+	r.WaitForReaders(prcu.Singleton(42))
+	rd.Unregister()
+	fmt.Println(r.Name())
+	// Output: D-PRCU
+}

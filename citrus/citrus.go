@@ -1,0 +1,371 @@
+// Package citrus implements the CITRUS concurrent binary search tree of
+// Arbel and Attiya (PODC 2014), the first showcase application of the PRCU
+// paper (§5.2).
+//
+// CITRUS is an internal (keys in every node) unbalanced search tree with a
+// wait-free Contains and fine-grained-locked Insert/Delete. RCU protects
+// every traversal: Contains entirely, and the optimistic search prefix of
+// Insert and Delete. The one structurally hard case — deleting a node k
+// with two children — replaces k with a *copy* of its successor k′ and may
+// unlink the original k′ only after a wait-for-readers, so that every
+// pre-existing traversal still finds k′ somewhere.
+//
+// That wait is where PRCU pays off: the deletion only affects searches for
+// keys in (k, k′] (CITRUS's correctness proof shows this formally), so with
+// a PRCU engine the tree waits just for those readers, expressed through a
+// Domain mapping keys to PRCU values and (k, k′] to a predicate.
+package citrus
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"prcu"
+)
+
+// sentinelKey is the reserved key of the root sentinel; user keys must be
+// smaller, so every real node lives in the sentinel's left subtree and the
+// sentinel itself can never be deleted.
+const sentinelKey = math.MaxUint64
+
+// node is a tree node. key is immutable; the child pointers are atomic
+// because RCU readers traverse them without locks; the tags version
+// nil-child slots so an optimistic traversal that observed nil can detect
+// an intervening insert+delete when it validates; marked flags a node that
+// has been spliced out or replaced, and is guarded by mu.
+type node struct {
+	key    uint64
+	value  atomic.Uint64
+	child  [2]atomic.Pointer[node]
+	tag    [2]atomic.Uint64
+	mu     sync.Mutex
+	marked bool
+}
+
+// Domain tells the tree how to present searches to PRCU: MapKey converts a
+// search key into the value passed to Enter/Exit, and WaitPredicate builds
+// the predicate covering every search on a key in (low, high] — the
+// sections a two-child deletion must wait for. A Domain must be consistent:
+// for every key x in (low, high], WaitPredicate(low, high) must hold for
+// MapKey(x). Over-covering is always safe; under-covering is not.
+type Domain struct {
+	MapKey        func(key uint64) prcu.Value
+	WaitPredicate func(low, high uint64) prcu.Predicate
+}
+
+func identity(k uint64) prcu.Value { return k }
+
+// WildcardDomain waits for all readers on every deletion — plain RCU
+// semantics. Use it with the baseline engines, whose waits ignore
+// predicates anyway.
+func WildcardDomain() Domain {
+	return Domain{
+		MapKey:        identity,
+		WaitPredicate: func(_, _ uint64) prcu.Predicate { return prcu.All() },
+	}
+}
+
+// FuncDomain passes search keys through unchanged and expresses (low,
+// high] as a general function predicate — the natural fit for EER-PRCU,
+// whose waits evaluate the predicate once per reader (§5.2's
+// P(x) = x > k ∧ x ≤ k′).
+func FuncDomain() Domain {
+	return Domain{
+		MapKey: identity,
+		WaitPredicate: func(low, high uint64) prcu.Predicate {
+			return prcu.Func(func(x prcu.Value) bool { return x > low && x <= high })
+		},
+	}
+}
+
+// CompressedDomain divides the key space into intervals of size s, mapping
+// every key in an interval to the same value, so deletion predicates become
+// short iterable intervals — the compression §5.2 prescribes for D-PRCU
+// (and DEER-PRCU), with s typically the counter-table size.
+func CompressedDomain(s uint64) Domain {
+	if s == 0 {
+		panic("citrus: compression factor must be positive")
+	}
+	return Domain{
+		MapKey: func(k uint64) prcu.Value { return k / s },
+		WaitPredicate: func(low, high uint64) prcu.Predicate {
+			// Every key in (low, high] compresses into
+			// [(low+1)/s, high/s]; covering the whole range is safe even
+			// when low and low+1 share a bucket.
+			return prcu.Interval((low+1)/s, high/s)
+		},
+	}
+}
+
+// DefaultDomain picks a sensible Domain for an engine constructed by the
+// prcu package: exact function predicates for EER, compression by the
+// paper's S = |C| = 1024 for D and DEER, and the wildcard for the plain
+// RCU baselines.
+func DefaultDomain(flavor prcu.Flavor) Domain {
+	switch flavor {
+	case prcu.FlavorEER:
+		return FuncDomain()
+	case prcu.FlavorD, prcu.FlavorDEER:
+		return CompressedDomain(1024)
+	default:
+		return WildcardDomain()
+	}
+}
+
+// Tree is a CITRUS tree. Construct with New; obtain a Handle per goroutine.
+type Tree struct {
+	rcu    prcu.RCU
+	domain Domain
+	root   *node
+	size   atomic.Int64
+}
+
+// New returns an empty tree synchronized by r, presenting searches to r
+// through domain.
+func New(r prcu.RCU, domain Domain) *Tree {
+	if domain.MapKey == nil || domain.WaitPredicate == nil {
+		panic("citrus: Domain with nil functions")
+	}
+	return &Tree{rcu: r, domain: domain, root: &node{key: sentinelKey}}
+}
+
+// Handle is one goroutine's access to the tree, wrapping its reader slot.
+// A Handle must not be used concurrently.
+type Handle struct {
+	t  *Tree
+	rd prcu.Reader
+}
+
+// NewHandle registers a reader slot and returns a handle. Call Close when
+// the goroutine is done with the tree.
+func (t *Tree) NewHandle() (*Handle, error) {
+	rd, err := t.rcu.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{t: t, rd: rd}, nil
+}
+
+// Close releases the handle's reader slot.
+func (h *Handle) Close() {
+	h.rd.Unregister()
+	h.rd = nil
+}
+
+// Size returns the number of keys in the tree. It is exact when the tree
+// is quiescent and approximate under concurrent updates.
+func (t *Tree) Size() int { return int(t.size.Load()) }
+
+func checkKey(k uint64) {
+	if k == sentinelKey {
+		panic("citrus: key MaxUint64 is reserved")
+	}
+}
+
+func dirFor(k uint64, n *node) int {
+	if k > n.key {
+		return 1
+	}
+	return 0
+}
+
+// traverse walks from the root toward k, returning the last edge followed:
+// prev, the direction taken from prev, the tag of that edge observed
+// *before* reading the child, and curr (nil, or the node holding k).
+// Must run inside a read-side critical section.
+func (t *Tree) traverse(k uint64) (prev *node, dir int, tag uint64, curr *node) {
+	prev, dir = t.root, 0
+	tag = prev.tag[0].Load()
+	curr = prev.child[0].Load()
+	for curr != nil && curr.key != k {
+		prev = curr
+		dir = dirFor(k, curr)
+		tag = prev.tag[dir].Load()
+		curr = prev.child[dir].Load()
+	}
+	return prev, dir, tag, curr
+}
+
+// Contains reports whether k is in the tree. It is wait-free: one RCU
+// traversal, no locks, no retries.
+func (h *Handle) Contains(k uint64) bool {
+	_, ok := h.Get(k)
+	return ok
+}
+
+// Get returns the value stored under k.
+func (h *Handle) Get(k uint64) (uint64, bool) {
+	checkKey(k)
+	v := h.t.domain.MapKey(k)
+	h.rd.Enter(v)
+	curr := h.t.root.child[0].Load()
+	for curr != nil && curr.key != k {
+		curr = curr.child[dirFor(k, curr)].Load()
+	}
+	var val uint64
+	if curr != nil {
+		val = curr.value.Load()
+	}
+	h.rd.Exit(v)
+	return val, curr != nil
+}
+
+// Insert adds k with value val. It returns false if k is already present
+// (the value is left unchanged, as in the paper's set semantics).
+func (h *Handle) Insert(k, val uint64) bool {
+	checkKey(k)
+	t := h.t
+	dv := t.domain.MapKey(k)
+	for {
+		h.rd.Enter(dv)
+		prev, dir, tag, curr := t.traverse(k)
+		h.rd.Exit(dv)
+		if curr != nil {
+			return false
+		}
+		prev.mu.Lock()
+		if !prev.marked && prev.child[dir].Load() == nil && prev.tag[dir].Load() == tag {
+			n := &node{key: k}
+			n.value.Store(val)
+			prev.child[dir].Store(n)
+			prev.mu.Unlock()
+			t.size.Add(1)
+			return true
+		}
+		prev.mu.Unlock()
+	}
+}
+
+// Delete removes k, returning whether it was present.
+//
+// A node with at most one child is spliced out under the locks of itself
+// and its parent. A node with two children is replaced by a copy of its
+// successor; the original successor may be unlinked only after
+// WaitForReaders covering searches on (k, successor] — otherwise a
+// pre-existing traversal headed for the successor could miss it in both
+// places (§5.2 and Figure 4).
+func (h *Handle) Delete(k uint64) bool {
+	checkKey(k)
+	t := h.t
+	dv := t.domain.MapKey(k)
+	for {
+		h.rd.Enter(dv)
+		prev, dir, _, curr := t.traverse(k)
+		h.rd.Exit(dv)
+		if curr == nil {
+			return false
+		}
+		prev.mu.Lock()
+		curr.mu.Lock()
+		if prev.marked || curr.marked || prev.child[dir].Load() != curr {
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			continue
+		}
+		left, right := curr.child[0].Load(), curr.child[1].Load()
+		if left == nil || right == nil {
+			// At most one child: splice curr out.
+			repl := left
+			if repl == nil {
+				repl = right
+			}
+			curr.marked = true
+			prev.child[dir].Store(repl)
+			if repl == nil {
+				prev.tag[dir].Add(1)
+			}
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			t.size.Add(-1)
+			return true
+		}
+		if t.deleteInternal(prev, dir, curr, right) {
+			t.size.Add(-1)
+			return true
+		}
+		// Validation deeper down failed; locks already released.
+	}
+}
+
+// deleteInternal handles the two-children case. Caller holds prev and curr
+// locks and has validated them; deleteInternal releases all locks before
+// returning. It returns false if the successor validation failed and the
+// whole operation must retry.
+func (t *Tree) deleteInternal(prev *node, dir int, curr, right *node) bool {
+	// Find the successor: the leftmost node of curr's right subtree. Read
+	// each nil-candidate edge's tag before the child pointer so the
+	// validation below can detect churn.
+	prevSucc, succ := curr, right
+	var succTag uint64
+	for {
+		tag := succ.tag[0].Load()
+		next := succ.child[0].Load()
+		if next == nil {
+			succTag = tag
+			break
+		}
+		prevSucc, succ = succ, next
+	}
+	if prevSucc != curr {
+		prevSucc.mu.Lock()
+	}
+	succ.mu.Lock()
+
+	dirPS := 0
+	if prevSucc == curr {
+		dirPS = 1
+	}
+	ok := !prevSucc.marked && prevSucc.child[dirPS].Load() == succ &&
+		!succ.marked && succ.child[0].Load() == nil && succ.tag[0].Load() == succTag
+	if !ok {
+		succ.mu.Unlock()
+		if prevSucc != curr {
+			prevSucc.mu.Unlock()
+		}
+		curr.mu.Unlock()
+		prev.mu.Unlock()
+		return false
+	}
+
+	// Replace curr with a copy of the successor. New operations find the
+	// successor's key at its new location immediately; the original stays
+	// reachable for pre-existing traversals until the grace period ends.
+	curr.marked = true
+	n := &node{key: succ.key}
+	n.value.Store(succ.value.Load())
+	n.child[0].Store(curr.child[0].Load())
+	n.child[1].Store(curr.child[1].Load())
+	// Lock the copy before publishing so no concurrent update can touch it
+	// while we are still rewiring its right edge below.
+	n.mu.Lock()
+	prev.child[dir].Store(n)
+
+	// The heart of §5.2: wait only for searches on keys in (k, k′].
+	t.rcu.WaitForReaders(t.domain.WaitPredicate(curr.key, succ.key))
+
+	// Marking the original successor stops pre-existing inserts from
+	// attaching children to it; then unlink it.
+	succ.marked = true
+	succRight := succ.child[1].Load()
+	if prevSucc == curr {
+		n.child[1].Store(succRight)
+		if succRight == nil {
+			n.tag[1].Add(1)
+		}
+	} else {
+		prevSucc.child[0].Store(succRight)
+		if succRight == nil {
+			prevSucc.tag[0].Add(1)
+		}
+	}
+
+	n.mu.Unlock()
+	succ.mu.Unlock()
+	if prevSucc != curr {
+		prevSucc.mu.Unlock()
+	}
+	curr.mu.Unlock()
+	prev.mu.Unlock()
+	return true
+}

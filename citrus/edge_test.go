@@ -1,0 +1,120 @@
+package citrus
+
+import (
+	"testing"
+
+	"prcu"
+)
+
+// TestExtremeKeys exercises the domain boundaries: key 0 (left edge of
+// every interval check) and MaxUint64-1 (just below the sentinel).
+func TestExtremeKeys(t *testing.T) {
+	tr := New(prcu.NewEER(prcu.Options{MaxReaders: 4}), FuncDomain())
+	h := mustHandle(t, tr)
+	defer h.Close()
+	lo, hi := uint64(0), ^uint64(0)-1
+	if !h.Insert(lo, 1) || !h.Insert(hi, 2) {
+		t.Fatal("boundary inserts failed")
+	}
+	if !h.Contains(lo) || !h.Contains(hi) {
+		t.Fatal("boundary keys missing")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Delete(lo) || !h.Delete(hi) {
+		t.Fatal("boundary deletes failed")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteRootWithTwoChildren forces the copy-successor path on the
+// tree's topmost real node repeatedly.
+func TestDeleteRootWithTwoChildren(t *testing.T) {
+	tr := New(prcu.NewD(prcu.Options{MaxReaders: 4}), CompressedDomain(8))
+	h := mustHandle(t, tr)
+	defer h.Close()
+	// Chain of roots: each deletion of the current root (always given two
+	// children) must promote a successor copy.
+	keys := []uint64{50, 25, 75, 60, 80, 55, 65}
+	for _, k := range keys {
+		h.Insert(k, k)
+	}
+	for _, root := range []uint64{50, 55, 60} {
+		if !h.Delete(root) {
+			t.Fatalf("delete root %d failed", root)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after deleting %d: %v", root, err)
+		}
+	}
+	for _, k := range []uint64{25, 75, 65, 80} {
+		if !h.Contains(k) {
+			t.Fatalf("key %d lost across root deletions", k)
+		}
+	}
+}
+
+// TestSuccessorIsImmediateRightChild pins the prevSucc == curr branch of
+// deleteInternal (successor with no left subtree).
+func TestSuccessorIsImmediateRightChild(t *testing.T) {
+	tr := New(prcu.NewTimeRCU(prcu.Options{MaxReaders: 4}), WildcardDomain())
+	h := mustHandle(t, tr)
+	defer h.Close()
+	h.Insert(10, 1)
+	h.Insert(5, 2)
+	h.Insert(20, 3) // 20 = successor of 10, immediate right child
+	h.Insert(30, 4)
+	if !h.Delete(10) {
+		t.Fatal("delete failed")
+	}
+	for _, k := range []uint64{5, 20, 30} {
+		if !h.Contains(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetValueStability: Get must return the value stored by the insert
+// that created the key, across unrelated churn.
+func TestGetValueStability(t *testing.T) {
+	tr := New(prcu.NewDEER(prcu.Options{MaxReaders: 4}), CompressedDomain(16))
+	h := mustHandle(t, tr)
+	defer h.Close()
+	h.Insert(7, 777)
+	for i := uint64(0); i < 500; i++ {
+		h.Insert(100+i%50, i)
+		h.Delete(100 + (i+25)%50)
+		if v, ok := h.Get(7); !ok || v != 777 {
+			t.Fatalf("Get(7) = %d,%v after churn step %d", v, ok, i)
+		}
+	}
+}
+
+// TestReinsertAfterInternalDelete: after the copy-successor dance, the
+// deleted key must be insertable again and land correctly.
+func TestReinsertAfterInternalDelete(t *testing.T) {
+	tr := New(prcu.NewD(prcu.Options{MaxReaders: 4}), CompressedDomain(8))
+	h := mustHandle(t, tr)
+	defer h.Close()
+	for _, k := range []uint64{50, 25, 75, 60, 90} {
+		h.Insert(k, k)
+	}
+	if !h.Delete(50) {
+		t.Fatal("delete")
+	}
+	if !h.Insert(50, 500) {
+		t.Fatal("re-insert")
+	}
+	if v, ok := h.Get(50); !ok || v != 500 {
+		t.Fatalf("Get(50) = %d,%v", v, ok)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

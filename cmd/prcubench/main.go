@@ -1,0 +1,129 @@
+// Command prcubench regenerates the evaluation of "Predicate RCU: An RCU
+// for Scalable Concurrent Updates" (Arbel & Morrison, PPoPP 2015): one
+// subcommand per figure, plus parameter ablations and an everything run.
+//
+// Usage:
+//
+//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|all
+//
+// The defaults are scaled for a laptop-class host; use the flags to dial
+// the experiment back up to the paper's methodology (3-second windows,
+// 5 runs, 1..64 threads, a 2e6 key space, a 1e6-element hash table):
+//
+//	prcubench -duration 3s -runs 5 -threads 1,2,4,8,16,24,32,40,48,56,64 \
+//	          -large-keys 2000000 -hash-elements 1048576 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"prcu/internal/bench"
+)
+
+func main() {
+	var (
+		threadsFlag  = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts to sweep")
+		duration     = flag.Duration("duration", 150*time.Millisecond, "measurement window per data point")
+		runs         = flag.Int("runs", 3, "repetitions per point (median reported)")
+		smallKeys    = flag.Uint64("small-keys", 20000, "small key space (paper: 20000)")
+		largeKeys    = flag.Uint64("large-keys", 200000, "large key space (paper: 2000000)")
+		hashElements = flag.Uint64("hash-elements", 1<<14, "figure 9 table population, power of two x4 (paper: ~1e6)")
+		includeLF    = flag.Bool("lftree", false, "include the LF-Tree baseline in figure 5/7 tables")
+		csvPath      = flag.String("csv", "", "also write every table as CSV to this file")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|all\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.DefaultConfig(os.Stdout)
+	cfg.Duration = *duration
+	cfg.Runs = *runs
+	cfg.SmallKeys = *smallKeys
+	cfg.LargeKeys = *largeKeys
+	cfg.HashElements = *hashElements
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prcubench:", err)
+		os.Exit(2)
+	}
+	cfg.Threads = threads
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prcubench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.CSV = f
+	}
+
+	start := time.Now()
+	if err := dispatch(flag.Arg(0), cfg, *includeLF); err != nil {
+		fmt.Fprintln(os.Stderr, "prcubench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func dispatch(cmd string, cfg bench.Config, includeLF bool) error {
+	switch cmd {
+	case "fig1":
+		return bench.Fig1(cfg)
+	case "fig5":
+		return bench.Fig5(cfg, includeLF)
+	case "fig6":
+		return bench.Fig6(cfg)
+	case "fig7":
+		return bench.Fig7(cfg, includeLF)
+	case "fig8":
+		return bench.Fig8(cfg)
+	case "fig9":
+		return bench.Fig9(cfg)
+	case "ablation":
+		return bench.Ablation(cfg)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return bench.Fig1(cfg) },
+			func() error { return bench.Fig5(cfg, includeLF) },
+			func() error { return bench.Fig6(cfg) },
+			func() error { return bench.Fig7(cfg, includeLF) },
+			func() error { return bench.Fig8(cfg) },
+			func() error { return bench.Fig9(cfg) },
+			func() error { return bench.Ablation(cfg) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty thread list")
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module prcu
+
+go 1.22

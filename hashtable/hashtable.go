@@ -1,0 +1,295 @@
+// Package hashtable implements the resizable closed-addressing hash table
+// of the PRCU paper (§5.1), after Triplett et al.'s relativistic hash
+// table: buckets are RCU-protected linked lists that lookups traverse
+// without locks, updates synchronize with per-bucket locks, and expansion
+// doubles the bucket array in place while lookups keep running.
+//
+// The table uses a modulo-table-size hash, so an expansion splits each old
+// bucket into exactly two new ones. Expand first points every new bucket at
+// the first node of the old chain that belongs to it (new buckets alias
+// into old chains, which is why lookups always compare keys), publishes the
+// new array, and then "unzips" each old chain — and it calls
+// WaitForReaders before every pointer change, since each change disconnects
+// the path some pre-existing traversal may still be relying on (the
+// paper's Figure 3 anomalies). With PRCU, each of those waits covers only
+// readers of the two affected buckets: P(x) = (x = b_old or x = b_new).
+//
+// As in Triplett et al., updates are prevented during expansion; they spin
+// until it completes.
+package hashtable
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"prcu"
+	"prcu/internal/spin"
+)
+
+// hnode is a chain node; key is immutable, next is traversed by lock-free
+// readers and so is atomic.
+type hnode struct {
+	key   uint64
+	value atomic.Uint64
+	next  atomic.Pointer[hnode]
+}
+
+// table is one immutable-size generation of the bucket array.
+type table struct {
+	heads []atomic.Pointer[hnode]
+	locks []sync.Mutex
+	mask  uint64
+}
+
+func newTable(buckets int) *table {
+	return &table{
+		heads: make([]atomic.Pointer[hnode], buckets),
+		locks: make([]sync.Mutex, buckets),
+		mask:  uint64(buckets - 1),
+	}
+}
+
+// Map is the resizable hash table. Lookups go through per-goroutine
+// Handles; Insert, Delete and Expand may be called from any goroutine.
+type Map struct {
+	rcu prcu.RCU
+	tbl atomic.Pointer[table]
+	// resizeMu serializes expansions; expanding blocks updates while one
+	// is in flight.
+	resizeMu  sync.Mutex
+	expanding atomic.Bool
+	size      atomic.Int64
+	// waits counts WaitForReaders calls issued by expansions (exposed for
+	// the benchmark harness and tests).
+	waits atomic.Int64
+}
+
+// New returns a table with the given initial bucket count (a power of
+// two), synchronized by r.
+func New(r prcu.RCU, initialBuckets int) *Map {
+	if initialBuckets < 1 || initialBuckets&(initialBuckets-1) != 0 {
+		panic(fmt.Sprintf("hashtable: bucket count must be a power of two, got %d", initialBuckets))
+	}
+	m := &Map{rcu: r}
+	m.tbl.Store(newTable(initialBuckets))
+	return m
+}
+
+// Buckets returns the current bucket count.
+func (m *Map) Buckets() int { return len(m.tbl.Load().heads) }
+
+// Size returns the number of keys (exact at rest, approximate under
+// concurrent updates).
+func (m *Map) Size() int { return int(m.size.Load()) }
+
+// LoadFactor returns Size divided by Buckets.
+func (m *Map) LoadFactor() float64 { return float64(m.Size()) / float64(m.Buckets()) }
+
+// ExpansionWaits returns the cumulative number of WaitForReaders calls
+// issued by Expand — the quantity Figure 9's latency is made of.
+func (m *Map) ExpansionWaits() int64 { return m.waits.Load() }
+
+// Handle is one goroutine's lookup context, wrapping its reader slot.
+// A Handle must not be used concurrently.
+type Handle struct {
+	m  *Map
+	rd prcu.Reader
+}
+
+// NewHandle registers a reader slot for lookups.
+func (m *Map) NewHandle() (*Handle, error) {
+	rd, err := m.rcu.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{m: m, rd: rd}, nil
+}
+
+// Close releases the handle's reader slot.
+func (h *Handle) Close() {
+	h.rd.Unregister()
+	h.rd = nil
+}
+
+// Get returns the value stored under k. The read-side critical section's
+// PRCU value is the bucket index in the table generation being traversed;
+// if the table is swapped between computing the value and entering the
+// section, the lookup re-enters under the new generation, so an expansion
+// that published a new table always covers us through one of its bucket
+// predicates.
+func (h *Handle) Get(k uint64) (uint64, bool) {
+	m := h.m
+	for {
+		t := m.tbl.Load()
+		v := prcu.Value(k & t.mask)
+		h.rd.Enter(v)
+		if m.tbl.Load() != t {
+			h.rd.Exit(v)
+			continue
+		}
+		// Chains may alias other buckets' nodes mid-expansion, so match on
+		// the key, never on position.
+		n := t.heads[k&t.mask].Load()
+		for n != nil && n.key != k {
+			n = n.next.Load()
+		}
+		var val uint64
+		if n != nil {
+			val = n.value.Load()
+		}
+		h.rd.Exit(v)
+		return val, n != nil
+	}
+}
+
+// Contains reports whether k is present.
+func (h *Handle) Contains(k uint64) bool {
+	_, ok := h.Get(k)
+	return ok
+}
+
+// lockBucket acquires the bucket lock for k in the current table, retrying
+// across expansions; it returns with the lock held, expansion quiescent,
+// and the table current.
+func (m *Map) lockBucket(k uint64) (*table, uint64) {
+	var w spin.Waiter
+	for {
+		if m.expanding.Load() {
+			w.Wait()
+			continue
+		}
+		t := m.tbl.Load()
+		b := k & t.mask
+		t.locks[b].Lock()
+		if !m.expanding.Load() && m.tbl.Load() == t {
+			return t, b
+		}
+		t.locks[b].Unlock()
+		w.Wait()
+	}
+}
+
+// Insert adds k with value val, returning false if k is already present.
+// Inserts push at the chain head, so lock-free readers observe them
+// atomically.
+func (m *Map) Insert(k, val uint64) bool {
+	t, b := m.lockBucket(k)
+	defer t.locks[b].Unlock()
+	head := t.heads[b].Load()
+	for n := head; n != nil; n = n.next.Load() {
+		if n.key == k {
+			return false
+		}
+	}
+	n := &hnode{key: k}
+	n.value.Store(val)
+	n.next.Store(head)
+	t.heads[b].Store(n)
+	m.size.Add(1)
+	return true
+}
+
+// Delete removes k, returning whether it was present. The node is unlinked
+// while readers may still be traversing it; its next pointer is left
+// intact so they continue unharmed (the RCU discipline — in C this is
+// where reclamation would be deferred to a grace period; Go's GC plays
+// that role here).
+func (m *Map) Delete(k uint64) bool {
+	t, b := m.lockBucket(k)
+	defer t.locks[b].Unlock()
+	var prev *hnode
+	n := t.heads[b].Load()
+	for n != nil && n.key != k {
+		prev, n = n, n.next.Load()
+	}
+	if n == nil {
+		return false
+	}
+	if prev == nil {
+		t.heads[b].Store(n.next.Load())
+	} else {
+		prev.next.Store(n.next.Load())
+	}
+	m.size.Add(-1)
+	return true
+}
+
+// splitPredicate covers readers of the two buckets an old bucket splits
+// into: values b and b+oldSize (an iterable predicate with two values, the
+// form D-PRCU drains in O(1)).
+func splitPredicate(b, oldSize uint64) prcu.Predicate {
+	return prcu.Iterable(b, b+oldSize, func(v prcu.Value) prcu.Value { return v + oldSize })
+}
+
+// Expand doubles the bucket array while lookups proceed concurrently.
+// Updates are blocked for its duration. Safe to call from one goroutine at
+// a time per table; concurrent calls serialize.
+func (m *Map) Expand() {
+	m.resizeMu.Lock()
+	defer m.resizeMu.Unlock()
+
+	old := m.tbl.Load()
+	oldSize := uint64(len(old.heads))
+
+	// Stop updates: raise the flag, then drain in-flight holders of every
+	// old bucket lock.
+	m.expanding.Store(true)
+	defer m.expanding.Store(false)
+	for i := range old.locks {
+		old.locks[i].Lock()
+		//lint:ignore SA2001 empty critical section intentionally drains in-flight updates
+		old.locks[i].Unlock()
+	}
+
+	// Build the new array: each new bucket points at the first node of its
+	// old chain that belongs to it (Figure 3a).
+	nt := newTable(int(oldSize * 2))
+	for b := uint64(0); b < oldSize; b++ {
+		for n := old.heads[b].Load(); n != nil; n = n.next.Load() {
+			d := n.key & nt.mask
+			if nt.heads[d].Load() == nil {
+				nt.heads[d].Store(n)
+			}
+		}
+	}
+	m.tbl.Store(nt)
+
+	// Unzip every old chain (Figure 3b–3d).
+	for b := uint64(0); b < oldSize; b++ {
+		m.unzip(old, nt, b, oldSize)
+	}
+}
+
+// unzip separates old bucket b's chain into the two new chains, calling
+// WaitForReaders before every pointer change so no traversal that might
+// still rely on the old link can be stranded.
+func (m *Map) unzip(old, nt *table, b, oldSize uint64) {
+	pred := splitPredicate(b, oldSize)
+	cur := old.heads[b].Load()
+	for cur != nil {
+		d := cur.key & nt.mask
+		// Advance to the end of the current run of destination d.
+		next := cur.next.Load()
+		for next != nil && next.key&nt.mask == d {
+			cur = next
+			next = cur.next.Load()
+		}
+		if next == nil {
+			return // fully split
+		}
+		// next begins a run of the other destination; find the first
+		// node after it that belongs to d again.
+		q := next
+		for q != nil && q.key&nt.mask != d {
+			q = q.next.Load()
+		}
+		// Pre-existing readers of bucket d may be traversing the foreign
+		// run to reach their nodes beyond it; let them finish before
+		// cutting the link.
+		m.waits.Add(1)
+		m.rcu.WaitForReaders(pred)
+		cur.next.Store(q)
+		cur = next
+	}
+}

@@ -1,0 +1,366 @@
+package hashtable
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"prcu"
+)
+
+func mapVariants(maxReaders, buckets int) map[string]func() *Map {
+	return map[string]func() *Map{
+		"EER":  func() *Map { return New(prcu.NewEER(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"D":    func() *Map { return New(prcu.NewD(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"DEER": func() *Map { return New(prcu.NewDEER(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"Time": func() *Map { return New(prcu.NewTimeRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"URCU": func() *Map { return New(prcu.NewURCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"Tree": func() *Map { return New(prcu.NewTreeRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"Dist": func() *Map { return New(prcu.NewDistRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
+	}
+}
+
+func mustHandle(t *testing.T, m *Map) *Handle {
+	t.Helper()
+	h, err := m.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestBucketCountValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two bucket count must panic")
+		}
+	}()
+	New(prcu.NewEER(prcu.Options{MaxReaders: 2}), 12)
+}
+
+func TestBasicOperations(t *testing.T) {
+	for name, mk := range mapVariants(4, 8) {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			h := mustHandle(t, m)
+			defer h.Close()
+			if h.Contains(1) {
+				t.Fatal("empty map contains 1")
+			}
+			if !m.Insert(1, 11) || !m.Insert(2, 22) || !m.Insert(9, 99) {
+				t.Fatal("insert failed")
+			}
+			if m.Insert(1, 111) {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if v, ok := h.Get(1); !ok || v != 11 {
+				t.Fatalf("Get(1) = %d,%v, want 11,true", v, ok)
+			}
+			// 1 and 9 collide in an 8-bucket table (modulo hash).
+			if v, ok := h.Get(9); !ok || v != 99 {
+				t.Fatalf("Get(9) = %d,%v, want 99,true", v, ok)
+			}
+			if !m.Delete(1) || m.Delete(1) {
+				t.Fatal("delete semantics wrong")
+			}
+			if h.Contains(1) || !h.Contains(9) {
+				t.Fatal("contents wrong after delete")
+			}
+			if m.Size() != 2 {
+				t.Fatalf("Size = %d, want 2", m.Size())
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestExpandPreservesContents(t *testing.T) {
+	for name, mk := range mapVariants(4, 4) {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			h := mustHandle(t, m)
+			defer h.Close()
+			const n = 200
+			for k := uint64(0); k < n; k++ {
+				m.Insert(k, k*3)
+			}
+			for i := 0; i < 4; i++ {
+				before := m.Buckets()
+				m.Expand()
+				if got := m.Buckets(); got != before*2 {
+					t.Fatalf("Buckets after expand = %d, want %d", got, before*2)
+				}
+				for k := uint64(0); k < n; k++ {
+					if v, ok := h.Get(k); !ok || v != k*3 {
+						t.Fatalf("after expand %d: Get(%d) = %d,%v", i, k, v, ok)
+					}
+				}
+				if err := m.Validate(); err != nil {
+					t.Fatalf("after expand %d: %v", i, err)
+				}
+			}
+			if m.ExpansionWaits() == 0 {
+				t.Fatal("expansion issued no WaitForReaders calls")
+			}
+		})
+	}
+}
+
+func TestLoadFactor(t *testing.T) {
+	m := New(prcu.NewEER(prcu.Options{MaxReaders: 2}), 8)
+	for k := uint64(0); k < 16; k++ {
+		m.Insert(k, k)
+	}
+	if lf := m.LoadFactor(); lf != 2.0 {
+		t.Fatalf("LoadFactor = %v, want 2.0", lf)
+	}
+	m.Expand()
+	if lf := m.LoadFactor(); lf != 1.0 {
+		t.Fatalf("LoadFactor after expand = %v, want 1.0", lf)
+	}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	m := New(prcu.NewD(prcu.Options{MaxReaders: 4}), 8)
+	h := mustHandle(t, m)
+	defer h.Close()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(500))
+		switch rng.Intn(4) {
+		case 0:
+			_, inModel := model[k]
+			if got := m.Insert(k, k+1); got == inModel {
+				t.Fatalf("op %d: Insert(%d) = %v, model: %v", i, k, got, inModel)
+			}
+			if !inModel {
+				model[k] = k + 1
+			}
+		case 1:
+			_, inModel := model[k]
+			if got := m.Delete(k); got != inModel {
+				t.Fatalf("op %d: Delete(%d) = %v, model: %v", i, k, got, inModel)
+			}
+			delete(model, k)
+		case 2:
+			v, inModel := model[k]
+			gv, got := h.Get(k)
+			if got != inModel || (got && gv != v) {
+				t.Fatalf("op %d: Get(%d) = %d,%v, model %d,%v", i, k, gv, got, v, inModel)
+			}
+		default:
+			if i%1000 == 999 && m.Buckets() < 256 {
+				m.Expand()
+			}
+		}
+	}
+	if m.Size() != len(model) {
+		t.Fatalf("Size = %d, model %d", m.Size(), len(model))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInsertDeleteSet(t *testing.T) {
+	m := New(prcu.NewDEER(prcu.Options{MaxReaders: 4}), 16)
+	h, err := m.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	f := func(ops []uint16) bool {
+		model := map[uint64]bool{}
+		for _, op := range ops {
+			k := uint64(op % 127)
+			if op&0x8000 != 0 {
+				m.Delete(k)
+				delete(model, k)
+			} else {
+				m.Insert(k, k)
+				model[k] = true
+			}
+		}
+		for k := uint64(0); k < 127; k++ {
+			if h.Contains(k) != model[k] {
+				return false
+			}
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		for k := uint64(0); k < 127; k++ {
+			m.Delete(k)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLookupsDuringExpansion is the Figure 3 anomaly test: while the table
+// expands, concurrent lookups must never miss a key that is permanently
+// present. A missing wait before any unzip pointer change makes this fail.
+func TestLookupsDuringExpansion(t *testing.T) {
+	for name, mk := range mapVariants(16, 4) {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			const n = 400 // load factor 100 on 4 buckets: long chains, many unzip steps
+			for k := uint64(0); k < n; k++ {
+				m.Insert(k, k)
+			}
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					h, err := m.NewHandle()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer h.Close()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for !stop.Load() {
+						k := uint64(rng.Intn(n))
+						if v, ok := h.Get(k); !ok || v != k {
+							t.Errorf("Get(%d) = %d,%v during expansion", k, v, ok)
+							stop.Store(true)
+							return
+						}
+					}
+				}(g)
+			}
+			for i := 0; i < 5 && !stop.Load(); i++ {
+				m.Expand()
+			}
+			stop.Store(true)
+			wg.Wait()
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if m.Buckets() != 4*32 && !t.Failed() {
+				t.Fatalf("Buckets = %d, want %d", m.Buckets(), 4*32)
+			}
+		})
+	}
+}
+
+// TestUpdatesBlockedDuringExpansion verifies updates wait out an expansion
+// and then land correctly.
+func TestUpdatesBlockedDuringExpansion(t *testing.T) {
+	m := New(prcu.NewTimeRCU(prcu.Options{MaxReaders: 8}), 4)
+	for k := uint64(0); k < 200; k++ {
+		m.Insert(k, k)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			base := uint64(1000 * (g + 1))
+			for i := uint64(0); i < 50; i++ {
+				if !m.Insert(base+i, i) {
+					t.Errorf("insert %d failed", base+i)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		m.Expand()
+		m.Expand()
+	}()
+	close(start)
+	wg.Wait()
+	if want := 200 + 4*50; m.Size() != want {
+		t.Fatalf("Size = %d, want %d", m.Size(), want)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := mustHandle(t, m)
+	defer h.Close()
+	for g := 0; g < 4; g++ {
+		base := uint64(1000 * (g + 1))
+		for i := uint64(0); i < 50; i++ {
+			if !h.Contains(base + i) {
+				t.Fatalf("key %d missing after expansion", base+i)
+			}
+		}
+	}
+}
+
+// TestConcurrentUpdatesAndLookups stresses the non-expanding fast path.
+func TestConcurrentUpdatesAndLookups(t *testing.T) {
+	for name, mk := range mapVariants(16, 64) {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for !stop.Load() {
+						k := uint64(rng.Intn(256))
+						if rng.Intn(2) == 0 {
+							m.Insert(k, k)
+						} else {
+							m.Delete(k)
+						}
+					}
+				}(g)
+			}
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					h, err := m.NewHandle()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer h.Close()
+					rng := rand.New(rand.NewSource(int64(100 + g)))
+					for !stop.Load() {
+						k := uint64(rng.Intn(256))
+						if v, ok := h.Get(k); ok && v != k {
+							t.Errorf("Get(%d) returned foreign value %d", k, v)
+							stop.Store(true)
+							return
+						}
+					}
+				}(g)
+			}
+			time.Sleep(250 * time.Millisecond)
+			stop.Store(true)
+			wg.Wait()
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHandleExhaustion(t *testing.T) {
+	m := New(prcu.NewEER(prcu.Options{MaxReaders: 1}), 4)
+	h := mustHandle(t, m)
+	if _, err := m.NewHandle(); err == nil {
+		t.Fatal("expected handle exhaustion")
+	}
+	h.Close()
+}

@@ -1,0 +1,34 @@
+package hashtable
+
+import "fmt"
+
+// Validate checks the structural invariants of a quiescent table: every
+// node lives in the bucket its key hashes to, no key appears twice, every
+// chain terminates, and the reachable count matches Size. Like the citrus
+// validator it takes no locks and must not race with operations.
+func (m *Map) Validate() error {
+	t := m.tbl.Load()
+	seen := make(map[uint64]bool, m.Size())
+	count := 0
+	for b := range t.heads {
+		steps := 0
+		for n := t.heads[b].Load(); n != nil; n = n.next.Load() {
+			if n.key&t.mask != uint64(b) {
+				return fmt.Errorf("hashtable: key %d found in bucket %d, belongs in %d",
+					n.key, b, n.key&t.mask)
+			}
+			if seen[n.key] {
+				return fmt.Errorf("hashtable: key %d reachable twice", n.key)
+			}
+			seen[n.key] = true
+			count++
+			if steps++; steps > count+m.Size()+1 {
+				return fmt.Errorf("hashtable: bucket %d chain appears cyclic", b)
+			}
+		}
+	}
+	if got := m.Size(); got != count {
+		return fmt.Errorf("hashtable: Size() = %d but %d nodes reachable", got, count)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prcu"
+	"prcu/hashtable"
+	"prcu/internal/stats"
+	"prcu/internal/workload"
+)
+
+// Fig1 reproduces Figure 1, the paper's motivating measurement: the
+// latency of a typical data structure operation (a hash table lookup at
+// load factor 2, read-only workload) against the latency of a standard RCU
+// wait-for-readers executing concurrently, as the reader count grows. The
+// paper shows the wait costing up to 300x the lookup; the gap is the
+// bottleneck PRCU removes.
+func Fig1(cfg Config) error {
+	tbl := &table{
+		title:   "Figure 1: RCU wait-for-readers time vs hash op time",
+		unit:    "nanoseconds (the paper plots cycles; at its 2.3 GHz, 1 ns ~ 2.3 cycles)",
+		columns: []string{"Hash op", "RCU wait", "wait/op"},
+	}
+	for _, threads := range cfg.Threads {
+		op, wait, err := cfg.medianOfPair(func() (float64, float64, error) {
+			return fig1Point(cfg, threads)
+		})
+		if err != nil {
+			return err
+		}
+		ratio := 0.0
+		if op > 0 {
+			ratio = wait / op
+		}
+		tbl.addRow(fmt.Sprint(threads), []float64{op, wait, ratio})
+	}
+	tbl.emit(cfg)
+	return nil
+}
+
+// medianOfPair is medianOf for experiments that yield two numbers.
+func (c Config) medianOfPair(f func() (float64, float64, error)) (float64, float64, error) {
+	as := make([]float64, 0, c.Runs)
+	bs := make([]float64, 0, c.Runs)
+	for i := 0; i < c.Runs; i++ {
+		a, b, err := f()
+		if err != nil {
+			return 0, 0, err
+		}
+		as = append(as, a)
+		bs = append(bs, b)
+	}
+	return stats.Median(as), stats.Median(bs), nil
+}
+
+// fig1Point runs one thread count: N readers hammer lookups while a
+// dedicated thread measures Time RCU wait-for-readers latency.
+func fig1Point(cfg Config, threads int) (opNs, waitNs float64, err error) {
+	const buckets = 1 << 12
+	elements := uint64(buckets * 2) // load factor 2
+	keyRange := elements * 2
+
+	r := prcu.NewTimeRCU(prcu.Options{MaxReaders: threads + 1})
+	m := hashtable.New(r, buckets)
+	seed := workload.NewRNG(1)
+	for n := uint64(0); n < elements; {
+		if m.Insert(seed.Intn(keyRange), 0) {
+			n++
+		}
+	}
+
+	var (
+		stop    atomic.Bool
+		readOps atomic.Int64
+		wg      sync.WaitGroup
+		ready   sync.WaitGroup
+	)
+	ready.Add(threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, herr := m.NewHandle()
+			if herr != nil {
+				err = herr
+				ready.Done()
+				return
+			}
+			defer h.Close()
+			ready.Done()
+			rng := workload.NewRNG(uint64(w) + 7)
+			ops := int64(0)
+			for !stop.Load() {
+				h.Contains(rng.Intn(keyRange))
+				if ops++; ops%256 == 0 {
+					runtime.Gosched()
+				}
+			}
+			readOps.Add(ops)
+		}(w)
+	}
+
+	ready.Wait()
+	var waits stats.Histogram
+	t0 := time.Now()
+	for time.Since(t0) < cfg.Duration {
+		w0 := time.Now()
+		r.WaitForReaders(prcu.All())
+		waits.Record(time.Since(w0).Nanoseconds())
+		// Yield between waits so the measured readers actually run on
+		// hosts with fewer cores than goroutines.
+		runtime.Gosched()
+	}
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		return 0, 0, err
+	}
+	if readOps.Load() == 0 {
+		return 0, 0, fmt.Errorf("bench: fig1 readers performed no lookups")
+	}
+	opNs = float64(threads) * float64(elapsed.Nanoseconds()) / float64(readOps.Load())
+	return opNs, waits.Mean(), nil
+}

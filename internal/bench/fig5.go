@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"prcu/internal/workload"
+)
+
+// Fig5 reproduces Figure 5: CITRUS tree throughput under each RCU engine,
+// plus Opt-Tree, across the read-dominated / mixed / write-dominated
+// workloads and the two tree sizes. (The paper implements LF-Tree too but
+// omits it from the plots for legibility; pass includeLF to add it.)
+func Fig5(cfg Config, includeLF bool) error {
+	panels := []struct {
+		label string
+		mix   workload.Mix
+		keys  uint64
+	}{
+		{"5(a) read-dominated, large tree", workload.ReadDominated, cfg.LargeKeys},
+		{"5(b) read-dominated, small tree", workload.ReadDominated, cfg.SmallKeys},
+		{"5(c) mixed, large tree", workload.Mixed, cfg.LargeKeys},
+		{"5(d) mixed, small tree", workload.Mixed, cfg.SmallKeys},
+		{"5(e) write-dominated, large tree", workload.WriteDominated, cfg.LargeKeys},
+		{"5(f) write-dominated, small tree", workload.WriteDominated, cfg.SmallKeys},
+	}
+	for _, p := range panels {
+		if err := treeThroughputPanel(cfg, "Figure "+p.label, p.mix, p.keys, includeLF); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig7 reproduces Figure 7: the read-only workload that exposes each
+// engine's pure read-side overhead (rcu_enter/rcu_exit cost, §6.1
+// "Read-only cost").
+func Fig7(cfg Config, includeLF bool) error {
+	if err := treeThroughputPanel(cfg, "Figure 7(a) read-only, large tree", workload.ReadOnly, cfg.LargeKeys, includeLF); err != nil {
+		return err
+	}
+	return treeThroughputPanel(cfg, "Figure 7(b) read-only, small tree", workload.ReadOnly, cfg.SmallKeys, includeLF)
+}
+
+// treeThroughputPanel sweeps thread counts for every curve of one panel.
+func treeThroughputPanel(cfg Config, title string, mix workload.Mix, keys uint64, includeLF bool) error {
+	engines := Engines()
+	cols := make([]string, 0, len(engines)+2)
+	for _, e := range engines {
+		cols = append(cols, e.Name)
+	}
+	cols = append(cols, "Opt-Tree")
+	if includeLF {
+		cols = append(cols, "LF-Tree")
+	}
+	tbl := &table{
+		title:   fmt.Sprintf("%s (key space %d, initial size %d)", title, keys, keys/2),
+		unit:    "ops/second, median of " + fmt.Sprint(cfg.Runs),
+		columns: cols,
+	}
+	for _, threads := range cfg.Threads {
+		row := make([]float64, 0, len(cols))
+		for _, e := range engines {
+			v, err := cfg.medianOf(func() (float64, error) {
+				s := NewCitrusSet(e.New(threads+1), e.Domain())
+				if err := prefill(s, keys); err != nil {
+					return 0, err
+				}
+				return runMix(s, mix, keys, threads, cfg.Duration)
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		v, err := cfg.medianOf(func() (float64, error) {
+			s := NewOptTreeSet()
+			if err := prefill(s, keys); err != nil {
+				return 0, err
+			}
+			return runMix(s, mix, keys, threads, cfg.Duration)
+		})
+		if err != nil {
+			return err
+		}
+		row = append(row, v)
+		if includeLF {
+			v, err := cfg.medianOf(func() (float64, error) {
+				s := NewLFTreeSet()
+				if err := prefill(s, keys); err != nil {
+					return 0, err
+				}
+				return runMix(s, mix, keys, threads, cfg.Duration)
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		tbl.addRow(fmt.Sprint(threads), row)
+	}
+	tbl.emit(cfg)
+	return nil
+}

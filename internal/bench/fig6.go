@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"prcu/internal/workload"
+)
+
+// Fig6 reproduces Figure 6: on the small tree, (a)/(c) the percentage of
+// total thread time spent inside wait-for-readers and (b)/(d) the latency
+// of an individual wait-for-readers, for the read-dominated and
+// write-dominated workloads. Every engine runs wrapped in the
+// instrumenting proxy, which times each wait.
+func Fig6(cfg Config) error {
+	for _, mix := range []workload.Mix{workload.ReadDominated, workload.WriteDominated} {
+		pctTbl := &table{
+			title:   fmt.Sprintf("Figure 6: time spent in wait-for-readers, small tree, %s", mix.Name),
+			unit:    "percent of total thread time",
+			columns: engineNames(),
+		}
+		latTbl := &table{
+			title:   fmt.Sprintf("Figure 6: wait-for-readers latency, small tree, %s", mix.Name),
+			unit:    "nanoseconds per wait (mean)",
+			columns: engineNames(),
+		}
+		for _, threads := range cfg.Threads {
+			pctRow := make([]float64, 0, len(pctTbl.columns))
+			latRow := make([]float64, 0, len(latTbl.columns))
+			for _, e := range Engines() {
+				pct, lat, err := waitShare(cfg, e, mix, cfg.SmallKeys, threads)
+				if err != nil {
+					return err
+				}
+				pctRow = append(pctRow, pct)
+				latRow = append(latRow, lat)
+			}
+			pctTbl.addRow(fmt.Sprint(threads), pctRow)
+			latTbl.addRow(fmt.Sprint(threads), latRow)
+		}
+		pctTbl.emit(cfg)
+		latTbl.emit(cfg)
+	}
+	return nil
+}
+
+func engineNames() []string {
+	es := Engines()
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// waitShare runs one instrumented point and returns (percent of thread
+// time inside waits, mean wait latency in ns).
+func waitShare(cfg Config, e Engine, mix workload.Mix, keys uint64, threads int) (float64, float64, error) {
+	inst := NewInstrumented(e.New(threads + 1))
+	s := NewCitrusSet(inst, e.Domain())
+	if err := prefill(s, keys); err != nil {
+		return 0, 0, err
+	}
+	// Discard the waits issued during prefill.
+	inst.Waits.Reset()
+	ths := make([]SetThread, threads)
+	for i := range ths {
+		th, err := s.NewThread()
+		if err != nil {
+			return 0, 0, err
+		}
+		ths[i] = th
+	}
+	res := workload.Run(threads, cfg.Duration, func(w int, rng *workload.RNG) int {
+		th := ths[w]
+		k := rng.Intn(keys)
+		switch mix.Pick(rng) {
+		case workload.OpContains:
+			th.Contains(k)
+		case workload.OpInsert:
+			th.Insert(k, k)
+		default:
+			th.Delete(k)
+		}
+		return 1
+	})
+	for _, th := range ths {
+		th.Close()
+	}
+	totalThreadNs := float64(threads) * float64(res.Elapsed/time.Nanosecond)
+	pct := 100 * float64(inst.TotalWaitNs()) / totalThreadNs
+	return pct, inst.MeanWaitNs(), nil
+}

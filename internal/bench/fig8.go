@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"prcu"
+	"prcu/internal/workload"
+)
+
+// Fig8 reproduces Figure 8: each engine's throughput normalized to a twin
+// whose wait-for-readers performs no memory accesses and only burns the
+// same mean time (§6.1 "Cache coherency related costs"). The gap between
+// 100% and an engine's bar is the cost of the cache-line traffic between
+// readers' bookkeeping and wait-for-readers scans. Tree RCU is omitted, as
+// in the paper's plot (its wait performs no per-reader scans of hot
+// reader-written lines in the same way).
+func Fig8(cfg Config) error {
+	panels := []struct {
+		label string
+		mix   workload.Mix
+		keys  uint64
+	}{
+		{"rd/large", workload.ReadDominated, cfg.LargeKeys},
+		{"mx/large", workload.Mixed, cfg.LargeKeys},
+		{"wr/large", workload.WriteDominated, cfg.LargeKeys},
+		{"rd/small", workload.ReadDominated, cfg.SmallKeys},
+		{"mx/small", workload.Mixed, cfg.SmallKeys},
+		{"wr/small", workload.WriteDominated, cfg.SmallKeys},
+	}
+	engines := fig8Engines()
+	tbl := &table{
+		title:   "Figure 8: throughput normalized to simulated-wait variant",
+		unit:    fmt.Sprintf("percent (100 = no reader/waiter coherence cost), %d threads", cfg.maxThreads()),
+		columns: engineNamesOf(engines),
+	}
+	threads := cfg.maxThreads()
+	for _, p := range panels {
+		row := make([]float64, 0, len(engines))
+		for _, e := range engines {
+			norm, err := cfg.medianOf(func() (float64, error) {
+				return normalizedToSimulated(cfg, e, p.mix, p.keys, threads)
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, norm)
+		}
+		tbl.addRow(p.label, row)
+	}
+	tbl.emit(cfg)
+	return nil
+}
+
+func fig8Engines() []Engine {
+	var out []Engine
+	for _, e := range Engines() {
+		if e.Name == "Tree RCU" {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func engineNamesOf(es []Engine) []string {
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// normalizedToSimulated measures the real engine's throughput and mean
+// wait latency, re-runs the same point with waits replaced by a
+// memory-silent spin of that mean latency, and returns real/simulated as a
+// percentage.
+func normalizedToSimulated(cfg Config, e Engine, mix workload.Mix, keys uint64, threads int) (float64, error) {
+	// Pass 1: real engine, instrumented.
+	inst := NewInstrumented(e.New(threads + 1))
+	s := NewCitrusSet(inst, e.Domain())
+	if err := prefill(s, keys); err != nil {
+		return 0, err
+	}
+	inst.Waits.Reset()
+	real, err := runMix(s, mix, keys, threads, cfg.Duration)
+	if err != nil {
+		return 0, err
+	}
+	meanWait := int64(inst.MeanWaitNs())
+
+	// Pass 2: fresh tree whose engine burns the measured mean wait time
+	// without touching shared state.
+	sim := prcu.NewSimulated(e.New(threads+1), meanWait)
+	s2 := NewCitrusSet(sim, e.Domain())
+	if err := prefill(s2, keys); err != nil {
+		return 0, err
+	}
+	simT, err := runMix(s2, mix, keys, threads, cfg.Duration)
+	if err != nil {
+		return 0, err
+	}
+	if simT == 0 {
+		return 0, fmt.Errorf("bench: simulated run produced no operations")
+	}
+	return 100 * real / simT, nil
+}

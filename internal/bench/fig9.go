@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prcu/hashtable"
+	"prcu/internal/stats"
+	"prcu/internal/workload"
+)
+
+// Fig9 reproduces Figure 9: a hash table at load factor 4 is expanded
+// while N readers perform uniform lookups. Reported per engine and reader
+// count, normalized to Time RCU as in the paper: (a) lookup throughput and
+// (b) expansion latency, plus the geometric-mean summary column.
+func Fig9(cfg Config) error {
+	engines := Engines()
+	names := engineNamesOf(engines)
+
+	type point struct{ throughput, latency float64 }
+	// results[engine][threadIdx]
+	results := make([][]point, len(engines))
+	for ei, e := range engines {
+		results[ei] = make([]point, len(cfg.Threads))
+		for ti, readers := range cfg.Threads {
+			tp, lat, err := cfg.medianOfPair(func() (float64, float64, error) {
+				return fig9Point(cfg, e, readers)
+			})
+			if err != nil {
+				return err
+			}
+			results[ei][ti] = point{throughput: tp, latency: lat}
+		}
+		_ = e
+	}
+
+	// Normalize to Time RCU (column index found by name).
+	baseIdx := -1
+	for i, n := range names {
+		if n == "Time RCU" {
+			baseIdx = i
+		}
+	}
+	if baseIdx < 0 {
+		return fmt.Errorf("bench: Time RCU missing from engine list")
+	}
+
+	tpTbl := &table{
+		title:   "Figure 9(a): lookup throughput during expansion",
+		unit:    "percent of Time RCU (higher is better); last row is the geometric mean",
+		columns: names,
+	}
+	latTbl := &table{
+		title:   "Figure 9(b): table expansion latency",
+		unit:    "percent of Time RCU (lower is better); last row is the geometric mean",
+		columns: names,
+	}
+	geoTP := make([][]float64, len(engines))
+	geoLat := make([][]float64, len(engines))
+	for ti, readers := range cfg.Threads {
+		tpRow := make([]float64, len(engines))
+		latRow := make([]float64, len(engines))
+		base := results[baseIdx][ti]
+		for ei := range engines {
+			tpRow[ei] = 100 * results[ei][ti].throughput / base.throughput
+			latRow[ei] = 100 * results[ei][ti].latency / base.latency
+			geoTP[ei] = append(geoTP[ei], tpRow[ei])
+			geoLat[ei] = append(geoLat[ei], latRow[ei])
+		}
+		tpTbl.addRow(fmt.Sprint(readers), tpRow)
+		latTbl.addRow(fmt.Sprint(readers), latRow)
+	}
+	tpGeo := make([]float64, len(engines))
+	latGeo := make([]float64, len(engines))
+	for ei := range engines {
+		tpGeo[ei] = stats.GeoMean(geoTP[ei])
+		latGeo[ei] = stats.GeoMean(geoLat[ei])
+	}
+	tpTbl.addRow("geomean", tpGeo)
+	latTbl.addRow("geomean", latGeo)
+	tpTbl.emit(cfg)
+	latTbl.emit(cfg)
+	return nil
+}
+
+// fig9Point builds a table of cfg.HashElements keys at load factor 4 and
+// measures reader throughput while one expansion runs, along with the
+// expansion's latency.
+func fig9Point(cfg Config, e Engine, readers int) (throughput, latencyNs float64, err error) {
+	elements := cfg.HashElements
+	buckets := int(elements / 4) // load factor 4
+	if buckets < 1 || buckets&(buckets-1) != 0 {
+		return 0, 0, fmt.Errorf("bench: HashElements/4 must be a power of two, got %d", buckets)
+	}
+	keyRange := elements * 2
+
+	r := e.New(readers + 1)
+	m := hashtable.New(r, buckets)
+	seed := workload.NewRNG(3)
+	for n := uint64(0); n < elements; {
+		if m.Insert(seed.Intn(keyRange), 0) {
+			n++
+		}
+	}
+
+	var (
+		stop    atomic.Bool
+		readOps atomic.Int64
+		wg      sync.WaitGroup
+		hErr    error
+	)
+	started := make(chan struct{})
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, herr := m.NewHandle()
+			if herr != nil {
+				hErr = herr
+				return
+			}
+			defer h.Close()
+			if w == 0 {
+				close(started)
+			}
+			rng := workload.NewRNG(uint64(w) + 11)
+			ops := int64(0)
+			for !stop.Load() {
+				h.Contains(rng.Intn(keyRange))
+				if ops++; ops%256 == 0 {
+					runtime.Gosched()
+				}
+			}
+			readOps.Add(ops)
+		}(w)
+	}
+	<-started
+
+	t0 := time.Now()
+	m.Expand()
+	expandLatency := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+	if hErr != nil {
+		return 0, 0, hErr
+	}
+	if verr := m.Validate(); verr != nil {
+		return 0, 0, fmt.Errorf("bench: table invalid after expansion with %s: %w", r.Name(), verr)
+	}
+	tp := float64(readOps.Load()) / expandLatency.Seconds()
+	return tp, float64(expandLatency.Nanoseconds()), nil
+}

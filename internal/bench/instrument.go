@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"time"
+
+	"prcu"
+	"prcu/internal/stats"
+)
+
+// InstrumentedRCU wraps an engine and records the latency of every
+// WaitForReaders call — the raw material of Figure 6 (per-wait latency and
+// total time spent waiting) and the calibration input for Figure 8's
+// simulated-wait variants.
+type InstrumentedRCU struct {
+	inner prcu.RCU
+	// Waits holds per-wait latencies in nanoseconds.
+	Waits stats.Histogram
+}
+
+// NewInstrumented wraps inner.
+func NewInstrumented(inner prcu.RCU) *InstrumentedRCU {
+	return &InstrumentedRCU{inner: inner}
+}
+
+// Name implements prcu.RCU.
+func (i *InstrumentedRCU) Name() string { return i.inner.Name() }
+
+// MaxReaders implements prcu.RCU.
+func (i *InstrumentedRCU) MaxReaders() int { return i.inner.MaxReaders() }
+
+// Register implements prcu.RCU.
+func (i *InstrumentedRCU) Register() (prcu.Reader, error) { return i.inner.Register() }
+
+// WaitForReaders implements prcu.RCU, timing the inner wait.
+func (i *InstrumentedRCU) WaitForReaders(p prcu.Predicate) {
+	t0 := time.Now()
+	i.inner.WaitForReaders(p)
+	i.Waits.Record(time.Since(t0).Nanoseconds())
+}
+
+// MeanWaitNs returns the mean observed wait latency.
+func (i *InstrumentedRCU) MeanWaitNs() float64 { return i.Waits.Mean() }
+
+// TotalWaitNs returns the total nanoseconds spent inside WaitForReaders.
+func (i *InstrumentedRCU) TotalWaitNs() int64 { return i.Waits.Sum() }

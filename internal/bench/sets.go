@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"prcu"
+	"prcu/citrus"
+	"prcu/internal/lftree"
+	"prcu/internal/opttree"
+)
+
+// citrusSet adapts a CITRUS tree to the Set interface.
+type citrusSet struct {
+	tree *citrus.Tree
+}
+
+// NewCitrusSet builds a CITRUS tree over the given engine and domain.
+func NewCitrusSet(r prcu.RCU, d citrus.Domain) Set {
+	return &citrusSet{tree: citrus.New(r, d)}
+}
+
+func (s *citrusSet) NewThread() (SetThread, error) {
+	h, err := s.tree.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return citrusThread{h: h}, nil
+}
+
+type citrusThread struct{ h *citrus.Handle }
+
+func (t citrusThread) Contains(k uint64) bool  { return t.h.Contains(k) }
+func (t citrusThread) Insert(k, v uint64) bool { return t.h.Insert(k, v) }
+func (t citrusThread) Delete(k uint64) bool    { return t.h.Delete(k) }
+func (t citrusThread) Close()                  { t.h.Close() }
+
+// optSet adapts Opt-Tree (no per-thread state needed).
+type optSet struct {
+	tree *opttree.Tree
+}
+
+// NewOptTreeSet builds an Opt-Tree set.
+func NewOptTreeSet() Set { return &optSet{tree: opttree.New()} }
+
+func (s *optSet) NewThread() (SetThread, error) { return optThread{t: s.tree}, nil }
+
+type optThread struct{ t *opttree.Tree }
+
+func (t optThread) Contains(k uint64) bool  { return t.t.Contains(k) }
+func (t optThread) Insert(k, v uint64) bool { return t.t.Insert(k, v) }
+func (t optThread) Delete(k uint64) bool    { return t.t.Delete(k) }
+func (t optThread) Close()                  {}
+
+// lfSet adapts LF-Tree.
+type lfSet struct {
+	tree *lftree.Tree
+}
+
+// NewLFTreeSet builds an LF-Tree set.
+func NewLFTreeSet() Set { return &lfSet{tree: lftree.New()} }
+
+func (s *lfSet) NewThread() (SetThread, error) { return lfThread{t: s.tree}, nil }
+
+type lfThread struct{ t *lftree.Tree }
+
+func (t lfThread) Contains(k uint64) bool  { return t.t.Contains(k) }
+func (t lfThread) Insert(k, v uint64) bool { return t.t.Insert(k, v) }
+func (t lfThread) Delete(k uint64) bool    { return t.t.Delete(k) }
+func (t lfThread) Close()                  {}

@@ -1,0 +1,131 @@
+package core
+
+import "sync"
+
+// Async provides call_rcu-style deferred execution (§2.1 "Asynchronous
+// wait-for-readers"): Call records a callback and returns immediately; a
+// background worker runs the callback after a grace period covering its
+// predicate. As the paper notes, this trades the caller's blocking for
+// unbounded deferred work, so Barrier and Close let callers re-establish
+// strict bounds when they need them.
+//
+// Unlike classic call_rcu — which batches all callbacks behind one global
+// grace period — the worker waits per predicate, preserving PRCU's cheap
+// targeted waits. Callbacks sharing the exact moment of submission still
+// amortize channel and scheduling overhead by draining as a batch.
+type Async struct {
+	rcu RCU
+
+	mu      sync.Mutex
+	pending []asyncCB
+	closed  bool
+	kick    chan struct{}
+	idle    *sync.Cond
+	inFlite int
+
+	done chan struct{}
+}
+
+type asyncCB struct {
+	pred Predicate
+	fn   func()
+}
+
+// NewAsync starts a deferral worker on top of r. Close must be called to
+// release the worker.
+func NewAsync(r RCU) *Async {
+	a := &Async{
+		rcu:  r,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	a.idle = sync.NewCond(&a.mu)
+	go a.worker()
+	return a
+}
+
+// Call schedules fn to run after a grace period covering p. It never
+// blocks for the grace period. Call panics after Close.
+func (a *Async) Call(p Predicate, fn func()) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		panic("prcu: Call on closed Async")
+	}
+	a.pending = append(a.pending, asyncCB{pred: p, fn: fn})
+	a.mu.Unlock()
+	select {
+	case a.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Barrier blocks until every callback submitted before it has executed.
+func (a *Async) Barrier() {
+	a.mu.Lock()
+	for len(a.pending) > 0 || a.inFlite > 0 {
+		a.idle.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// Pending returns the number of callbacks not yet executed.
+func (a *Async) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending) + a.inFlite
+}
+
+// Close drains all outstanding callbacks (running each after its grace
+// period) and stops the worker. Close is idempotent.
+func (a *Async) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		<-a.done
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	select {
+	case a.kick <- struct{}{}:
+	default:
+	}
+	<-a.done
+}
+
+func (a *Async) worker() {
+	defer close(a.done)
+	for {
+		a.mu.Lock()
+		for len(a.pending) == 0 && !a.closed {
+			a.mu.Unlock()
+			<-a.kick
+			a.mu.Lock()
+		}
+		batch := a.pending
+		a.pending = nil
+		a.inFlite = len(batch)
+		closed := a.closed
+		a.mu.Unlock()
+
+		for _, cb := range batch {
+			a.rcu.WaitForReaders(cb.pred)
+			cb.fn()
+			a.mu.Lock()
+			a.inFlite--
+			if a.inFlite == 0 && len(a.pending) == 0 {
+				a.idle.Broadcast()
+			}
+			a.mu.Unlock()
+		}
+		if closed {
+			a.mu.Lock()
+			remaining := len(a.pending)
+			a.mu.Unlock()
+			if remaining == 0 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAsyncRunsCallbacks(t *testing.T) {
+	a := NewAsync(NewTimeRCU(8, nil))
+	defer a.Close()
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		a.Call(All(), func() { ran.Add(1) })
+	}
+	a.Barrier()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d callbacks after Barrier, want 100", got)
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("Pending = %d after Barrier, want 0", a.Pending())
+	}
+}
+
+func TestAsyncCallbackWaitsForGracePeriod(t *testing.T) {
+	r := NewEER(8, nil)
+	a := NewAsync(r)
+	defer a.Close()
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(7)
+	var ran atomic.Bool
+	a.Call(Singleton(7), func() { ran.Store(true) })
+	// The callback must not run while the covered critical section is open.
+	time.Sleep(30 * time.Millisecond)
+	if ran.Load() {
+		rd.Exit(7)
+		t.Fatal("callback ran before the covered reader exited")
+	}
+	rd.Exit(7)
+	a.Barrier()
+	if !ran.Load() {
+		t.Fatal("callback did not run after the grace period")
+	}
+	rd.Unregister()
+}
+
+func TestAsyncUncoveredReaderDoesNotBlockCallback(t *testing.T) {
+	r := NewD(8, 1024)
+	a := NewAsync(r)
+	defer a.Close()
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(1000)
+	defer func() {
+		rd.Exit(1000)
+		rd.Unregister()
+	}()
+	done := make(chan struct{})
+	a.Call(Singleton(5), func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("callback blocked behind an uncovered critical section")
+	}
+}
+
+func TestAsyncCloseDrains(t *testing.T) {
+	a := NewAsync(NewDistRCU(4))
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		a.Call(All(), func() { ran.Add(1) })
+	}
+	a.Close()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("Close ran %d callbacks, want 50", got)
+	}
+	// Idempotent.
+	a.Close()
+}
+
+func TestAsyncCallAfterClosePanics(t *testing.T) {
+	a := NewAsync(NewDistRCU(4))
+	a.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Call after Close must panic")
+		}
+	}()
+	a.Call(All(), func() {})
+}
+
+func TestAsyncConcurrentCallers(t *testing.T) {
+	a := NewAsync(NewTimeRCU(16, nil))
+	defer a.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a.Call(All(), func() { ran.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	a.Barrier()
+	if got := ran.Load(); got != 400 {
+		t.Fatalf("ran %d callbacks, want 400", got)
+	}
+}

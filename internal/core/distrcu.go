@@ -1,0 +1,91 @@
+package core
+
+import (
+	"prcu/internal/pad"
+	"prcu/internal/spin"
+)
+
+// DistRCU implements the distributed-counters RCU of Arbel and Attiya
+// (§2.2): no global grace-period counter, just a per-reader critical
+// section counter. A waiter snapshots each reader's counter and waits for
+// the reader either to advance it or to be outside a critical section.
+// Waits are read-only, so — like the PRCU engines — concurrent waits scale
+// without synchronizing with each other.
+//
+// A single generation counter encodes both pieces of state: even means
+// quiescent, odd means inside a critical section. This is the RCU the
+// original CITRUS tree used (the paper's Time RCU is its TSC-optimized
+// successor).
+type DistRCU struct {
+	reg *registry
+	gen []pad.Uint64
+}
+
+// NewDistRCU returns a distributed-counters RCU engine with capacity for
+// maxReaders concurrent readers.
+func NewDistRCU(maxReaders int) *DistRCU {
+	return &DistRCU{
+		reg: newRegistry(maxReaders),
+		gen: make([]pad.Uint64, maxReaders),
+	}
+}
+
+// Name implements RCU.
+func (d *DistRCU) Name() string { return "Dist RCU" }
+
+// MaxReaders implements RCU.
+func (d *DistRCU) MaxReaders() int { return d.reg.maxReaders() }
+
+type distReader struct {
+	d    *DistRCU
+	gen  *pad.Uint64
+	slot int
+}
+
+// Register implements RCU.
+func (d *DistRCU) Register() (Reader, error) {
+	slot, err := d.reg.acquire()
+	if err != nil {
+		return nil, err
+	}
+	g := &d.gen[slot]
+	if g.Load()&1 == 1 {
+		panic("prcu: reader slot reused while marked in-CS")
+	}
+	return &distReader{d: d, gen: g, slot: slot}, nil
+}
+
+// Enter implements Reader. The value is ignored — Dist RCU is a plain RCU.
+func (r *distReader) Enter(Value) { r.gen.Add(1) }
+
+// Exit implements Reader.
+func (r *distReader) Exit(Value) { r.gen.Add(1) }
+
+// Unregister implements Reader.
+func (r *distReader) Unregister() {
+	if r.gen.Load()&1 == 1 {
+		panic("prcu: Unregister inside a read-side critical section")
+	}
+	r.d.reg.release(r.slot)
+	r.gen = nil
+}
+
+// WaitForReaders implements RCU. The predicate is ignored.
+func (d *DistRCU) WaitForReaders(Predicate) {
+	limit := d.reg.scanLimit()
+	var w spin.Waiter
+	for j := 0; j < limit; j++ {
+		if !d.reg.isActive(j) {
+			continue
+		}
+		g := &d.gen[j]
+		s := g.Load()
+		if s&1 == 0 {
+			continue
+		}
+		w.Reset()
+		for g.Load() == s {
+			w.Wait()
+		}
+	}
+}

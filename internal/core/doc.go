@@ -1,0 +1,32 @@
+// Package core implements Predicate RCU (PRCU) and the baseline RCU
+// algorithms it is evaluated against in
+//
+//	Maya Arbel and Adam Morrison.
+//	"Predicate RCU: An RCU for Scalable Concurrent Updates." PPoPP 2015.
+//
+// The package provides seven interchangeable engines behind one interface:
+//
+//   - EER-PRCU (§4.1): wait-for-readers evaluates the predicate for each
+//     reader and waits only for readers it holds for.
+//   - D-PRCU (§4.2): readers hash their value into a shared counter table;
+//     wait-for-readers drains only the counters the predicate covers.
+//   - DEER-PRCU (§4.3): per-reader counter tables; linear scan like EER but
+//     without coherence ping-pong between non-conflicting readers/waiters.
+//   - Time RCU (§6): time-based quiescence detection for all readers —
+//     EER-PRCU without the predicate, the paper's strongest RCU baseline.
+//   - URCU (§2.2): Desnoyers et al.'s userspace RCU with a global grace
+//     period counter and a global writer lock.
+//   - Tree RCU (§2.2): the Linux hierarchical bitmap algorithm, restricted
+//     as in the paper's evaluation to treat the states between data
+//     structure operations as quiescent.
+//   - Dist RCU (§2.2): Arbel–Attiya distributed per-reader counters.
+//
+// All engines accept the full PRCU interface; the plain-RCU baselines ignore
+// the value and predicate arguments, which makes them drop-in comparators.
+//
+// Memory model. The paper's pseudo code targets x86-TSO plus explicit
+// fences. This implementation uses sync/atomic for every shared access,
+// which in Go provides sequential consistency — strictly stronger than the
+// fence discipline in Algorithms 1–3, so the paper's safety proofs carry
+// over directly (see the comments on each engine).
+package core

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"prcu/internal/pad"
+	"prcu/internal/spin"
+)
+
+// DefaultCounterTableSize is the C-table size used in the paper's
+// evaluation ("The D-PRCU implementation uses a 1024-counter table", §6).
+const DefaultCounterTableSize = 1024
+
+// optimisticBudget is the number of back-off steps a wait spends hoping a
+// node's readers drain naturally before acquiring the node lock and running
+// the gate-toggle protocol (§4.2 "Optimistic waiting").
+const optimisticBudget = 128
+
+// dNode is one slot of D-PRCU's shared counter table C (Algorithm 2).
+// It uses the SRCU-style two-counter waiting protocol: the gate bit selects
+// which counter arriving readers increment, so a waiter can drain one phase
+// while the other keeps absorbing new readers, guaranteeing the wait
+// terminates even under a continuous stream of arrivals.
+//
+// Every field gets its own cache line: the counters are the reader fast
+// path, the gate is read by every Enter and written only by slow-path
+// drains, and the lock serializes concurrent drains of the same node.
+type dNode struct {
+	gate    pad.Uint64
+	readers [2]pad.Int64
+	mu      sync.Mutex
+	// drains counts completed gate-protocol drains of this node; it backs
+	// the batching optimization of §4.2 ("Further optimizations"): a
+	// waiter that finds the lock taken piggybacks by waiting until two
+	// drains complete after its arrival — the second one necessarily
+	// started after the waiter arrived and therefore covers it.
+	drains pad.Uint64
+	_      [pad.CacheLineSize - 8]byte
+}
+
+// dTable is one generation of the counter table. Resize (§4.2 "Further
+// optimizations") swaps in a larger generation; the table is therefore
+// reached through an atomic pointer and readers re-validate it after
+// incrementing, exactly like the resizable hash table's lookups.
+type dTable struct {
+	nodes []dNode
+	mask  uint64
+}
+
+func newDTable(size int) *dTable {
+	if size < 1 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("prcu: D-PRCU table size must be a power of two, got %d", size))
+	}
+	return &dTable{nodes: make([]dNode, size), mask: uint64(size - 1)}
+}
+
+func (t *dTable) index(v Value) uint64 { return hashValue(v) & t.mask }
+
+// D implements D-PRCU (Algorithm 2). Readers hash their value into the
+// counter table; wait-for-readers drains only the nodes covered by an
+// enumerable predicate, making its cost O(|P⁻¹|) — independent of the
+// number of threads. General (non-enumerable) predicates fall back to
+// draining the whole table, as described in §4.2.
+type D struct {
+	reg *registry
+	tbl atomic.Pointer[dTable]
+	// old holds the previous table generation while a Resize drains it;
+	// concurrent waits drain it conservatively until it clears.
+	old      atomic.Pointer[dTable]
+	resizeMu sync.Mutex
+	// optBudget is the optimistic-waiting budget; <= 0 goes straight to
+	// the gate protocol. Tunable (before use) for the ablation study.
+	optBudget int
+}
+
+// NewD returns a D-PRCU engine. tableSize is the counter-table size |C| and
+// must be a power of two; 0 selects the paper's default of 1024.
+func NewD(maxReaders, tableSize int) *D {
+	if tableSize == 0 {
+		tableSize = DefaultCounterTableSize
+	}
+	d := &D{
+		reg:       newRegistry(maxReaders),
+		optBudget: optimisticBudget,
+	}
+	d.tbl.Store(newDTable(tableSize))
+	return d
+}
+
+// SetOptimisticBudget tunes the optimistic-waiting spin budget (§4.2);
+// zero or negative disables optimistic waiting entirely, sending every
+// drain straight to the gate protocol. Call before the engine is in use —
+// the field is read without synchronization on the wait path.
+func (d *D) SetOptimisticBudget(budget int) { d.optBudget = budget }
+
+// Name implements RCU.
+func (d *D) Name() string { return "D-PRCU" }
+
+// MaxReaders implements RCU.
+func (d *D) MaxReaders() int { return d.reg.maxReaders() }
+
+// TableSize returns |C|, the current counter table size.
+func (d *D) TableSize() int { return len(d.tbl.Load().nodes) }
+
+// hashValue is h_rcu: D → [|C|]. The domain is opaque and possibly huge
+// (§4.2), so a strong mixer (splitmix64 finalizer) spreads adjacent values
+// across the table, keeping counter contention low for disjoint readers.
+func hashValue(v Value) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+type dReader struct {
+	d    *D
+	slot int
+	// node and b record the counter cell and gate bit chosen at Enter, so
+	// Exit decrements exactly the counter Enter incremented (Algorithm
+	// 2's thread-local b). tbl pins the table generation for the
+	// Exit-value consistency check. inCS guards the no-nesting contract.
+	node *dNode
+	tbl  *dTable
+	b    uint64
+	inCS bool
+}
+
+// Register implements RCU. D-PRCU readers carry no scanned per-slot state —
+// the counter table is the shared state — but slots still bound and account
+// for the reader population.
+func (d *D) Register() (Reader, error) {
+	slot, err := d.reg.acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &dReader{d: d, slot: slot}, nil
+}
+
+// Enter implements Reader (Algorithm 2 lines 4–7). The fetch-and-add is an
+// SC atomic RMW, which supplies the fence the paper notes TSO gets for free
+// from the atomic operation. The table pointer is re-validated after the
+// increment so an Enter racing a Resize can never count itself in a
+// generation that has already been drained and abandoned.
+func (r *dReader) Enter(v Value) {
+	if r.inCS {
+		panic("prcu: nested read-side critical sections are not supported")
+	}
+	for {
+		t := r.d.tbl.Load()
+		n := &t.nodes[t.index(v)]
+		b := n.gate.Load() & 1
+		n.readers[b].Add(1)
+		if r.d.tbl.Load() == t {
+			r.node, r.tbl, r.b, r.inCS = n, t, b, true
+			return
+		}
+		n.readers[b].Add(-1)
+	}
+}
+
+// Exit implements Reader (Algorithm 2 lines 8–9).
+func (r *dReader) Exit(v Value) {
+	if !r.inCS {
+		panic("prcu: Exit without matching Enter")
+	}
+	if n := &r.tbl.nodes[r.tbl.index(v)]; n != r.node {
+		panic("prcu: Exit value does not match Enter value")
+	}
+	r.node.readers[r.b].Add(-1)
+	r.node, r.tbl, r.inCS = nil, nil, false
+}
+
+// Unregister implements Reader.
+func (r *dReader) Unregister() {
+	if r.inCS {
+		panic("prcu: Unregister inside a read-side critical section")
+	}
+	r.d.reg.release(r.slot)
+	r.d = nil
+}
+
+// WaitForReaders implements RCU (Algorithm 2 lines 10–13). For enumerable
+// predicates it drains only the covered nodes, deduplicating indices so
+// hash collisions within P⁻¹ never drain a node twice (§4.2 footnote 2).
+// For general predicates it applies the protocol at every node, the
+// fallback §4.2 describes. If a table resize is in flight, the previous
+// generation is drained in full — readers counted there may hold any
+// value, so only a global drain of that generation is conservative enough.
+func (d *D) WaitForReaders(p Predicate) {
+	// The updater's prior writes are ordered before the counter loads in
+	// drain by SC atomics (the paper's line 11 fence).
+	t := d.tbl.Load()
+	if !p.Enumerable() {
+		for j := range t.nodes {
+			d.drainNode(&t.nodes[j])
+		}
+	} else {
+		d.drainCovered(t, p)
+	}
+	if o := d.old.Load(); o != nil && o != t {
+		for j := range o.nodes {
+			d.drainNode(&o.nodes[j])
+		}
+	}
+}
+
+// drainCovered drains the nodes of t that p's values hash to, each once.
+func (d *D) drainCovered(t *dTable, p Predicate) {
+	// Dedup covered indices. Predicates in practice cover very few values
+	// (a bucket pair, a small key interval), so a small linear buffer
+	// avoids allocation; large predicates spill into a bitmap.
+	var small [16]uint64
+	seen := small[:0]
+	var bitmap []uint64
+	p.ForEach(func(v Value) bool {
+		idx := t.index(v)
+		if bitmap == nil {
+			for _, s := range seen {
+				if s == idx {
+					return true
+				}
+			}
+			if len(seen) < cap(seen) {
+				seen = append(seen, idx)
+				d.drainNode(&t.nodes[idx])
+				return true
+			}
+			// Spill: promote to bitmap.
+			bitmap = make([]uint64, (len(t.nodes)+63)/64)
+			for _, s := range seen {
+				bitmap[s/64] |= 1 << (s % 64)
+			}
+		}
+		if bitmap[idx/64]&(1<<(idx%64)) != 0 {
+			return true
+		}
+		bitmap[idx/64] |= 1 << (idx % 64)
+		d.drainNode(&t.nodes[idx])
+		return true
+	})
+}
+
+// drainNode waits until node n has been observed with zero readers in each
+// counter (Lemma 1), first optimistically and then via the gate protocol
+// (Algorithm 2 lines 14–20), piggybacking on a concurrent drain when the
+// node lock is contended.
+func (d *D) drainNode(n *dNode) {
+	// Optimistic waiting (§4.2): hope readers drain naturally, avoiding the
+	// lock and the gate toggle. Lemma 1 needs each counter observed at zero
+	// at some point during the wait — not simultaneously — so the two
+	// observations are tracked independently.
+	if d.optBudget > 0 {
+		seen0, seen1 := false, false
+		if spin.UntilBudget(func() bool {
+			seen0 = seen0 || n.readers[0].Load() == 0
+			seen1 = seen1 || n.readers[1].Load() == 0
+			return seen0 && seen1
+		}, d.optBudget) {
+			return
+		}
+	}
+
+	// Batching (§4.2, implemented here although the paper defers it): if
+	// another drain holds the lock, piggyback instead of queueing — wait
+	// until the completed-drain counter advances by two past our arrival.
+	// Drain s0+1 may already have been mid-protocol when we arrived, but
+	// drain s0+2 started after s0+1 finished, i.e. after we arrived, so
+	// its two-phase sweep covers every reader we are obliged to wait for.
+	s0 := n.drains.Load()
+	var w spin.Waiter
+	for !n.mu.TryLock() {
+		if n.drains.Load() >= s0+2 {
+			return
+		}
+		w.Wait()
+	}
+
+	// Full protocol: drain the inactive phase, toggle the gate so new
+	// arrivals use the drained phase, then drain the previously active
+	// phase. Termination needs only that readers keep taking steps.
+	g := n.gate.Load() & 1
+	spin.Until(func() bool { return n.readers[1-g].Load() == 0 })
+	n.gate.Store(1 - g)
+	spin.Until(func() bool { return n.readers[g].Load() == 0 })
+	n.drains.Add(1)
+	n.mu.Unlock()
+}
+
+// Resize installs a counter table of newSize (a power of two) — the table
+// expansion §4.2 lists as future work, used to relieve hash-collision
+// contention as reader populations grow. As the paper prescribes, the old
+// generation is drained globally: new readers immediately use the new
+// table (re-validating across the swap), and concurrent waits keep
+// draining the old generation until it empties.
+func (d *D) Resize(newSize int) {
+	nt := newDTable(newSize)
+	d.resizeMu.Lock()
+	defer d.resizeMu.Unlock()
+	ot := d.tbl.Load()
+	if len(ot.nodes) == newSize {
+		return
+	}
+	d.old.Store(ot)
+	d.tbl.Store(nt)
+	for j := range ot.nodes {
+		d.drainNode(&ot.nodes[j])
+	}
+	d.old.Store(nil)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"prcu/internal/pad"
+	"prcu/internal/spin"
+	"prcu/internal/tsc"
+)
+
+// timeNode is the per-reader record of Algorithm 1 (and, replicated per
+// value bucket, of Algorithm 3): the value the reader is currently reading
+// and the timestamp of its prcu_enter, or tsc.Infinity while quiescent.
+// Both fields are padded to their own cache lines: the reader writes them
+// on every Enter/Exit while wait-for-readers scans read them, and unrelated
+// readers must not false-share.
+type timeNode struct {
+	value pad.Uint64
+	time  pad.Int64
+}
+
+// EER implements EER-PRCU (Algorithm 1): wait-for-readers Evaluates the
+// predicate for Each Reader and waits — using time-based quiescence
+// detection — only for readers it holds for.
+//
+// Correctness (Proposition 1) transfers as follows: all node accesses are
+// sequentially consistent atomics, which subsumes the paper's TSO fences,
+// and the clock satisfies the two properties the proof needs, monotonicity
+// and cross-thread consistency (see internal/tsc).
+type EER struct {
+	reg   *registry
+	clock Clock
+	nodes []timeNode
+}
+
+// NewEER returns an EER-PRCU engine with capacity for maxReaders concurrent
+// readers. If clock is nil the monotonic clock is used.
+func NewEER(maxReaders int, clock Clock) *EER {
+	if clock == nil {
+		clock = tsc.NewMonotonic()
+	}
+	e := &EER{
+		reg:   newRegistry(maxReaders),
+		clock: clock,
+		nodes: make([]timeNode, maxReaders),
+	}
+	for i := range e.nodes {
+		e.nodes[i].time.Store(tsc.Infinity)
+	}
+	return e
+}
+
+// Name implements RCU.
+func (e *EER) Name() string { return "EER-PRCU" }
+
+// MaxReaders implements RCU.
+func (e *EER) MaxReaders() int { return e.reg.maxReaders() }
+
+// eerReader is one registered EER reader (one slot of the Nodes array).
+type eerReader struct {
+	e    *EER
+	node *timeNode
+	slot int
+}
+
+// Register implements RCU.
+func (e *EER) Register() (Reader, error) {
+	slot, err := e.reg.acquire()
+	if err != nil {
+		return nil, err
+	}
+	n := &e.nodes[slot]
+	n.time.Store(tsc.Infinity)
+	return &eerReader{e: e, node: n, slot: slot}, nil
+}
+
+// Enter implements Reader. The value store precedes the time store, as in
+// Algorithm 1: a waiter that observes the new time is then guaranteed to
+// observe the new value (single-writer node, SC atomics).
+func (r *eerReader) Enter(v Value) {
+	r.node.value.Store(v)
+	r.node.time.Store(r.e.clock.Now())
+	// Algorithm 1 line 6's TSO fence — ordering the time store before the
+	// critical section's reads — is implied by the SC atomic store above.
+}
+
+// Exit implements Reader.
+func (r *eerReader) Exit(Value) {
+	r.node.time.Store(tsc.Infinity)
+}
+
+// Unregister implements Reader.
+func (r *eerReader) Unregister() {
+	if r.node.time.Load() != tsc.Infinity {
+		panic("prcu: Unregister inside a read-side critical section")
+	}
+	r.e.reg.release(r.slot)
+	r.node = nil
+}
+
+// WaitForReaders implements RCU (Algorithm 1 lines 9–16). The scan is
+// read-only, so concurrent waits proceed without synchronizing with each
+// other — the property that makes EER-PRCU waits scale with update threads.
+//
+// Scanning the calling goroutine's own slot is harmless: a correct caller
+// is quiescent while waiting, so its own node reads Infinity and is skipped
+// immediately. This removes the paper's "for each thread Tj != Ti"
+// bookkeeping without changing behavior.
+func (e *EER) WaitForReaders(p Predicate) {
+	// Algorithm 1 line 10's fence (make the updater's prior writes visible
+	// before reading the clock) is implied by SC ordering of the atomic
+	// node loads below against the caller's preceding atomic stores.
+	t0 := e.clock.Now()
+	limit := e.reg.scanLimit()
+	var w spin.Waiter
+	for j := 0; j < limit; j++ {
+		if !e.reg.isActive(j) {
+			continue
+		}
+		n := &e.nodes[j]
+		w.Reset()
+		for {
+			// Re-evaluating the predicate each iteration (rather than once,
+			// as the pseudo code shows) only relaxes waiting: if the reader
+			// re-entered on a value P does not hold for, its pre-existing
+			// critical section has necessarily exited.
+			t := n.time.Load()
+			if t > t0 {
+				break
+			}
+			if !p.Holds(n.value.Load()) {
+				// The value current at this instant is not covered. Any
+				// covered critical section this reader held was entered
+				// with an earlier value and has since exited (single
+				// writer, no nesting).
+				break
+			}
+			w.Wait()
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllPredicate(t *testing.T) {
+	p := All()
+	if p.Kind() != KindAll {
+		t.Fatalf("kind = %v, want KindAll", p.Kind())
+	}
+	if p.Enumerable() {
+		t.Fatal("wildcard must not be enumerable")
+	}
+	for _, v := range []Value{0, 1, 42, 1 << 63} {
+		if !p.Holds(v) {
+			t.Fatalf("All must hold for %d", v)
+		}
+	}
+	if p.ForEach(func(Value) bool { return true }) {
+		t.Fatal("ForEach on wildcard must report not enumerable")
+	}
+	if _, ok := p.Count(); ok {
+		t.Fatal("Count on wildcard must report not enumerable")
+	}
+}
+
+func TestZeroValuePredicateIsWildcard(t *testing.T) {
+	var p Predicate
+	if p.Kind() != KindAll || !p.Holds(12345) {
+		t.Fatal("zero-value Predicate must behave as the wildcard")
+	}
+}
+
+func TestSingletonPredicate(t *testing.T) {
+	p := Singleton(9)
+	if !p.Holds(9) || p.Holds(8) || p.Holds(10) {
+		t.Fatal("singleton membership wrong")
+	}
+	if !p.Enumerable() {
+		t.Fatal("singleton must be enumerable")
+	}
+	var got []Value
+	p.ForEach(func(v Value) bool { got = append(got, v); return true })
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("ForEach = %v, want [9]", got)
+	}
+	if n, ok := p.Count(); !ok || n != 1 {
+		t.Fatalf("Count = %d,%v, want 1,true", n, ok)
+	}
+}
+
+func TestIntervalPredicate(t *testing.T) {
+	p := Interval(5, 8)
+	for v := Value(0); v < 12; v++ {
+		want := v >= 5 && v <= 8
+		if p.Holds(v) != want {
+			t.Fatalf("Holds(%d) = %v, want %v", v, p.Holds(v), want)
+		}
+	}
+	var got []Value
+	p.ForEach(func(v Value) bool { got = append(got, v); return true })
+	want := []Value{5, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v", got, want)
+		}
+	}
+	if n, ok := p.Count(); !ok || n != 4 {
+		t.Fatalf("Count = %d,%v, want 4,true", n, ok)
+	}
+}
+
+func TestIntervalSingle(t *testing.T) {
+	p := Interval(3, 3)
+	if p.Kind() != KindSingleton {
+		t.Fatalf("Interval(3,3) kind = %v, want KindSingleton", p.Kind())
+	}
+}
+
+func TestIntervalReversedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Interval(hi, lo) must panic")
+		}
+	}()
+	Interval(8, 5)
+}
+
+func TestFuncPredicate(t *testing.T) {
+	p := Func(func(v Value) bool { return v%3 == 0 })
+	if !p.Holds(9) || p.Holds(10) {
+		t.Fatal("func predicate evaluation wrong")
+	}
+	if p.Enumerable() {
+		t.Fatal("func predicate must not be enumerable")
+	}
+}
+
+func TestFuncNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Func(nil) must panic")
+		}
+	}()
+	Func(nil)
+}
+
+func TestIterablePredicate(t *testing.T) {
+	// Even values 10, 12, ..., 20.
+	p := Iterable(10, 20, func(v Value) Value { return v + 2 })
+	var got []Value
+	p.ForEach(func(v Value) bool { got = append(got, v); return true })
+	if len(got) != 6 || got[0] != 10 || got[5] != 20 {
+		t.Fatalf("ForEach = %v", got)
+	}
+	if !p.Holds(14) || p.Holds(13) || p.Holds(22) {
+		t.Fatal("iterable membership wrong")
+	}
+	if n, ok := p.Count(); !ok || n != 6 {
+		t.Fatalf("Count = %d,%v, want 6,true", n, ok)
+	}
+}
+
+func TestIterableEarlyStop(t *testing.T) {
+	p := Interval(0, 100)
+	n := 0
+	p.ForEach(func(Value) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d values, want 5", n)
+	}
+}
+
+func TestIterableRunawayIteratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("an iterator that never reaches vk must panic, not hang")
+		}
+	}()
+	p := Iterable(0, 1, func(v Value) Value { return v + 2 }) // skips over vk=1
+	p.ForEach(func(Value) bool { return true })
+}
+
+func TestIntervalHoldsMatchesEnumeration(t *testing.T) {
+	// Property: for intervals, Holds(v) agrees with membership in the
+	// enumerated set, for all probes.
+	f := func(lo8, width8, probe8 uint8) bool {
+		lo, width := Value(lo8), Value(width8%32)
+		p := Interval(lo, lo+width)
+		probe := Value(probe8)
+		inSet := false
+		p.ForEach(func(v Value) bool {
+			if v == probe {
+				inSet = true
+				return false
+			}
+			return true
+		})
+		return p.Holds(probe) == inSet
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashValueSpreads(t *testing.T) {
+	// Property: sequential values must not pile into few buckets — the
+	// D-PRCU table relies on h_rcu spreading adjacent keys.
+	const buckets = 64
+	counts := make([]int, buckets)
+	const n = 64 * 1024
+	for v := Value(0); v < n; v++ {
+		counts[hashValue(v)%buckets]++
+	}
+	mean := n / buckets
+	for b, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("bucket %d holds %d of %d values (mean %d): bad spread", b, c, n, mean)
+		}
+	}
+}
+
+func TestHashValueDeterministic(t *testing.T) {
+	f := func(v uint64) bool { return hashValue(v) == hashValue(v) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"prcu/internal/pad"
+)
+
+// RCU is the PRCU interface of §3.1, shared by every engine in this
+// package. The plain-RCU baselines (URCU, Tree RCU, Time RCU, Dist RCU)
+// implement it by ignoring values and predicates, which is exactly the
+// conservative behavior the paper compares PRCU against.
+type RCU interface {
+	// Register allocates a reader slot (the paper's per-thread node).
+	// Each concurrent reader goroutine needs its own Reader; a Reader must
+	// not be used concurrently. Register fails with ErrTooManyReaders once
+	// MaxReaders slots are live.
+	Register() (Reader, error)
+
+	// WaitForReaders blocks until every read-side critical section on a
+	// value v with p(v) = 1 that was entered before this call has exited
+	// (the PRCU safety property, §3.1). Baseline engines wait for all
+	// readers regardless of p.
+	WaitForReaders(p Predicate)
+
+	// MaxReaders returns the slot capacity the engine was built with.
+	MaxReaders() int
+
+	// Name identifies the engine ("EER-PRCU", "URCU", ...), matching the
+	// labels used in the paper's figures.
+	Name() string
+}
+
+// Reader is one registered reader's handle. Enter and Exit delimit a
+// read-side critical section on a value (§3.1). Critical sections must not
+// nest, and Exit must receive the same value as the matching Enter.
+type Reader interface {
+	// Enter begins a read-side critical section on v.
+	Enter(v Value)
+	// Exit ends the read-side critical section on v.
+	Exit(v Value)
+	// Unregister releases the slot. The reader must be quiescent (outside
+	// any critical section) and must not be used afterwards.
+	Unregister()
+}
+
+// ErrTooManyReaders is returned by Register when all reader slots are live.
+var ErrTooManyReaders = errors.New("prcu: too many registered readers")
+
+// registry manages reader slot allocation for the engines. Slot state that
+// wait-for-readers scans (the "active" flags) is atomic; allocation
+// bookkeeping is under a mutex since registration is rare.
+//
+// A released slot is always left quiescent by the owning engine before the
+// active flag clears, so a concurrent wait-for-readers scanning it observes
+// either an active quiescent slot or an inactive one — both safe to skip.
+type registry struct {
+	mu     sync.Mutex
+	used   []bool
+	active []pad.Bool
+	// limit is a monotone high-water mark (highest ever active slot + 1);
+	// scans iterate [0, limit) and skip inactive slots. Keeping it monotone
+	// avoids shrink/reuse races and costs only a cheap flag test per
+	// long-dead slot.
+	limit atomic.Int32
+	count atomic.Int32
+}
+
+func newRegistry(maxReaders int) *registry {
+	if maxReaders <= 0 {
+		panic(fmt.Sprintf("prcu: maxReaders must be positive, got %d", maxReaders))
+	}
+	return &registry{
+		used:   make([]bool, maxReaders),
+		active: make([]pad.Bool, maxReaders),
+	}
+}
+
+func (r *registry) maxReaders() int { return len(r.used) }
+
+// acquire reserves a free slot and marks it active.
+func (r *registry) acquire() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.used {
+		if !r.used[i] {
+			r.used[i] = true
+			r.active[i].Store(true)
+			if int32(i+1) > r.limit.Load() {
+				r.limit.Store(int32(i + 1))
+			}
+			r.count.Add(1)
+			return i, nil
+		}
+	}
+	return 0, ErrTooManyReaders
+}
+
+// release returns slot i to the free pool. The caller must have already
+// reset the engine-specific slot state to quiescent.
+func (r *registry) release(i int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.used[i] {
+		panic(fmt.Sprintf("prcu: double release of reader slot %d", i))
+	}
+	r.active[i].Store(false)
+	r.used[i] = false
+	r.count.Add(-1)
+}
+
+// scanLimit returns the exclusive upper bound for slot scans.
+func (r *registry) scanLimit() int { return int(r.limit.Load()) }
+
+// isActive reports whether slot i currently belongs to a registered reader.
+func (r *registry) isActive(i int) bool { return r.active[i].Load() }
+
+// liveReaders returns the number of registered readers.
+func (r *registry) liveReaders() int { return int(r.count.Load()) }

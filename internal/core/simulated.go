@@ -1,0 +1,102 @@
+package core
+
+import (
+	"prcu/internal/spin"
+	"prcu/internal/tsc"
+)
+
+// Simulated wraps an engine so that WaitForReaders performs no memory
+// accesses and only burns the same average time the real engine's waits
+// take. It reproduces the paper's methodology for isolating cache-coherency
+// costs (§6.1 "Read overhead"): readers keep paying the engine's full
+// Enter/Exit costs, but no wait-for-readers traffic ever invalidates their
+// bookkeeping lines, so any throughput difference between an engine and its
+// Simulated twin is the coherence cost of reader/waiter communication.
+//
+// Simulated deliberately breaks the safety property — it is a measurement
+// instrument, usable only in benchmarks whose correctness does not depend
+// on grace periods (the paper's throughput runs tolerate this because the
+// benchmark never frees memory and Go's GC keeps stale pointers valid).
+type Simulated struct {
+	inner    RCU
+	waitNs   int64
+	clock    Clock
+	spinStep int
+}
+
+// NewSimulated wraps inner so every WaitForReaders spins for waitNs
+// nanoseconds (the measured mean wait latency of the real engine) without
+// touching shared state.
+func NewSimulated(inner RCU, waitNs int64) *Simulated {
+	return &Simulated{
+		inner:  inner,
+		waitNs: waitNs,
+		clock:  tsc.NewMonotonic(),
+	}
+}
+
+// Name implements RCU.
+func (s *Simulated) Name() string { return s.inner.Name() + " (simulated wait)" }
+
+// MaxReaders implements RCU.
+func (s *Simulated) MaxReaders() int { return s.inner.MaxReaders() }
+
+// Register implements RCU: readers are real, with the full per-engine
+// Enter/Exit cost.
+func (s *Simulated) Register() (Reader, error) { return s.inner.Register() }
+
+// WaitForReaders implements RCU by spinning for the configured duration.
+// Only the local clock is read; no shared memory is accessed.
+func (s *Simulated) WaitForReaders(Predicate) {
+	if s.waitNs <= 0 {
+		return
+	}
+	deadline := s.clock.Now() + s.waitNs
+	var w spin.Waiter
+	for s.clock.Now() < deadline {
+		w.Wait()
+	}
+}
+
+// Nop is an RCU whose every operation is free: Enter, Exit and
+// WaitForReaders do nothing. It is unsafe by construction and exists only
+// to measure the ceiling a data structure could reach with zero
+// synchronization overhead (used by the read-overhead ablation).
+type Nop struct {
+	reg *registry
+}
+
+// NewNop returns a no-op engine with capacity for maxReaders readers.
+func NewNop(maxReaders int) *Nop { return &Nop{reg: newRegistry(maxReaders)} }
+
+// Name implements RCU.
+func (n *Nop) Name() string { return "No-op (unsafe)" }
+
+// MaxReaders implements RCU.
+func (n *Nop) MaxReaders() int { return n.reg.maxReaders() }
+
+type nopReader struct {
+	n    *Nop
+	slot int
+}
+
+// Register implements RCU.
+func (n *Nop) Register() (Reader, error) {
+	slot, err := n.reg.acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &nopReader{n: n, slot: slot}, nil
+}
+
+// WaitForReaders implements RCU: returns immediately, waiting for no one.
+func (n *Nop) WaitForReaders(Predicate) {}
+
+// Enter implements Reader: does nothing.
+func (r *nopReader) Enter(Value) {}
+
+// Exit implements Reader: does nothing.
+func (r *nopReader) Exit(Value) {}
+
+// Unregister implements Reader.
+func (r *nopReader) Unregister() { r.n.reg.release(r.slot) }

@@ -1,0 +1,120 @@
+package core
+
+import "prcu/internal/spin"
+
+// SRCU implements McKenney's Sleepable RCU (§7 related work), the origin
+// of D-PRCU's two-counter waiting protocol. SRCU restricts waiting *by
+// subsystem*: each SRCU instance is an isolated domain, so a wait in one
+// instance never waits for readers of another — whereas PRCU subdivides
+// waiting *within* one data structure by value. Structurally, SRCU is
+// D-PRCU with a single counter node and no predicate: readers flip-flop
+// between two counters selected by a gate bit, and a wait drains both
+// phases under a per-instance lock.
+//
+// It is included for completeness of the related-work comparison; in the
+// harness it behaves like a plain RCU whose readers pay one atomic RMW.
+type SRCU struct {
+	reg  *registry
+	node dNode
+}
+
+// NewSRCU returns an SRCU instance ("subsystem") with capacity for
+// maxReaders concurrent readers.
+func NewSRCU(maxReaders int) *SRCU {
+	return &SRCU{reg: newRegistry(maxReaders)}
+}
+
+// Name implements RCU.
+func (s *SRCU) Name() string { return "SRCU" }
+
+// MaxReaders implements RCU.
+func (s *SRCU) MaxReaders() int { return s.reg.maxReaders() }
+
+type srcuReader struct {
+	s    *SRCU
+	slot int
+	b    uint64
+	inCS bool
+}
+
+// Register implements RCU.
+func (s *SRCU) Register() (Reader, error) {
+	slot, err := s.reg.acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &srcuReader{s: s, slot: slot}, nil
+}
+
+// Enter implements Reader (srcu_read_lock). The value is ignored: the
+// subsystem is the granularity, not the value.
+func (r *srcuReader) Enter(Value) {
+	if r.inCS {
+		panic("prcu: nested read-side critical sections are not supported")
+	}
+	n := &r.s.node
+	b := n.gate.Load() & 1
+	n.readers[b].Add(1)
+	r.b, r.inCS = b, true
+}
+
+// Exit implements Reader (srcu_read_unlock).
+func (r *srcuReader) Exit(Value) {
+	if !r.inCS {
+		panic("prcu: Exit without matching Enter")
+	}
+	r.s.node.readers[r.b].Add(-1)
+	r.inCS = false
+}
+
+// Unregister implements Reader.
+func (r *srcuReader) Unregister() {
+	if r.inCS {
+		panic("prcu: Unregister inside a read-side critical section")
+	}
+	r.s.reg.release(r.slot)
+	r.s = nil
+}
+
+// WaitForReaders implements RCU (synchronize_srcu). The predicate is
+// ignored; the whole subsystem is drained through the gate protocol,
+// with the same lock-holder piggybacking D-PRCU uses.
+func (s *SRCU) WaitForReaders(Predicate) {
+	n := &s.node
+	seen0, seen1 := false, false
+	if spin.UntilBudget(func() bool {
+		seen0 = seen0 || n.readers[0].Load() == 0
+		seen1 = seen1 || n.readers[1].Load() == 0
+		return seen0 && seen1
+	}, optimisticBudget) {
+		return
+	}
+	s0 := n.drains.Load()
+	var w spin.Waiter
+	for !n.mu.TryLock() {
+		if n.drains.Load() >= s0+2 {
+			return
+		}
+		w.Wait()
+	}
+	g := n.gate.Load() & 1
+	spin.Until(func() bool { return n.readers[1-g].Load() == 0 })
+	n.gate.Store(1 - g)
+	spin.Until(func() bool { return n.readers[g].Load() == 0 })
+	n.drains.Add(1)
+	n.mu.Unlock()
+}
+
+// Compile-time interface checks for every engine in the package.
+var (
+	_ RCU = (*EER)(nil)
+	_ RCU = (*D)(nil)
+	_ RCU = (*DEER)(nil)
+	_ RCU = (*TimeRCU)(nil)
+	_ RCU = (*TreeRCU)(nil)
+	_ RCU = (*URCU)(nil)
+	_ RCU = (*DistRCU)(nil)
+	_ RCU = (*SRCU)(nil)
+	_ RCU = (*Simulated)(nil)
+	_ RCU = (*Nop)(nil)
+)

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"prcu/internal/spin"
+	"prcu/internal/tsc"
+)
+
+// TimeRCU is the paper's Time RCU baseline (§6): time-based quiescence
+// detection over all readers — i.e. EER-PRCU without the predicate
+// evaluation. It exists to tease apart how much of PRCU's gain comes from
+// predicates versus from timestamp-based quiescence detection, and it is
+// the strongest plain-RCU baseline on workloads with updates.
+type TimeRCU struct {
+	reg   *registry
+	clock Clock
+	nodes []timeNode // value field unused; layout shared with EER
+}
+
+// NewTimeRCU returns a Time RCU engine with capacity for maxReaders
+// concurrent readers. If clock is nil the monotonic clock is used.
+func NewTimeRCU(maxReaders int, clock Clock) *TimeRCU {
+	if clock == nil {
+		clock = tsc.NewMonotonic()
+	}
+	t := &TimeRCU{
+		reg:   newRegistry(maxReaders),
+		clock: clock,
+		nodes: make([]timeNode, maxReaders),
+	}
+	for i := range t.nodes {
+		t.nodes[i].time.Store(tsc.Infinity)
+	}
+	return t
+}
+
+// Name implements RCU.
+func (t *TimeRCU) Name() string { return "Time RCU" }
+
+// MaxReaders implements RCU.
+func (t *TimeRCU) MaxReaders() int { return t.reg.maxReaders() }
+
+type timeReader struct {
+	t    *TimeRCU
+	node *timeNode
+	slot int
+}
+
+// Register implements RCU.
+func (t *TimeRCU) Register() (Reader, error) {
+	slot, err := t.reg.acquire()
+	if err != nil {
+		return nil, err
+	}
+	n := &t.nodes[slot]
+	n.time.Store(tsc.Infinity)
+	return &timeReader{t: t, node: n, slot: slot}, nil
+}
+
+// Enter implements Reader. The value is ignored: Time RCU is a plain RCU.
+func (r *timeReader) Enter(Value) {
+	r.node.time.Store(r.t.clock.Now())
+}
+
+// Exit implements Reader.
+func (r *timeReader) Exit(Value) {
+	r.node.time.Store(tsc.Infinity)
+}
+
+// Unregister implements Reader.
+func (r *timeReader) Unregister() {
+	if r.node.time.Load() != tsc.Infinity {
+		panic("prcu: Unregister inside a read-side critical section")
+	}
+	r.t.reg.release(r.slot)
+	r.node = nil
+}
+
+// WaitForReaders implements RCU. The predicate is ignored: every
+// pre-existing reader is waited for, as with standard RCU.
+func (t *TimeRCU) WaitForReaders(Predicate) {
+	t0 := t.clock.Now()
+	limit := t.reg.scanLimit()
+	var w spin.Waiter
+	for j := 0; j < limit; j++ {
+		if !t.reg.isActive(j) {
+			continue
+		}
+		n := &t.nodes[j]
+		w.Reset()
+		for n.time.Load() <= t0 {
+			w.Wait()
+		}
+	}
+}

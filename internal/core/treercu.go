@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sync"
+
+	"prcu/internal/pad"
+	"prcu/internal/spin"
+)
+
+// treeFanout is the number of child bits packed per tree word. The Linux
+// implementation packs more, but a small fan-out exercises the hierarchy
+// even at modest reader counts, which is the structural property under
+// test.
+const treeFanout = 8
+
+// TreeRCU implements the Linux-kernel hierarchical RCU algorithm (§2.2)
+// under the paper's userspace restriction: the states between data
+// structure operations are treated as quiescent, so a reader reports
+// quiescence when it exits its critical section rather than at context
+// switches. (As the paper notes, this gives far shorter grace periods than
+// the in-kernel original; it is the only way to apply Tree RCU to general
+// userspace code.)
+//
+// Conceptually there is a bit per reader; wait-for-readers sets the bits of
+// readers currently inside critical sections and a reader's exit clears its
+// bit, propagating up the tree whenever it clears the last bit of a word.
+// The waiter polls only the root. Waiters are serialized, as in Linux.
+//
+// Reader cost is the algorithm's selling point: Enter and Exit touch only
+// the reader's own padded generation counter (plus the leaf bit on exit
+// when a grace period is in flight), so the read-side is contention free.
+type TreeRCU struct {
+	reg *registry
+	mu  sync.Mutex
+	// state[j] is reader j's generation: even = quiescent, odd = inside a
+	// critical section. The waiter snapshots generations to resolve the
+	// race between seeding a reader's bit and that reader exiting.
+	state []pad.Uint64
+	// levels[0] are the leaves (bit j%treeFanout of word j/treeFanout is
+	// reader j); levels[l+1] has one bit per levels[l] word. The top level
+	// is a single word — the root the waiter polls.
+	levels [][]pad.Uint64
+	// masks/waited are waiter-local scratch, reused under mu.
+	masks  [][]uint64
+	waited []treeWaited
+}
+
+type treeWaited struct {
+	slot int
+	gen  uint64
+}
+
+// NewTreeRCU returns a Tree RCU engine with capacity for maxReaders
+// concurrent readers.
+func NewTreeRCU(maxReaders int) *TreeRCU {
+	t := &TreeRCU{
+		reg:   newRegistry(maxReaders),
+		state: make([]pad.Uint64, maxReaders),
+	}
+	for n := maxReaders; ; n = (n + treeFanout - 1) / treeFanout {
+		words := (n + treeFanout - 1) / treeFanout
+		t.levels = append(t.levels, make([]pad.Uint64, words))
+		t.masks = append(t.masks, make([]uint64, words))
+		if words == 1 {
+			break
+		}
+	}
+	return t
+}
+
+// Name implements RCU.
+func (t *TreeRCU) Name() string { return "Tree RCU" }
+
+// MaxReaders implements RCU.
+func (t *TreeRCU) MaxReaders() int { return t.reg.maxReaders() }
+
+// Levels returns the height of the combining tree (for tests).
+func (t *TreeRCU) Levels() int { return len(t.levels) }
+
+type treeReader struct {
+	t     *TreeRCU
+	state *pad.Uint64
+	slot  int
+}
+
+// Register implements RCU.
+func (t *TreeRCU) Register() (Reader, error) {
+	slot, err := t.reg.acquire()
+	if err != nil {
+		return nil, err
+	}
+	s := &t.state[slot]
+	if s.Load()&1 == 1 {
+		// A previous owner must have left the slot quiescent.
+		panic("prcu: reader slot reused while marked in-CS")
+	}
+	return &treeReader{t: t, state: s, slot: slot}, nil
+}
+
+// Enter implements Reader: flip the generation to odd. No shared-global
+// work — this is the (near) zero-overhead read side of Tree RCU.
+func (r *treeReader) Enter(Value) {
+	r.state.Add(1)
+}
+
+// Exit implements Reader: flip the generation to even and report
+// quiescence by clearing our leaf bit if a waiter seeded it.
+func (r *treeReader) Exit(Value) {
+	r.state.Add(1)
+	r.t.clearBit(0, r.slot/treeFanout, uint64(1)<<(r.slot%treeFanout))
+}
+
+// Unregister implements Reader.
+func (r *treeReader) Unregister() {
+	if r.state.Load()&1 == 1 {
+		panic("prcu: Unregister inside a read-side critical section")
+	}
+	r.t.reg.release(r.slot)
+	r.state = nil
+}
+
+// clearBit clears bit in word idx of the given level; when the word drops
+// to zero it propagates, clearing this word's bit in the parent. Clearing
+// an unset bit is a no-op and never propagates — that asymmetry is what
+// lets exits race harmlessly with a waiter that has not (or will not) seed
+// their bit.
+func (t *TreeRCU) clearBit(level, idx int, bit uint64) {
+	w := &t.levels[level][idx]
+	for {
+		old := w.Load()
+		if old&bit == 0 {
+			return
+		}
+		nw := old &^ bit
+		if w.CompareAndSwap(old, nw) {
+			if nw == 0 && level+1 < len(t.levels) {
+				t.clearBit(level+1, idx/treeFanout, uint64(1)<<(idx%treeFanout))
+			}
+			return
+		}
+	}
+}
+
+// WaitForReaders implements RCU. The predicate is ignored.
+//
+// Protocol: under the waiter lock, snapshot every reader's generation and
+// collect those currently inside a critical section; publish their bits
+// top-down (ancestors before leaves) so an exit can never propagate a clear
+// past an unset ancestor; re-check each collected generation and clear the
+// bits of readers that exited while we were seeding; then poll the root.
+// The previous grace period left the whole tree at zero, so the seeding
+// stores cannot clobber concurrent clears.
+func (t *TreeRCU) WaitForReaders(Predicate) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	t.waited = t.waited[:0]
+	for l := range t.masks {
+		clear(t.masks[l])
+	}
+	limit := t.reg.scanLimit()
+	for j := 0; j < limit; j++ {
+		if !t.reg.isActive(j) {
+			continue
+		}
+		if gen := t.state[j].Load(); gen&1 == 1 {
+			t.waited = append(t.waited, treeWaited{slot: j, gen: gen})
+			t.masks[0][j/treeFanout] |= 1 << (j % treeFanout)
+		}
+	}
+	if len(t.waited) == 0 {
+		return
+	}
+	for l := 0; l+1 < len(t.masks); l++ {
+		for idx, m := range t.masks[l] {
+			if m != 0 {
+				t.masks[l+1][idx/treeFanout] |= 1 << (idx % treeFanout)
+			}
+		}
+	}
+	for l := len(t.levels) - 1; l >= 0; l-- {
+		for idx, m := range t.masks[l] {
+			if m != 0 {
+				t.levels[l][idx].Store(m)
+			}
+		}
+	}
+	// Re-check: a reader that exited (or moved to a later section) between
+	// our snapshot and our seeding would never clear its bit — clear it on
+	// its behalf. If it is still in the snapshotted section, its own exit
+	// will clear.
+	for _, wd := range t.waited {
+		if t.state[wd.slot].Load() != wd.gen {
+			t.clearBit(0, wd.slot/treeFanout, uint64(1)<<(wd.slot%treeFanout))
+		}
+	}
+	root := &t.levels[len(t.levels)-1][0]
+	var w spin.Waiter
+	for root.Load() != 0 {
+		w.Wait()
+	}
+}

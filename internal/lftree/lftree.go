@@ -1,0 +1,257 @@
+// Package lftree implements the lock-free external binary search tree of
+// Natarajan and Mittal ("Fast Concurrent Lock-free Binary Search Trees",
+// PPoPP 2014) — the second non-RCU baseline of the PRCU paper's
+// evaluation (§6.1, reported there as usually outperforming Opt-Tree and
+// CITRUS by about 2x but omitted from the plots for legibility).
+//
+// The tree is external: internal nodes only route, leaves carry the keys.
+// A deletion first *injects* by flagging the edge to its target leaf, then
+// *cleans up* by tagging the sibling edge (freezing it) and splicing the
+// grandparent edge over the dying parent; any operation that encounters a
+// flagged or tagged edge helps the stalled deletion before retrying. The
+// original marks flag and tag as low-order bits inside child pointers;
+// since Go pointers cannot carry tag bits, every child slot holds an
+// immutable edge record (target, flag, tag) replaced wholesale by CAS —
+// semantically identical, at the cost of an allocation per link change.
+package lftree
+
+import "sync/atomic"
+
+// Sentinel keys: every user key must be smaller than inf0.
+const (
+	inf2 = ^uint64(0)
+	inf1 = ^uint64(0) - 1
+	inf0 = ^uint64(0) - 2
+)
+
+// MaxKey is the largest user key the tree accepts.
+const MaxKey = inf0 - 1
+
+// edge is an immutable snapshot of one child link: the target node plus
+// the deletion-protocol bits that the C original packs into the pointer.
+type edge struct {
+	node    *node
+	flagged bool // target leaf is under deletion (injection done)
+	tagged  bool // edge is frozen as the survivor of a deletion
+}
+
+type node struct {
+	key   uint64
+	value uint64
+	leaf  bool
+	left  atomic.Pointer[edge]
+	right atomic.Pointer[edge]
+}
+
+func newLeaf(key, value uint64) *node {
+	return &node{key: key, value: value, leaf: true}
+}
+
+func newInternal(key uint64, l, r *node) *node {
+	n := &node{key: key}
+	n.left.Store(&edge{node: l})
+	n.right.Store(&edge{node: r})
+	return n
+}
+
+// childPtr returns the child slot the search for key follows: left for
+// key < n.key, right otherwise.
+func (n *node) childPtr(key uint64) *atomic.Pointer[edge] {
+	if key < n.key {
+		return &n.left
+	}
+	return &n.right
+}
+
+// siblingPtr returns the other child slot.
+func (n *node) siblingPtr(key uint64) *atomic.Pointer[edge] {
+	if key < n.key {
+		return &n.right
+	}
+	return &n.left
+}
+
+// Tree is the lock-free external BST. The sentinel structure (root R over
+// S over the inf0 leaf) guarantees R and S are never a deletion target's
+// parent, so their edges are never flagged or tagged and seeks may anchor
+// on them unconditionally.
+type Tree struct {
+	r    *node
+	s    *node
+	size atomic.Int64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	s := newInternal(inf1, newLeaf(inf0, 0), newLeaf(inf1, 0))
+	r := newInternal(inf2, s, newLeaf(inf2, 0))
+	return &Tree{r: r, s: s}
+}
+
+// Size returns the number of user keys (exact at rest).
+func (t *Tree) Size() int { return int(t.size.Load()) }
+
+// seekRec captures one descent: leaf is where the search ended, parent its
+// parent, and ancestor→successor is the deepest untagged edge on the path
+// — the edge a cleanup splices.
+type seekRec struct {
+	ancestor  *node
+	successor *node
+	parent    *node
+	leaf      *node
+}
+
+func (t *Tree) seek(key uint64) seekRec {
+	s := seekRec{ancestor: t.r, successor: t.s, parent: t.s}
+	pe := t.s.left.Load()
+	current := pe.node
+	for !current.leaf {
+		ce := current.childPtr(key).Load()
+		if !pe.tagged {
+			s.ancestor = s.parent
+			s.successor = current
+		}
+		s.parent = current
+		pe = ce
+		current = ce.node
+	}
+	s.leaf = current
+	return s
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	if key > MaxKey {
+		panic("lftree: key exceeds MaxKey")
+	}
+	s := t.seek(key)
+	if s.leaf.key == key {
+		return s.leaf.value, true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key uint64) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Insert adds key with value, returning false if already present.
+func (t *Tree) Insert(key, value uint64) bool {
+	if key > MaxKey {
+		panic("lftree: key exceeds MaxKey")
+	}
+	for {
+		s := t.seek(key)
+		if s.leaf.key == key {
+			return false
+		}
+		cptr := s.parent.childPtr(key)
+		old := cptr.Load()
+		if old.node != s.leaf {
+			continue // path moved; re-seek
+		}
+		if old.flagged || old.tagged {
+			// The edge is part of a stalled deletion; help finish it.
+			t.cleanup(key, s)
+			continue
+		}
+		// Replace the leaf with internal{leaf, newLeaf}: the internal key
+		// is the larger of the two, smaller key on the left.
+		nl := newLeaf(key, value)
+		var internal *node
+		if key < s.leaf.key {
+			internal = newInternal(s.leaf.key, nl, s.leaf)
+		} else {
+			internal = newInternal(key, s.leaf, nl)
+		}
+		if cptr.CompareAndSwap(old, &edge{node: internal}) {
+			t.size.Add(1)
+			return true
+		}
+	}
+}
+
+// Delete removes key, returning whether it was present. It first injects
+// (flags the target leaf's edge, the deletion's linearization point) and
+// then cleans up, helping or being helped as needed.
+func (t *Tree) Delete(key uint64) bool {
+	if key > MaxKey {
+		panic("lftree: key exceeds MaxKey")
+	}
+	injected := false
+	var target *node
+	for {
+		s := t.seek(key)
+		if !injected {
+			if s.leaf.key != key {
+				return false
+			}
+			cptr := s.parent.childPtr(key)
+			old := cptr.Load()
+			if old.node != s.leaf {
+				continue
+			}
+			if old.flagged || old.tagged {
+				// Another deletion owns this region; help it and re-seek.
+				// If it was deleting our key, the next seek won't find it.
+				t.cleanup(key, s)
+				continue
+			}
+			if !cptr.CompareAndSwap(old, &edge{node: s.leaf, flagged: true}) {
+				continue
+			}
+			injected = true
+			target = s.leaf
+			t.size.Add(-1)
+			if t.cleanup(key, s) {
+				return true
+			}
+			continue
+		}
+		// Cleanup mode: our flag is planted; retry until the leaf is
+		// detached (possibly by a helper).
+		if s.leaf != target {
+			return true
+		}
+		if t.cleanup(key, s) {
+			return true
+		}
+	}
+}
+
+// cleanup completes the deletion active around the search path in s: it
+// tags the survivor edge under the dying parent, then splices the
+// ancestor→successor edge directly to the survivor. Reports whether the
+// splice succeeded (false means the seek record is stale; retry).
+func (t *Tree) cleanup(key uint64, s seekRec) bool {
+	keySide := s.parent.childPtr(key)
+	survivorPtr := s.parent.siblingPtr(key)
+	if !keySide.Load().flagged {
+		// The flag is on the other side: the key-side subtree survives.
+		survivorPtr = keySide
+	}
+	// Freeze the survivor edge so no insert or deeper delete changes it
+	// while it is being moved up.
+	var se *edge
+	for {
+		e := survivorPtr.Load()
+		if e.tagged {
+			se = e
+			break
+		}
+		if survivorPtr.CompareAndSwap(e, &edge{node: e.node, flagged: e.flagged, tagged: true}) {
+			se = &edge{node: e.node, flagged: e.flagged, tagged: true}
+			break
+		}
+	}
+	// Splice: ancestor's edge to successor now points at the survivor,
+	// carrying over the survivor's flag (it may itself be a dying leaf).
+	aPtr := s.ancestor.childPtr(key)
+	aOld := aPtr.Load()
+	if aOld.node != s.successor || aOld.flagged || aOld.tagged {
+		return false
+	}
+	return aPtr.CompareAndSwap(aOld, &edge{node: se.node, flagged: se.flagged})
+}

@@ -1,0 +1,286 @@
+package lftree
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Contains(5) || tr.Delete(5) || tr.Size() != 0 {
+		t.Fatal("empty tree misbehaves")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasic(t *testing.T) {
+	tr := New()
+	if !tr.Insert(10, 100) || tr.Insert(10, 1) {
+		t.Fatal("insert semantics wrong")
+	}
+	if v, ok := tr.Get(10); !ok || v != 100 {
+		t.Fatalf("Get(10) = %d,%v", v, ok)
+	}
+	if !tr.Insert(5, 50) || !tr.Insert(15, 150) {
+		t.Fatal("insert failed")
+	}
+	if !tr.Delete(10) || tr.Delete(10) || tr.Contains(10) {
+		t.Fatal("delete semantics wrong")
+	}
+	if !tr.Contains(5) || !tr.Contains(15) {
+		t.Fatal("siblings lost in deletion splice")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyLimit(t *testing.T) {
+	tr := New()
+	if !tr.Insert(MaxKey, 1) || !tr.Contains(MaxKey) || !tr.Delete(MaxKey) {
+		t.Fatal("MaxKey must be usable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("key above MaxKey must panic")
+		}
+	}()
+	tr.Insert(MaxKey+1, 0)
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	tr := New()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0:
+			_, in := model[k]
+			if got := tr.Insert(k, k*7); got == in {
+				t.Fatalf("op %d: Insert(%d) = %v, model: %v", i, k, got, in)
+			}
+			if !in {
+				model[k] = k * 7
+			}
+		case 1:
+			_, in := model[k]
+			if got := tr.Delete(k); got != in {
+				t.Fatalf("op %d: Delete(%d) = %v, model: %v", i, k, got, in)
+			}
+			delete(model, k)
+		default:
+			v, in := model[k]
+			gv, got := tr.Get(k)
+			if got != in || (got && gv != v) {
+				t.Fatalf("op %d: Get(%d) = %d,%v, model %d,%v", i, k, gv, got, v, in)
+			}
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("Size = %d, model %d", tr.Size(), len(model))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	tr := New()
+	f := func(ops []uint16) bool {
+		model := map[uint64]bool{}
+		for _, op := range ops {
+			k := uint64(op % 83)
+			if op&0x8000 != 0 {
+				tr.Delete(k)
+				delete(model, k)
+			} else {
+				tr.Insert(k, k)
+				model[k] = true
+			}
+		}
+		for k := uint64(0); k < 83; k++ {
+			if tr.Contains(k) != model[k] {
+				return false
+			}
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		for k := uint64(0); k < 83; k++ {
+			tr.Delete(k)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	tr := New()
+	const gs, perG = 8, 400
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * 100000)
+			for i := uint64(0); i < perG; i++ {
+				if !tr.Insert(base+i, i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+			for i := uint64(0); i < perG; i += 2 {
+				if !tr.Delete(base + i) {
+					t.Errorf("delete %d failed", base+i)
+					return
+				}
+			}
+			for i := uint64(1); i < perG; i += 2 {
+				if !tr.Contains(base + i) {
+					t.Errorf("key %d missing", base+i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if want := gs * perG / 2; tr.Size() != want {
+		t.Fatalf("Size = %d, want %d", tr.Size(), want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDeleteContention aims deletions at the same small key set
+// so injection/cleanup helping paths get exercised.
+func TestConcurrentDeleteContention(t *testing.T) {
+	tr := New()
+	for round := 0; round < 50; round++ {
+		for k := uint64(0); k < 32; k++ {
+			tr.Insert(k, k)
+		}
+		var wg sync.WaitGroup
+		var deleted atomic.Int64
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := uint64(0); k < 32; k++ {
+					if tr.Delete(k) {
+						deleted.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := deleted.Load(); got != 32 {
+			t.Fatalf("round %d: %d successful deletes of 32 keys", round, got)
+		}
+		if tr.Size() != 0 {
+			t.Fatalf("round %d: Size = %d after deleting everything", round, tr.Size())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestConcurrentMixedStress(t *testing.T) {
+	tr := New()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for !stop.Load() {
+				k := uint64(rng.Intn(128))
+				switch rng.Intn(3) {
+				case 0:
+					tr.Insert(k, k)
+				case 1:
+					tr.Delete(k)
+				default:
+					if v, ok := tr.Get(k); ok && v != k {
+						t.Errorf("Get(%d) returned foreign value %d", k, v)
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermanentKeysAlwaysVisible(t *testing.T) {
+	tr := New()
+	permanent := []uint64{13, 29, 53, 67, 97}
+	for _, k := range permanent {
+		tr.Insert(k, k)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for !stop.Load() {
+				k := uint64(rng.Intn(110))
+				skip := false
+				for _, p := range permanent {
+					if k == p {
+						skip = true
+						break
+					}
+				}
+				if skip {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					tr.Insert(k, k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				for _, p := range permanent {
+					if !tr.Contains(p) {
+						t.Errorf("permanent key %d invisible", p)
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package lftree
+
+import "fmt"
+
+// Validate checks the invariants of a quiescent tree: the sentinel frame
+// is intact, internal nodes have exactly two children with correct key
+// ranges, user keys appear only in leaves, no reachable edge is still
+// flagged or tagged, and the user-leaf count matches Size. Quiescent-only.
+func (t *Tree) Validate() error {
+	if e := t.r.left.Load(); e.node != t.s || e.flagged || e.tagged {
+		return fmt.Errorf("lftree: R->S edge damaged")
+	}
+	count := 0
+	if err := validateNode(t.s, 0, inf1, &count); err != nil {
+		return err
+	}
+	if got := t.Size(); got != count {
+		return fmt.Errorf("lftree: Size() = %d but %d user leaves reachable", got, count)
+	}
+	return nil
+}
+
+// validateNode checks the subtree at n, whose keys must lie in [low, high].
+func validateNode(n *node, low, high uint64, count *int) error {
+	if n.key < low || n.key > high {
+		return fmt.Errorf("lftree: key %d outside [%d, %d]", n.key, low, high)
+	}
+	if n.leaf {
+		if n.key <= MaxKey {
+			*count++
+		}
+		return nil
+	}
+	le, re := n.left.Load(), n.right.Load()
+	if le == nil || re == nil || le.node == nil || re.node == nil {
+		return fmt.Errorf("lftree: internal node %d missing a child", n.key)
+	}
+	if le.flagged || le.tagged || re.flagged || re.tagged {
+		return fmt.Errorf("lftree: node %d has a flagged/tagged edge at rest", n.key)
+	}
+	// Left subtree holds keys < n.key; right subtree keys >= n.key.
+	if n.key == 0 {
+		return fmt.Errorf("lftree: internal node with key 0 cannot have a left subtree")
+	}
+	if err := validateNode(le.node, low, n.key-1, count); err != nil {
+		return err
+	}
+	return validateNode(re.node, n.key, high, count)
+}

@@ -1,0 +1,170 @@
+package opttree
+
+// Relaxed AVL maintenance. After a structural change, the updater walks
+// toward the root under parent-before-child locks, refreshing heights and
+// rotating where the local balance factor exceeds one. Heights of
+// unlocked grandchildren are read optimistically — the relaxation of
+// "relaxed balance": a momentarily stale height only delays a rotation;
+// a later update through the same region repairs it.
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fixHeightAndRebalance walks from n upward, fixing heights and rotating.
+func (t *Tree) fixHeightAndRebalance(n *node) {
+	for n != nil && n != t.rootHolder {
+		p := n.parent.Load()
+		if p == nil {
+			return
+		}
+		p.mu.Lock()
+		if n.parent.Load() != p || p.version.Load()&unlinkedBit != 0 {
+			p.mu.Unlock()
+			if n.version.Load()&unlinkedBit != 0 {
+				return
+			}
+			continue // parent moved under us; retry this level
+		}
+		n.mu.Lock()
+		if n.version.Load()&unlinkedBit != 0 {
+			n.mu.Unlock()
+			p.mu.Unlock()
+			return
+		}
+		lh, rh := height(n.left.Load()), height(n.right.Load())
+		bal := lh - rh
+		switch {
+		case bal > 1:
+			t.rotateRightLocked(p, n)
+		case bal < -1:
+			t.rotateLeftLocked(p, n)
+		default:
+			newH := 1 + maxInt64(lh, rh)
+			if n.height.Load() == newH {
+				n.mu.Unlock()
+				p.mu.Unlock()
+				return // no propagation needed
+			}
+			n.height.Store(newH)
+		}
+		n.mu.Unlock()
+		p.mu.Unlock()
+		n = p
+	}
+}
+
+// refreshHeight recomputes n's height from its children; caller holds n.
+func refreshHeight(n *node) {
+	n.height.Store(1 + maxInt64(height(n.left.Load()), height(n.right.Load())))
+}
+
+// rotateRightLocked rotates n right beneath p. Caller holds p and n; the
+// rotation additionally locks n.left (and, for the double-rotation case,
+// its right child), all in descending tree order.
+func (t *Tree) rotateRightLocked(p, n *node) {
+	l := n.left.Load()
+	if l == nil {
+		refreshHeight(n) // stale balance: left child vanished
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if height(l.right.Load()) > height(l.left.Load()) {
+		// Left-right shape: rotate l left (locks descend n -> l -> lr) and
+		// stop. Locking the promoted node for the outer rotation would
+		// acquire a parent after its child — a deadlock hazard — so the
+		// outer rotation is left to a later pass, which is exactly the
+		// latitude relaxed balance grants.
+		lr := l.right.Load()
+		if lr != nil {
+			lr.mu.Lock()
+			rotateEdgeLeft(n, l, lr)
+			lr.mu.Unlock()
+		}
+		return
+	}
+	rotateEdgeRight(p, n, l)
+}
+
+// rotateLeftLocked mirrors rotateRightLocked.
+func (t *Tree) rotateLeftLocked(p, n *node) {
+	r := n.right.Load()
+	if r == nil {
+		refreshHeight(n)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if height(r.left.Load()) > height(r.right.Load()) {
+		// Right-left shape: inner rotation only; see rotateRightLocked.
+		rl := r.left.Load()
+		if rl != nil {
+			rl.mu.Lock()
+			rotateEdgeRight(n, r, rl)
+			rl.mu.Unlock()
+		}
+		return
+	}
+	rotateEdgeLeft(p, n, r)
+}
+
+// rotateEdgeRight performs the pointer surgery of a right rotation: l (the
+// locked left child of the locked n, whose locked parent is p) replaces n,
+// and n becomes l's right child. Versions of n and l are marked shrinking
+// for the duration so optimistic descents through either retry.
+func rotateEdgeRight(p, n, l *node) {
+	nOVL := n.version.Load()
+	lOVL := l.version.Load()
+	n.version.Store(nOVL | shrinkingBit)
+	l.version.Store(lOVL | shrinkingBit)
+
+	lr := l.right.Load()
+	dir := 0
+	if p.right.Load() == n {
+		dir = 1
+	}
+	n.left.Store(lr)
+	if lr != nil {
+		lr.parent.Store(n)
+	}
+	l.right.Store(n)
+	n.parent.Store(l)
+	p.child(dir).Store(l)
+	l.parent.Store(p)
+	refreshHeight(n)
+	refreshHeight(l)
+
+	n.version.Store(nOVL + versionIncr)
+	l.version.Store(lOVL + versionIncr)
+}
+
+// rotateEdgeLeft mirrors rotateEdgeRight.
+func rotateEdgeLeft(p, n, r *node) {
+	nOVL := n.version.Load()
+	rOVL := r.version.Load()
+	n.version.Store(nOVL | shrinkingBit)
+	r.version.Store(rOVL | shrinkingBit)
+
+	rl := r.left.Load()
+	dir := 0
+	if p.right.Load() == n {
+		dir = 1
+	}
+	n.right.Store(rl)
+	if rl != nil {
+		rl.parent.Store(n)
+	}
+	r.left.Store(n)
+	n.parent.Store(r)
+	p.child(dir).Store(r)
+	r.parent.Store(p)
+	refreshHeight(n)
+	refreshHeight(r)
+
+	n.version.Store(nOVL + versionIncr)
+	r.version.Store(rOVL + versionIncr)
+}

@@ -1,0 +1,70 @@
+package opttree
+
+import "fmt"
+
+// Validate checks the invariants of a quiescent tree: BST order over all
+// nodes (routing nodes included), parent back-pointers, no reachable
+// unlinked or shrinking nodes, and agreement between Size and the count of
+// live (value-bearing) nodes. Quiescent-only: it takes no locks.
+func (t *Tree) Validate() error {
+	live := 0
+	root := t.rootHolder.right.Load()
+	if root != nil && root.parent.Load() != t.rootHolder {
+		return fmt.Errorf("opttree: root parent pointer broken")
+	}
+	if err := validateNode(root, 0, ^uint64(0), &live); err != nil {
+		return err
+	}
+	if got := t.Size(); got != live {
+		return fmt.Errorf("opttree: Size() = %d but %d live keys reachable", got, live)
+	}
+	return nil
+}
+
+func validateNode(n *node, low, high uint64, live *int) error {
+	if n == nil {
+		return nil
+	}
+	if n.key < low || n.key > high {
+		return fmt.Errorf("opttree: key %d outside [%d, %d]", n.key, low, high)
+	}
+	v := n.version.Load()
+	if v&unlinkedBit != 0 {
+		return fmt.Errorf("opttree: unlinked node %d reachable", n.key)
+	}
+	if v&shrinkingBit != 0 {
+		return fmt.Errorf("opttree: node %d still marked shrinking at rest", n.key)
+	}
+	if n.hasValue.Load() {
+		*live++
+	}
+	l, r := n.left.Load(), n.right.Load()
+	if l != nil && l.parent.Load() != n {
+		return fmt.Errorf("opttree: left child of %d has wrong parent", n.key)
+	}
+	if r != nil && r.parent.Load() != n {
+		return fmt.Errorf("opttree: right child of %d has wrong parent", n.key)
+	}
+	if n.key > 0 {
+		if err := validateNode(l, low, n.key-1, live); err != nil {
+			return err
+		}
+	} else if l != nil {
+		return fmt.Errorf("opttree: key 0 has a left child")
+	}
+	return validateNode(r, n.key+1, high, live)
+}
+
+// MaxDepth returns the deepest reachable node's depth (quiescent-only), a
+// coarse balance indicator for tests.
+func (t *Tree) MaxDepth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := walk(n.left.Load()), walk(n.right.Load())
+		return 1 + int(maxInt64(int64(l), int64(r)))
+	}
+	return walk(t.rootHolder.right.Load())
+}

@@ -1,0 +1,105 @@
+package pad
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s != CacheLineSize {
+		t.Errorf("Uint64 size = %d, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Int64{}); s != CacheLineSize {
+		t.Errorf("Int64 size = %d, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Bool{}); s != CacheLineSize {
+		t.Errorf("Bool size = %d, want %d", s, CacheLineSize)
+	}
+}
+
+func TestSliceElementsDoNotShareLines(t *testing.T) {
+	s := make([]Uint64, 4)
+	for i := 0; i+1 < len(s); i++ {
+		a := uintptr(unsafe.Pointer(&s[i]))
+		b := uintptr(unsafe.Pointer(&s[i+1]))
+		if b-a < CacheLineSize {
+			t.Fatalf("elements %d and %d are %d bytes apart", i, i+1, b-a)
+		}
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	var p Uint64
+	if p.Load() != 0 {
+		t.Fatal("zero value must read 0")
+	}
+	p.Store(7)
+	if p.Load() != 7 {
+		t.Fatal("store/load mismatch")
+	}
+	if p.Add(3) != 10 {
+		t.Fatal("add result wrong")
+	}
+	if !p.CompareAndSwap(10, 20) || p.Load() != 20 {
+		t.Fatal("CAS success path wrong")
+	}
+	if p.CompareAndSwap(10, 30) {
+		t.Fatal("CAS must fail on stale expected value")
+	}
+}
+
+func TestInt64Ops(t *testing.T) {
+	var p Int64
+	p.Store(-5)
+	if p.Load() != -5 {
+		t.Fatal("store/load mismatch")
+	}
+	if p.Add(-5) != -10 {
+		t.Fatal("add result wrong")
+	}
+}
+
+func TestBoolOps(t *testing.T) {
+	var p Bool
+	if p.Load() {
+		t.Fatal("zero value must read false")
+	}
+	p.Store(true)
+	if !p.Load() {
+		t.Fatal("store/load mismatch")
+	}
+	if !p.CompareAndSwap(true, false) || p.Load() {
+		t.Fatal("CAS wrong")
+	}
+}
+
+func TestUint64StoreLoadRoundTrip(t *testing.T) {
+	var p Uint64
+	f := func(v uint64) bool {
+		p.Store(v)
+		return p.Load() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64ConcurrentAdd(t *testing.T) {
+	var p Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				p.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Load(); got != 80000 {
+		t.Fatalf("concurrent adds lost updates: %d, want 80000", got)
+	}
+}

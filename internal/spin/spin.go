@@ -1,0 +1,77 @@
+// Package spin implements the waiting discipline shared by every
+// wait-for-readers loop in this module.
+//
+// The paper's implementations busy-wait: each waiter owns a hardware thread,
+// so spinning costs nothing but the waiter's own cycles. Goroutines do not
+// own hardware threads — on a GOMAXPROCS=1 host a waiter that spins without
+// yielding starves the very reader whose exit it is waiting for, turning the
+// wait into a livelock. Every spin loop therefore runs through a Waiter,
+// which spins briefly (cheap when the condition is about to become true, the
+// common PRCU case) and then starts yielding to the scheduler with capped
+// exponential back-off.
+package spin
+
+import "runtime"
+
+// spinBudget is the number of pure (non-yielding) iterations before the
+// waiter starts calling into the scheduler. The value is deliberately small:
+// PRCU wait loops either exit almost immediately (no conflicting readers) or
+// wait for a full critical section, which on a loaded machine exceeds any
+// sensible spin budget anyway.
+const spinBudget = 64
+
+// maxYieldBurst caps the exponential growth of consecutive Gosched calls so
+// a long wait still polls its condition at a reasonable rate.
+const maxYieldBurst = 16
+
+// Waiter tracks back-off state across iterations of one wait loop.
+// The zero value is ready to use; a Waiter must not be shared.
+type Waiter struct {
+	spins int
+	burst int
+}
+
+// Wait performs one back-off step. Call it once per failed condition check.
+func (w *Waiter) Wait() {
+	if w.spins < spinBudget {
+		w.spins++
+		return
+	}
+	if w.burst < maxYieldBurst {
+		w.burst++
+	}
+	for i := 0; i < w.burst; i++ {
+		runtime.Gosched()
+	}
+}
+
+// Reset returns the waiter to its initial state. Use when the same Waiter
+// value is reused for a logically new wait (e.g. the next reader slot in a
+// wait-for-readers scan), so a slow previous wait does not penalize it.
+func (w *Waiter) Reset() {
+	w.spins = 0
+	w.burst = 0
+}
+
+// Until spins until cond returns true, using a fresh Waiter for back-off.
+func Until(cond func() bool) {
+	var w Waiter
+	for !cond() {
+		w.Wait()
+	}
+}
+
+// UntilBudget spins until cond returns true or roughly budget back-off steps
+// have elapsed. It reports whether cond was observed true. This implements
+// the bounded half of D-PRCU's optimistic waiting (§4.2): hope readers drain
+// naturally, then fall back to the gate protocol.
+func UntilBudget(cond func() bool, budget int) bool {
+	var w Waiter
+	for i := 0; i < budget; i++ {
+		if cond() {
+			return true
+		}
+		w.Wait()
+	}
+	return cond()
+}

@@ -1,0 +1,98 @@
+package spin
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestUntilImmediate(t *testing.T) {
+	calls := 0
+	Until(func() bool { calls++; return true })
+	if calls != 1 {
+		t.Fatalf("cond evaluated %d times, want 1", calls)
+	}
+}
+
+func TestUntilEventually(t *testing.T) {
+	var flag atomic.Bool
+	time.AfterFunc(10*time.Millisecond, func() { flag.Store(true) })
+	done := make(chan struct{})
+	go func() {
+		Until(flag.Load)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Until did not observe the condition")
+	}
+}
+
+func TestUntilYieldsOnSingleProc(t *testing.T) {
+	// The critical liveness property on a 1-CPU host: a spinning waiter
+	// must yield so the goroutine that will satisfy the condition can run.
+	// The flag is flipped by another goroutine with no timer involved; if
+	// Until never yielded, this would rely solely on async preemption and
+	// take far longer than the budgeted window.
+	var flag atomic.Bool
+	go func() { flag.Store(true) }()
+	done := make(chan struct{})
+	go func() {
+		Until(flag.Load)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Until starved its producer")
+	}
+}
+
+func TestUntilBudgetSuccess(t *testing.T) {
+	if !UntilBudget(func() bool { return true }, 1) {
+		t.Fatal("immediate condition must report success")
+	}
+}
+
+func TestUntilBudgetTimeout(t *testing.T) {
+	calls := 0
+	if UntilBudget(func() bool { calls++; return false }, 10) {
+		t.Fatal("never-true condition must report failure")
+	}
+	if calls < 10 {
+		t.Fatalf("cond evaluated %d times, want >= 10", calls)
+	}
+}
+
+func TestUntilBudgetObservesLateSuccess(t *testing.T) {
+	n := 0
+	ok := UntilBudget(func() bool { n++; return n > 5 }, 10)
+	if !ok {
+		t.Fatal("condition became true within budget but was not reported")
+	}
+}
+
+func TestWaiterReset(t *testing.T) {
+	var w Waiter
+	for i := 0; i < spinBudget+5; i++ {
+		w.Wait()
+	}
+	if w.burst == 0 {
+		t.Fatal("waiter never escalated to yielding")
+	}
+	w.Reset()
+	if w.spins != 0 || w.burst != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestWaiterBurstCapped(t *testing.T) {
+	var w Waiter
+	for i := 0; i < spinBudget+maxYieldBurst*4; i++ {
+		w.Wait()
+	}
+	if w.burst > maxYieldBurst {
+		t.Fatalf("burst %d exceeds cap %d", w.burst, maxYieldBurst)
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats provides the small statistics toolkit the benchmark
+// harness reports with: medians (the paper reports "the median of 5
+// experiments"), percentiles, geometric means (Figure 9's summary column)
+// and log-scale latency histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+)
+
+// Median returns the median of xs (the paper's headline statistic).
+// It panics on an empty slice.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0-100) of xs using
+// nearest-rank on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty data")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p == 0 {
+		return s[0]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: mean of empty data")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs; all values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: geomean of empty data")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: geomean of non-positive value")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Histogram is a concurrent-update log₂-bucketed histogram for latency
+// samples in nanoseconds. Bucket i counts samples in [2^i, 2^(i+1)).
+type Histogram struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Record adds one sample (non-positive samples count into bucket 0).
+func (h *Histogram) Record(ns int64) {
+	b := 0
+	if ns > 0 {
+		b = 63 - bits.LeadingZeros64(uint64(ns))
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean sample in nanoseconds (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// ApproxPercentile returns an estimate of the p-th percentile: the
+// geometric midpoint of the bucket containing that rank.
+func (h *Histogram) ApproxPercentile(p float64) float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(c)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			lo := math.Exp2(float64(i))
+			return lo * math.Sqrt2
+		}
+	}
+	return math.Exp2(63)
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}

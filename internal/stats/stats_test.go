@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("Median = %v, want 2", m)
+	}
+	if m := Median([]float64{5}); m != 5 {
+		t.Fatalf("Median single = %v, want 5", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); m != 2 {
+		t.Fatalf("Median even (nearest-rank) = %v, want 2", m)
+	}
+}
+
+func TestMedianEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty median must panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestPercentileBounds(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Fatalf("P0 = %v, want 10", p)
+	}
+	if p := Percentile(xs, 100); p != 50 {
+		t.Fatalf("P100 = %v, want 50", p)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileWithinData(t *testing.T) {
+	f := func(raw []float64, p8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		p := float64(p8) / 255 * 100
+		v := Percentile(raw, p)
+		s := make([]float64, len(raw))
+		copy(s, raw)
+		sort.Float64s(s)
+		return v >= s[0] && v <= s[len(s)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v, want 2", m)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("GeoMean = %v, want 10", g)
+	}
+	if g := GeoMean([]float64{7}); math.Abs(g-7) > 1e-9 {
+		t.Fatalf("GeoMean single = %v, want 7", g)
+	}
+}
+
+func TestGeoMeanNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geomean of zero must panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 4, 8, 100, 1000} {
+		h.Record(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1115 {
+		t.Fatalf("Sum = %d, want 1115", h.Sum())
+	}
+	if m := h.Mean(); math.Abs(m-1115.0/6) > 1e-9 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.ApproxPercentile(50) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramPercentileBuckets(t *testing.T) {
+	var h Histogram
+	// 90 samples around 100ns, 10 around 100000ns.
+	for i := 0; i < 90; i++ {
+		h.Record(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(100000)
+	}
+	p50 := h.ApproxPercentile(50)
+	if p50 < 64 || p50 > 256 {
+		t.Fatalf("P50 = %v, want within the 100ns bucket", p50)
+	}
+	p99 := h.ApproxPercentile(99)
+	if p99 < 64*1024 || p99 > 256*1024 {
+		t.Fatalf("P99 = %v, want within the 100000ns bucket", p99)
+	}
+}
+
+func TestHistogramNonPositiveSamples(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-5)
+	if h.Count() != 2 {
+		t.Fatal("non-positive samples must still count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 1000; i++ {
+				h.Record(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if h.Sum() != 8*1000*1001/2 {
+		t.Fatalf("Sum = %d", h.Sum())
+	}
+}

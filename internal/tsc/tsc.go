@@ -1,0 +1,91 @@
+// Package tsc provides the global clocks that back time-based quiescence
+// detection (paper §4.1).
+//
+// The paper reads the x86 timestamp counter, which is architecturally
+// guaranteed monotonic and consistent across sockets. Go cannot issue RDTSC
+// from the standard library, so this package substitutes Linux
+// CLOCK_MONOTONIC (via the monotonic component of time.Time), which provides
+// the same two properties the correctness proofs need:
+//
+//  1. monotonicity: successive reads never decrease, and
+//  2. cross-thread consistency: if one goroutine's read completes before
+//     another's begins, the later read observes a value >= the earlier one.
+//
+// The quiescence loops only break on a *strictly* greater timestamp, so the
+// coarser resolution of CLOCK_MONOTONIC versus the TSC can delay — never
+// corrupt — grace-period detection: a reader whose re-entry lands on the same
+// nanosecond as the waiter's start merely keeps the waiter waiting until the
+// reader's exit posts infinity.
+//
+// A logical fetch-add clock (an alternative the paper suggests for machines
+// without a usable hardware counter) and a manually advanced clock for
+// deterministic tests are also provided.
+package tsc
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Infinity is the timestamp posted by prcu_exit: it compares greater than
+// every value any clock returns, encoding "not inside a critical section".
+const Infinity int64 = math.MaxInt64
+
+// Clock is a monotonically increasing, cross-thread-consistent time source.
+type Clock interface {
+	// Now returns the current timestamp. Values are opaque except for
+	// ordering; Infinity is reserved and never returned.
+	Now() int64
+}
+
+// Monotonic reads CLOCK_MONOTONIC. This is the production clock and the
+// closest available analogue of the paper's TSC.
+type Monotonic struct {
+	base time.Time
+}
+
+// NewMonotonic returns a Monotonic clock anchored at the current instant.
+func NewMonotonic() *Monotonic { return &Monotonic{base: time.Now()} }
+
+// Now returns nanoseconds since the clock was created.
+func (c *Monotonic) Now() int64 { return int64(time.Since(c.base)) }
+
+// Logical is a fetch-add software clock: every Now call returns a strictly
+// greater value than every call that completed before it. Readers contend on
+// one cache line, which is exactly the cost the TSC avoids; it exists for
+// the clock-source ablation and as the portable fallback the paper mentions.
+type Logical struct {
+	c atomic.Int64
+}
+
+// NewLogical returns a Logical clock starting at 1.
+func NewLogical() *Logical { return new(Logical) }
+
+// Now returns the next tick.
+func (c *Logical) Now() int64 { return c.c.Add(1) }
+
+// Manual is a test clock advanced explicitly by the test harness.
+type Manual struct {
+	c atomic.Int64
+}
+
+// NewManual returns a Manual clock reading t.
+func NewManual(t int64) *Manual {
+	m := new(Manual)
+	m.c.Store(t)
+	return m
+}
+
+// Now returns the manually set time.
+func (c *Manual) Now() int64 { return c.c.Load() }
+
+// Advance moves the clock forward by d and returns the new reading.
+// Advancing by a negative duration panics: the quiescence proofs require
+// monotonicity.
+func (c *Manual) Advance(d int64) int64 {
+	if d < 0 {
+		panic("tsc: Manual clock moved backwards")
+	}
+	return c.c.Add(d)
+}

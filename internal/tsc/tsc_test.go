@@ -1,0 +1,107 @@
+package tsc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMonotonicAdvances(t *testing.T) {
+	c := NewMonotonic()
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("clock did not advance: %d then %d", a, b)
+	}
+}
+
+func TestMonotonicNeverDecreases(t *testing.T) {
+	c := NewMonotonic()
+	prev := c.Now()
+	for i := 0; i < 100000; i++ {
+		now := c.Now()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d then %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestMonotonicNeverReturnsInfinity(t *testing.T) {
+	c := NewMonotonic()
+	for i := 0; i < 1000; i++ {
+		if c.Now() == Infinity {
+			t.Fatal("Now returned the reserved Infinity value")
+		}
+	}
+}
+
+func TestLogicalStrictlyIncreases(t *testing.T) {
+	c := NewLogical()
+	prev := c.Now()
+	for i := 0; i < 10000; i++ {
+		now := c.Now()
+		if now <= prev {
+			t.Fatalf("logical clock not strictly increasing: %d then %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestLogicalCrossThreadUnique(t *testing.T) {
+	c := NewLogical()
+	const perG, gs = 10000, 8
+	results := make([][]int64, gs)
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]int64, perG)
+			for i := range results[g] {
+				results[g][i] = c.Now()
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, perG*gs)
+	for _, r := range results {
+		for _, v := range r {
+			if seen[v] {
+				t.Fatalf("duplicate tick %d across threads", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManual(10)
+	if c.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", c.Now())
+	}
+	if got := c.Advance(5); got != 15 {
+		t.Fatalf("Advance returned %d, want 15", got)
+	}
+	if c.Now() != 15 {
+		t.Fatalf("Now = %d, want 15", c.Now())
+	}
+}
+
+func TestManualBackwardsPanics(t *testing.T) {
+	c := NewManual(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance must panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestInfinityOrdering(t *testing.T) {
+	c := NewMonotonic()
+	if !(c.Now() < Infinity) {
+		t.Fatal("Infinity must exceed any clock reading")
+	}
+}

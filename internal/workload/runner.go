@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// yieldEvery is how many loop iterations a worker runs between voluntary
+// runtime.Gosched calls. Workers in tight loops otherwise hold a core for
+// the full 10ms forced-preemption slice, which on hosts with fewer cores
+// than workers turns every cross-thread wait into a multi-slice lottery
+// and swamps the measurement with scheduler noise. The amortized cost is
+// a few ns/op on unloaded hosts.
+const yieldEvery = 256
+
+// Result aggregates one timed run.
+type Result struct {
+	Ops     int64         // operations completed across all workers
+	Elapsed time.Duration // wall time of the measurement window
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Run starts workers goroutines, each executing body(worker, rng) in a
+// loop for roughly d, and returns the combined operation count. body
+// returns the number of operations it performed in that call (usually 1).
+//
+// Workers spin up, wait on a common start line so the window measures
+// steady state, and observe a shared stop flag.
+func Run(workers int, d time.Duration, body func(worker int, rng *RNG) int) Result {
+	var (
+		start = make(chan struct{})
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := NewRNG(uint64(w) + 1)
+			<-start
+			ops := int64(0)
+			for i := 0; !stop.Load(); i++ {
+				ops += int64(body(w, rng))
+				if i%yieldEvery == 0 {
+					runtime.Gosched()
+				}
+			}
+			total.Add(ops)
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	return Result{Ops: total.Load(), Elapsed: elapsed}
+}

@@ -1,0 +1,84 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation (§6.1): threads repeatedly invoke operations following a
+// specified distribution, with integer keys selected uniformly from a
+// given range.
+package workload
+
+// RNG is a splitmix64 pseudo-random generator: deterministic, allocation
+// free, and cheap enough that random-number generation never becomes the
+// benchmark bottleneck. Each worker owns one, seeded distinctly.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15}
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: Intn(0)")
+	}
+	return r.Next() % n
+}
+
+// OpKind is one of the three data structure operations.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpContains OpKind = iota
+	OpInsert
+	OpDelete
+)
+
+// Mix is an operation distribution in percent. The three fields must sum
+// to 100.
+type Mix struct {
+	ContainsPct int
+	InsertPct   int
+	DeletePct   int
+	Name        string
+}
+
+// The paper's §6.1 operation distributions.
+var (
+	// ReadDominated is 98% contains, 1% insert, 1% delete.
+	ReadDominated = Mix{98, 1, 1, "read-dominated"}
+	// Mixed is 70% contains, 15% insert, 15% delete.
+	Mixed = Mix{70, 15, 15, "mixed"}
+	// WriteDominated is 50% insert, 50% delete.
+	WriteDominated = Mix{0, 50, 50, "write-dominated"}
+	// ReadOnly is 100% contains (Figure 7's read-overhead probe).
+	ReadOnly = Mix{100, 0, 0, "read-only"}
+)
+
+// Validate panics if the mix does not sum to 100.
+func (m Mix) Validate() {
+	if m.ContainsPct+m.InsertPct+m.DeletePct != 100 {
+		panic("workload: operation mix must sum to 100%")
+	}
+}
+
+// Pick draws an operation kind according to the mix.
+func (m Mix) Pick(r *RNG) OpKind {
+	p := int(r.Intn(100))
+	if p < m.ContainsPct {
+		return OpContains
+	}
+	if p < m.ContainsPct+m.InsertPct {
+		return OpInsert
+	}
+	return OpDelete
+}

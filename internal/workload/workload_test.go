@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	f := func(n16 uint16) bool {
+		n := uint64(n16) + 1
+		v := r.Intn(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const buckets, n = 16, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	mean := n / buckets
+	for b, c := range counts {
+		if c < mean*8/10 || c > mean*12/10 {
+			t.Fatalf("bucket %d has %d draws (mean %d): skewed", b, c, mean)
+		}
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	for _, m := range []Mix{ReadDominated, Mixed, WriteDominated, ReadOnly} {
+		m.Validate() // must not panic
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad mix must panic")
+		}
+	}()
+	Mix{50, 10, 10, "bad"}.Validate()
+}
+
+func TestMixPickDistribution(t *testing.T) {
+	r := NewRNG(5)
+	m := Mixed
+	const n = 100000
+	var counts [3]int
+	for i := 0; i < n; i++ {
+		counts[m.Pick(r)]++
+	}
+	check := func(got, pct int, label string) {
+		want := n * pct / 100
+		if got < want*85/100 || got > want*115/100 {
+			t.Errorf("%s drawn %d times, want ~%d", label, got, want)
+		}
+	}
+	check(counts[OpContains], m.ContainsPct, "contains")
+	check(counts[OpInsert], m.InsertPct, "insert")
+	check(counts[OpDelete], m.DeletePct, "delete")
+}
+
+func TestMixPickReadOnly(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if ReadOnly.Pick(r) != OpContains {
+			t.Fatal("read-only mix drew a non-contains op")
+		}
+	}
+}
+
+func TestRunCountsOps(t *testing.T) {
+	res := Run(4, 30*time.Millisecond, func(w int, rng *RNG) int {
+		_ = rng.Next()
+		return 1
+	})
+	if res.Ops <= 0 {
+		t.Fatal("no operations recorded")
+	}
+	if res.Elapsed < 30*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than requested window", res.Elapsed)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}
+
+func TestRunWorkerIDs(t *testing.T) {
+	seen := make([]bool, 4)
+	Run(4, 10*time.Millisecond, func(w int, rng *RNG) int {
+		seen[w] = true
+		return 1
+	})
+	for w, s := range seen {
+		if !s {
+			t.Fatalf("worker %d never ran", w)
+		}
+	}
+}
+
+func TestThroughputZeroElapsed(t *testing.T) {
+	if (Result{Ops: 10}).Throughput() != 0 {
+		t.Fatal("zero elapsed must yield zero throughput, not a division error")
+	}
+}

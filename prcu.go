@@ -1,0 +1,269 @@
+// Package prcu implements Predicate RCU (PRCU), the read-copy-update
+// variant of Arbel and Morrison ("Predicate RCU: An RCU for Scalable
+// Concurrent Updates", PPoPP 2015), together with the baseline RCU
+// algorithms the paper evaluates it against.
+//
+// RCU gives readers synchronization-free access that executes correctly
+// with concurrent updates; in exchange, an update that transitions the
+// data structure between certain states must wait for all pre-existing
+// readers (WaitForReaders). That wait is the bottleneck that keeps RCU out
+// of update-heavy data structures. PRCU fixes this by letting the update
+// say which readers it actually needs to wait for: readers annotate their
+// critical sections with a domain value (a key, a bucket index, ...), and
+// WaitForReaders takes a predicate selecting the values whose readers the
+// update's consistency depends on.
+//
+// # Engines
+//
+// Seven interchangeable engines implement the one RCU interface:
+//
+//	NewEER      EER-PRCU: evaluate the predicate per reader (§4.1)
+//	NewD        D-PRCU: shared counter table indexed by hashed value (§4.2)
+//	NewDEER     DEER-PRCU: per-reader counter tables (§4.3)
+//	NewTimeRCU  Time RCU: timestamp quiescence, waits for all readers
+//	NewURCU     URCU: global grace-period counter + writer lock
+//	NewTreeRCU  Tree RCU: Linux hierarchical algorithm, userspace restriction
+//	NewDistRCU  Arbel–Attiya distributed per-reader counters
+//
+// The plain-RCU engines ignore values and predicates, so algorithms can be
+// written once against the PRCU interface and benchmarked over any engine.
+//
+// # Usage
+//
+//	r := prcu.New(prcu.FlavorD, prcu.Options{MaxReaders: 64})
+//	rd, err := r.Register() // one per reader goroutine
+//	...
+//	rd.Enter(key)           // read-side critical section on `key`
+//	... traverse ...
+//	rd.Exit(key)
+//	...
+//	r.WaitForReaders(prcu.Interval(k+1, kPrime)) // updater
+//
+// See the examples directory for complete programs and packages citrus and
+// hashtable for the paper's two showcase applications.
+package prcu
+
+import (
+	"fmt"
+
+	"prcu/internal/core"
+	"prcu/internal/tsc"
+)
+
+// Value is the opaque 64-bit domain value a reader presents to Enter/Exit
+// and predicates are evaluated over.
+type Value = core.Value
+
+// Predicate selects which read-side critical sections a WaitForReaders
+// must wait for. Construct with All, Func, Singleton, Iterable or Interval.
+type Predicate = core.Predicate
+
+// RCU is the engine interface; see the package documentation.
+type RCU = core.RCU
+
+// Reader is a registered reader's handle; see the package documentation.
+type Reader = core.Reader
+
+// Clock is a monotonically increasing, cross-thread-consistent time source
+// for the timestamp-based engines. The default (nil) is the system
+// monotonic clock, this module's stand-in for the paper's TSC.
+type Clock = core.Clock
+
+// ErrTooManyReaders is returned by Register when the engine's reader slots
+// are exhausted.
+var ErrTooManyReaders = core.ErrTooManyReaders
+
+// All returns the wildcard predicate: it holds for every value, making any
+// PRCU engine behave as a standard RCU (§3.1 "RCU fallback").
+func All() Predicate { return core.All() }
+
+// Func returns a general predicate encoded as fn, which must be
+// side-effect free and may be invoked any number of times per wait.
+func Func(fn func(Value) bool) Predicate { return core.Func(fn) }
+
+// Singleton returns the specialized predicate holding only for v.
+func Singleton(v Value) Predicate { return core.Singleton(v) }
+
+// Iterable returns the specialized predicate holding over
+// {v1, next(v1), ..., vk}.
+func Iterable(v1, vk Value, next func(Value) Value) Predicate {
+	return core.Iterable(v1, vk, next)
+}
+
+// Interval returns an iterable predicate over the inclusive range [lo, hi].
+func Interval(lo, hi Value) Predicate { return core.Interval(lo, hi) }
+
+// Flavor names an RCU engine.
+type Flavor string
+
+// The available engines. FlavorEER, FlavorD and FlavorDEER are the paper's
+// contribution; the rest are the baselines it compares against.
+const (
+	FlavorEER  Flavor = "eer"
+	FlavorD    Flavor = "d"
+	FlavorDEER Flavor = "deer"
+	FlavorTime Flavor = "time"
+	FlavorURCU Flavor = "urcu"
+	FlavorTree Flavor = "tree"
+	FlavorDist Flavor = "dist"
+	FlavorSRCU Flavor = "srcu"
+)
+
+// Flavors lists every engine, in the order the paper's figures use.
+func Flavors() []Flavor {
+	return []Flavor{
+		FlavorEER, FlavorD, FlavorDEER,
+		FlavorTime, FlavorTree, FlavorURCU, FlavorDist, FlavorSRCU,
+	}
+}
+
+// Options configures engine construction. The zero value selects the
+// paper's evaluation parameters with capacity for 64 readers.
+type Options struct {
+	// MaxReaders bounds concurrently registered readers. Default 64 (the
+	// paper's machine has 64 hardware threads).
+	MaxReaders int
+	// CounterTableSize is D-PRCU's |C|; power of two. Default 1024.
+	CounterTableSize int
+	// NodesPerReader is DEER-PRCU's per-reader array size; power of two.
+	// Default 16.
+	NodesPerReader int
+	// Clock overrides the time source for the timestamp engines.
+	Clock Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxReaders == 0 {
+		o.MaxReaders = 64
+	}
+	if o.Clock == nil {
+		o.Clock = tsc.NewMonotonic()
+	}
+	return o
+}
+
+// New constructs the engine named by flavor.
+func New(flavor Flavor, opt Options) (RCU, error) {
+	opt = opt.withDefaults()
+	switch flavor {
+	case FlavorEER:
+		return core.NewEER(opt.MaxReaders, opt.Clock), nil
+	case FlavorD:
+		return core.NewD(opt.MaxReaders, opt.CounterTableSize), nil
+	case FlavorDEER:
+		return core.NewDEER(opt.MaxReaders, opt.NodesPerReader, opt.Clock), nil
+	case FlavorTime:
+		return core.NewTimeRCU(opt.MaxReaders, opt.Clock), nil
+	case FlavorURCU:
+		return core.NewURCU(opt.MaxReaders), nil
+	case FlavorTree:
+		return core.NewTreeRCU(opt.MaxReaders), nil
+	case FlavorDist:
+		return core.NewDistRCU(opt.MaxReaders), nil
+	case FlavorSRCU:
+		return core.NewSRCU(opt.MaxReaders), nil
+	default:
+		return nil, fmt.Errorf("prcu: unknown flavor %q", flavor)
+	}
+}
+
+// MustNew is New for known-good flavors; it panics on error.
+func MustNew(flavor Flavor, opt Options) RCU {
+	r, err := New(flavor, opt)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NewEER returns an EER-PRCU engine (§4.1): wait-for-readers evaluates the
+// predicate for each reader and waits, via timestamp quiescence detection,
+// only for readers it holds for. Wait time is linear in the reader count
+// but typically 10x shorter than a full RCU grace period.
+func NewEER(opt Options) RCU {
+	opt = opt.withDefaults()
+	return core.NewEER(opt.MaxReaders, opt.Clock)
+}
+
+// NewD returns a D-PRCU engine (§4.2): readers hash their value into a
+// shared counter table and waits drain only the covered counters, making
+// wait time independent of the reader count for enumerable predicates —
+// at the price of an atomic counter update per Enter/Exit.
+func NewD(opt Options) RCU {
+	opt = opt.withDefaults()
+	return core.NewD(opt.MaxReaders, opt.CounterTableSize)
+}
+
+// NewDEER returns a DEER-PRCU engine (§4.3): per-reader counter tables give
+// EER's low read overhead without reader/waiter cache-line ping-pong, with
+// EER's linear wait scan.
+func NewDEER(opt Options) RCU {
+	opt = opt.withDefaults()
+	return core.NewDEER(opt.MaxReaders, opt.NodesPerReader, opt.Clock)
+}
+
+// NewTimeRCU returns the Time RCU baseline: EER-PRCU without predicates.
+func NewTimeRCU(opt Options) RCU {
+	opt = opt.withDefaults()
+	return core.NewTimeRCU(opt.MaxReaders, opt.Clock)
+}
+
+// NewURCU returns the userspace-RCU baseline of Desnoyers et al.
+func NewURCU(opt Options) RCU {
+	opt = opt.withDefaults()
+	return core.NewURCU(opt.MaxReaders)
+}
+
+// NewTreeRCU returns the Linux hierarchical RCU baseline under the paper's
+// userspace restriction (states between operations are quiescent).
+func NewTreeRCU(opt Options) RCU {
+	opt = opt.withDefaults()
+	return core.NewTreeRCU(opt.MaxReaders)
+}
+
+// NewDistRCU returns the Arbel–Attiya distributed-counters RCU baseline.
+func NewDistRCU(opt Options) RCU {
+	opt = opt.withDefaults()
+	return core.NewDistRCU(opt.MaxReaders)
+}
+
+// NewSRCU returns McKenney's Sleepable RCU (§7): per-subsystem waiting
+// through the two-counter gate protocol D-PRCU builds on. Each instance
+// is one isolated subsystem; predicates are ignored within it.
+func NewSRCU(opt Options) RCU {
+	opt = opt.withDefaults()
+	return core.NewSRCU(opt.MaxReaders)
+}
+
+// NewAsync wraps r with a call_rcu-style deferral worker (§2.1): Call
+// schedules a callback to run after a grace period covering its predicate
+// without blocking the caller. Close the returned Async to release its
+// worker.
+func NewAsync(r RCU) *Async { return core.NewAsync(r) }
+
+// Async is the deferred-callback helper returned by NewAsync.
+type Async = core.Async
+
+// CounterTableResizer is implemented by the D-PRCU engine: Resize installs
+// a larger (or smaller) counter table, globally draining the old one —
+// the table expansion §4.2 describes for relieving hash-collision
+// contention. Obtain it by type-asserting the engine returned by NewD:
+//
+//	if rs, ok := r.(prcu.CounterTableResizer); ok { rs.Resize(4096) }
+type CounterTableResizer interface {
+	Resize(newSize int)
+	TableSize() int
+}
+
+// Compile-time check that D-PRCU provides the resize extension.
+var _ CounterTableResizer = (*core.D)(nil)
+
+// NewSimulated wraps an engine so WaitForReaders burns waitNs nanoseconds
+// without any memory accesses — the paper's instrument for isolating
+// reader/waiter cache-coherency costs (Figure 8). Unsafe outside
+// measurements; see internal/core.Simulated.
+func NewSimulated(inner RCU, waitNs int64) RCU { return core.NewSimulated(inner, waitNs) }
+
+// NewNop returns the unsafe no-op engine used by the read-overhead
+// ablation to measure a zero-synchronization ceiling.
+func NewNop(maxReaders int) RCU { return core.NewNop(maxReaders) }

@@ -1,0 +1,117 @@
+package prcu_test
+
+import (
+	"errors"
+	"testing"
+
+	"prcu"
+)
+
+func TestNewAllFlavors(t *testing.T) {
+	for _, f := range prcu.Flavors() {
+		r, err := prcu.New(f, prcu.Options{})
+		if err != nil {
+			t.Fatalf("New(%s): %v", f, err)
+		}
+		if r.MaxReaders() != 64 {
+			t.Fatalf("%s default MaxReaders = %d, want 64", f, r.MaxReaders())
+		}
+		rd, err := r.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd.Enter(1)
+		rd.Exit(1)
+		r.WaitForReaders(prcu.All())
+		r.WaitForReaders(prcu.Singleton(1))
+		r.WaitForReaders(prcu.Interval(1, 5))
+		r.WaitForReaders(prcu.Func(func(v prcu.Value) bool { return v == 1 }))
+		r.WaitForReaders(prcu.Iterable(0, 8, func(v prcu.Value) prcu.Value { return v + 2 }))
+		rd.Unregister()
+	}
+}
+
+func TestNewUnknownFlavor(t *testing.T) {
+	if _, err := prcu.New("bogus", prcu.Options{}); err == nil {
+		t.Fatal("unknown flavor must error")
+	}
+}
+
+func TestMustNewPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic on unknown flavor")
+		}
+	}()
+	prcu.MustNew("bogus", prcu.Options{})
+}
+
+func TestOptionsPropagate(t *testing.T) {
+	r, err := prcu.New(prcu.FlavorEER, prcu.Options{MaxReaders: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rds []prcu.Reader
+	for i := 0; i < 3; i++ {
+		rd, err := r.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rds = append(rds, rd)
+	}
+	if _, err := r.Register(); !errors.Is(err, prcu.ErrTooManyReaders) {
+		t.Fatalf("err = %v, want ErrTooManyReaders", err)
+	}
+	for _, rd := range rds {
+		rd.Unregister()
+	}
+}
+
+func TestNamedConstructors(t *testing.T) {
+	cases := []struct {
+		mk   func(prcu.Options) prcu.RCU
+		name string
+	}{
+		{prcu.NewEER, "EER-PRCU"},
+		{prcu.NewD, "D-PRCU"},
+		{prcu.NewDEER, "DEER-PRCU"},
+		{prcu.NewTimeRCU, "Time RCU"},
+		{prcu.NewURCU, "URCU"},
+		{prcu.NewTreeRCU, "Tree RCU"},
+		{prcu.NewDistRCU, "Dist RCU"},
+		{prcu.NewSRCU, "SRCU"},
+	}
+	for _, c := range cases {
+		if got := c.mk(prcu.Options{MaxReaders: 2}).Name(); got != c.name {
+			t.Errorf("Name = %q, want %q", got, c.name)
+		}
+	}
+}
+
+func TestSimulatedAndNopWrappers(t *testing.T) {
+	s := prcu.NewSimulated(prcu.NewTimeRCU(prcu.Options{MaxReaders: 2}), 1000)
+	s.WaitForReaders(prcu.All())
+	n := prcu.NewNop(2)
+	n.WaitForReaders(prcu.All())
+	rd, err := n.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(0)
+	rd.Exit(0)
+	rd.Unregister()
+}
+
+func TestAsyncViaPublicAPI(t *testing.T) {
+	r := prcu.NewDistRCU(prcu.Options{MaxReaders: 2})
+	a := prcu.NewAsync(r)
+	done := make(chan struct{})
+	a.Call(prcu.All(), func() { close(done) })
+	a.Barrier()
+	select {
+	case <-done:
+	default:
+		t.Fatal("callback did not run by Barrier")
+	}
+	a.Close()
+}
