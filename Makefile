@@ -1,0 +1,41 @@
+GO ?= go
+
+# Per-package test timeout. The suites size themselves down under
+# -short; the full run stays well inside this on a laptop-class host.
+TEST_TIMEOUT ?= 300s
+
+.PHONY: all build vet test race short fuzz bench ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
+
+short:
+	$(GO) test -short -timeout $(TEST_TIMEOUT) ./...
+
+# Race-enabled pass over the packages with real concurrency: the engine
+# core (including the torture suite), and the two RCU-backed structures.
+race:
+	$(GO) test -race -short -timeout $(TEST_TIMEOUT) ./internal/core ./citrus ./hashtable
+
+# Brief coverage-guided fuzzing on top of the checked-in seed corpora.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzPredicate -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzHashtableResize -fuzztime $(FUZZTIME) ./hashtable
+
+bench:
+	$(GO) run ./cmd/prcubench -duration 150ms -runs 1 stats
+
+ci:
+	./ci.sh
+
+clean:
+	$(GO) clean -testcache

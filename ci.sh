@@ -1,0 +1,22 @@
+#!/bin/sh
+# CI gate: everything must build, vet clean, and pass the full test
+# suite plus a race-enabled short pass over the concurrent packages.
+# Designed to finish in a couple of minutes on a laptop-class host.
+set -eu
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test (full) =="
+go test -timeout 300s ./...
+
+echo "== go test -race -short (engines + structures) =="
+go test -race -short -timeout 300s ./internal/core ./citrus ./hashtable
+
+echo "== fuzz seed corpora replay =="
+go test -run 'Fuzz' -timeout 120s ./internal/core ./hashtable
+
+echo "CI PASS"

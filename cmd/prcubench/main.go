@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|all
+//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|all
+//
+// The stats subcommand runs the mixed workload with the observability
+// layer attached and dumps each engine's internal metrics: grace-period
+// latency histograms, predicate selectivity, wait resolution and sampled
+// reader-section durations.
 //
 // The defaults are scaled for a laptop-class host; use the flags to dial
 // the experiment back up to the paper's methodology (3-second windows,
@@ -37,7 +42,7 @@ func main() {
 		csvPath      = flag.String("csv", "", "also write every table as CSV to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -92,6 +97,8 @@ func dispatch(cmd string, cfg bench.Config, includeLF bool) error {
 		return bench.Fig9(cfg)
 	case "ablation":
 		return bench.Ablation(cfg)
+	case "stats":
+		return bench.Stats(cfg)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return bench.Fig1(cfg) },
@@ -101,6 +108,7 @@ func dispatch(cmd string, cfg bench.Config, includeLF bool) error {
 			func() error { return bench.Fig8(cfg) },
 			func() error { return bench.Fig9(cfg) },
 			func() error { return bench.Ablation(cfg) },
+			func() error { return bench.Stats(cfg) },
 		} {
 			if err := f(); err != nil {
 				return err

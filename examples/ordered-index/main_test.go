@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestMainRuns smoke-tests the example end to end: it validates the
+// index after each engine's run and panics on violation, so completing
+// is the assertion.
+func TestMainRuns(t *testing.T) {
+	main()
+}

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+// TestMain smoke-tests the example end to end: it panics on any
+// correctness violation, so completing is the assertion.
+func TestMainRuns(t *testing.T) {
+	main()
+}

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestMainRuns smoke-tests the example end to end: it panics if a
+// reader observes a retired or torn snapshot, so completing is the
+// assertion.
+func TestMainRuns(t *testing.T) {
+	main()
+}

@@ -76,11 +76,19 @@ func TestInstrumentedRecordsWaits(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		inst.WaitForReaders(prcu.All())
 	}
-	if inst.Waits.Count() != 10 {
-		t.Fatalf("recorded %d waits, want 10", inst.Waits.Count())
+	if got := inst.Stats().Waits; got != 10 {
+		t.Fatalf("recorded %d waits, want 10", got)
 	}
 	if inst.MeanWaitNs() <= 0 {
 		t.Fatal("mean wait must be positive")
+	}
+	inst.ResetWaits()
+	if got := inst.Stats().Waits; got != 0 {
+		t.Fatalf("ResetWaits left %d waits", got)
+	}
+	inst.WaitForReaders(prcu.All())
+	if inst.TotalWaitNs() <= 0 {
+		t.Fatal("total wait must be positive")
 	}
 	rd, err := inst.Register()
 	if err != nil {

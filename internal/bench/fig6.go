@@ -62,7 +62,7 @@ func waitShare(cfg Config, e Engine, mix workload.Mix, keys uint64, threads int)
 		return 0, 0, err
 	}
 	// Discard the waits issued during prefill.
-	inst.Waits.Reset()
+	inst.ResetWaits()
 	ths := make([]SetThread, threads)
 	for i := range ths {
 		th, err := s.NewThread()

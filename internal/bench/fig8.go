@@ -81,7 +81,7 @@ func normalizedToSimulated(cfg Config, e Engine, mix workload.Mix, keys uint64, 
 	if err := prefill(s, keys); err != nil {
 		return 0, err
 	}
-	inst.Waits.Reset()
+	inst.ResetWaits()
 	real, err := runMix(s, mix, keys, threads, cfg.Duration)
 	if err != nil {
 		return 0, err

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"prcu/internal/obs"
 	"prcu/internal/spin"
 	"prcu/internal/tsc"
 )
@@ -20,6 +21,7 @@ const DefaultNodesPerReader = 16
 // conflict semantically do not conflict at the memory level either — the
 // coherence ping-pong fix of §4.3.
 type DEER struct {
+	metered
 	reg   *registry
 	clock Clock
 	// tables is one flat allocation, carved into per-reader windows of
@@ -71,6 +73,7 @@ func (d *DEER) readerTable(slot int) []timeNode {
 type deerReader struct {
 	d     *DEER
 	table []timeNode
+	lane  *obs.ReaderLane
 	slot  int
 }
 
@@ -84,7 +87,7 @@ func (d *DEER) Register() (Reader, error) {
 	for i := range t {
 		t[i].time.Store(tsc.Infinity)
 	}
-	return &deerReader{d: d, table: t, slot: slot}, nil
+	return &deerReader{d: d, table: t, lane: d.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader (Algorithm 3 lines 3–6). The value is stored to
@@ -93,10 +96,16 @@ func (r *deerReader) Enter(v Value) {
 	n := &r.table[hashValue(v)&r.d.mask]
 	n.value.Store(v)
 	n.time.Store(r.d.clock.Now())
+	if r.lane != nil {
+		r.lane.OnEnter(v)
+	}
 }
 
 // Exit implements Reader (Algorithm 3 lines 7–8).
 func (r *deerReader) Exit(v Value) {
+	if r.lane != nil {
+		r.lane.OnExit(v)
+	}
 	r.table[hashValue(v)&r.d.mask].time.Store(tsc.Infinity)
 }
 
@@ -124,13 +133,21 @@ func (r *deerReader) Unregister() {
 // past t0 via that section's exit or a later re-entry, both of which mean
 // the pre-existing section has exited.
 func (d *DEER) WaitForReaders(p Predicate) {
+	m := d.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
 	t0 := d.clock.Now()
 	limit := d.reg.scanLimit()
 	var w spin.Waiter
+	var scanned, waited, parked uint64
 	for j := 0; j < limit; j++ {
 		if !d.reg.isActive(j) {
 			continue
 		}
+		scanned++
+		readerWaited, readerParked := false, false
 		table := d.readerTable(j)
 		if p.Enumerable() {
 			var visited uint64 // nodesPer <= 64 covered by one word
@@ -140,32 +157,49 @@ func (d *DEER) WaitForReaders(p Predicate) {
 					return true
 				}
 				visited |= 1 << idx
-				d.waitAtNode(&table[idx], t0, p, &w)
+				if d.waitAtNode(&table[idx], t0, p, &w) {
+					readerWaited = true
+					readerParked = readerParked || w.Yielded()
+				}
 				return true
 			})
-			continue
+		} else {
+			for i := range table {
+				if d.waitAtNode(&table[i], t0, p, &w) {
+					readerWaited = true
+					readerParked = readerParked || w.Yielded()
+				}
+			}
 		}
-		for i := range table {
-			d.waitAtNode(&table[i], t0, p, &w)
+		if readerWaited {
+			waited++
+			if readerParked {
+				parked++
+			}
 		}
+	}
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
 	}
 }
 
 // waitAtNode blocks until node n's pre-existing covered critical section
-// (if any) has exited.
-func (d *DEER) waitAtNode(n *timeNode, t0 int64, p Predicate, w *spin.Waiter) {
+// (if any) has exited; it reports whether it had to wait at all.
+func (d *DEER) waitAtNode(n *timeNode, t0 int64, p Predicate, w *spin.Waiter) bool {
 	w.Reset()
+	looped := false
 	for {
 		t := n.time.Load()
 		if t > t0 {
-			return
+			return looped
 		}
 		if !p.Holds(n.value.Load()) {
 			// The critical section currently using this node is on an
 			// uncovered (hash-colliding) value; any covered pre-existing
 			// section on this node has already exited.
-			return
+			return looped
 		}
+		looped = true
 		w.Wait()
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"prcu/internal/obs"
 	"prcu/internal/pad"
 	"prcu/internal/spin"
 )
@@ -17,6 +18,7 @@ import (
 // original CITRUS tree used (the paper's Time RCU is its TSC-optimized
 // successor).
 type DistRCU struct {
+	metered
 	reg *registry
 	gen []pad.Uint64
 }
@@ -39,6 +41,7 @@ func (d *DistRCU) MaxReaders() int { return d.reg.maxReaders() }
 type distReader struct {
 	d    *DistRCU
 	gen  *pad.Uint64
+	lane *obs.ReaderLane
 	slot int
 }
 
@@ -52,14 +55,24 @@ func (d *DistRCU) Register() (Reader, error) {
 	if g.Load()&1 == 1 {
 		panic("prcu: reader slot reused while marked in-CS")
 	}
-	return &distReader{d: d, gen: g, slot: slot}, nil
+	return &distReader{d: d, gen: g, lane: d.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader. The value is ignored — Dist RCU is a plain RCU.
-func (r *distReader) Enter(Value) { r.gen.Add(1) }
+func (r *distReader) Enter(v Value) {
+	r.gen.Add(1)
+	if r.lane != nil {
+		r.lane.OnEnter(v)
+	}
+}
 
 // Exit implements Reader.
-func (r *distReader) Exit(Value) { r.gen.Add(1) }
+func (r *distReader) Exit(v Value) {
+	if r.lane != nil {
+		r.lane.OnExit(v)
+	}
+	r.gen.Add(1)
+}
 
 // Unregister implements Reader.
 func (r *distReader) Unregister() {
@@ -72,20 +85,34 @@ func (r *distReader) Unregister() {
 
 // WaitForReaders implements RCU. The predicate is ignored.
 func (d *DistRCU) WaitForReaders(Predicate) {
+	m := d.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
 	limit := d.reg.scanLimit()
 	var w spin.Waiter
+	var scanned, waited, parked uint64
 	for j := 0; j < limit; j++ {
 		if !d.reg.isActive(j) {
 			continue
 		}
+		scanned++
 		g := &d.gen[j]
 		s := g.Load()
 		if s&1 == 0 {
 			continue
 		}
+		waited++
 		w.Reset()
 		for g.Load() == s {
 			w.Wait()
 		}
+		if w.Yielded() {
+			parked++
+		}
+	}
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prcu/internal/obs"
 	"prcu/internal/pad"
 	"prcu/internal/spin"
 )
@@ -64,6 +65,7 @@ func (t *dTable) index(v Value) uint64 { return hashValue(v) & t.mask }
 // number of threads. General (non-enumerable) predicates fall back to
 // draining the whole table, as described in §4.2.
 type D struct {
+	metered
 	reg *registry
 	tbl atomic.Pointer[dTable]
 	// old holds the previous table generation while a Resize drains it;
@@ -118,6 +120,7 @@ func hashValue(v Value) uint64 {
 
 type dReader struct {
 	d    *D
+	lane *obs.ReaderLane
 	slot int
 	// node and b record the counter cell and gate bit chosen at Enter, so
 	// Exit decrements exactly the counter Enter incremented (Algorithm
@@ -137,7 +140,7 @@ func (d *D) Register() (Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &dReader{d: d, slot: slot}, nil
+	return &dReader{d: d, lane: d.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader (Algorithm 2 lines 4–7). The fetch-and-add is an
@@ -156,6 +159,9 @@ func (r *dReader) Enter(v Value) {
 		n.readers[b].Add(1)
 		if r.d.tbl.Load() == t {
 			r.node, r.tbl, r.b, r.inCS = n, t, b, true
+			if r.lane != nil {
+				r.lane.OnEnter(v)
+			}
 			return
 		}
 		n.readers[b].Add(-1)
@@ -169,6 +175,9 @@ func (r *dReader) Exit(v Value) {
 	}
 	if n := &r.tbl.nodes[r.tbl.index(v)]; n != r.node {
 		panic("prcu: Exit value does not match Enter value")
+	}
+	if r.lane != nil {
+		r.lane.OnExit(v)
 	}
 	r.node.readers[r.b].Add(-1)
 	r.node, r.tbl, r.inCS = nil, nil, false
@@ -191,25 +200,70 @@ func (r *dReader) Unregister() {
 // generation is drained in full — readers counted there may hold any
 // value, so only a global drain of that generation is conservative enough.
 func (d *D) WaitForReaders(p Predicate) {
+	m := d.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	var agg drainAgg
 	// The updater's prior writes are ordered before the counter loads in
 	// drain by SC atomics (the paper's line 11 fence).
 	t := d.tbl.Load()
 	if !p.Enumerable() {
 		for j := range t.nodes {
-			d.drainNode(&t.nodes[j])
+			agg.add(d.drainNode(&t.nodes[j]))
 		}
 	} else {
-		d.drainCovered(t, p)
+		d.drainCovered(t, p, &agg)
 	}
 	if o := d.old.Load(); o != nil && o != t {
 		for j := range o.nodes {
-			d.drainNode(&o.nodes[j])
+			agg.add(d.drainNode(&o.nodes[j]))
 		}
+	}
+	if m != nil {
+		m.DrainCounts(agg.opt, agg.gate, agg.piggy)
+		m.WaitEnd(start, agg.scanned, agg.waited, agg.parked)
+	}
+}
+
+// drainInfo reports how one node drain resolved: its outcome class,
+// whether readers were present at all (the node had to be waited on),
+// and whether any wait loop crossed from spinning into yielding.
+type drainInfo struct {
+	outcome obs.DrainOutcome
+	waited  bool
+	parked  bool
+}
+
+// drainAgg accumulates per-wait drain statistics. For D-PRCU the
+// "readers scanned / waited for" selectivity is counted over counter
+// nodes — the unit its waits actually visit.
+type drainAgg struct {
+	scanned, waited, parked uint64
+	opt, gate, piggy        uint64
+}
+
+func (a *drainAgg) add(i drainInfo) {
+	a.scanned++
+	if i.waited {
+		a.waited++
+	}
+	if i.parked {
+		a.parked++
+	}
+	switch i.outcome {
+	case obs.DrainOptimistic:
+		a.opt++
+	case obs.DrainGate:
+		a.gate++
+	case obs.DrainPiggyback:
+		a.piggy++
 	}
 }
 
 // drainCovered drains the nodes of t that p's values hash to, each once.
-func (d *D) drainCovered(t *dTable, p Predicate) {
+func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg) {
 	// Dedup covered indices. Predicates in practice cover very few values
 	// (a bucket pair, a small key interval), so a small linear buffer
 	// avoids allocation; large predicates spill into a bitmap.
@@ -226,7 +280,7 @@ func (d *D) drainCovered(t *dTable, p Predicate) {
 			}
 			if len(seen) < cap(seen) {
 				seen = append(seen, idx)
-				d.drainNode(&t.nodes[idx])
+				agg.add(d.drainNode(&t.nodes[idx]))
 				return true
 			}
 			// Spill: promote to bitmap.
@@ -239,7 +293,7 @@ func (d *D) drainCovered(t *dTable, p Predicate) {
 			return true
 		}
 		bitmap[idx/64] |= 1 << (idx % 64)
-		d.drainNode(&t.nodes[idx])
+		agg.add(d.drainNode(&t.nodes[idx]))
 		return true
 	})
 }
@@ -248,21 +302,28 @@ func (d *D) drainCovered(t *dTable, p Predicate) {
 // counter (Lemma 1), first optimistically and then via the gate protocol
 // (Algorithm 2 lines 14–20), piggybacking on a concurrent drain when the
 // node lock is contended.
-func (d *D) drainNode(n *dNode) {
+func (d *D) drainNode(n *dNode) drainInfo {
 	// Optimistic waiting (§4.2): hope readers drain naturally, avoiding the
 	// lock and the gate toggle. Lemma 1 needs each counter observed at zero
 	// at some point during the wait — not simultaneously — so the two
 	// observations are tracked independently.
+	info := drainInfo{outcome: obs.DrainOptimistic}
 	if d.optBudget > 0 {
-		seen0, seen1 := false, false
+		seen0 := n.readers[0].Load() == 0
+		seen1 := n.readers[1].Load() == 0
+		if seen0 && seen1 {
+			return info // clean: no readers present on first look
+		}
+		info.waited = true
 		if spin.UntilBudget(func() bool {
 			seen0 = seen0 || n.readers[0].Load() == 0
 			seen1 = seen1 || n.readers[1].Load() == 0
 			return seen0 && seen1
 		}, d.optBudget) {
-			return
+			return info
 		}
 	}
+	info.waited = true
 
 	// Batching (§4.2, implemented here although the paper defers it): if
 	// another drain holds the lock, piggyback instead of queueing — wait
@@ -274,7 +335,9 @@ func (d *D) drainNode(n *dNode) {
 	var w spin.Waiter
 	for !n.mu.TryLock() {
 		if n.drains.Load() >= s0+2 {
-			return
+			info.outcome = obs.DrainPiggyback
+			info.parked = w.Yielded()
+			return info
 		}
 		w.Wait()
 	}
@@ -282,12 +345,20 @@ func (d *D) drainNode(n *dNode) {
 	// Full protocol: drain the inactive phase, toggle the gate so new
 	// arrivals use the drained phase, then drain the previously active
 	// phase. Termination needs only that readers keep taking steps.
+	info.outcome = obs.DrainGate
 	g := n.gate.Load() & 1
-	spin.Until(func() bool { return n.readers[1-g].Load() == 0 })
+	w.Reset()
+	for n.readers[1-g].Load() != 0 {
+		w.Wait()
+	}
 	n.gate.Store(1 - g)
-	spin.Until(func() bool { return n.readers[g].Load() == 0 })
+	for n.readers[g].Load() != 0 {
+		w.Wait()
+	}
+	info.parked = w.Yielded()
 	n.drains.Add(1)
 	n.mu.Unlock()
+	return info
 }
 
 // Resize installs a counter table of newSize (a power of two) — the table

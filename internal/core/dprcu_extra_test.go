@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -104,9 +105,15 @@ func TestConcurrentDrainsSameNode(t *testing.T) {
 				return
 			}
 			defer rd.Unregister()
-			for !stop.Load() {
+			// Yield periodically: a reader that never blocks would own a
+			// whole scheduler time slice on GOMAXPROCS=1 hosts, starving
+			// the waiters this test is about.
+			for i := 0; !stop.Load(); i++ {
 				rd.Enter(5)
 				rd.Exit(5)
+				if i%32 == 0 {
+					runtime.Gosched()
+				}
 			}
 		}()
 	}
@@ -115,7 +122,8 @@ func TestConcurrentDrainsSameNode(t *testing.T) {
 		waiters.Add(1)
 		go func() {
 			defer waiters.Done()
-			for i := 0; i < 100; i++ {
+			iters := scale(40, 12)
+			for i := 0; i < iters; i++ {
 				d.WaitForReaders(Singleton(5))
 			}
 		}()
@@ -155,6 +163,9 @@ func TestResizeConcurrentWithWaits(t *testing.T) {
 				v := Value(g*100 + i%7)
 				rd.Enter(v)
 				rd.Exit(v)
+				if i%32 == 0 {
+					runtime.Gosched()
+				}
 			}
 		}(g)
 	}

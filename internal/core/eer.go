@@ -1,6 +1,7 @@
 package core
 
 import (
+	"prcu/internal/obs"
 	"prcu/internal/pad"
 	"prcu/internal/spin"
 	"prcu/internal/tsc"
@@ -26,6 +27,7 @@ type timeNode struct {
 // and the clock satisfies the two properties the proof needs, monotonicity
 // and cross-thread consistency (see internal/tsc).
 type EER struct {
+	metered
 	reg   *registry
 	clock Clock
 	nodes []timeNode
@@ -58,6 +60,7 @@ func (e *EER) MaxReaders() int { return e.reg.maxReaders() }
 type eerReader struct {
 	e    *EER
 	node *timeNode
+	lane *obs.ReaderLane
 	slot int
 }
 
@@ -69,7 +72,7 @@ func (e *EER) Register() (Reader, error) {
 	}
 	n := &e.nodes[slot]
 	n.time.Store(tsc.Infinity)
-	return &eerReader{e: e, node: n, slot: slot}, nil
+	return &eerReader{e: e, node: n, lane: e.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader. The value store precedes the time store, as in
@@ -80,10 +83,16 @@ func (r *eerReader) Enter(v Value) {
 	r.node.time.Store(r.e.clock.Now())
 	// Algorithm 1 line 6's TSO fence — ordering the time store before the
 	// critical section's reads — is implied by the SC atomic store above.
+	if r.lane != nil {
+		r.lane.OnEnter(v)
+	}
 }
 
 // Exit implements Reader.
-func (r *eerReader) Exit(Value) {
+func (r *eerReader) Exit(v Value) {
+	if r.lane != nil {
+		r.lane.OnExit(v)
+	}
 	r.node.time.Store(tsc.Infinity)
 }
 
@@ -105,18 +114,26 @@ func (r *eerReader) Unregister() {
 // immediately. This removes the paper's "for each thread Tj != Ti"
 // bookkeeping without changing behavior.
 func (e *EER) WaitForReaders(p Predicate) {
+	m := e.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
 	// Algorithm 1 line 10's fence (make the updater's prior writes visible
 	// before reading the clock) is implied by SC ordering of the atomic
 	// node loads below against the caller's preceding atomic stores.
 	t0 := e.clock.Now()
 	limit := e.reg.scanLimit()
 	var w spin.Waiter
+	var scanned, waited, parked uint64
 	for j := 0; j < limit; j++ {
 		if !e.reg.isActive(j) {
 			continue
 		}
+		scanned++
 		n := &e.nodes[j]
 		w.Reset()
+		looped := false
 		for {
 			// Re-evaluating the predicate each iteration (rather than once,
 			// as the pseudo code shows) only relaxes waiting: if the reader
@@ -133,7 +150,17 @@ func (e *EER) WaitForReaders(p Predicate) {
 				// writer, no nesting).
 				break
 			}
+			looped = true
 			w.Wait()
 		}
+		if looped {
+			waited++
+			if w.Yielded() {
+				parked++
+			}
+		}
+	}
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
 	}
 }

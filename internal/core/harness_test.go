@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -65,6 +66,11 @@ func (h *safetyHarness) runReader(t *testing.T, id int, pick func(i int) Value) 
 			}
 			rec.seq.Add(1) // closed
 			rd.Exit(v)
+			// Yield periodically so compute-bound readers cannot starve
+			// the waiters on GOMAXPROCS=1 hosts.
+			if i%32 == 0 {
+				runtime.Gosched()
+			}
 		}
 	}()
 }
@@ -128,6 +134,25 @@ func (h *safetyHarness) finish(t *testing.T, d time.Duration) {
 	}
 }
 
+// scale sizes a stress-test iteration count: full normally, trimmed
+// under -short. Full mode is itself sized to terminate reliably on
+// single-CPU hosts, where hot reader loops contend with waiters for the
+// one processor.
+func scale(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// scaleDur is scale for durations.
+func scaleDur(full, short time.Duration) time.Duration {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
 // engines lists every engine under test with a fresh-construction function.
 func engines(maxReaders int) map[string]func() RCU {
 	return map[string]func() RCU{
@@ -151,9 +176,9 @@ func TestSafetyWildcardPredicate(t *testing.T) {
 				h.runReader(t, id, func(i int) Value { return Value(id*1000 + i%50) })
 			}
 			for i := 0; i < 3; i++ {
-				h.runWaiter(t, All(), 400)
+				h.runWaiter(t, All(), scale(250, 80))
 			}
-			h.finish(t, 300*time.Millisecond)
+			h.finish(t, scaleDur(200*time.Millisecond, 60*time.Millisecond))
 		})
 	}
 }
@@ -174,9 +199,9 @@ func TestSafetySingletonPredicate(t *testing.T) {
 				})
 			}
 			for i := 0; i < 3; i++ {
-				h.runWaiter(t, Singleton(7), 400)
+				h.runWaiter(t, Singleton(7), scale(250, 80))
 			}
-			h.finish(t, 300*time.Millisecond)
+			h.finish(t, scaleDur(200*time.Millisecond, 60*time.Millisecond))
 		})
 	}
 }
@@ -190,9 +215,9 @@ func TestSafetyIntervalPredicate(t *testing.T) {
 				h.runReader(t, id, func(i int) Value { return Value((id*31 + i) % 40) })
 			}
 			for i := 0; i < 3; i++ {
-				h.runWaiter(t, Interval(10, 20), 300)
+				h.runWaiter(t, Interval(10, 20), scale(200, 60))
 			}
-			h.finish(t, 300*time.Millisecond)
+			h.finish(t, scaleDur(200*time.Millisecond, 60*time.Millisecond))
 		})
 	}
 }
@@ -207,9 +232,9 @@ func TestSafetyFuncPredicate(t *testing.T) {
 			}
 			odd := Func(func(v Value) bool { return v%2 == 1 })
 			for i := 0; i < 2; i++ {
-				h.runWaiter(t, odd, 200)
+				h.runWaiter(t, odd, scale(150, 50))
 			}
-			h.finish(t, 300*time.Millisecond)
+			h.finish(t, scaleDur(200*time.Millisecond, 60*time.Millisecond))
 		})
 	}
 }
@@ -355,15 +380,19 @@ func TestWaitLivenessUnderChurn(t *testing.T) {
 						return
 					}
 					defer rd.Unregister()
-					for !stop.Load() {
+					for i := 0; !stop.Load(); i++ {
 						rd.Enter(42)
 						rd.Exit(42)
+						if i%32 == 0 {
+							runtime.Gosched()
+						}
 					}
 				}()
 			}
 			done := make(chan struct{})
 			go func() {
-				for i := 0; i < 200; i++ {
+				iters := scale(120, 40)
+				for i := 0; i < iters; i++ {
 					r.WaitForReaders(Singleton(42))
 				}
 				close(done)
@@ -400,6 +429,9 @@ func TestConcurrentWaiters(t *testing.T) {
 						v := Value((id + j) % 8)
 						rd.Enter(v)
 						rd.Exit(v)
+						if j%32 == 0 {
+							runtime.Gosched()
+						}
 					}
 				}(i)
 			}
@@ -408,7 +440,8 @@ func TestConcurrentWaiters(t *testing.T) {
 				waiters.Add(1)
 				go func(id int) {
 					defer waiters.Done()
-					for j := 0; j < 100; j++ {
+					iters := scale(40, 12)
+					for j := 0; j < iters; j++ {
 						r.WaitForReaders(Singleton(Value(id % 8)))
 					}
 				}(i)

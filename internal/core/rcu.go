@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prcu/internal/obs"
 	"prcu/internal/pad"
 )
 
@@ -32,6 +33,44 @@ type RCU interface {
 	// Name identifies the engine ("EER-PRCU", "URCU", ...), matching the
 	// labels used in the paper's figures.
 	Name() string
+
+	// Stats returns an aggregated snapshot of the engine's internal
+	// observability metrics. With no Metrics attached (the default) it
+	// returns a zero Snapshot whose Enabled field is false.
+	Stats() obs.Snapshot
+}
+
+// MetricsCarrier is implemented by every engine in this package:
+// attaching a *obs.Metrics turns on engine-internal grace-period and
+// reader metrics. Attach before traffic starts — the pointer is read
+// without synchronization on the hot paths.
+type MetricsCarrier interface {
+	SetMetrics(*obs.Metrics)
+	Metrics() *obs.Metrics
+}
+
+// metered is the observability hook point embedded by every engine. The
+// met pointer is nil while observability is disabled, which every hook
+// guards with a single predictable branch.
+type metered struct {
+	met *obs.Metrics
+}
+
+// SetMetrics implements MetricsCarrier.
+func (m *metered) SetMetrics(mm *obs.Metrics) { m.met = mm }
+
+// Metrics implements MetricsCarrier.
+func (m *metered) Metrics() *obs.Metrics { return m.met }
+
+// Stats implements RCU (obs.Metrics.Snapshot is nil-safe).
+func (m *metered) Stats() obs.Snapshot { return m.met.Snapshot() }
+
+// lane returns the reader lane for slot, or nil when disabled.
+func (m *metered) lane(slot int) *obs.ReaderLane {
+	if m.met == nil {
+		return nil
+	}
+	return m.met.Lane(slot)
 }
 
 // Reader is one registered reader's handle. Enter and Exit delimit a

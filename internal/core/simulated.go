@@ -1,6 +1,7 @@
 package core
 
 import (
+	"prcu/internal/obs"
 	"prcu/internal/spin"
 	"prcu/internal/tsc"
 )
@@ -45,6 +46,10 @@ func (s *Simulated) MaxReaders() int { return s.inner.MaxReaders() }
 // Enter/Exit cost.
 func (s *Simulated) Register() (Reader, error) { return s.inner.Register() }
 
+// Stats implements RCU, delegating to the wrapped engine — reader-side
+// metrics are real even though waits are simulated.
+func (s *Simulated) Stats() obs.Snapshot { return s.inner.Stats() }
+
 // WaitForReaders implements RCU by spinning for the configured duration.
 // Only the local clock is read; no shared memory is accessed.
 func (s *Simulated) WaitForReaders(Predicate) {
@@ -63,6 +68,7 @@ func (s *Simulated) WaitForReaders(Predicate) {
 // to measure the ceiling a data structure could reach with zero
 // synchronization overhead (used by the read-overhead ablation).
 type Nop struct {
+	metered
 	reg *registry
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "prcu/internal/spin"
+import (
+	"prcu/internal/obs"
+	"prcu/internal/spin"
+)
 
 // SRCU implements McKenney's Sleepable RCU (§7 related work), the origin
 // of D-PRCU's two-counter waiting protocol. SRCU restricts waiting *by
@@ -14,6 +17,7 @@ import "prcu/internal/spin"
 // It is included for completeness of the related-work comparison; in the
 // harness it behaves like a plain RCU whose readers pay one atomic RMW.
 type SRCU struct {
+	metered
 	reg  *registry
 	node dNode
 }
@@ -32,6 +36,7 @@ func (s *SRCU) MaxReaders() int { return s.reg.maxReaders() }
 
 type srcuReader struct {
 	s    *SRCU
+	lane *obs.ReaderLane
 	slot int
 	b    uint64
 	inCS bool
@@ -43,12 +48,12 @@ func (s *SRCU) Register() (Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &srcuReader{s: s, slot: slot}, nil
+	return &srcuReader{s: s, lane: s.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader (srcu_read_lock). The value is ignored: the
 // subsystem is the granularity, not the value.
-func (r *srcuReader) Enter(Value) {
+func (r *srcuReader) Enter(v Value) {
 	if r.inCS {
 		panic("prcu: nested read-side critical sections are not supported")
 	}
@@ -56,12 +61,18 @@ func (r *srcuReader) Enter(Value) {
 	b := n.gate.Load() & 1
 	n.readers[b].Add(1)
 	r.b, r.inCS = b, true
+	if r.lane != nil {
+		r.lane.OnEnter(v)
+	}
 }
 
 // Exit implements Reader (srcu_read_unlock).
-func (r *srcuReader) Exit(Value) {
+func (r *srcuReader) Exit(v Value) {
 	if !r.inCS {
 		panic("prcu: Exit without matching Enter")
+	}
+	if r.lane != nil {
+		r.lane.OnExit(v)
 	}
 	r.s.node.readers[r.b].Add(-1)
 	r.inCS = false
@@ -78,31 +89,70 @@ func (r *srcuReader) Unregister() {
 
 // WaitForReaders implements RCU (synchronize_srcu). The predicate is
 // ignored; the whole subsystem is drained through the gate protocol,
-// with the same lock-holder piggybacking D-PRCU uses.
+// with the same lock-holder piggybacking D-PRCU uses. SRCU has one
+// counter node, so each wait scans one node and records one drain
+// outcome.
 func (s *SRCU) WaitForReaders(Predicate) {
+	m := s.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
 	n := &s.node
+	if n.readers[0].Load() == 0 && n.readers[1].Load() == 0 {
+		if m != nil {
+			m.DrainCounts(1, 0, 0)
+			m.WaitEnd(start, 1, 0, 0)
+		}
+		return
+	}
 	seen0, seen1 := false, false
 	if spin.UntilBudget(func() bool {
 		seen0 = seen0 || n.readers[0].Load() == 0
 		seen1 = seen1 || n.readers[1].Load() == 0
 		return seen0 && seen1
 	}, optimisticBudget) {
+		if m != nil {
+			m.DrainCounts(1, 0, 0)
+			m.WaitEnd(start, 1, 1, 0)
+		}
 		return
 	}
 	s0 := n.drains.Load()
 	var w spin.Waiter
 	for !n.mu.TryLock() {
 		if n.drains.Load() >= s0+2 {
+			if m != nil {
+				var parked uint64
+				if w.Yielded() {
+					parked = 1
+				}
+				m.DrainCounts(0, 0, 1)
+				m.WaitEnd(start, 1, 1, parked)
+			}
 			return
 		}
 		w.Wait()
 	}
 	g := n.gate.Load() & 1
-	spin.Until(func() bool { return n.readers[1-g].Load() == 0 })
+	w.Reset()
+	for n.readers[1-g].Load() != 0 {
+		w.Wait()
+	}
 	n.gate.Store(1 - g)
-	spin.Until(func() bool { return n.readers[g].Load() == 0 })
+	for n.readers[g].Load() != 0 {
+		w.Wait()
+	}
 	n.drains.Add(1)
 	n.mu.Unlock()
+	if m != nil {
+		var parked uint64
+		if w.Yielded() {
+			parked = 1
+		}
+		m.DrainCounts(0, 1, 0)
+		m.WaitEnd(start, 1, 1, parked)
+	}
 }
 
 // Compile-time interface checks for every engine in the package.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"prcu/internal/obs"
 	"prcu/internal/spin"
 	"prcu/internal/tsc"
 )
@@ -11,6 +12,7 @@ import (
 // predicates versus from timestamp-based quiescence detection, and it is
 // the strongest plain-RCU baseline on workloads with updates.
 type TimeRCU struct {
+	metered
 	reg   *registry
 	clock Clock
 	nodes []timeNode // value field unused; layout shared with EER
@@ -42,6 +44,7 @@ func (t *TimeRCU) MaxReaders() int { return t.reg.maxReaders() }
 type timeReader struct {
 	t    *TimeRCU
 	node *timeNode
+	lane *obs.ReaderLane
 	slot int
 }
 
@@ -53,16 +56,22 @@ func (t *TimeRCU) Register() (Reader, error) {
 	}
 	n := &t.nodes[slot]
 	n.time.Store(tsc.Infinity)
-	return &timeReader{t: t, node: n, slot: slot}, nil
+	return &timeReader{t: t, node: n, lane: t.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader. The value is ignored: Time RCU is a plain RCU.
-func (r *timeReader) Enter(Value) {
+func (r *timeReader) Enter(v Value) {
 	r.node.time.Store(r.t.clock.Now())
+	if r.lane != nil {
+		r.lane.OnEnter(v)
+	}
 }
 
 // Exit implements Reader.
-func (r *timeReader) Exit(Value) {
+func (r *timeReader) Exit(v Value) {
+	if r.lane != nil {
+		r.lane.OnExit(v)
+	}
 	r.node.time.Store(tsc.Infinity)
 }
 
@@ -78,17 +87,35 @@ func (r *timeReader) Unregister() {
 // WaitForReaders implements RCU. The predicate is ignored: every
 // pre-existing reader is waited for, as with standard RCU.
 func (t *TimeRCU) WaitForReaders(Predicate) {
+	m := t.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
 	t0 := t.clock.Now()
 	limit := t.reg.scanLimit()
 	var w spin.Waiter
+	var scanned, waited, parked uint64
 	for j := 0; j < limit; j++ {
 		if !t.reg.isActive(j) {
 			continue
 		}
+		scanned++
 		n := &t.nodes[j]
 		w.Reset()
+		looped := false
 		for n.time.Load() <= t0 {
+			looped = true
 			w.Wait()
 		}
+		if looped {
+			waited++
+			if w.Yielded() {
+				parked++
+			}
+		}
+	}
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"prcu/internal/obs"
 	"prcu/internal/pad"
 	"prcu/internal/spin"
 )
@@ -30,6 +31,7 @@ const treeFanout = 8
 // the reader's own padded generation counter (plus the leaf bit on exit
 // when a grace period is in flight), so the read-side is contention free.
 type TreeRCU struct {
+	metered
 	reg *registry
 	mu  sync.Mutex
 	// state[j] is reader j's generation: even = quiescent, odd = inside a
@@ -80,6 +82,7 @@ func (t *TreeRCU) Levels() int { return len(t.levels) }
 type treeReader struct {
 	t     *TreeRCU
 	state *pad.Uint64
+	lane  *obs.ReaderLane
 	slot  int
 }
 
@@ -94,18 +97,24 @@ func (t *TreeRCU) Register() (Reader, error) {
 		// A previous owner must have left the slot quiescent.
 		panic("prcu: reader slot reused while marked in-CS")
 	}
-	return &treeReader{t: t, state: s, slot: slot}, nil
+	return &treeReader{t: t, state: s, lane: t.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader: flip the generation to odd. No shared-global
 // work — this is the (near) zero-overhead read side of Tree RCU.
-func (r *treeReader) Enter(Value) {
+func (r *treeReader) Enter(v Value) {
 	r.state.Add(1)
+	if r.lane != nil {
+		r.lane.OnEnter(v)
+	}
 }
 
 // Exit implements Reader: flip the generation to even and report
 // quiescence by clearing our leaf bit if a waiter seeded it.
-func (r *treeReader) Exit(Value) {
+func (r *treeReader) Exit(v Value) {
+	if r.lane != nil {
+		r.lane.OnExit(v)
+	}
 	r.state.Add(1)
 	r.t.clearBit(0, r.slot/treeFanout, uint64(1)<<(r.slot%treeFanout))
 }
@@ -151,9 +160,15 @@ func (t *TreeRCU) clearBit(level, idx int, bit uint64) {
 // The previous grace period left the whole tree at zero, so the seeding
 // stores cannot clobber concurrent clears.
 func (t *TreeRCU) WaitForReaders(Predicate) {
+	m := t.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
+	var scanned uint64
 	t.waited = t.waited[:0]
 	for l := range t.masks {
 		clear(t.masks[l])
@@ -163,12 +178,16 @@ func (t *TreeRCU) WaitForReaders(Predicate) {
 		if !t.reg.isActive(j) {
 			continue
 		}
+		scanned++
 		if gen := t.state[j].Load(); gen&1 == 1 {
 			t.waited = append(t.waited, treeWaited{slot: j, gen: gen})
 			t.masks[0][j/treeFanout] |= 1 << (j % treeFanout)
 		}
 	}
 	if len(t.waited) == 0 {
+		if m != nil {
+			m.WaitEnd(start, scanned, 0, 0)
+		}
 		return
 	}
 	for l := 0; l+1 < len(t.masks); l++ {
@@ -198,5 +217,15 @@ func (t *TreeRCU) WaitForReaders(Predicate) {
 	var w spin.Waiter
 	for root.Load() != 0 {
 		w.Wait()
+	}
+	if m != nil {
+		// The tree aggregates per-reader progress, so waited readers are
+		// those seeded into the bitmap; the single root poll either stayed
+		// in its spin phase or crossed into yields once for the whole set.
+		var parked uint64
+		if w.Yielded() {
+			parked = 1
+		}
+		m.WaitEnd(start, scanned, uint64(len(t.waited)), parked)
 	}
 }

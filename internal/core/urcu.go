@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"prcu/internal/obs"
 	"prcu/internal/pad"
 	"prcu/internal/spin"
 )
@@ -25,6 +26,7 @@ const (
 // it is reproduced faithfully (Go's sync.Mutex hands off roughly FIFO under
 // contention, standing in for URCU's waiter queue).
 type URCU struct {
+	metered
 	reg *registry
 	gp  pad.Uint64
 	mu  sync.Mutex
@@ -51,6 +53,7 @@ func (u *URCU) MaxReaders() int { return u.reg.maxReaders() }
 type urcuReader struct {
 	u    *URCU
 	ctr  *pad.Uint64
+	lane *obs.ReaderLane
 	slot int
 }
 
@@ -62,18 +65,24 @@ func (u *URCU) Register() (Reader, error) {
 	}
 	c := &u.ctr[slot]
 	c.Store(0)
-	return &urcuReader{u: u, ctr: c, slot: slot}, nil
+	return &urcuReader{u: u, ctr: c, lane: u.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader: snapshot the global grace-period counter. The
 // value is ignored — URCU is a plain RCU. The SC atomic store provides the
 // memory fence URCU issues in rcu_read_lock.
-func (r *urcuReader) Enter(Value) {
+func (r *urcuReader) Enter(v Value) {
 	r.ctr.Store(r.u.gp.Load())
+	if r.lane != nil {
+		r.lane.OnEnter(v)
+	}
 }
 
 // Exit implements Reader: go offline.
-func (r *urcuReader) Exit(Value) {
+func (r *urcuReader) Exit(v Value) {
+	if r.lane != nil {
+		r.lane.OnExit(v)
+	}
 	r.ctr.Store(0)
 }
 
@@ -92,10 +101,17 @@ func ongoing(c, gp uint64) bool {
 	return c&urcuCount != 0 && (c^gp)&urcuPhase != 0
 }
 
-// WaitForReaders implements RCU. The predicate is ignored.
+// WaitForReaders implements RCU. The predicate is ignored. Readers are
+// scanned once per phase flip, so the scanned count reflects slots
+// examined across both phases.
 func (u *URCU) WaitForReaders(Predicate) {
+	m := u.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	var scanned, waited, parked uint64
 	u.mu.Lock()
-	defer u.mu.Unlock()
 	for phase := 0; phase < 2; phase++ {
 		newGP := u.gp.Load() ^ urcuPhase
 		u.gp.Store(newGP)
@@ -105,11 +121,24 @@ func (u *URCU) WaitForReaders(Predicate) {
 			if !u.reg.isActive(j) {
 				continue
 			}
+			scanned++
 			c := &u.ctr[j]
 			w.Reset()
+			looped := false
 			for ongoing(c.Load(), newGP) {
+				looped = true
 				w.Wait()
 			}
+			if looped {
+				waited++
+				if w.Yielded() {
+					parked++
+				}
+			}
 		}
+	}
+	u.mu.Unlock()
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
 	}
 }

@@ -1,0 +1,276 @@
+// Package obs is the engine-level observability layer: low-overhead
+// metrics and event tracing for the RCU engines in internal/core.
+//
+// The paper's entire evaluation turns on quantities only visible inside
+// the grace-period machinery — how long a wait-for-readers really takes,
+// how many readers it scans versus how many it actually waits for (the
+// predicate's selectivity), and how long read-side critical sections
+// last. A Metrics value collects exactly those, with the layout rules the
+// engines themselves follow:
+//
+//   - Counters touched by the wait side are cache-line padded atomics
+//     (internal/pad), so concurrent waiters do not false-share.
+//   - Reader-side counts live in per-reader lanes, one padded cell per
+//     reader slot, written only by the owning reader and aggregated only
+//     at Snapshot time — recording on the read fast path must never
+//     create reader/reader or reader/waiter coherence traffic, which is
+//     the very effect (DEER-PRCU's raison d'être) the module measures.
+//   - Latency distributions go into fixed-bucket log₂ histograms
+//     (internal/stats); reader-section durations are sampled (1 in 64 by
+//     default) so the shared histogram line is touched rarely.
+//
+// Engines hold a *Metrics pointer that is nil when observability is
+// disabled; every hook sits behind a single predictable nil-check branch,
+// so the disabled fast path costs one never-taken branch and nothing
+// else.
+package obs
+
+import (
+	"expvar"
+	"sync"
+
+	"prcu/internal/pad"
+	"prcu/internal/stats"
+	"prcu/internal/tsc"
+)
+
+// DefaultSectionSampleShift makes one in 2^6 = 64 critical sections pay
+// for a timestamped duration measurement.
+const DefaultSectionSampleShift = 6
+
+// Metrics is one engine's observability state. Construct with New; the
+// nil *Metrics is valid everywhere (all methods no-op or return zeros),
+// which is what lets engines guard hooks with a single nil check.
+type Metrics struct {
+	clock *tsc.Monotonic
+
+	// Wait side. waits counts WaitForReaders calls; waitNs is the
+	// engine-internal grace-period latency distribution.
+	waits  pad.Uint64
+	waitNs stats.Histogram
+
+	// Predicate selectivity: slots (or counter nodes) examined by wait
+	// scans versus those actually waited on because a covered critical
+	// section was open.
+	readersScanned pad.Uint64
+	readersWaited  pad.Uint64
+
+	// parks counts per-reader wait loops that exhausted the spin budget
+	// and crossed into scheduler-yielding back-off (spin.Waiter's two
+	// phases); waits resolved purely by spinning are readersWaited-parks.
+	parks pad.Uint64
+
+	// D-PRCU/SRCU counter-node drain outcomes (§4.2): resolved by
+	// optimistic waiting, by the full gate-toggle protocol, or by
+	// piggybacking on a concurrent lock holder's drains.
+	drainsOptimistic pad.Uint64
+	drainsGate       pad.Uint64
+	drainsPiggyback  pad.Uint64
+
+	// Reader side: per-slot lanes plus the shared sampled-duration
+	// histogram. Lanes are pointers so the slice can grow without moving
+	// cells out from under registered readers.
+	laneMu      sync.Mutex
+	lanes       []*ReaderLane
+	sectionNs   stats.Histogram
+	sampleShift uint
+
+	trace traceHolder
+}
+
+// New returns an enabled Metrics with the default section sampling rate
+// and no trace buffer.
+func New() *Metrics {
+	return &Metrics{clock: tsc.NewMonotonic(), sampleShift: DefaultSectionSampleShift}
+}
+
+// SetSectionSampleShift makes one in 2^shift critical sections measure a
+// duration (0 = every section). Call before readers register.
+func (m *Metrics) SetSectionSampleShift(shift uint) { m.sampleShift = shift }
+
+// now returns nanoseconds on the metrics clock.
+func (m *Metrics) now() int64 { return m.clock.Now() }
+
+// EnsureReaders grows the lane table to cover slots [0, n). It is
+// idempotent and safe to call for engines sharing one Metrics; existing
+// lanes never move.
+func (m *Metrics) EnsureReaders(n int) {
+	if m == nil {
+		return
+	}
+	m.laneMu.Lock()
+	defer m.laneMu.Unlock()
+	for len(m.lanes) < n {
+		m.lanes = append(m.lanes, &ReaderLane{m: m, slot: int32(len(m.lanes))})
+	}
+}
+
+// Lane returns the per-reader lane for slot, growing the table if the
+// engine registered more readers than EnsureReaders anticipated.
+func (m *Metrics) Lane(slot int) *ReaderLane {
+	if m == nil {
+		return nil
+	}
+	m.EnsureReaders(slot + 1)
+	m.laneMu.Lock()
+	defer m.laneMu.Unlock()
+	return m.lanes[slot]
+}
+
+// WaitBegin marks the start of a WaitForReaders and returns its start
+// timestamp, to be handed back to WaitEnd.
+func (m *Metrics) WaitBegin() int64 {
+	t := m.now()
+	if tr := m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: t, Kind: EvWaitBegin})
+	}
+	return t
+}
+
+// WaitEnd completes the wait started at startNs: scanned slots (or
+// counter nodes) were examined, waited of them had an open covered
+// critical section, and parked of those waits fell out of the spin phase
+// into scheduler yields.
+func (m *Metrics) WaitEnd(startNs int64, scanned, waited, parked uint64) {
+	end := m.now()
+	m.waits.Add(1)
+	m.waitNs.Record(end - startNs)
+	if scanned != 0 {
+		m.readersScanned.Add(scanned)
+	}
+	if waited != 0 {
+		m.readersWaited.Add(waited)
+	}
+	if parked != 0 {
+		m.parks.Add(parked)
+	}
+	if tr := m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: end, Kind: EvWaitEnd, Value: waited})
+	}
+}
+
+// DrainOutcome classifies how one D-PRCU/SRCU counter-node drain
+// resolved.
+type DrainOutcome uint8
+
+const (
+	// DrainOptimistic: both counters were observed at zero within the
+	// optimistic spin budget — no lock, no gate toggle.
+	DrainOptimistic DrainOutcome = iota
+	// DrainGate: the node lock was taken and the two-phase gate-toggle
+	// protocol ran.
+	DrainGate
+	// DrainPiggyback: the lock was contended and the drain completed by
+	// observing two full drains by the lock holder.
+	DrainPiggyback
+)
+
+// DrainCounts records a batch of counter-node drain outcomes.
+func (m *Metrics) DrainCounts(optimistic, gate, piggyback uint64) {
+	if optimistic != 0 {
+		m.drainsOptimistic.Add(optimistic)
+	}
+	if gate != 0 {
+		m.drainsGate.Add(gate)
+	}
+	if piggyback != 0 {
+		m.drainsPiggyback.Add(piggyback)
+	}
+}
+
+// ReaderLane is one reader slot's private metrics cell. Its counter is a
+// padded atomic written only by the owning reader (Snapshot reads it),
+// and the sampling scratch fields are owner-only.
+type ReaderLane struct {
+	m      *Metrics
+	slot   int32
+	enters pad.Uint64
+	// startNs/sampling are accessed only by the owning reader goroutine.
+	startNs  int64
+	sampling bool
+}
+
+// OnEnter records a critical-section entry on v. Called by the engine's
+// Enter after its own bookkeeping.
+func (l *ReaderLane) OnEnter(v uint64) {
+	n := l.enters.Add(1)
+	if (n-1)&(1<<l.m.sampleShift-1) == 0 {
+		l.startNs = l.m.now()
+		l.sampling = true
+	}
+	if tr := l.m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: l.m.now(), Kind: EvEnter, Reader: l.slot, Value: v})
+	}
+}
+
+// OnExit records the critical-section exit on v, completing a sampled
+// duration measurement if OnEnter started one.
+func (l *ReaderLane) OnExit(v uint64) {
+	if l.sampling {
+		l.m.sectionNs.Record(l.m.now() - l.startNs)
+		l.sampling = false
+	}
+	if tr := l.m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: l.m.now(), Kind: EvExit, Reader: l.slot, Value: v})
+	}
+}
+
+// Reset clears every counter, histogram and the trace buffer (the buffer
+// stays enabled). Reader lanes are preserved.
+func (m *Metrics) Reset() {
+	if m == nil {
+		return
+	}
+	m.waits.Store(0)
+	m.waitNs.Reset()
+	m.readersScanned.Store(0)
+	m.readersWaited.Store(0)
+	m.parks.Store(0)
+	m.drainsOptimistic.Store(0)
+	m.drainsGate.Store(0)
+	m.drainsPiggyback.Store(0)
+	m.sectionNs.Reset()
+	m.laneMu.Lock()
+	for _, l := range m.lanes {
+		l.enters.Store(0)
+	}
+	m.laneMu.Unlock()
+	if tr := m.trace.load(); tr != nil {
+		tr.reset()
+	}
+}
+
+// expvar bookkeeping: expvar.Publish panics on duplicate names, so
+// Publish keeps its own registry and republishing a name just swaps the
+// backing Metrics.
+var (
+	expvarMu  sync.Mutex
+	published = map[string]*publishedMetrics{}
+)
+
+type publishedMetrics struct {
+	mu sync.Mutex
+	m  *Metrics
+}
+
+// Publish exports m's Snapshot under the given expvar name (e.g.
+// "prcu.EER-PRCU"), making it visible on /debug/vars wherever the
+// process serves expvar. Publishing an already-published name rebinds it.
+func Publish(name string, m *Metrics) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if p, ok := published[name]; ok {
+		p.mu.Lock()
+		p.m = m
+		p.mu.Unlock()
+		return
+	}
+	p := &publishedMetrics{m: m}
+	published[name] = p
+	expvar.Publish(name, expvar.Func(func() any {
+		p.mu.Lock()
+		mm := p.m
+		p.mu.Unlock()
+		return mm.Snapshot()
+	}))
+}

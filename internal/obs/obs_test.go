@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilMetricsIsSafe(t *testing.T) {
+	var m *Metrics
+	m.EnsureReaders(8)
+	if m.Lane(3) != nil {
+		t.Fatal("nil Metrics must hand out nil lanes")
+	}
+	m.Reset()
+	m.EnableTrace(128)
+	if m.TraceEnabled() {
+		t.Fatal("nil Metrics cannot enable tracing")
+	}
+	if evs := m.TraceSnapshot(); evs != nil {
+		t.Fatalf("nil Metrics returned %d trace events", len(evs))
+	}
+	s := m.Snapshot()
+	if s.Enabled {
+		t.Fatal("nil Metrics snapshot must report Enabled=false")
+	}
+}
+
+func TestLanesAreStable(t *testing.T) {
+	m := New()
+	m.EnsureReaders(4)
+	l2 := m.Lane(2)
+	// Growing must not move existing lanes.
+	m.EnsureReaders(64)
+	if m.Lane(2) != l2 {
+		t.Fatal("lane moved when the table grew")
+	}
+	// Lane grows the table on demand past EnsureReaders.
+	if m.Lane(100) == nil {
+		t.Fatal("Lane must grow the table on demand")
+	}
+}
+
+func TestWaitAccounting(t *testing.T) {
+	m := New()
+	start := m.WaitBegin()
+	m.WaitEnd(start, 10, 3, 1)
+	start = m.WaitBegin()
+	m.WaitEnd(start, 10, 1, 0)
+
+	s := m.Snapshot()
+	if !s.Enabled {
+		t.Fatal("snapshot of a live Metrics must be enabled")
+	}
+	if s.Waits != 2 || s.ReadersScanned != 20 || s.ReadersWaited != 4 || s.Parks != 1 {
+		t.Fatalf("got waits=%d scanned=%d waited=%d parks=%d",
+			s.Waits, s.ReadersScanned, s.ReadersWaited, s.Parks)
+	}
+	if s.SpinResolved != 3 {
+		t.Fatalf("spin-resolved = %d, want 3", s.SpinResolved)
+	}
+	if want := 4.0 / 20.0; s.Selectivity != want {
+		t.Fatalf("selectivity = %v, want %v", s.Selectivity, want)
+	}
+	if s.WaitNs.Count != 2 || s.WaitNs.SumNs < 0 {
+		t.Fatalf("wait histogram count = %d, want 2", s.WaitNs.Count)
+	}
+}
+
+func TestSectionSampling(t *testing.T) {
+	m := New()
+	m.SetSectionSampleShift(2) // sample 1 in 4
+	l := m.Lane(0)
+	const n = 64
+	for i := 0; i < n; i++ {
+		l.OnEnter(7)
+		l.OnExit(7)
+	}
+	s := m.Snapshot()
+	if s.Enters != n {
+		t.Fatalf("enters = %d, want %d", s.Enters, n)
+	}
+	if s.SectionNs.Count != n/4 {
+		t.Fatalf("sampled %d sections, want %d", s.SectionNs.Count, n/4)
+	}
+}
+
+func TestDrainCounts(t *testing.T) {
+	m := New()
+	m.DrainCounts(5, 2, 1)
+	m.DrainCounts(1, 0, 0)
+	s := m.Snapshot()
+	if s.DrainsOptimistic != 6 || s.DrainsGate != 2 || s.DrainsPiggyback != 1 {
+		t.Fatalf("drains = %d/%d/%d", s.DrainsOptimistic, s.DrainsGate, s.DrainsPiggyback)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	m := New()
+	m.EnableTrace(64)
+	if !m.TraceEnabled() {
+		t.Fatal("trace not enabled")
+	}
+	l := m.Lane(1)
+	for i := 0; i < 10; i++ {
+		l.OnEnter(uint64(i))
+		l.OnExit(uint64(i))
+	}
+	start := m.WaitBegin()
+	m.WaitEnd(start, 1, 1, 0)
+
+	evs := m.TraceSnapshot()
+	if len(evs) != 22 {
+		t.Fatalf("got %d events, want 22", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeNs < evs[i-1].TimeNs {
+			t.Fatal("events out of order")
+		}
+	}
+	if evs[0].Kind != EvEnter || evs[0].Reader != 1 || evs[0].Value != 0 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != EvWaitEnd || last.Value != 1 {
+		t.Fatalf("last event = %+v", last)
+	}
+	if s := m.Snapshot(); s.TraceLen != 22 {
+		t.Fatalf("snapshot TraceLen = %d, want 22", s.TraceLen)
+	}
+}
+
+func TestTraceWraps(t *testing.T) {
+	m := New()
+	m.EnableTrace(1) // rounds up to the 64 minimum
+	l := m.Lane(0)
+	for i := 0; i < 100; i++ {
+		l.OnEnter(uint64(i))
+	}
+	evs := m.TraceSnapshot()
+	if len(evs) != 64 {
+		t.Fatalf("ring kept %d events, want 64", len(evs))
+	}
+	// The ring keeps the newest events: values 36..99.
+	if evs[0].Value != 36 || evs[len(evs)-1].Value != 99 {
+		t.Fatalf("ring window [%d, %d], want [36, 99]", evs[0].Value, evs[len(evs)-1].Value)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	m.EnableTrace(64)
+	l := m.Lane(0)
+	l.OnEnter(1)
+	l.OnExit(1)
+	m.WaitEnd(m.WaitBegin(), 4, 2, 1)
+	m.DrainCounts(1, 1, 1)
+	m.Reset()
+	s := m.Snapshot()
+	if s.Waits != 0 || s.Enters != 0 || s.ReadersScanned != 0 || s.DrainsGate != 0 ||
+		s.WaitNs.Count != 0 || s.SectionNs.Count != 0 || s.TraceLen != 0 {
+		t.Fatalf("Reset left state behind: %+v", s)
+	}
+	if !m.TraceEnabled() {
+		t.Fatal("Reset must keep the trace enabled")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvEnter: "enter", EvExit: "exit",
+		EvWaitBegin: "wait-begin", EvWaitEnd: "wait-end",
+		EventKind(0): "?",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("EventKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSnapshotJSONAndDump(t *testing.T) {
+	m := New()
+	m.SetSectionSampleShift(0)
+	l := m.Lane(0)
+	l.OnEnter(1)
+	l.OnExit(1)
+	m.WaitEnd(m.WaitBegin(), 2, 1, 0)
+	m.DrainCounts(1, 0, 0)
+
+	s := m.Snapshot()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "\"Waits\":1") {
+		t.Fatalf("JSON missing wait count: %s", b)
+	}
+
+	var sb strings.Builder
+	s.Dump(&sb, "test-engine")
+	out := sb.String()
+	for _, want := range []string{"test-engine", "selectivity", "1 waits", "counter drains"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	Snapshot{}.Dump(&sb2, "off")
+	if !strings.Contains(sb2.String(), "disabled") {
+		t.Fatal("disabled snapshot dump must say so")
+	}
+}
+
+func TestPublishRebinds(t *testing.T) {
+	m1, m2 := New(), New()
+	Publish("obs-test", m1)
+	Publish("obs-test", m2) // must not panic (expvar.Publish would)
+}

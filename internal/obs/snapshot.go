@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"prcu/internal/stats"
+)
+
+// HistSummary is a point-in-time digest of one latency histogram.
+type HistSummary struct {
+	Count   int64
+	SumNs   int64
+	MeanNs  float64
+	P50Ns   float64
+	P90Ns   float64
+	P99Ns   float64
+	Buckets []stats.Bucket
+}
+
+func summarize(h *stats.Histogram) HistSummary {
+	return HistSummary{
+		Count:   h.Count(),
+		SumNs:   h.Sum(),
+		MeanNs:  h.Mean(),
+		P50Ns:   h.ApproxPercentile(50),
+		P90Ns:   h.ApproxPercentile(90),
+		P99Ns:   h.ApproxPercentile(99),
+		Buckets: h.Buckets(),
+	}
+}
+
+// Snapshot is an aggregated, JSON-marshalable copy of a Metrics — the
+// only way metrics leave the recording structures. Per-reader lanes are
+// summed here, never on the hot path.
+type Snapshot struct {
+	// Enabled is false for the nil Metrics (observability off).
+	Enabled bool
+
+	// Waits counts WaitForReaders calls; WaitNs is their engine-internal
+	// latency distribution.
+	Waits  uint64
+	WaitNs HistSummary
+
+	// ReadersScanned / ReadersWaited are the raw selectivity inputs:
+	// slots or counter nodes examined by wait scans, and those with an
+	// open covered critical section the wait actually blocked on.
+	ReadersScanned uint64
+	ReadersWaited  uint64
+	// Selectivity = ReadersWaited / ReadersScanned (0 when nothing was
+	// scanned). Low values are PRCU working as designed: most of what a
+	// wait looks at, it does not have to wait for.
+	Selectivity float64
+
+	// Parks counts waited-on readers whose wait loop exhausted its spin
+	// budget and fell back to scheduler yields; SpinResolved is the rest.
+	Parks        uint64
+	SpinResolved uint64
+
+	// Counter-node drain outcomes (D-PRCU, SRCU only).
+	DrainsOptimistic uint64
+	DrainsGate       uint64
+	DrainsPiggyback  uint64
+
+	// Enters is the total number of read-side critical sections across
+	// all reader lanes; SectionNs is the sampled duration distribution.
+	Enters    uint64
+	SectionNs HistSummary
+
+	// TraceLen is the number of events currently buffered (0 when
+	// tracing is disabled).
+	TraceLen int
+}
+
+// Snapshot aggregates the current metrics. Safe on a nil receiver and
+// safe concurrently with recording (counters are read atomically;
+// histograms may be mid-update by a sample or two).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Enabled:          true,
+		Waits:            m.waits.Load(),
+		WaitNs:           summarize(&m.waitNs),
+		ReadersScanned:   m.readersScanned.Load(),
+		ReadersWaited:    m.readersWaited.Load(),
+		Parks:            m.parks.Load(),
+		DrainsOptimistic: m.drainsOptimistic.Load(),
+		DrainsGate:       m.drainsGate.Load(),
+		DrainsPiggyback:  m.drainsPiggyback.Load(),
+		SectionNs:        summarize(&m.sectionNs),
+	}
+	if s.ReadersScanned > 0 {
+		s.Selectivity = float64(s.ReadersWaited) / float64(s.ReadersScanned)
+	}
+	if s.ReadersWaited > s.Parks {
+		s.SpinResolved = s.ReadersWaited - s.Parks
+	}
+	m.laneMu.Lock()
+	for _, l := range m.lanes {
+		s.Enters += l.enters.Load()
+	}
+	m.laneMu.Unlock()
+	if tr := m.trace.load(); tr != nil {
+		n := tr.head.Load()
+		if n > uint64(len(tr.slots)) {
+			n = uint64(len(tr.slots))
+		}
+		s.TraceLen = int(n)
+	}
+	return s
+}
+
+// Dump writes a human-readable report titled name to w: the counters,
+// the selectivity, and ASCII bucket bars for the two latency histograms.
+func (s Snapshot) Dump(w io.Writer, name string) {
+	fmt.Fprintf(w, "\n--- %s ---\n", name)
+	if !s.Enabled {
+		fmt.Fprintln(w, "observability disabled")
+		return
+	}
+	fmt.Fprintf(w, "grace periods:    %d waits", s.Waits)
+	if s.Waits > 0 {
+		fmt.Fprintf(w, "  mean %s  p50 %s  p99 %s",
+			fmtNs(s.WaitNs.MeanNs), fmtNs(s.WaitNs.P50Ns), fmtNs(s.WaitNs.P99Ns))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "selectivity:      %d waited-for / %d scanned = %.4f\n",
+		s.ReadersWaited, s.ReadersScanned, s.Selectivity)
+	fmt.Fprintf(w, "wait resolution:  %d spin-resolved, %d parked (yielded to scheduler)\n",
+		s.SpinResolved, s.Parks)
+	if s.DrainsOptimistic+s.DrainsGate+s.DrainsPiggyback > 0 {
+		fmt.Fprintf(w, "counter drains:   %d optimistic, %d gate-protocol, %d piggybacked\n",
+			s.DrainsOptimistic, s.DrainsGate, s.DrainsPiggyback)
+	}
+	fmt.Fprintf(w, "reader sections:  %d entered, %d sampled", s.Enters, s.SectionNs.Count)
+	if s.SectionNs.Count > 0 {
+		fmt.Fprintf(w, "  mean %s  p50 %s  p99 %s",
+			fmtNs(s.SectionNs.MeanNs), fmtNs(s.SectionNs.P50Ns), fmtNs(s.SectionNs.P99Ns))
+	}
+	fmt.Fprintln(w)
+	if len(s.WaitNs.Buckets) > 0 {
+		fmt.Fprintln(w, "wait latency histogram:")
+		dumpBuckets(w, s.WaitNs.Buckets)
+	}
+	if len(s.SectionNs.Buckets) > 0 {
+		fmt.Fprintln(w, "reader section duration histogram (sampled):")
+		dumpBuckets(w, s.SectionNs.Buckets)
+	}
+	if s.TraceLen > 0 {
+		fmt.Fprintf(w, "trace buffer:     %d events\n", s.TraceLen)
+	}
+}
+
+func dumpBuckets(w io.Writer, bs []stats.Bucket) {
+	var max int64
+	for _, b := range bs {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	for _, b := range bs {
+		bar := int(40 * b.Count / max)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "  %10s - %-10s %8d %s\n",
+			fmtNs(float64(b.LoNs)), fmtNs(float64(b.HiNs)), b.Count, strings.Repeat("#", bar))
+	}
+}
+
+// fmtNs renders nanoseconds at a human scale.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import "sync/atomic"
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// EvEnter is a read-side critical-section entry.
+	EvEnter EventKind = iota + 1
+	// EvExit is a read-side critical-section exit.
+	EvExit
+	// EvWaitBegin marks a WaitForReaders starting.
+	EvWaitBegin
+	// EvWaitEnd marks a WaitForReaders returning; Value carries the
+	// number of readers it waited on.
+	EvWaitEnd
+)
+
+// String returns the event kind's mnemonic.
+func (k EventKind) String() string {
+	switch k {
+	case EvEnter:
+		return "enter"
+	case EvExit:
+		return "exit"
+	case EvWaitBegin:
+		return "wait-begin"
+	case EvWaitEnd:
+		return "wait-end"
+	default:
+		return "?"
+	}
+}
+
+// Event is one trace record: what happened, when (metrics-clock
+// nanoseconds, the module's TSC stand-in), by which reader slot (-1 for
+// wait events) and on which value.
+type Event struct {
+	TimeNs int64
+	Kind   EventKind
+	Reader int32
+	Value  uint64
+}
+
+// traceSlot holds one ring entry. seq is odd while a writer is mid-store,
+// so TraceSnapshot can skip torn records instead of returning garbage.
+type traceSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// trace is a fixed-capacity lock-free ring buffer. Writers reserve a
+// position with one fetch-add, then take ownership of the slot by CAS on
+// its sequence; a writer that laps a slot another writer still holds
+// drops its event instead of corrupting the record. The ring keeps the
+// most recent capacity events (minus any dropped under lap contention).
+type trace struct {
+	slots []traceSlot
+	mask  uint64
+	head  atomic.Uint64
+}
+
+// traceHolder is the engine-visible atomic handle; nil means disabled, so
+// the hook cost with tracing off is one pointer load and branch.
+type traceHolder struct {
+	p atomic.Pointer[trace]
+}
+
+func (h *traceHolder) load() *trace { return h.p.Load() }
+
+// EnableTrace attaches an event ring of at least capacity entries
+// (rounded up to a power of two, minimum 64). Call it once, before the
+// traffic of interest; events wrap, keeping the most recent.
+func (m *Metrics) EnableTrace(capacity int) {
+	if m == nil {
+		return
+	}
+	size := 64
+	for size < capacity {
+		size <<= 1
+	}
+	m.trace.p.Store(&trace{slots: make([]traceSlot, size), mask: uint64(size - 1)})
+}
+
+// TraceEnabled reports whether an event ring is attached.
+func (m *Metrics) TraceEnabled() bool { return m != nil && m.trace.load() != nil }
+
+func (t *trace) add(ev Event) {
+	idx := t.head.Add(1) - 1
+	s := &t.slots[idx&t.mask]
+	seq := s.seq.Load()
+	if seq&1 == 1 || !s.seq.CompareAndSwap(seq, seq+1) {
+		// A writer that lapped the ring holds this slot; dropping the
+		// event is better than racing it (two blind writers could both
+		// leave seq even over a torn record).
+		return
+	}
+	s.ev = ev
+	s.seq.Store(seq + 2)
+}
+
+func (t *trace) reset() {
+	t.head.Store(0)
+	for i := range t.slots {
+		t.slots[i].seq.Store(0)
+		t.slots[i].ev = Event{}
+	}
+}
+
+// TraceSnapshot returns the buffered events oldest-first. It is intended
+// for post-mortem inspection at quiescence (tests, end-of-run dumps);
+// taken concurrently with traffic it skips records mid-write and may
+// reflect a slightly stale tail.
+func (m *Metrics) TraceSnapshot() []Event {
+	if m == nil {
+		return nil
+	}
+	t := m.trace.load()
+	if t == nil {
+		return nil
+	}
+	head := t.head.Load()
+	n := head
+	if n > uint64(len(t.slots)) {
+		n = uint64(len(t.slots))
+	}
+	out := make([]Event, 0, n)
+	for i := head - n; i < head; i++ {
+		s := &t.slots[i&t.mask]
+		seq := s.seq.Load()
+		ev := s.ev
+		if seq&1 == 1 || s.seq.Load() != seq {
+			continue // torn: a writer lapped us mid-read
+		}
+		out = append(out, ev)
+	}
+	return out
+}

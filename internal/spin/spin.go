@@ -45,6 +45,11 @@ func (w *Waiter) Wait() {
 	}
 }
 
+// Yielded reports whether this waiter has exhausted its spin budget and
+// crossed into the scheduler-yielding phase since its last Reset — the
+// spin→park transition the observability layer counts.
+func (w *Waiter) Yielded() bool { return w.burst > 0 }
+
 // Reset returns the waiter to its initial state. Use when the same Waiter
 // value is reused for a logically new wait (e.g. the next reader slot in a
 // wait-for-readers scan), so a slow previous wait does not penalize it.

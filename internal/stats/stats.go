@@ -124,6 +124,34 @@ func (h *Histogram) ApproxPercentile(p float64) float64 {
 	return math.Exp2(63)
 }
 
+// Bucket is one non-empty histogram bucket: samples in [LoNs, HiNs).
+type Bucket struct {
+	LoNs  int64
+	HiNs  int64
+	Count int64
+}
+
+// Buckets returns the non-empty buckets in ascending order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = 1 << i
+		}
+		hi := int64(1) << (i + 1)
+		if i == 63 {
+			hi = math.MaxInt64
+		}
+		out = append(out, Bucket{LoNs: lo, HiNs: hi, Count: c})
+	}
+	return out
+}
+
 // Reset clears all samples.
 func (h *Histogram) Reset() {
 	for i := range h.buckets {

@@ -41,12 +41,23 @@
 //
 // See the examples directory for complete programs and packages citrus and
 // hashtable for the paper's two showcase applications.
+//
+// # Observability
+//
+// Set Options.Metrics (see NewMetrics) to collect engine-internal
+// metrics: grace-period latency measured inside WaitForReaders,
+// predicate selectivity (readers scanned versus actually waited for),
+// sampled reader critical-section durations, spin-versus-park wait
+// resolution, and D-PRCU counter-drain outcomes. Read them back with
+// RCU.Stats, or export them with PublishMetrics. With Metrics unset
+// (the default) every hook reduces to one predictable nil-check branch.
 package prcu
 
 import (
 	"fmt"
 
 	"prcu/internal/core"
+	"prcu/internal/obs"
 	"prcu/internal/tsc"
 )
 
@@ -130,6 +141,13 @@ type Options struct {
 	NodesPerReader int
 	// Clock overrides the time source for the timestamp engines.
 	Clock Clock
+	// Metrics, when non-nil, attaches the observability layer to the
+	// constructed engine: grace-period latency, predicate selectivity,
+	// sampled reader-section durations and more, readable via RCU.Stats.
+	// One Metrics may be shared by several engines (their numbers merge).
+	// nil (the default) disables collection at the cost of one
+	// predictable branch per hook.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -142,26 +160,37 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// attach wires o.Metrics into a freshly constructed engine.
+func (o Options) attach(r RCU) RCU {
+	if o.Metrics != nil {
+		if c, ok := r.(core.MetricsCarrier); ok {
+			o.Metrics.EnsureReaders(o.MaxReaders)
+			c.SetMetrics(o.Metrics)
+		}
+	}
+	return r
+}
+
 // New constructs the engine named by flavor.
 func New(flavor Flavor, opt Options) (RCU, error) {
 	opt = opt.withDefaults()
 	switch flavor {
 	case FlavorEER:
-		return core.NewEER(opt.MaxReaders, opt.Clock), nil
+		return opt.attach(core.NewEER(opt.MaxReaders, opt.Clock)), nil
 	case FlavorD:
-		return core.NewD(opt.MaxReaders, opt.CounterTableSize), nil
+		return opt.attach(core.NewD(opt.MaxReaders, opt.CounterTableSize)), nil
 	case FlavorDEER:
-		return core.NewDEER(opt.MaxReaders, opt.NodesPerReader, opt.Clock), nil
+		return opt.attach(core.NewDEER(opt.MaxReaders, opt.NodesPerReader, opt.Clock)), nil
 	case FlavorTime:
-		return core.NewTimeRCU(opt.MaxReaders, opt.Clock), nil
+		return opt.attach(core.NewTimeRCU(opt.MaxReaders, opt.Clock)), nil
 	case FlavorURCU:
-		return core.NewURCU(opt.MaxReaders), nil
+		return opt.attach(core.NewURCU(opt.MaxReaders)), nil
 	case FlavorTree:
-		return core.NewTreeRCU(opt.MaxReaders), nil
+		return opt.attach(core.NewTreeRCU(opt.MaxReaders)), nil
 	case FlavorDist:
-		return core.NewDistRCU(opt.MaxReaders), nil
+		return opt.attach(core.NewDistRCU(opt.MaxReaders)), nil
 	case FlavorSRCU:
-		return core.NewSRCU(opt.MaxReaders), nil
+		return opt.attach(core.NewSRCU(opt.MaxReaders)), nil
 	default:
 		return nil, fmt.Errorf("prcu: unknown flavor %q", flavor)
 	}
@@ -182,7 +211,7 @@ func MustNew(flavor Flavor, opt Options) RCU {
 // but typically 10x shorter than a full RCU grace period.
 func NewEER(opt Options) RCU {
 	opt = opt.withDefaults()
-	return core.NewEER(opt.MaxReaders, opt.Clock)
+	return opt.attach(core.NewEER(opt.MaxReaders, opt.Clock))
 }
 
 // NewD returns a D-PRCU engine (§4.2): readers hash their value into a
@@ -191,7 +220,7 @@ func NewEER(opt Options) RCU {
 // at the price of an atomic counter update per Enter/Exit.
 func NewD(opt Options) RCU {
 	opt = opt.withDefaults()
-	return core.NewD(opt.MaxReaders, opt.CounterTableSize)
+	return opt.attach(core.NewD(opt.MaxReaders, opt.CounterTableSize))
 }
 
 // NewDEER returns a DEER-PRCU engine (§4.3): per-reader counter tables give
@@ -199,32 +228,32 @@ func NewD(opt Options) RCU {
 // EER's linear wait scan.
 func NewDEER(opt Options) RCU {
 	opt = opt.withDefaults()
-	return core.NewDEER(opt.MaxReaders, opt.NodesPerReader, opt.Clock)
+	return opt.attach(core.NewDEER(opt.MaxReaders, opt.NodesPerReader, opt.Clock))
 }
 
 // NewTimeRCU returns the Time RCU baseline: EER-PRCU without predicates.
 func NewTimeRCU(opt Options) RCU {
 	opt = opt.withDefaults()
-	return core.NewTimeRCU(opt.MaxReaders, opt.Clock)
+	return opt.attach(core.NewTimeRCU(opt.MaxReaders, opt.Clock))
 }
 
 // NewURCU returns the userspace-RCU baseline of Desnoyers et al.
 func NewURCU(opt Options) RCU {
 	opt = opt.withDefaults()
-	return core.NewURCU(opt.MaxReaders)
+	return opt.attach(core.NewURCU(opt.MaxReaders))
 }
 
 // NewTreeRCU returns the Linux hierarchical RCU baseline under the paper's
 // userspace restriction (states between operations are quiescent).
 func NewTreeRCU(opt Options) RCU {
 	opt = opt.withDefaults()
-	return core.NewTreeRCU(opt.MaxReaders)
+	return opt.attach(core.NewTreeRCU(opt.MaxReaders))
 }
 
 // NewDistRCU returns the Arbel–Attiya distributed-counters RCU baseline.
 func NewDistRCU(opt Options) RCU {
 	opt = opt.withDefaults()
-	return core.NewDistRCU(opt.MaxReaders)
+	return opt.attach(core.NewDistRCU(opt.MaxReaders))
 }
 
 // NewSRCU returns McKenney's Sleepable RCU (§7): per-subsystem waiting
@@ -232,7 +261,7 @@ func NewDistRCU(opt Options) RCU {
 // is one isolated subsystem; predicates are ignored within it.
 func NewSRCU(opt Options) RCU {
 	opt = opt.withDefaults()
-	return core.NewSRCU(opt.MaxReaders)
+	return opt.attach(core.NewSRCU(opt.MaxReaders))
 }
 
 // NewAsync wraps r with a call_rcu-style deferral worker (§2.1): Call
@@ -267,3 +296,29 @@ func NewSimulated(inner RCU, waitNs int64) RCU { return core.NewSimulated(inner,
 // NewNop returns the unsafe no-op engine used by the read-overhead
 // ablation to measure a zero-synchronization ceiling.
 func NewNop(maxReaders int) RCU { return core.NewNop(maxReaders) }
+
+// Metrics is an engine's observability state: cache-line-padded atomic
+// counters, per-reader lanes, latency histograms and an optional event
+// trace. Construct with NewMetrics, attach via Options.Metrics, read via
+// RCU.Stats or Metrics.Snapshot. See internal/obs for the layout rules
+// that keep recording off the contended paths.
+type Metrics = obs.Metrics
+
+// Snapshot is a point-in-time aggregation of a Metrics, as returned by
+// RCU.Stats. Its Dump method writes a human-readable report.
+type Snapshot = obs.Snapshot
+
+// HistSummary is a Snapshot's digest of one latency histogram.
+type HistSummary = obs.HistSummary
+
+// TraceEvent is one entry of the optional event-trace ring buffer
+// (enable with Metrics.EnableTrace, read with Metrics.TraceSnapshot).
+type TraceEvent = obs.Event
+
+// NewMetrics returns an enabled metrics collector to pass as
+// Options.Metrics.
+func NewMetrics() *Metrics { return obs.New() }
+
+// PublishMetrics exports m's live Snapshot through expvar under the
+// given name, visible on /debug/vars wherever the process serves it.
+func PublishMetrics(name string, m *Metrics) { obs.Publish(name, m) }
