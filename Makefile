@@ -20,10 +20,11 @@ test:
 short:
 	$(GO) test -short -timeout $(TEST_TIMEOUT) ./...
 
-# Race-enabled pass over the packages with real concurrency: the engine
-# core (including the torture suite), and the two RCU-backed structures.
+# Race-enabled pass over the packages with real concurrency: the public
+# API (reader pool + churn), the engine core (including the torture
+# suite), and the two RCU-backed structures.
 race:
-	$(GO) test -race -short -timeout $(TEST_TIMEOUT) ./internal/core ./citrus ./hashtable
+	$(GO) test -race -short -timeout $(TEST_TIMEOUT) . ./internal/core ./citrus ./hashtable
 
 # Brief coverage-guided fuzzing on top of the checked-in seed corpora.
 FUZZTIME ?= 10s

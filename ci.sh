@@ -13,10 +13,25 @@ go vet ./...
 echo "== go test (full) =="
 go test -timeout 300s ./...
 
-echo "== go test -race -short (engines + structures) =="
-go test -race -short -timeout 300s ./internal/core ./citrus ./hashtable
+echo "== go test -race -short (API + engines + structures) =="
+go test -race -short -timeout 300s . ./internal/core ./citrus ./hashtable
+
+echo "== go test -race (reader churn stress) =="
+go test -race -run 'TestReaderChurnConcurrentWaits|TestUncappedRegisterNeverFails' \
+    -timeout 300s ./internal/core .
 
 echo "== fuzz seed corpora replay =="
 go test -run 'Fuzz' -timeout 120s ./internal/core ./hashtable
+
+echo "== prcubench -quick -json smoke =="
+out=$(go run ./cmd/prcubench -quick -json fig1 2>/dev/null)
+case "$out" in
+'{'*) ;;
+*)
+    echo "prcubench -json did not emit JSON on stdout:" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+esac
 
 echo "CI PASS"

@@ -116,6 +116,7 @@ func DefaultDomain(flavor prcu.Flavor) Domain {
 // Tree is a CITRUS tree. Construct with New; obtain a Handle per goroutine.
 type Tree struct {
 	rcu    prcu.RCU
+	pool   *prcu.ReaderPool
 	domain Domain
 	root   *node
 	size   atomic.Int64
@@ -127,7 +128,12 @@ func New(r prcu.RCU, domain Domain) *Tree {
 	if domain.MapKey == nil || domain.WaitPredicate == nil {
 		panic("citrus: Domain with nil functions")
 	}
-	return &Tree{rcu: r, domain: domain, root: &node{key: sentinelKey}}
+	return &Tree{
+		rcu:    r,
+		pool:   prcu.NewReaderPool(r),
+		domain: domain,
+		root:   &node{key: sentinelKey},
+	}
 }
 
 // Handle is one goroutine's access to the tree, wrapping its reader slot.
@@ -137,8 +143,10 @@ type Handle struct {
 	rd prcu.Reader
 }
 
-// NewHandle registers a reader slot and returns a handle. Call Close when
-// the goroutine is done with the tree.
+// NewHandle registers a pinned reader slot and returns a handle. Call
+// Close when the goroutine is done with the tree. Registration only fails
+// when the engine was built with a reader cap; prefer Handle for ephemeral
+// goroutines.
 func (t *Tree) NewHandle() (*Handle, error) {
 	rd, err := t.rcu.Register()
 	if err != nil {
@@ -147,7 +155,15 @@ func (t *Tree) NewHandle() (*Handle, error) {
 	return &Handle{t: t, rd: rd}, nil
 }
 
-// Close releases the handle's reader slot.
+// Handle borrows a pooled reader and returns a handle around it — the
+// infallible choice for goroutines that come and go. Close returns the
+// reader to the pool for the next borrower.
+func (t *Tree) Handle() *Handle {
+	return &Handle{t: t, rd: t.pool.Get()}
+}
+
+// Close releases the handle's reader: a pinned reader's slot is freed, a
+// pooled reader goes back to the pool.
 func (h *Handle) Close() {
 	h.rd.Unregister()
 	h.rd = nil
@@ -194,21 +210,47 @@ func (h *Handle) Contains(k uint64) bool {
 	return ok
 }
 
+// lookup walks to the node holding k, reading its value in place. Must run
+// inside a read-side critical section on MapKey(k).
+func (t *Tree) lookup(k uint64) (uint64, bool) {
+	curr := t.root.child[0].Load()
+	for curr != nil && curr.key != k {
+		curr = curr.child[dirFor(k, curr)].Load()
+	}
+	if curr == nil {
+		return 0, false
+	}
+	return curr.value.Load(), true
+}
+
 // Get returns the value stored under k.
 func (h *Handle) Get(k uint64) (uint64, bool) {
 	checkKey(k)
 	v := h.t.domain.MapKey(k)
 	h.rd.Enter(v)
-	curr := h.t.root.child[0].Load()
-	for curr != nil && curr.key != k {
-		curr = curr.child[dirFor(k, curr)].Load()
-	}
-	var val uint64
-	if curr != nil {
-		val = curr.value.Load()
-	}
+	val, ok := h.t.lookup(k)
 	h.rd.Exit(v)
-	return val, curr != nil
+	return val, ok
+}
+
+// Get is the one-shot form: it borrows a pooled reader for a single
+// lookup. Hot loops should hold a Handle instead and amortize the borrow.
+func (t *Tree) Get(k uint64) (uint64, bool) {
+	checkKey(k)
+	var (
+		val uint64
+		ok  bool
+	)
+	t.pool.Critical(t.domain.MapKey(k), func() {
+		val, ok = t.lookup(k)
+	})
+	return val, ok
+}
+
+// Contains is the one-shot membership test; see Get.
+func (t *Tree) Contains(k uint64) bool {
+	_, ok := t.Get(k)
+	return ok
 }
 
 // Insert adds k with value val. It returns false if k is already present

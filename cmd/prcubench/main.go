@@ -17,6 +17,11 @@
 //
 //	prcubench -duration 3s -runs 5 -threads 1,2,4,8,16,24,32,40,48,56,64 \
 //	          -large-keys 2000000 -hash-elements 1048576 all
+//
+// For CI smoke runs, -quick shrinks every parameter to seconds-scale and
+// -json emits each table as one JSON object per line on stdout:
+//
+//	prcubench -quick -json fig1
 package main
 
 import (
@@ -40,6 +45,8 @@ func main() {
 		hashElements = flag.Uint64("hash-elements", 1<<14, "figure 9 table population, power of two x4 (paper: ~1e6)")
 		includeLF    = flag.Bool("lftree", false, "include the LF-Tree baseline in figure 5/7 tables")
 		csvPath      = flag.String("csv", "", "also write every table as CSV to this file")
+		jsonOut      = flag.Bool("json", false, "write tables as JSON Lines on stdout instead of text (progress goes to stderr)")
+		quick        = flag.Bool("quick", false, "smoke-test preset: tiny windows, 1 run, small key spaces (explicit flags still override)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|all\n\n")
@@ -49,6 +56,32 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *quick {
+		// A preset for CI smoke runs: every figure exercises its full code
+		// path, but each data point is tiny. Flags the user passed
+		// explicitly win over the preset.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["threads"] {
+			*threadsFlag = "1,2"
+		}
+		if !set["duration"] {
+			*duration = 20 * time.Millisecond
+		}
+		if !set["runs"] {
+			*runs = 1
+		}
+		if !set["small-keys"] {
+			*smallKeys = 2000
+		}
+		if !set["large-keys"] {
+			*largeKeys = 8000
+		}
+		if !set["hash-elements"] {
+			*hashElements = 1 << 10
+		}
 	}
 
 	cfg := bench.DefaultConfig(os.Stdout)
@@ -63,6 +96,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Threads = threads
+	if *jsonOut {
+		// Machine-readable mode: tables go to stdout as JSON Lines; the
+		// human-readable text (and any stats dumps) moves to stderr.
+		cfg.JSON = os.Stdout
+		cfg.Out = os.Stderr
+	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -78,7 +117,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "prcubench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(cfg.Out, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 func dispatch(cmd string, cfg bench.Config, includeLF bool) error {

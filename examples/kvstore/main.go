@@ -28,7 +28,7 @@ func main() {
 		keys     = 1 << 14
 		initialB = 1 << 10 // start at load factor 16
 	)
-	rcu := prcu.NewD(prcu.Options{MaxReaders: readers + 1})
+	rcu := prcu.NewD(prcu.Options{})
 	store := hashtable.New(rcu, initialB)
 
 	for k := uint64(0); k < keys; k++ {
@@ -49,10 +49,8 @@ func main() {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
-			h, err := store.NewHandle()
-			if err != nil {
-				panic(err)
-			}
+			// A pooled handle: infallible, returned to the pool on Close.
+			h := store.Handle()
 			defer h.Close()
 			ready.Done()
 			state := seed

@@ -34,9 +34,9 @@ func main() {
 		rcu    prcu.RCU
 		domain citrus.Domain
 	}{
-		{"Time RCU (waits for all readers)", prcu.NewTimeRCU(prcu.Options{MaxReaders: workers}), citrus.WildcardDomain()},
-		{"EER-PRCU (interval predicate)", prcu.NewEER(prcu.Options{MaxReaders: workers}), citrus.FuncDomain()},
-		{"D-PRCU (compressed domain)", prcu.NewD(prcu.Options{MaxReaders: workers}), citrus.CompressedDomain(1024)},
+		{"Time RCU (waits for all readers)", prcu.NewTimeRCU(prcu.Options{}), citrus.WildcardDomain()},
+		{"EER-PRCU (interval predicate)", prcu.NewEER(prcu.Options{}), citrus.FuncDomain()},
+		{"D-PRCU (compressed domain)", prcu.NewD(prcu.Options{}), citrus.CompressedDomain(1024)},
 	}
 	for _, cfg := range configs {
 		ops := runIndex(cfg.rcu, cfg.domain)
@@ -47,12 +47,10 @@ func main() {
 func runIndex(r prcu.RCU, d citrus.Domain) int64 {
 	idx := citrus.New(r, d)
 
-	// Prefill to half occupancy, as in the paper's methodology.
+	// Prefill to half occupancy, as in the paper's methodology. The pooled
+	// Handle never fails: the reader registry grows on demand.
 	{
-		h, err := idx.NewHandle()
-		if err != nil {
-			panic(err)
-		}
+		h := idx.Handle()
 		state := uint64(42)
 		for idx.Size() < keySpace/2 {
 			state = state*6364136223846793005 + 1442695040888963407
@@ -70,10 +68,7 @@ func runIndex(r prcu.RCU, d citrus.Domain) int64 {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
-			h, err := idx.NewHandle()
-			if err != nil {
-				panic(err)
-			}
+			h := idx.Handle()
 			defer h.Close()
 			state := seed
 			n := int64(0)

@@ -32,8 +32,9 @@ type listNode struct {
 
 func main() {
 	// D-PRCU: readers announce the key they read; waits drain only the
-	// counters those keys hash to.
-	rcu := prcu.NewD(prcu.Options{MaxReaders: 8})
+	// counters those keys hash to. The reader registry grows on demand, so
+	// there is nothing to size here.
+	rcu := prcu.NewD(prcu.Options{})
 
 	var head atomic.Pointer[listNode]
 
@@ -79,6 +80,34 @@ func main() {
 		}(uint64(r + 1))
 	}
 
+	// Ephemeral readers: short-lived goroutines should not pay Register per
+	// lookup — a ReaderPool lends out warm, already-registered readers, and
+	// Critical wraps the whole borrow/Enter/Exit/return cycle.
+	rpool := prcu.NewReaderPool(rcu)
+	var oneShots atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			var inner sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				inner.Add(1)
+				go func(key uint64) {
+					defer inner.Done()
+					rpool.Critical(key, func() {
+						for n := head.Load(); n != nil; n = n.next.Load() {
+							if n.key == key {
+								break
+							}
+						}
+					})
+					oneShots.Add(1)
+				}(uint64(g) * 8)
+			}
+			inner.Wait()
+		}
+	}()
+
 	// The writer repeatedly unlinks the node after head and recycles it
 	// once no reader on its key remains.
 	recycled := 0
@@ -119,7 +148,7 @@ func main() {
 	stop.Store(true)
 	wg.Wait()
 
-	fmt.Printf("quickstart: %d lookups raced %d recycle cycles with zero torn reads\n",
-		lookups.Load(), recycled)
+	fmt.Printf("quickstart: %d pinned + %d pooled lookups raced %d recycle cycles with zero torn reads\n",
+		lookups.Load(), oneShots.Load(), recycled)
 	fmt.Println("every recycled node was quarantined by a predicate-scoped WaitForReaders")
 }

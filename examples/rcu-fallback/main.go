@@ -30,7 +30,7 @@ type config struct {
 }
 
 func main() {
-	rcu := prcu.NewEER(prcu.Options{MaxReaders: 8})
+	rcu := prcu.NewEER(prcu.Options{})
 	async := prcu.NewAsync(rcu)
 	defer async.Close()
 

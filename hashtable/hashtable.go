@@ -53,8 +53,9 @@ func newTable(buckets int) *table {
 // Map is the resizable hash table. Lookups go through per-goroutine
 // Handles; Insert, Delete and Expand may be called from any goroutine.
 type Map struct {
-	rcu prcu.RCU
-	tbl atomic.Pointer[table]
+	rcu  prcu.RCU
+	pool *prcu.ReaderPool
+	tbl  atomic.Pointer[table]
 	// resizeMu serializes expansions; expanding blocks updates while one
 	// is in flight.
 	resizeMu  sync.Mutex
@@ -71,7 +72,7 @@ func New(r prcu.RCU, initialBuckets int) *Map {
 	if initialBuckets < 1 || initialBuckets&(initialBuckets-1) != 0 {
 		panic(fmt.Sprintf("hashtable: bucket count must be a power of two, got %d", initialBuckets))
 	}
-	m := &Map{rcu: r}
+	m := &Map{rcu: r, pool: prcu.NewReaderPool(r)}
 	m.tbl.Store(newTable(initialBuckets))
 	return m
 }
@@ -97,7 +98,9 @@ type Handle struct {
 	rd prcu.Reader
 }
 
-// NewHandle registers a reader slot for lookups.
+// NewHandle registers a pinned reader slot for lookups. Registration only
+// fails when the engine was built with a reader cap; prefer Handle for
+// ephemeral goroutines.
 func (m *Map) NewHandle() (*Handle, error) {
 	rd, err := m.rcu.Register()
 	if err != nil {
@@ -106,7 +109,15 @@ func (m *Map) NewHandle() (*Handle, error) {
 	return &Handle{m: m, rd: rd}, nil
 }
 
-// Close releases the handle's reader slot.
+// Handle borrows a pooled reader and returns a handle around it — the
+// infallible choice for goroutines that come and go. Close returns the
+// reader to the pool for the next borrower.
+func (m *Map) Handle() *Handle {
+	return &Handle{m: m, rd: m.pool.Get()}
+}
+
+// Close releases the handle's reader: a pinned reader's slot is freed, a
+// pooled reader goes back to the pool.
 func (h *Handle) Close() {
 	h.rd.Unregister()
 	h.rd = nil
@@ -146,6 +157,21 @@ func (h *Handle) Get(k uint64) (uint64, bool) {
 // Contains reports whether k is present.
 func (h *Handle) Contains(k uint64) bool {
 	_, ok := h.Get(k)
+	return ok
+}
+
+// Get is the one-shot form: it borrows a pooled reader for a single
+// lookup. Hot loops should hold a Handle instead and amortize the borrow.
+func (m *Map) Get(k uint64) (uint64, bool) {
+	h := Handle{m: m, rd: m.pool.Get()}
+	val, ok := h.Get(k)
+	m.pool.Put(h.rd)
+	return val, ok
+}
+
+// Contains is the one-shot membership test; see Get.
+func (m *Map) Contains(k uint64) bool {
+	_, ok := m.Get(k)
 	return ok
 }
 

@@ -25,9 +25,9 @@ func Ablation(cfg Config) error {
 	mix := workload.WriteDominated
 	keys := cfg.SmallKeys
 
-	run := func(mk func(maxReaders int) prcu.RCU, dom citrus.Domain) (float64, error) {
+	run := func(mk func() prcu.RCU, dom citrus.Domain) (float64, error) {
 		return cfg.medianOf(func() (float64, error) {
-			s := NewCitrusSet(mk(threads+1), dom)
+			s := NewCitrusSet(mk(), dom)
 			if err := prefill(s, keys); err != nil {
 				return 0, err
 			}
@@ -46,7 +46,7 @@ func Ablation(cfg Config) error {
 		for _, size := range sizes {
 			sz := size
 			v, err := run(
-				func(n int) prcu.RCU { return core.NewD(n, sz) },
+				func() prcu.RCU { return core.NewD(0, sz) },
 				citrus.CompressedDomain(uint64(sz)),
 			)
 			if err != nil {
@@ -68,7 +68,7 @@ func Ablation(cfg Config) error {
 		for _, size := range sizes {
 			sz := size
 			v, err := run(
-				func(n int) prcu.RCU { return core.NewDEER(n, sz, nil) },
+				func() prcu.RCU { return core.NewDEER(0, sz, nil) },
 				citrus.CompressedDomain(1024),
 			)
 			if err != nil {
@@ -92,8 +92,8 @@ func Ablation(cfg Config) error {
 		}{{"on", 128}, {"off", 0}} {
 			budget := opt.budget
 			v, err := run(
-				func(n int) prcu.RCU {
-					d := core.NewD(n, 1024)
+				func() prcu.RCU {
+					d := core.NewD(0, 1024)
 					d.SetOptimisticBudget(budget)
 					return d
 				},
@@ -124,7 +124,7 @@ func Ablation(cfg Config) error {
 		for _, c := range clocks {
 			mkClock := c.mk
 			v, err := run(
-				func(n int) prcu.RCU { return core.NewEER(n, mkClock()) },
+				func() prcu.RCU { return core.NewEER(0, mkClock()) },
 				citrus.FuncDomain(),
 			)
 			if err != nil {

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -35,6 +36,9 @@ type Config struct {
 	// CSV, when non-nil, additionally receives every table in CSV form
 	// for plotting.
 	CSV io.Writer
+	// JSON, when non-nil, additionally receives every table as one JSON
+	// object per line (JSON Lines) for machine consumption.
+	JSON io.Writer
 }
 
 // DefaultConfig returns parameters sized so the full suite completes in
@@ -67,10 +71,12 @@ func (c Config) maxThreads() int {
 }
 
 // Engine couples an RCU constructor with the citrus Domain that presents
-// searches to it, mirroring the per-engine configuration of §6.
+// searches to it, mirroring the per-engine configuration of §6. The
+// constructors take no sizing argument: the reader registry grows on
+// demand, so a sweep never has to predict its thread count.
 type Engine struct {
 	Name   string
-	New    func(maxReaders int) prcu.RCU
+	New    func() prcu.RCU
 	Domain func() citrus.Domain
 }
 
@@ -79,32 +85,32 @@ func Engines() []Engine {
 	return []Engine{
 		{
 			Name:   "EER-PRCU",
-			New:    func(n int) prcu.RCU { return prcu.NewEER(prcu.Options{MaxReaders: n}) },
+			New:    func() prcu.RCU { return prcu.NewEER(prcu.Options{}) },
 			Domain: citrus.FuncDomain,
 		},
 		{
 			Name:   "D-PRCU",
-			New:    func(n int) prcu.RCU { return prcu.NewD(prcu.Options{MaxReaders: n}) },
+			New:    func() prcu.RCU { return prcu.NewD(prcu.Options{}) },
 			Domain: func() citrus.Domain { return citrus.CompressedDomain(1024) },
 		},
 		{
 			Name:   "DEER-PRCU",
-			New:    func(n int) prcu.RCU { return prcu.NewDEER(prcu.Options{MaxReaders: n}) },
+			New:    func() prcu.RCU { return prcu.NewDEER(prcu.Options{}) },
 			Domain: func() citrus.Domain { return citrus.CompressedDomain(1024) },
 		},
 		{
 			Name:   "Time RCU",
-			New:    func(n int) prcu.RCU { return prcu.NewTimeRCU(prcu.Options{MaxReaders: n}) },
+			New:    func() prcu.RCU { return prcu.NewTimeRCU(prcu.Options{}) },
 			Domain: citrus.WildcardDomain,
 		},
 		{
 			Name:   "Tree RCU",
-			New:    func(n int) prcu.RCU { return prcu.NewTreeRCU(prcu.Options{MaxReaders: n}) },
+			New:    func() prcu.RCU { return prcu.NewTreeRCU(prcu.Options{}) },
 			Domain: citrus.WildcardDomain,
 		},
 		{
 			Name:   "URCU",
-			New:    func(n int) prcu.RCU { return prcu.NewURCU(prcu.Options{MaxReaders: n}) },
+			New:    func() prcu.RCU { return prcu.NewURCU(prcu.Options{}) },
 			Domain: citrus.WildcardDomain,
 		},
 	}
@@ -208,11 +214,14 @@ func (t *table) addRow(label string, cells []float64) {
 }
 
 // emit writes the table to the config's text output and, when configured,
-// its CSV stream.
+// its CSV and JSON streams.
 func (t *table) emit(c Config) {
 	t.write(c.Out)
 	if c.CSV != nil {
 		t.csv(c.CSV)
+	}
+	if c.JSON != nil {
+		t.json(c.JSON)
 	}
 }
 
@@ -234,6 +243,29 @@ func (t *table) write(w io.Writer) {
 			fmt.Fprintf(w, "%*s", width, formatValue(v))
 		}
 		fmt.Fprintln(w)
+	}
+}
+
+// json emits the table as one JSON object on a single line. Encoding a
+// table can only fail on a broken writer, in which case later emits fail
+// the same way; errors are deliberately not propagated mid-benchmark.
+func (t *table) json(w io.Writer) {
+	type jsonRow struct {
+		Label string    `json:"label"`
+		Cells []float64 `json:"cells"`
+	}
+	obj := struct {
+		Title   string    `json:"title"`
+		Unit    string    `json:"unit,omitempty"`
+		Columns []string  `json:"columns"`
+		Rows    []jsonRow `json:"rows"`
+	}{Title: t.title, Unit: t.unit, Columns: t.columns}
+	for _, r := range t.rows {
+		obj.Rows = append(obj.Rows, jsonRow{Label: r.label, Cells: r.cells})
+	}
+	if b, err := json.Marshal(obj); err == nil {
+		b = append(b, '\n')
+		w.Write(b)
 	}
 }
 

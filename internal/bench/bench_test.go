@@ -34,7 +34,7 @@ func TestEnginesLineup(t *testing.T) {
 		if e.Name != want[i] {
 			t.Fatalf("engine %d = %q, want %q", i, e.Name, want[i])
 		}
-		r := e.New(4)
+		r := e.New()
 		if r.Name() != e.Name {
 			t.Fatalf("constructed engine name %q != spec name %q", r.Name(), e.Name)
 		}
@@ -43,7 +43,7 @@ func TestEnginesLineup(t *testing.T) {
 
 func TestPrefillReachesTarget(t *testing.T) {
 	e := Engines()[0]
-	tree := citrus.New(e.New(4), e.Domain())
+	tree := citrus.New(e.New(), e.Domain())
 	s := &citrusSet{tree: tree}
 	if err := prefill(s, 1000); err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestPrefillReachesTarget(t *testing.T) {
 
 func TestRunMixProducesThroughput(t *testing.T) {
 	e := Engines()[1]
-	s := NewCitrusSet(e.New(4), e.Domain())
+	s := NewCitrusSet(e.New(), e.Domain())
 	if err := prefill(s, 512); err != nil {
 		t.Fatal(err)
 	}

@@ -61,7 +61,7 @@ func treeThroughputPanel(cfg Config, title string, mix workload.Mix, keys uint64
 		row := make([]float64, 0, len(cols))
 		for _, e := range engines {
 			v, err := cfg.medianOf(func() (float64, error) {
-				s := NewCitrusSet(e.New(threads+1), e.Domain())
+				s := NewCitrusSet(e.New(), e.Domain())
 				if err := prefill(s, keys); err != nil {
 					return 0, err
 				}

@@ -56,7 +56,7 @@ func engineNames() []string {
 // waitShare runs one instrumented point and returns (percent of thread
 // time inside waits, mean wait latency in ns).
 func waitShare(cfg Config, e Engine, mix workload.Mix, keys uint64, threads int) (float64, float64, error) {
-	inst := NewInstrumented(e.New(threads + 1))
+	inst := NewInstrumented(e.New())
 	s := NewCitrusSet(inst, e.Domain())
 	if err := prefill(s, keys); err != nil {
 		return 0, 0, err

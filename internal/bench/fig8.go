@@ -76,7 +76,7 @@ func engineNamesOf(es []Engine) []string {
 // percentage.
 func normalizedToSimulated(cfg Config, e Engine, mix workload.Mix, keys uint64, threads int) (float64, error) {
 	// Pass 1: real engine, instrumented.
-	inst := NewInstrumented(e.New(threads + 1))
+	inst := NewInstrumented(e.New())
 	s := NewCitrusSet(inst, e.Domain())
 	if err := prefill(s, keys); err != nil {
 		return 0, err
@@ -90,7 +90,7 @@ func normalizedToSimulated(cfg Config, e Engine, mix workload.Mix, keys uint64, 
 
 	// Pass 2: fresh tree whose engine burns the measured mean wait time
 	// without touching shared state.
-	sim := prcu.NewSimulated(e.New(threads+1), meanWait)
+	sim := prcu.NewSimulated(e.New(), meanWait)
 	s2 := NewCitrusSet(sim, e.Domain())
 	if err := prefill(s2, keys); err != nil {
 		return 0, err

@@ -97,7 +97,7 @@ func fig9Point(cfg Config, e Engine, readers int) (throughput, latencyNs float64
 	}
 	keyRange := elements * 2
 
-	r := e.New(readers + 1)
+	r := e.New()
 	m := hashtable.New(r, buckets)
 	seed := workload.NewRNG(3)
 	for n := uint64(0); n < elements; {

@@ -34,7 +34,6 @@ func NewInstrumented(inner prcu.RCU) *InstrumentedRCU {
 	i := &InstrumentedRCU{inner: inner}
 	if c, ok := inner.(core.MetricsCarrier); ok {
 		i.met = obs.New()
-		i.met.EnsureReaders(inner.MaxReaders())
 		c.SetMetrics(i.met)
 	}
 	return i

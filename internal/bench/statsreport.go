@@ -27,9 +27,8 @@ func Stats(cfg Config) error {
 		// The window is short; sample 1 in 16 sections instead of the
 		// default 1 in 64 so the duration histogram has some mass.
 		m.SetSectionSampleShift(4)
-		r := e.New(threads + 1)
+		r := e.New()
 		if c, ok := r.(core.MetricsCarrier); ok {
-			m.EnsureReaders(r.MaxReaders())
 			c.SetMetrics(m)
 		}
 		s := NewCitrusSet(r, e.Domain())

@@ -24,15 +24,16 @@ type DEER struct {
 	metered
 	reg   *registry
 	clock Clock
-	// tables is one flat allocation, carved into per-reader windows of
-	// nodesPer entries; each timeNode is cache-line padded already.
-	tables   []timeNode
+	// Each segment's state is one flat []timeNode allocation, carved into
+	// per-reader windows of nodesPer entries; each timeNode is cache-line
+	// padded already.
 	nodesPer int
 	mask     uint64
 }
 
-// NewDEER returns a DEER-PRCU engine. nodesPerReader must be a power of
-// two; 0 selects the paper's default of 16. If clock is nil the monotonic
+// NewDEER returns a DEER-PRCU engine capped at maxReaders concurrent
+// readers (0 = grow on demand). nodesPerReader must be a power of two;
+// 0 selects the paper's default of 16. If clock is nil the monotonic
 // clock is used.
 func NewDEER(maxReaders, nodesPerReader int, clock Clock) *DEER {
 	if nodesPerReader == 0 {
@@ -45,15 +46,13 @@ func NewDEER(maxReaders, nodesPerReader int, clock Clock) *DEER {
 		clock = tsc.NewMonotonic()
 	}
 	d := &DEER{
-		reg:      newRegistry(maxReaders),
 		clock:    clock,
-		tables:   make([]timeNode, maxReaders*nodesPerReader),
 		nodesPer: nodesPerReader,
 		mask:     uint64(nodesPerReader - 1),
 	}
-	for i := range d.tables {
-		d.tables[i].time.Store(tsc.Infinity)
-	}
+	d.reg = newRegistry(maxReaders, func(base, size int) any {
+		return newTimeNodeSeg(size * nodesPerReader)
+	})
 	return d
 }
 
@@ -63,14 +62,19 @@ func (d *DEER) Name() string { return "DEER-PRCU" }
 // MaxReaders implements RCU.
 func (d *DEER) MaxReaders() int { return d.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (d *DEER) LiveReaders() int { return d.reg.liveReaders() }
+
 // NodesPerReader returns the per-reader node-array size.
 func (d *DEER) NodesPerReader() int { return d.nodesPer }
 
-func (d *DEER) readerTable(slot int) []timeNode {
-	return d.tables[slot*d.nodesPer : (slot+1)*d.nodesPer]
+// readerTable returns the node window of the reader at in-segment index i.
+func (d *DEER) readerTable(sg *segment, i int) []timeNode {
+	return sg.state.([]timeNode)[i*d.nodesPer : (i+1)*d.nodesPer]
 }
 
 type deerReader struct {
+	readerGuard
 	d     *DEER
 	table []timeNode
 	lane  *obs.ReaderLane
@@ -79,11 +83,11 @@ type deerReader struct {
 
 // Register implements RCU.
 func (d *DEER) Register() (Reader, error) {
-	slot, err := d.reg.acquire()
+	slot, sg, err := d.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
-	t := d.readerTable(slot)
+	t := d.readerTable(sg, slot-sg.base)
 	for i := range t {
 		t[i].time.Store(tsc.Infinity)
 	}
@@ -93,6 +97,7 @@ func (d *DEER) Register() (Reader, error) {
 // Enter implements Reader (Algorithm 3 lines 3–6). The value is stored to
 // support general predicates (§4.3).
 func (r *deerReader) Enter(v Value) {
+	r.check()
 	n := &r.table[hashValue(v)&r.d.mask]
 	n.value.Store(v)
 	n.time.Store(r.d.clock.Now())
@@ -103,6 +108,7 @@ func (r *deerReader) Enter(v Value) {
 
 // Exit implements Reader (Algorithm 3 lines 7–8).
 func (r *deerReader) Exit(v Value) {
+	r.check()
 	if r.lane != nil {
 		r.lane.OnExit(v)
 	}
@@ -111,11 +117,13 @@ func (r *deerReader) Exit(v Value) {
 
 // Unregister implements Reader.
 func (r *deerReader) Unregister() {
+	r.closing()
 	for i := range r.table {
 		if r.table[i].time.Load() != tsc.Infinity {
 			panic("prcu: Unregister inside a read-side critical section")
 		}
 	}
+	r.markClosed()
 	r.d.reg.release(r.slot)
 	r.table = nil
 }
@@ -139,16 +147,12 @@ func (d *DEER) WaitForReaders(p Predicate) {
 		start = m.WaitBegin()
 	}
 	t0 := d.clock.Now()
-	limit := d.reg.scanLimit()
 	var w spin.Waiter
 	var scanned, waited, parked uint64
-	for j := 0; j < limit; j++ {
-		if !d.reg.isActive(j) {
-			continue
-		}
+	d.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
 		readerWaited, readerParked := false, false
-		table := d.readerTable(j)
+		table := d.readerTable(sg, i)
 		if p.Enumerable() {
 			var visited uint64 // nodesPer <= 64 covered by one word
 			p.ForEach(func(v Value) bool {
@@ -177,7 +181,7 @@ func (d *DEER) WaitForReaders(p Predicate) {
 				parked++
 			}
 		}
-	}
+	})
 	if m != nil {
 		m.WaitEnd(start, scanned, waited, parked)
 	}

@@ -20,16 +20,16 @@ import (
 type DistRCU struct {
 	metered
 	reg *registry
-	gen []pad.Uint64
 }
 
-// NewDistRCU returns a distributed-counters RCU engine with capacity for
-// maxReaders concurrent readers.
+// NewDistRCU returns a distributed-counters RCU engine capped at
+// maxReaders concurrent readers (0 = grow on demand).
 func NewDistRCU(maxReaders int) *DistRCU {
-	return &DistRCU{
-		reg: newRegistry(maxReaders),
-		gen: make([]pad.Uint64, maxReaders),
-	}
+	d := &DistRCU{}
+	d.reg = newRegistry(maxReaders, func(base, size int) any {
+		return make([]pad.Uint64, size)
+	})
+	return d
 }
 
 // Name implements RCU.
@@ -38,7 +38,11 @@ func (d *DistRCU) Name() string { return "Dist RCU" }
 // MaxReaders implements RCU.
 func (d *DistRCU) MaxReaders() int { return d.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (d *DistRCU) LiveReaders() int { return d.reg.liveReaders() }
+
 type distReader struct {
+	readerGuard
 	d    *DistRCU
 	gen  *pad.Uint64
 	lane *obs.ReaderLane
@@ -47,11 +51,11 @@ type distReader struct {
 
 // Register implements RCU.
 func (d *DistRCU) Register() (Reader, error) {
-	slot, err := d.reg.acquire()
+	slot, sg, err := d.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
-	g := &d.gen[slot]
+	g := &sg.state.([]pad.Uint64)[slot-sg.base]
 	if g.Load()&1 == 1 {
 		panic("prcu: reader slot reused while marked in-CS")
 	}
@@ -60,6 +64,7 @@ func (d *DistRCU) Register() (Reader, error) {
 
 // Enter implements Reader. The value is ignored — Dist RCU is a plain RCU.
 func (r *distReader) Enter(v Value) {
+	r.check()
 	r.gen.Add(1)
 	if r.lane != nil {
 		r.lane.OnEnter(v)
@@ -68,6 +73,7 @@ func (r *distReader) Enter(v Value) {
 
 // Exit implements Reader.
 func (r *distReader) Exit(v Value) {
+	r.check()
 	if r.lane != nil {
 		r.lane.OnExit(v)
 	}
@@ -76,9 +82,11 @@ func (r *distReader) Exit(v Value) {
 
 // Unregister implements Reader.
 func (r *distReader) Unregister() {
+	r.closing()
 	if r.gen.Load()&1 == 1 {
 		panic("prcu: Unregister inside a read-side critical section")
 	}
+	r.markClosed()
 	r.d.reg.release(r.slot)
 	r.gen = nil
 }
@@ -90,18 +98,14 @@ func (d *DistRCU) WaitForReaders(Predicate) {
 	if m != nil {
 		start = m.WaitBegin()
 	}
-	limit := d.reg.scanLimit()
 	var w spin.Waiter
 	var scanned, waited, parked uint64
-	for j := 0; j < limit; j++ {
-		if !d.reg.isActive(j) {
-			continue
-		}
+	d.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
-		g := &d.gen[j]
+		g := &sg.state.([]pad.Uint64)[i]
 		s := g.Load()
 		if s&1 == 0 {
-			continue
+			return
 		}
 		waited++
 		w.Reset()
@@ -111,7 +115,7 @@ func (d *DistRCU) WaitForReaders(Predicate) {
 		if w.Yielded() {
 			parked++
 		}
-	}
+	})
 	if m != nil {
 		m.WaitEnd(start, scanned, waited, parked)
 	}

@@ -77,14 +77,15 @@ type D struct {
 	optBudget int
 }
 
-// NewD returns a D-PRCU engine. tableSize is the counter-table size |C| and
-// must be a power of two; 0 selects the paper's default of 1024.
+// NewD returns a D-PRCU engine capped at maxReaders concurrent readers
+// (0 = grow on demand). tableSize is the counter-table size |C| and must
+// be a power of two; 0 selects the paper's default of 1024.
 func NewD(maxReaders, tableSize int) *D {
 	if tableSize == 0 {
 		tableSize = DefaultCounterTableSize
 	}
 	d := &D{
-		reg:       newRegistry(maxReaders),
+		reg:       newRegistry(maxReaders, nil),
 		optBudget: optimisticBudget,
 	}
 	d.tbl.Store(newDTable(tableSize))
@@ -103,6 +104,9 @@ func (d *D) Name() string { return "D-PRCU" }
 // MaxReaders implements RCU.
 func (d *D) MaxReaders() int { return d.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (d *D) LiveReaders() int { return d.reg.liveReaders() }
+
 // TableSize returns |C|, the current counter table size.
 func (d *D) TableSize() int { return len(d.tbl.Load().nodes) }
 
@@ -119,6 +123,7 @@ func hashValue(v Value) uint64 {
 }
 
 type dReader struct {
+	readerGuard
 	d    *D
 	lane *obs.ReaderLane
 	slot int
@@ -136,7 +141,7 @@ type dReader struct {
 // the counter table is the shared state — but slots still bound and account
 // for the reader population.
 func (d *D) Register() (Reader, error) {
-	slot, err := d.reg.acquire()
+	slot, _, err := d.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +154,7 @@ func (d *D) Register() (Reader, error) {
 // increment so an Enter racing a Resize can never count itself in a
 // generation that has already been drained and abandoned.
 func (r *dReader) Enter(v Value) {
+	r.check()
 	if r.inCS {
 		panic("prcu: nested read-side critical sections are not supported")
 	}
@@ -170,6 +176,7 @@ func (r *dReader) Enter(v Value) {
 
 // Exit implements Reader (Algorithm 2 lines 8–9).
 func (r *dReader) Exit(v Value) {
+	r.check()
 	if !r.inCS {
 		panic("prcu: Exit without matching Enter")
 	}
@@ -185,9 +192,11 @@ func (r *dReader) Exit(v Value) {
 
 // Unregister implements Reader.
 func (r *dReader) Unregister() {
+	r.closing()
 	if r.inCS {
 		panic("prcu: Unregister inside a read-side critical section")
 	}
+	r.markClosed()
 	r.d.reg.release(r.slot)
 	r.d = nil
 }

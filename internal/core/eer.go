@@ -18,6 +18,17 @@ type timeNode struct {
 	time  pad.Int64
 }
 
+// newTimeNodeSeg allocates per-segment timeNode state (n nodes, all
+// quiescent); it is the registry newSeg hook shared by the timestamp
+// engines.
+func newTimeNodeSeg(n int) []timeNode {
+	nodes := make([]timeNode, n)
+	for i := range nodes {
+		nodes[i].time.Store(tsc.Infinity)
+	}
+	return nodes
+}
+
 // EER implements EER-PRCU (Algorithm 1): wait-for-readers Evaluates the
 // predicate for Each Reader and waits — using time-based quiescence
 // detection — only for readers it holds for.
@@ -30,23 +41,19 @@ type EER struct {
 	metered
 	reg   *registry
 	clock Clock
-	nodes []timeNode
 }
 
-// NewEER returns an EER-PRCU engine with capacity for maxReaders concurrent
-// readers. If clock is nil the monotonic clock is used.
+// NewEER returns an EER-PRCU engine capped at maxReaders concurrent
+// readers (0 = grow on demand). If clock is nil the monotonic clock is
+// used.
 func NewEER(maxReaders int, clock Clock) *EER {
 	if clock == nil {
 		clock = tsc.NewMonotonic()
 	}
-	e := &EER{
-		reg:   newRegistry(maxReaders),
-		clock: clock,
-		nodes: make([]timeNode, maxReaders),
-	}
-	for i := range e.nodes {
-		e.nodes[i].time.Store(tsc.Infinity)
-	}
+	e := &EER{clock: clock}
+	e.reg = newRegistry(maxReaders, func(base, size int) any {
+		return newTimeNodeSeg(size)
+	})
 	return e
 }
 
@@ -56,8 +63,12 @@ func (e *EER) Name() string { return "EER-PRCU" }
 // MaxReaders implements RCU.
 func (e *EER) MaxReaders() int { return e.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (e *EER) LiveReaders() int { return e.reg.liveReaders() }
+
 // eerReader is one registered EER reader (one slot of the Nodes array).
 type eerReader struct {
+	readerGuard
 	e    *EER
 	node *timeNode
 	lane *obs.ReaderLane
@@ -66,11 +77,11 @@ type eerReader struct {
 
 // Register implements RCU.
 func (e *EER) Register() (Reader, error) {
-	slot, err := e.reg.acquire()
+	slot, sg, err := e.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
-	n := &e.nodes[slot]
+	n := &sg.state.([]timeNode)[slot-sg.base]
 	n.time.Store(tsc.Infinity)
 	return &eerReader{e: e, node: n, lane: e.lane(slot), slot: slot}, nil
 }
@@ -79,6 +90,7 @@ func (e *EER) Register() (Reader, error) {
 // Algorithm 1: a waiter that observes the new time is then guaranteed to
 // observe the new value (single-writer node, SC atomics).
 func (r *eerReader) Enter(v Value) {
+	r.check()
 	r.node.value.Store(v)
 	r.node.time.Store(r.e.clock.Now())
 	// Algorithm 1 line 6's TSO fence — ordering the time store before the
@@ -90,6 +102,7 @@ func (r *eerReader) Enter(v Value) {
 
 // Exit implements Reader.
 func (r *eerReader) Exit(v Value) {
+	r.check()
 	if r.lane != nil {
 		r.lane.OnExit(v)
 	}
@@ -98,9 +111,11 @@ func (r *eerReader) Exit(v Value) {
 
 // Unregister implements Reader.
 func (r *eerReader) Unregister() {
+	r.closing()
 	if r.node.time.Load() != tsc.Infinity {
 		panic("prcu: Unregister inside a read-side critical section")
 	}
+	r.markClosed()
 	r.e.reg.release(r.slot)
 	r.node = nil
 }
@@ -123,15 +138,11 @@ func (e *EER) WaitForReaders(p Predicate) {
 	// before reading the clock) is implied by SC ordering of the atomic
 	// node loads below against the caller's preceding atomic stores.
 	t0 := e.clock.Now()
-	limit := e.reg.scanLimit()
 	var w spin.Waiter
 	var scanned, waited, parked uint64
-	for j := 0; j < limit; j++ {
-		if !e.reg.isActive(j) {
-			continue
-		}
+	e.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
-		n := &e.nodes[j]
+		n := &sg.state.([]timeNode)[i]
 		w.Reset()
 		looped := false
 		for {
@@ -159,7 +170,7 @@ func (e *EER) WaitForReaders(p Predicate) {
 				parked++
 			}
 		}
-	}
+	})
 	if m != nil {
 		m.WaitEnd(start, scanned, waited, parked)
 	}

@@ -339,9 +339,10 @@ func TestTreeRCUTreeDrainsToZero(t *testing.T) {
 			rd.Exit(0)
 		}
 		<-done
-		for l := range tr.levels {
-			for w := range tr.levels[l] {
-				if v := tr.levels[l][w].Load(); v != 0 {
+		tl := tr.tree.Load()
+		for l := range tl.levels {
+			for w := range tl.levels[l] {
+				if v := tl.levels[l][w].Load(); v != 0 {
 					t.Fatalf("iteration %d: tree word [%d][%d] = %#x after grace period", i, l, w, v)
 				}
 			}
@@ -391,7 +392,7 @@ func TestURCUPhaseFlip(t *testing.T) {
 	u.gp.Store(g0 ^ urcuPhase)
 	rd, _ := u.Register()
 	rd.Enter(0)
-	if c := u.ctr[rd.(*urcuReader).slot].Load(); (c^g0)&urcuPhase == 0 {
+	if c := rd.(*urcuReader).ctr.Load(); (c^g0)&urcuPhase == 0 {
 		t.Fatal("reader snapshot did not pick up the flipped phase")
 	}
 	rd.Exit(0)
@@ -422,15 +423,15 @@ func TestEERReaderValueVisibleToWaiter(t *testing.T) {
 	rd, _ := e.Register()
 	rd.Enter(77)
 	// The waiter must see the reader's posted value and wait on it.
-	slot := rd.(*eerReader).slot
-	if got := e.nodes[slot].value.Load(); got != 77 {
+	node := rd.(*eerReader).node
+	if got := node.value.Load(); got != 77 {
 		t.Fatalf("posted value = %d, want 77", got)
 	}
-	if got := e.nodes[slot].time.Load(); got != 100 {
+	if got := node.time.Load(); got != 100 {
 		t.Fatalf("posted time = %d, want 100", got)
 	}
 	rd.Exit(77)
-	if got := e.nodes[slot].time.Load(); got != tsc.Infinity {
+	if got := node.time.Load(); got != tsc.Infinity {
 		t.Fatalf("time after exit = %d, want Infinity", got)
 	}
 	rd.Unregister()

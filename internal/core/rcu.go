@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -17,8 +18,9 @@ import (
 type RCU interface {
 	// Register allocates a reader slot (the paper's per-thread node).
 	// Each concurrent reader goroutine needs its own Reader; a Reader must
-	// not be used concurrently. Register fails with ErrTooManyReaders once
-	// MaxReaders slots are live.
+	// not be used concurrently. With no cap configured the registry grows
+	// on demand and Register never fails; with a cap, Register fails with
+	// ErrTooManyReaders once the cap is reached.
 	Register() (Reader, error)
 
 	// WaitForReaders blocks until every read-side critical section on a
@@ -27,7 +29,8 @@ type RCU interface {
 	// readers regardless of p.
 	WaitForReaders(p Predicate)
 
-	// MaxReaders returns the slot capacity the engine was built with.
+	// MaxReaders returns the configured reader cap, or 0 when the engine
+	// grows its reader registry on demand.
 	MaxReaders() int
 
 	// Name identifies the engine ("EER-PRCU", "URCU", ...), matching the
@@ -65,12 +68,17 @@ func (m *metered) Metrics() *obs.Metrics { return m.met }
 // Stats implements RCU (obs.Metrics.Snapshot is nil-safe).
 func (m *metered) Stats() obs.Snapshot { return m.met.Snapshot() }
 
-// lane returns the reader lane for slot, or nil when disabled.
+// lane returns the reader lane for slot, or nil when disabled. The lane
+// is re-armed for its new owner: slots are recycled, and a recycled
+// lane must not smear the previous owner's counts into the next
+// reader's per-slot statistics.
 func (m *metered) lane(slot int) *obs.ReaderLane {
 	if m.met == nil {
 		return nil
 	}
-	return m.met.Lane(slot)
+	l := m.met.Lane(slot)
+	l.Recycle()
+	return l
 }
 
 // Reader is one registered reader's handle. Enter and Exit delimit a
@@ -82,24 +90,111 @@ type Reader interface {
 	// Exit ends the read-side critical section on v.
 	Exit(v Value)
 	// Unregister releases the slot. The reader must be quiescent (outside
-	// any critical section) and must not be used afterwards.
+	// any critical section) and must not be used afterwards; engines panic
+	// on a second Unregister or on Enter/Exit after Unregister.
 	Unregister()
 }
 
-// ErrTooManyReaders is returned by Register when all reader slots are live.
+// readerGuard is the misuse defense every engine reader embeds: a second
+// Unregister, or any use after Unregister, must panic with a clear
+// message rather than corrupt the registry free list or another reader's
+// slot. The flag is plain (not atomic): a Reader is owned by a single
+// goroutine by contract, so the guard costs one predictable branch.
+type readerGuard struct {
+	closed bool
+}
+
+// check panics if the reader has been unregistered.
+func (g *readerGuard) check() {
+	if g.closed {
+		panic("prcu: use of Reader after Unregister")
+	}
+}
+
+// closing panics on a repeated Unregister. The caller runs its quiescence
+// checks after this (an Unregister rejected mid-critical-section must
+// leave the reader usable) and then calls markClosed.
+func (g *readerGuard) closing() {
+	if g.closed {
+		panic("prcu: Reader.Unregister called twice")
+	}
+}
+
+// markClosed commits the Unregister.
+func (g *readerGuard) markClosed() { g.closed = true }
+
+// ErrTooManyReaders is returned by Register when a reader cap is
+// configured and all its slots are live. Uncapped engines never return it.
 var ErrTooManyReaders = errors.New("prcu: too many registered readers")
 
-// registry manages reader slot allocation for the engines. Slot state that
-// wait-for-readers scans (the "active" flags) is atomic; allocation
-// bookkeeping is under a mutex since registration is rare.
+// Segment geometry: segSize slots per segment, so one uint64 bitmap per
+// segment is the whole free list.
+const (
+	segShift = 6
+	segSize  = 1 << segShift
+	segMask  = segSize - 1
+)
+
+// segment is one fixed-size block of reader slots. Segments are appended
+// to the registry but never moved or freed, so pointers into a segment
+// (its active flags and its engine state) stay valid for the lifetime of
+// the engine — that is the whole safety argument for growing under
+// concurrent WaitForReaders scans.
 //
-// A released slot is always left quiescent by the owning engine before the
-// active flag clears, so a concurrent wait-for-readers scanning it observes
-// either an active quiescent slot or an inactive one — both safe to skip.
+// free is the per-segment lock-free free list: bit i set means slot
+// base+i is free. Claiming CASes the lowest set bit away; releasing ORs
+// it back. active[i] is scanned by wait-for-readers; a releasing reader
+// is always quiescent, so a scan observing a stale flag sees a quiescent
+// slot — safe to skip or to wait zero time on.
+type segment struct {
+	base int // global index of this segment's slot 0 (multiple of segSize)
+	size int // valid slots; < segSize only for the last segment of a capped registry
+	free atomic.Uint64
+	// active flags are padded: they sit on the wait-for-readers scan path
+	// and must not false-share with neighboring slots' flags.
+	active [segSize]pad.Bool
+	// state holds the engine's per-segment slot state (e.g. []timeNode),
+	// allocated by the registry's newSeg hook at append time. Immutable
+	// after construction; nil for engines with no scanned per-slot state.
+	state any
+}
+
+// claim grabs a free slot in the segment, marking it active. It returns
+// the in-segment index.
+func (sg *segment) claim() (int, bool) {
+	for {
+		f := sg.free.Load()
+		if f == 0 {
+			return 0, false
+		}
+		i := bits.TrailingZeros64(f)
+		if sg.free.CompareAndSwap(f, f&^(uint64(1)<<uint(i))) {
+			sg.active[i].Store(true)
+			return i, true
+		}
+	}
+}
+
+// registry manages reader slot allocation for the engines as a growable
+// segmented array. The segment list is reached through an atomic pointer
+// and only ever grows (copy-on-append under growMu); individual segments
+// never move, so concurrent WaitForReaders scans iterate a stable prefix
+// without locks or copies. Acquire and release are lock-free segment
+// bitmap operations — O(1) amortized, versus the former global mutex
+// with an O(MaxReaders) linear scan.
 type registry struct {
-	mu     sync.Mutex
-	used   []bool
-	active []pad.Bool
+	// cap, when positive, bounds the total slot count (the engine's
+	// MaxReaders); 0 means grow on demand without bound.
+	cap int
+	// newSeg allocates the engine's per-segment slot state for a new
+	// segment covering global slots [base, base+size). May be nil.
+	newSeg func(base, size int) any
+
+	segs   atomic.Pointer[[]*segment]
+	growMu sync.Mutex
+	// hint is the segment index acquire starts probing at — the last
+	// segment that had a free slot. Purely a performance hint.
+	hint atomic.Int32
 	// limit is a monotone high-water mark (highest ever active slot + 1);
 	// scans iterate [0, limit) and skip inactive slots. Keeping it monotone
 	// avoids shrink/reuse races and costs only a cheap flag test per
@@ -108,54 +203,170 @@ type registry struct {
 	count atomic.Int32
 }
 
-func newRegistry(maxReaders int) *registry {
-	if maxReaders <= 0 {
-		panic(fmt.Sprintf("prcu: maxReaders must be positive, got %d", maxReaders))
+// newRegistry returns a registry capped at capReaders slots (0 =
+// unbounded), with one segment pre-allocated. newSeg, when non-nil, is
+// invoked once per appended segment to allocate engine slot state.
+func newRegistry(capReaders int, newSeg func(base, size int) any) *registry {
+	if capReaders < 0 {
+		panic(fmt.Sprintf("prcu: maxReaders must be non-negative, got %d", capReaders))
 	}
-	return &registry{
-		used:   make([]bool, maxReaders),
-		active: make([]pad.Bool, maxReaders),
-	}
+	r := &registry{cap: capReaders, newSeg: newSeg}
+	empty := make([]*segment, 0)
+	r.segs.Store(&empty)
+	r.grow(0)
+	return r
 }
 
-func (r *registry) maxReaders() int { return len(r.used) }
+// maxReaders returns the configured cap (0 = unbounded).
+func (r *registry) maxReaders() int { return r.cap }
 
-// acquire reserves a free slot and marks it active.
-func (r *registry) acquire() (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for i := range r.used {
-		if !r.used[i] {
-			r.used[i] = true
-			r.active[i].Store(true)
-			if int32(i+1) > r.limit.Load() {
-				r.limit.Store(int32(i + 1))
+// capacity returns the number of slots currently allocated.
+func (r *registry) capacity() int {
+	segs := *r.segs.Load()
+	if len(segs) == 0 {
+		return 0
+	}
+	last := segs[len(segs)-1]
+	return last.base + last.size
+}
+
+// segments returns the current segment list. The returned slice is
+// immutable; later growth installs a new slice.
+func (r *registry) segments() []*segment { return *r.segs.Load() }
+
+// grow appends one segment, unless the cap is exhausted (returns false)
+// or another goroutine already grew past the seen segment count (returns
+// true so the caller rescans instead of over-growing).
+func (r *registry) grow(seen int) bool {
+	r.growMu.Lock()
+	defer r.growMu.Unlock()
+	segs := *r.segs.Load()
+	if len(segs) != seen {
+		return true
+	}
+	base := 0
+	if n := len(segs); n > 0 {
+		last := segs[n-1]
+		base = last.base + last.size
+	}
+	if r.cap > 0 && base >= r.cap {
+		return false
+	}
+	size := segSize
+	if r.cap > 0 && r.cap-base < size {
+		// Last segment of a capped registry: expose only the capped
+		// remainder as free bits so acquire exhausts at exactly cap.
+		size = r.cap - base
+	}
+	sg := &segment{base: base, size: size}
+	if size == segSize {
+		sg.free.Store(^uint64(0))
+	} else {
+		sg.free.Store(uint64(1)<<uint(size) - 1)
+	}
+	if r.newSeg != nil {
+		sg.state = r.newSeg(base, size)
+	}
+	next := make([]*segment, len(segs)+1)
+	copy(next, segs)
+	next[len(segs)] = sg
+	r.segs.Store(&next)
+	return true
+}
+
+// acquire reserves a free slot and marks it active, growing the segment
+// list when every existing segment is full.
+func (r *registry) acquire() (int, *segment, error) {
+	for {
+		segs := *r.segs.Load()
+		n := len(segs)
+		start := int(r.hint.Load())
+		if start < 0 || start >= n {
+			start = 0
+		}
+		for k := 0; k < n; k++ {
+			si := start + k
+			if si >= n {
+				si -= n
+			}
+			sg := segs[si]
+			i, ok := sg.claim()
+			if !ok {
+				continue
+			}
+			r.hint.Store(int32(si))
+			slot := sg.base + i
+			for {
+				l := r.limit.Load()
+				if int32(slot) < l || r.limit.CompareAndSwap(l, int32(slot)+1) {
+					break
+				}
 			}
 			r.count.Add(1)
-			return i, nil
+			return slot, sg, nil
+		}
+		if !r.grow(n) {
+			return 0, nil, ErrTooManyReaders
 		}
 	}
-	return 0, ErrTooManyReaders
 }
 
-// release returns slot i to the free pool. The caller must have already
+// release returns slot to the free pool. The caller must have already
 // reset the engine-specific slot state to quiescent.
-func (r *registry) release(i int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.used[i] {
-		panic(fmt.Sprintf("prcu: double release of reader slot %d", i))
+func (r *registry) release(slot int) {
+	segs := *r.segs.Load()
+	si := slot >> segShift
+	if slot < 0 || si >= len(segs) || slot-segs[si].base >= segs[si].size {
+		panic(fmt.Sprintf("prcu: release of unknown reader slot %d", slot))
 	}
-	r.active[i].Store(false)
-	r.used[i] = false
+	sg := segs[si]
+	i := slot - sg.base
+	bit := uint64(1) << uint(i)
+	if sg.free.Load()&bit != 0 {
+		panic(fmt.Sprintf("prcu: double release of reader slot %d", slot))
+	}
+	// Clear active before freeing the slot: once the free bit is visible a
+	// new claimant may set active again, and that store must not be
+	// overwritten by this release.
+	sg.active[i].Store(false)
+	for {
+		f := sg.free.Load()
+		if f&bit != 0 {
+			panic(fmt.Sprintf("prcu: double release of reader slot %d", slot))
+		}
+		if sg.free.CompareAndSwap(f, f|bit) {
+			break
+		}
+	}
+	r.hint.Store(int32(si))
 	r.count.Add(-1)
 }
 
 // scanLimit returns the exclusive upper bound for slot scans.
 func (r *registry) scanLimit() int { return int(r.limit.Load()) }
 
-// isActive reports whether slot i currently belongs to a registered reader.
-func (r *registry) isActive(i int) bool { return r.active[i].Load() }
+// forEachActive invokes fn for every active slot below the current scan
+// limit, handing it the slot's segment and in-segment index. A released
+// slot is always left quiescent by the owning engine before its active
+// flag clears, so a concurrent scan observing a stale flag sees either an
+// active quiescent slot or an inactive one — both safe.
+func (r *registry) forEachActive(fn func(sg *segment, i int)) {
+	limit := int(r.limit.Load())
+	for _, sg := range *r.segs.Load() {
+		if sg.base >= limit {
+			return
+		}
+		n := sg.size
+		if limit-sg.base < n {
+			n = limit - sg.base
+		}
+		for i := 0; i < n; i++ {
+			if sg.active[i].Load() {
+				fn(sg, i)
+			}
+		}
+	}
+}
 
 // liveReaders returns the number of registered readers.
 func (r *registry) liveReaders() int { return int(r.count.Load()) }

@@ -72,8 +72,9 @@ type Nop struct {
 	reg *registry
 }
 
-// NewNop returns a no-op engine with capacity for maxReaders readers.
-func NewNop(maxReaders int) *Nop { return &Nop{reg: newRegistry(maxReaders)} }
+// NewNop returns a no-op engine capped at maxReaders readers (0 = grow on
+// demand).
+func NewNop(maxReaders int) *Nop { return &Nop{reg: newRegistry(maxReaders, nil)} }
 
 // Name implements RCU.
 func (n *Nop) Name() string { return "No-op (unsafe)" }
@@ -81,14 +82,18 @@ func (n *Nop) Name() string { return "No-op (unsafe)" }
 // MaxReaders implements RCU.
 func (n *Nop) MaxReaders() int { return n.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (n *Nop) LiveReaders() int { return n.reg.liveReaders() }
+
 type nopReader struct {
+	readerGuard
 	n    *Nop
 	slot int
 }
 
 // Register implements RCU.
 func (n *Nop) Register() (Reader, error) {
-	slot, err := n.reg.acquire()
+	slot, _, err := n.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
@@ -98,11 +103,17 @@ func (n *Nop) Register() (Reader, error) {
 // WaitForReaders implements RCU: returns immediately, waiting for no one.
 func (n *Nop) WaitForReaders(Predicate) {}
 
-// Enter implements Reader: does nothing.
+// Enter implements Reader: does nothing. Deliberately unguarded — Nop
+// measures the zero-synchronization ceiling, so its read side must stay
+// empty; Unregister misuse is still caught below.
 func (r *nopReader) Enter(Value) {}
 
 // Exit implements Reader: does nothing.
 func (r *nopReader) Exit(Value) {}
 
 // Unregister implements Reader.
-func (r *nopReader) Unregister() { r.n.reg.release(r.slot) }
+func (r *nopReader) Unregister() {
+	r.closing()
+	r.markClosed()
+	r.n.reg.release(r.slot)
+}

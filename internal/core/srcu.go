@@ -22,10 +22,10 @@ type SRCU struct {
 	node dNode
 }
 
-// NewSRCU returns an SRCU instance ("subsystem") with capacity for
-// maxReaders concurrent readers.
+// NewSRCU returns an SRCU instance ("subsystem") capped at maxReaders
+// concurrent readers (0 = grow on demand).
 func NewSRCU(maxReaders int) *SRCU {
-	return &SRCU{reg: newRegistry(maxReaders)}
+	return &SRCU{reg: newRegistry(maxReaders, nil)}
 }
 
 // Name implements RCU.
@@ -34,7 +34,11 @@ func (s *SRCU) Name() string { return "SRCU" }
 // MaxReaders implements RCU.
 func (s *SRCU) MaxReaders() int { return s.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (s *SRCU) LiveReaders() int { return s.reg.liveReaders() }
+
 type srcuReader struct {
+	readerGuard
 	s    *SRCU
 	lane *obs.ReaderLane
 	slot int
@@ -42,9 +46,11 @@ type srcuReader struct {
 	inCS bool
 }
 
-// Register implements RCU.
+// Register implements RCU. SRCU readers carry no scanned per-slot state —
+// the shared counter node is the state — but slots still bound and account
+// for the reader population.
 func (s *SRCU) Register() (Reader, error) {
-	slot, err := s.reg.acquire()
+	slot, _, err := s.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
@@ -54,6 +60,7 @@ func (s *SRCU) Register() (Reader, error) {
 // Enter implements Reader (srcu_read_lock). The value is ignored: the
 // subsystem is the granularity, not the value.
 func (r *srcuReader) Enter(v Value) {
+	r.check()
 	if r.inCS {
 		panic("prcu: nested read-side critical sections are not supported")
 	}
@@ -68,6 +75,7 @@ func (r *srcuReader) Enter(v Value) {
 
 // Exit implements Reader (srcu_read_unlock).
 func (r *srcuReader) Exit(v Value) {
+	r.check()
 	if !r.inCS {
 		panic("prcu: Exit without matching Enter")
 	}
@@ -80,9 +88,11 @@ func (r *srcuReader) Exit(v Value) {
 
 // Unregister implements Reader.
 func (r *srcuReader) Unregister() {
+	r.closing()
 	if r.inCS {
 		panic("prcu: Unregister inside a read-side critical section")
 	}
+	r.markClosed()
 	r.s.reg.release(r.slot)
 	r.s = nil
 }

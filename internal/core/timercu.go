@@ -15,23 +15,20 @@ type TimeRCU struct {
 	metered
 	reg   *registry
 	clock Clock
-	nodes []timeNode // value field unused; layout shared with EER
 }
 
-// NewTimeRCU returns a Time RCU engine with capacity for maxReaders
-// concurrent readers. If clock is nil the monotonic clock is used.
+// NewTimeRCU returns a Time RCU engine capped at maxReaders concurrent
+// readers (0 = grow on demand). If clock is nil the monotonic clock is
+// used.
 func NewTimeRCU(maxReaders int, clock Clock) *TimeRCU {
 	if clock == nil {
 		clock = tsc.NewMonotonic()
 	}
-	t := &TimeRCU{
-		reg:   newRegistry(maxReaders),
-		clock: clock,
-		nodes: make([]timeNode, maxReaders),
-	}
-	for i := range t.nodes {
-		t.nodes[i].time.Store(tsc.Infinity)
-	}
+	t := &TimeRCU{clock: clock}
+	// value field unused; layout shared with EER.
+	t.reg = newRegistry(maxReaders, func(base, size int) any {
+		return newTimeNodeSeg(size)
+	})
 	return t
 }
 
@@ -41,7 +38,11 @@ func (t *TimeRCU) Name() string { return "Time RCU" }
 // MaxReaders implements RCU.
 func (t *TimeRCU) MaxReaders() int { return t.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (t *TimeRCU) LiveReaders() int { return t.reg.liveReaders() }
+
 type timeReader struct {
+	readerGuard
 	t    *TimeRCU
 	node *timeNode
 	lane *obs.ReaderLane
@@ -50,17 +51,18 @@ type timeReader struct {
 
 // Register implements RCU.
 func (t *TimeRCU) Register() (Reader, error) {
-	slot, err := t.reg.acquire()
+	slot, sg, err := t.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
-	n := &t.nodes[slot]
+	n := &sg.state.([]timeNode)[slot-sg.base]
 	n.time.Store(tsc.Infinity)
 	return &timeReader{t: t, node: n, lane: t.lane(slot), slot: slot}, nil
 }
 
 // Enter implements Reader. The value is ignored: Time RCU is a plain RCU.
 func (r *timeReader) Enter(v Value) {
+	r.check()
 	r.node.time.Store(r.t.clock.Now())
 	if r.lane != nil {
 		r.lane.OnEnter(v)
@@ -69,6 +71,7 @@ func (r *timeReader) Enter(v Value) {
 
 // Exit implements Reader.
 func (r *timeReader) Exit(v Value) {
+	r.check()
 	if r.lane != nil {
 		r.lane.OnExit(v)
 	}
@@ -77,9 +80,11 @@ func (r *timeReader) Exit(v Value) {
 
 // Unregister implements Reader.
 func (r *timeReader) Unregister() {
+	r.closing()
 	if r.node.time.Load() != tsc.Infinity {
 		panic("prcu: Unregister inside a read-side critical section")
 	}
+	r.markClosed()
 	r.t.reg.release(r.slot)
 	r.node = nil
 }
@@ -93,15 +98,11 @@ func (t *TimeRCU) WaitForReaders(Predicate) {
 		start = m.WaitBegin()
 	}
 	t0 := t.clock.Now()
-	limit := t.reg.scanLimit()
 	var w spin.Waiter
 	var scanned, waited, parked uint64
-	for j := 0; j < limit; j++ {
-		if !t.reg.isActive(j) {
-			continue
-		}
+	t.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
-		n := &t.nodes[j]
+		n := &sg.state.([]timeNode)[i]
 		w.Reset()
 		looped := false
 		for n.time.Load() <= t0 {
@@ -114,7 +115,7 @@ func (t *TimeRCU) WaitForReaders(Predicate) {
 				parked++
 			}
 		}
-	}
+	})
 	if m != nil {
 		m.WaitEnd(start, scanned, waited, parked)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"prcu/internal/obs"
 	"prcu/internal/pad"
@@ -13,6 +14,46 @@ import (
 // even at modest reader counts, which is the structural property under
 // test.
 const treeFanout = 8
+
+// treeLevels is one generation of the combining tree, sized to cover a
+// fixed span of reader slots. When the registry grows past the span, the
+// next WaitForReaders builds a bigger generation and swaps it in — always
+// under the waiter lock and always while the tree is all-zero (the
+// previous grace period drained it), so seeded bits never live in an
+// abandoned generation.
+type treeLevels struct {
+	// slots is the number of leaf slots this generation covers.
+	slots int
+	// levels[0] are the leaves (bit j%treeFanout of word j/treeFanout is
+	// reader j); levels[l+1] has one bit per levels[l] word. The top level
+	// is a single word — the root the waiter polls.
+	levels [][]pad.Uint64
+	// masks/waited are waiter-local scratch, reused under mu.
+	masks  [][]uint64
+	waited []treeWaited
+}
+
+type treeWaited struct {
+	gen  uint64
+	slot int
+	// state points at the reader's generation counter, so the re-check
+	// does not have to chase the slot back through the segment list.
+	state *pad.Uint64
+}
+
+// buildTree returns an all-zero tree generation covering slots readers.
+func buildTree(slots int) *treeLevels {
+	tl := &treeLevels{slots: slots}
+	for n := slots; ; n = (n + treeFanout - 1) / treeFanout {
+		words := (n + treeFanout - 1) / treeFanout
+		tl.levels = append(tl.levels, make([]pad.Uint64, words))
+		tl.masks = append(tl.masks, make([]uint64, words))
+		if words == 1 {
+			break
+		}
+	}
+	return tl
+}
 
 // TreeRCU implements the Linux-kernel hierarchical RCU algorithm (§2.2)
 // under the paper's userspace restriction: the states between data
@@ -34,40 +75,36 @@ type TreeRCU struct {
 	metered
 	reg *registry
 	mu  sync.Mutex
-	// state[j] is reader j's generation: even = quiescent, odd = inside a
-	// critical section. The waiter snapshots generations to resolve the
-	// race between seeding a reader's bit and that reader exiting.
-	state []pad.Uint64
-	// levels[0] are the leaves (bit j%treeFanout of word j/treeFanout is
-	// reader j); levels[l+1] has one bit per levels[l] word. The top level
-	// is a single word — the root the waiter polls.
-	levels [][]pad.Uint64
-	// masks/waited are waiter-local scratch, reused under mu.
-	masks  [][]uint64
-	waited []treeWaited
+	// tree is the current combining-tree generation. Swapped only under mu
+	// and only while all-zero; readers load it on Exit. SC atomics order a
+	// reader's post-Enter tree load after the swap that preceded the
+	// waiter's snapshot of that reader, so a seeded reader always clears
+	// its bit in the generation it was seeded into (see WaitForReaders).
+	tree atomic.Pointer[treeLevels]
 }
 
-type treeWaited struct {
-	slot int
-	gen  uint64
-}
-
-// NewTreeRCU returns a Tree RCU engine with capacity for maxReaders
-// concurrent readers.
+// NewTreeRCU returns a Tree RCU engine capped at maxReaders concurrent
+// readers (0 = grow on demand). Per-reader state is a generation counter:
+// even = quiescent, odd = inside a critical section; the waiter snapshots
+// generations to resolve the race between seeding a reader's bit and that
+// reader exiting.
 func NewTreeRCU(maxReaders int) *TreeRCU {
-	t := &TreeRCU{
-		reg:   newRegistry(maxReaders),
-		state: make([]pad.Uint64, maxReaders),
-	}
-	for n := maxReaders; ; n = (n + treeFanout - 1) / treeFanout {
-		words := (n + treeFanout - 1) / treeFanout
-		t.levels = append(t.levels, make([]pad.Uint64, words))
-		t.masks = append(t.masks, make([]uint64, words))
-		if words == 1 {
-			break
-		}
-	}
+	t := &TreeRCU{}
+	t.reg = newRegistry(maxReaders, func(base, size int) any {
+		return make([]pad.Uint64, size)
+	})
+	t.tree.Store(buildTree(t.treeSpan()))
 	return t
+}
+
+// treeSpan is the number of leaf slots the combining tree must cover:
+// with a cap, the whole cap up front (the tree never needs to grow);
+// uncapped, the registry's currently allocated capacity.
+func (t *TreeRCU) treeSpan() int {
+	if c := t.reg.maxReaders(); c > 0 {
+		return c
+	}
+	return t.reg.capacity()
 }
 
 // Name implements RCU.
@@ -76,10 +113,14 @@ func (t *TreeRCU) Name() string { return "Tree RCU" }
 // MaxReaders implements RCU.
 func (t *TreeRCU) MaxReaders() int { return t.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (t *TreeRCU) LiveReaders() int { return t.reg.liveReaders() }
+
 // Levels returns the height of the combining tree (for tests).
-func (t *TreeRCU) Levels() int { return len(t.levels) }
+func (t *TreeRCU) Levels() int { return len(t.tree.Load().levels) }
 
 type treeReader struct {
+	readerGuard
 	t     *TreeRCU
 	state *pad.Uint64
 	lane  *obs.ReaderLane
@@ -88,11 +129,11 @@ type treeReader struct {
 
 // Register implements RCU.
 func (t *TreeRCU) Register() (Reader, error) {
-	slot, err := t.reg.acquire()
+	slot, sg, err := t.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
-	s := &t.state[slot]
+	s := &sg.state.([]pad.Uint64)[slot-sg.base]
 	if s.Load()&1 == 1 {
 		// A previous owner must have left the slot quiescent.
 		panic("prcu: reader slot reused while marked in-CS")
@@ -103,6 +144,7 @@ func (t *TreeRCU) Register() (Reader, error) {
 // Enter implements Reader: flip the generation to odd. No shared-global
 // work — this is the (near) zero-overhead read side of Tree RCU.
 func (r *treeReader) Enter(v Value) {
+	r.check()
 	r.state.Add(1)
 	if r.lane != nil {
 		r.lane.OnEnter(v)
@@ -112,18 +154,22 @@ func (r *treeReader) Enter(v Value) {
 // Exit implements Reader: flip the generation to even and report
 // quiescence by clearing our leaf bit if a waiter seeded it.
 func (r *treeReader) Exit(v Value) {
+	r.check()
 	if r.lane != nil {
 		r.lane.OnExit(v)
 	}
 	r.state.Add(1)
-	r.t.clearBit(0, r.slot/treeFanout, uint64(1)<<(r.slot%treeFanout))
+	tl := r.t.tree.Load()
+	clearBit(tl, 0, r.slot/treeFanout, uint64(1)<<(r.slot%treeFanout))
 }
 
 // Unregister implements Reader.
 func (r *treeReader) Unregister() {
+	r.closing()
 	if r.state.Load()&1 == 1 {
 		panic("prcu: Unregister inside a read-side critical section")
 	}
+	r.markClosed()
 	r.t.reg.release(r.slot)
 	r.state = nil
 }
@@ -132,9 +178,14 @@ func (r *treeReader) Unregister() {
 // to zero it propagates, clearing this word's bit in the parent. Clearing
 // an unset bit is a no-op and never propagates — that asymmetry is what
 // lets exits race harmlessly with a waiter that has not (or will not) seed
-// their bit.
-func (t *TreeRCU) clearBit(level, idx int, bit uint64) {
-	w := &t.levels[level][idx]
+// their bit. An index beyond the generation's span belongs to a reader
+// registered after the generation was built; such a reader is never
+// seeded into it, so there is nothing to clear.
+func clearBit(tl *treeLevels, level, idx int, bit uint64) {
+	if idx >= len(tl.levels[level]) {
+		return
+	}
+	w := &tl.levels[level][idx]
 	for {
 		old := w.Load()
 		if old&bit == 0 {
@@ -142,8 +193,8 @@ func (t *TreeRCU) clearBit(level, idx int, bit uint64) {
 		}
 		nw := old &^ bit
 		if w.CompareAndSwap(old, nw) {
-			if nw == 0 && level+1 < len(t.levels) {
-				t.clearBit(level+1, idx/treeFanout, uint64(1)<<(idx%treeFanout))
+			if nw == 0 && level+1 < len(tl.levels) {
+				clearBit(tl, level+1, idx/treeFanout, uint64(1)<<(idx%treeFanout))
 			}
 			return
 		}
@@ -152,13 +203,19 @@ func (t *TreeRCU) clearBit(level, idx int, bit uint64) {
 
 // WaitForReaders implements RCU. The predicate is ignored.
 //
-// Protocol: under the waiter lock, snapshot every reader's generation and
-// collect those currently inside a critical section; publish their bits
-// top-down (ancestors before leaves) so an exit can never propagate a clear
-// past an unset ancestor; re-check each collected generation and clear the
-// bits of readers that exited while we were seeding; then poll the root.
-// The previous grace period left the whole tree at zero, so the seeding
-// stores cannot clobber concurrent clears.
+// Protocol: under the waiter lock, grow the tree generation if the
+// registry outgrew it (safe: the previous grace period left the tree at
+// zero, and the swap is ordered before every snapshot read below, so any
+// reader we seed observes the new generation on exit); snapshot every
+// reader's generation and collect those currently inside a critical
+// section; publish their bits top-down (ancestors before leaves) so an
+// exit can never propagate a clear past an unset ancestor; re-check each
+// collected generation and clear the bits of readers that exited while we
+// were seeding; then poll the root.
+//
+// Readers in slots beyond the generation's span registered after the span
+// was fixed — i.e. after this wait began — so their critical sections are
+// not pre-existing and are legitimately skipped.
 func (t *TreeRCU) WaitForReaders(Predicate) {
 	m := t.met
 	var start int64
@@ -168,39 +225,46 @@ func (t *TreeRCU) WaitForReaders(Predicate) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
-	var scanned uint64
-	t.waited = t.waited[:0]
-	for l := range t.masks {
-		clear(t.masks[l])
+	tl := t.tree.Load()
+	if span := t.treeSpan(); span > tl.slots {
+		tl = buildTree(span)
+		t.tree.Store(tl)
 	}
-	limit := t.reg.scanLimit()
-	for j := 0; j < limit; j++ {
-		if !t.reg.isActive(j) {
-			continue
+
+	var scanned uint64
+	tl.waited = tl.waited[:0]
+	for l := range tl.masks {
+		clear(tl.masks[l])
+	}
+	t.reg.forEachActive(func(sg *segment, i int) {
+		slot := sg.base + i
+		if slot >= tl.slots {
+			return
 		}
 		scanned++
-		if gen := t.state[j].Load(); gen&1 == 1 {
-			t.waited = append(t.waited, treeWaited{slot: j, gen: gen})
-			t.masks[0][j/treeFanout] |= 1 << (j % treeFanout)
+		s := &sg.state.([]pad.Uint64)[i]
+		if gen := s.Load(); gen&1 == 1 {
+			tl.waited = append(tl.waited, treeWaited{gen: gen, slot: slot, state: s})
+			tl.masks[0][slot/treeFanout] |= 1 << (slot % treeFanout)
 		}
-	}
-	if len(t.waited) == 0 {
+	})
+	if len(tl.waited) == 0 {
 		if m != nil {
 			m.WaitEnd(start, scanned, 0, 0)
 		}
 		return
 	}
-	for l := 0; l+1 < len(t.masks); l++ {
-		for idx, m := range t.masks[l] {
-			if m != 0 {
-				t.masks[l+1][idx/treeFanout] |= 1 << (idx % treeFanout)
+	for l := 0; l+1 < len(tl.masks); l++ {
+		for idx, mask := range tl.masks[l] {
+			if mask != 0 {
+				tl.masks[l+1][idx/treeFanout] |= 1 << (idx % treeFanout)
 			}
 		}
 	}
-	for l := len(t.levels) - 1; l >= 0; l-- {
-		for idx, m := range t.masks[l] {
-			if m != 0 {
-				t.levels[l][idx].Store(m)
+	for l := len(tl.levels) - 1; l >= 0; l-- {
+		for idx, mask := range tl.masks[l] {
+			if mask != 0 {
+				tl.levels[l][idx].Store(mask)
 			}
 		}
 	}
@@ -208,12 +272,12 @@ func (t *TreeRCU) WaitForReaders(Predicate) {
 	// our snapshot and our seeding would never clear its bit — clear it on
 	// its behalf. If it is still in the snapshotted section, its own exit
 	// will clear.
-	for _, wd := range t.waited {
-		if t.state[wd.slot].Load() != wd.gen {
-			t.clearBit(0, wd.slot/treeFanout, uint64(1)<<(wd.slot%treeFanout))
+	for _, wd := range tl.waited {
+		if wd.state.Load() != wd.gen {
+			clearBit(tl, 0, wd.slot/treeFanout, uint64(1)<<(wd.slot%treeFanout))
 		}
 	}
-	root := &t.levels[len(t.levels)-1][0]
+	root := &tl.levels[len(tl.levels)-1][0]
 	var w spin.Waiter
 	for root.Load() != 0 {
 		w.Wait()
@@ -226,6 +290,6 @@ func (t *TreeRCU) WaitForReaders(Predicate) {
 		if w.Yielded() {
 			parked = 1
 		}
-		m.WaitEnd(start, scanned, uint64(len(t.waited)), parked)
+		m.WaitEnd(start, scanned, uint64(len(tl.waited)), parked)
 	}
 }

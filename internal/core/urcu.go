@@ -30,16 +30,15 @@ type URCU struct {
 	reg *registry
 	gp  pad.Uint64
 	mu  sync.Mutex
-	ctr []pad.Uint64
 }
 
-// NewURCU returns a URCU engine with capacity for maxReaders concurrent
-// readers.
+// NewURCU returns a URCU engine capped at maxReaders concurrent readers
+// (0 = grow on demand).
 func NewURCU(maxReaders int) *URCU {
-	u := &URCU{
-		reg: newRegistry(maxReaders),
-		ctr: make([]pad.Uint64, maxReaders),
-	}
+	u := &URCU{}
+	u.reg = newRegistry(maxReaders, func(base, size int) any {
+		return make([]pad.Uint64, size)
+	})
 	u.gp.Store(urcuCount)
 	return u
 }
@@ -50,7 +49,11 @@ func (u *URCU) Name() string { return "URCU" }
 // MaxReaders implements RCU.
 func (u *URCU) MaxReaders() int { return u.reg.maxReaders() }
 
+// LiveReaders returns the number of currently registered readers.
+func (u *URCU) LiveReaders() int { return u.reg.liveReaders() }
+
 type urcuReader struct {
+	readerGuard
 	u    *URCU
 	ctr  *pad.Uint64
 	lane *obs.ReaderLane
@@ -59,11 +62,11 @@ type urcuReader struct {
 
 // Register implements RCU.
 func (u *URCU) Register() (Reader, error) {
-	slot, err := u.reg.acquire()
+	slot, sg, err := u.reg.acquire()
 	if err != nil {
 		return nil, err
 	}
-	c := &u.ctr[slot]
+	c := &sg.state.([]pad.Uint64)[slot-sg.base]
 	c.Store(0)
 	return &urcuReader{u: u, ctr: c, lane: u.lane(slot), slot: slot}, nil
 }
@@ -72,6 +75,7 @@ func (u *URCU) Register() (Reader, error) {
 // value is ignored — URCU is a plain RCU. The SC atomic store provides the
 // memory fence URCU issues in rcu_read_lock.
 func (r *urcuReader) Enter(v Value) {
+	r.check()
 	r.ctr.Store(r.u.gp.Load())
 	if r.lane != nil {
 		r.lane.OnEnter(v)
@@ -80,6 +84,7 @@ func (r *urcuReader) Enter(v Value) {
 
 // Exit implements Reader: go offline.
 func (r *urcuReader) Exit(v Value) {
+	r.check()
 	if r.lane != nil {
 		r.lane.OnExit(v)
 	}
@@ -88,9 +93,11 @@ func (r *urcuReader) Exit(v Value) {
 
 // Unregister implements Reader.
 func (r *urcuReader) Unregister() {
+	r.closing()
 	if r.ctr.Load() != 0 {
 		panic("prcu: Unregister inside a read-side critical section")
 	}
+	r.markClosed()
 	r.u.reg.release(r.slot)
 	r.ctr = nil
 }
@@ -115,14 +122,10 @@ func (u *URCU) WaitForReaders(Predicate) {
 	for phase := 0; phase < 2; phase++ {
 		newGP := u.gp.Load() ^ urcuPhase
 		u.gp.Store(newGP)
-		limit := u.reg.scanLimit()
 		var w spin.Waiter
-		for j := 0; j < limit; j++ {
-			if !u.reg.isActive(j) {
-				continue
-			}
+		u.reg.forEachActive(func(sg *segment, i int) {
 			scanned++
-			c := &u.ctr[j]
+			c := &sg.state.([]pad.Uint64)[i]
 			w.Reset()
 			looped := false
 			for ongoing(c.Load(), newGP) {
@@ -135,7 +138,7 @@ func (u *URCU) WaitForReaders(Predicate) {
 					parked++
 				}
 			}
-		}
+		})
 	}
 	u.mu.Unlock()
 	if m != nil {

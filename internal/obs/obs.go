@@ -75,6 +75,12 @@ type Metrics struct {
 	sectionNs   stats.Histogram
 	sampleShift uint
 
+	// retiredEnters accumulates the enter counts of dead readers: when a
+	// slot is recycled its lane restarts from zero for the new owner
+	// (per-slot stats must not smear across owners), and the old owner's
+	// count moves here so Snapshot.Enters stays a monotone total.
+	retiredEnters pad.Uint64
+
 	trace traceHolder
 }
 
@@ -190,6 +196,21 @@ type ReaderLane struct {
 	sampling bool
 }
 
+// Recycle re-arms the lane for a new owner of its slot: the previous
+// owner's enter count retires into the metrics-wide accumulator (so
+// aggregate totals never go backwards) and any half-open duration sample
+// is abandoned. Engines call it when handing the lane to a freshly
+// registered reader; the previous owner has unregistered by then, so no
+// one else is writing the lane.
+func (l *ReaderLane) Recycle() {
+	l.m.retiredEnters.Add(l.enters.Swap(0))
+	l.sampling = false
+}
+
+// Enters returns the number of critical sections recorded for the lane's
+// current owner (since the last Recycle).
+func (l *ReaderLane) Enters() uint64 { return l.enters.Load() }
+
 // OnEnter records a critical-section entry on v. Called by the engine's
 // Enter after its own bookkeeping.
 func (l *ReaderLane) OnEnter(v uint64) {
@@ -230,6 +251,7 @@ func (m *Metrics) Reset() {
 	m.drainsGate.Store(0)
 	m.drainsPiggyback.Store(0)
 	m.sectionNs.Reset()
+	m.retiredEnters.Store(0)
 	m.laneMu.Lock()
 	for _, l := range m.lanes {
 		l.enters.Store(0)

@@ -64,7 +64,9 @@ type Snapshot struct {
 	DrainsPiggyback  uint64
 
 	// Enters is the total number of read-side critical sections across
-	// all reader lanes; SectionNs is the sampled duration distribution.
+	// all reader lanes, including readers that have since unregistered
+	// (their counts retire when a slot is recycled); SectionNs is the
+	// sampled duration distribution.
 	Enters    uint64
 	SectionNs HistSummary
 
@@ -98,6 +100,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if s.ReadersWaited > s.Parks {
 		s.SpinResolved = s.ReadersWaited - s.Parks
 	}
+	s.Enters = m.retiredEnters.Load()
 	m.laneMu.Lock()
 	for _, l := range m.lanes {
 		s.Enters += l.enters.Load()

@@ -36,6 +36,9 @@ func (p *Uint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
 // CompareAndSwap executes an atomic compare-and-swap.
 func (p *Uint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwap(old, new) }
 
+// Swap atomically stores v and returns the previous value.
+func (p *Uint64) Swap(v uint64) uint64 { return p.v.Swap(v) }
+
 // Int64 is a cache-line padded atomic int64.
 type Int64 struct {
 	v atomic.Int64

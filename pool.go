@@ -1,0 +1,139 @@
+package prcu
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ReaderPool caches registered readers for ephemeral goroutines.
+//
+// Register is cheap but not free — it claims a registry slot and, on some
+// engines, a block of per-reader state — so a goroutine that lives for one
+// request should not pay it per request. A ReaderPool keeps warm readers in
+// a sync.Pool: Get hands out an already-registered handle (registering a
+// fresh one only when the pool is empty), Put parks it for the next
+// borrower, and Critical wraps the whole borrow/Enter/Exit/return cycle
+// around one function call.
+//
+// A parked reader stays registered but quiescent, so it never delays
+// WaitForReaders. When the garbage collector purges the pool's cache (or a
+// borrowed handle is leaked), a finalizer unregisters the underlying
+// reader, so pooled slots are reclaimed rather than leaked.
+//
+// Long-lived, pinned goroutines should still call RCU.Register directly
+// and keep their Reader for life — that is one pointer dereference cheaper
+// per section and gives stable per-reader observability lanes. The pool is
+// for everything that comes and goes.
+//
+// A ReaderPool must not be copied after first use.
+type ReaderPool struct {
+	r    RCU
+	pool sync.Pool
+}
+
+// NewReaderPool returns a pool of registered readers of r. Use it with an
+// uncapped engine (Options.MaxReaders == 0, the default): Get panics if
+// the engine refuses to register a reader.
+func NewReaderPool(r RCU) *ReaderPool {
+	return &ReaderPool{r: r}
+}
+
+// pooledReader is the handle Get lends out. Its Unregister returns the
+// handle to the pool instead of releasing the underlying reader, so code
+// written against the plain Reader contract (register, use, unregister)
+// works unchanged on a pooled handle.
+type pooledReader struct {
+	rd   Reader
+	pool *ReaderPool
+	// out is true while the handle is checked out. Like the rest of the
+	// Reader contract it is single-goroutine state: it exists to turn
+	// use-after-Put bugs into immediate panics, not to synchronize.
+	out bool
+}
+
+// Get borrows a registered reader, registering a fresh one if the pool is
+// empty. The handle is for the calling goroutine only; return it with Put
+// (or its own Unregister) when done. Panics if the underlying engine is
+// capped and full.
+func (p *ReaderPool) Get() Reader {
+	if h, _ := p.pool.Get().(*pooledReader); h != nil {
+		h.out = true
+		return h
+	}
+	rd, err := p.r.Register()
+	if err != nil {
+		panic("prcu: ReaderPool.Get: " + err.Error())
+	}
+	h := &pooledReader{rd: rd, pool: p, out: true}
+	// If the handle becomes unreachable — leaked by a borrower, or parked
+	// in the pool when the GC purges the pool's cache — release its
+	// registry slot instead of leaking it.
+	runtime.SetFinalizer(h, finalizePooledReader)
+	return h
+}
+
+// Put returns a handle obtained from Get to the pool. The handle must be
+// quiescent (outside any critical section) and must not be used again
+// until re-borrowed. Put panics on a handle from another pool or on a
+// second Put of the same handle.
+func (p *ReaderPool) Put(rd Reader) {
+	h, ok := rd.(*pooledReader)
+	if !ok || h.pool != p {
+		panic("prcu: ReaderPool.Put of a Reader not obtained from this pool")
+	}
+	if !h.out {
+		panic("prcu: ReaderPool.Put called twice")
+	}
+	h.out = false
+	p.pool.Put(h)
+}
+
+// Critical runs fn inside a read-side critical section on v, borrowing a
+// pooled reader for the duration. The reader is exited and returned even
+// if fn panics.
+func (p *ReaderPool) Critical(v Value, fn func()) {
+	rd := p.Get()
+	rd.Enter(v)
+	defer criticalExit(p, rd, v)
+	fn()
+}
+
+// criticalExit is deferred by Critical as a plain call (no closure, no
+// allocation) so the borrow cycle stays cheap enough for hot paths.
+func criticalExit(p *ReaderPool, rd Reader, v Value) {
+	rd.Exit(v)
+	p.Put(rd)
+}
+
+// Enter implements Reader.
+func (h *pooledReader) Enter(v Value) {
+	if !h.out {
+		panic("prcu: use of pooled Reader after Put")
+	}
+	h.rd.Enter(v)
+}
+
+// Exit implements Reader.
+func (h *pooledReader) Exit(v Value) {
+	if !h.out {
+		panic("prcu: use of pooled Reader after Put")
+	}
+	h.rd.Exit(v)
+}
+
+// Unregister implements Reader by returning the handle to its pool — the
+// underlying reader stays registered and warm. This keeps Close/teardown
+// code portable between pinned and pooled readers.
+func (h *pooledReader) Unregister() {
+	h.pool.Put(h)
+}
+
+// finalizePooledReader releases the underlying registry slot of an
+// unreachable handle. A handle leaked inside a critical section cannot be
+// unregistered (the engine rejects that, and the section can never exit);
+// the recover keeps the finalizer goroutine alive and lets the slot leak,
+// which is the best available outcome for that bug.
+func finalizePooledReader(h *pooledReader) {
+	defer func() { _ = recover() }()
+	h.rd.Unregister()
+}

@@ -30,14 +30,24 @@
 //
 // # Usage
 //
-//	r := prcu.New(prcu.FlavorD, prcu.Options{MaxReaders: 64})
-//	rd, err := r.Register() // one per reader goroutine
+//	r := prcu.MustNew(prcu.FlavorD, prcu.Options{})
+//	rd, _ := r.Register() // one per long-lived reader goroutine
 //	...
-//	rd.Enter(key)           // read-side critical section on `key`
+//	rd.Enter(key)         // read-side critical section on `key`
 //	... traverse ...
 //	rd.Exit(key)
 //	...
 //	r.WaitForReaders(prcu.Interval(k+1, kPrime)) // updater
+//
+// The reader registry grows on demand — Register never fails unless
+// Options.MaxReaders sets an explicit cap. Pinned, long-lived goroutines
+// register once and keep their Reader; ephemeral goroutines (request
+// handlers and the like) should borrow a warm handle from a ReaderPool
+// instead:
+//
+//	pool := prcu.NewReaderPool(r)
+//	...
+//	pool.Critical(key, func() { ... traverse ... })
 //
 // See the examples directory for complete programs and packages citrus and
 // hashtable for the paper's two showcase applications.
@@ -80,8 +90,9 @@ type Reader = core.Reader
 // monotonic clock, this module's stand-in for the paper's TSC.
 type Clock = core.Clock
 
-// ErrTooManyReaders is returned by Register when the engine's reader slots
-// are exhausted.
+// ErrTooManyReaders is returned by Register when Options.MaxReaders set a
+// cap and all its slots are live. Uncapped engines (the default) never
+// return it.
 var ErrTooManyReaders = core.ErrTooManyReaders
 
 // All returns the wildcard predicate: it holds for every value, making any
@@ -129,10 +140,13 @@ func Flavors() []Flavor {
 }
 
 // Options configures engine construction. The zero value selects the
-// paper's evaluation parameters with capacity for 64 readers.
+// paper's evaluation parameters with an unbounded, grow-on-demand reader
+// registry.
 type Options struct {
-	// MaxReaders bounds concurrently registered readers. Default 64 (the
-	// paper's machine has 64 hardware threads).
+	// MaxReaders, when positive, caps concurrently registered readers;
+	// Register returns ErrTooManyReaders once the cap is live. The
+	// default 0 lets the reader registry grow on demand, in which case
+	// Register never fails.
 	MaxReaders int
 	// CounterTableSize is D-PRCU's |C|; power of two. Default 1024.
 	CounterTableSize int
@@ -151,9 +165,6 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxReaders == 0 {
-		o.MaxReaders = 64
-	}
 	if o.Clock == nil {
 		o.Clock = tsc.NewMonotonic()
 	}

@@ -13,8 +13,8 @@ func TestNewAllFlavors(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New(%s): %v", f, err)
 		}
-		if r.MaxReaders() != 64 {
-			t.Fatalf("%s default MaxReaders = %d, want 64", f, r.MaxReaders())
+		if r.MaxReaders() != 0 {
+			t.Fatalf("%s default MaxReaders = %d, want 0 (uncapped)", f, r.MaxReaders())
 		}
 		rd, err := r.Register()
 		if err != nil {

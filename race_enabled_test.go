@@ -1,0 +1,8 @@
+//go:build race
+
+package prcu_test
+
+// raceEnabled reports whether the race detector is on; some assertions
+// about sync.Pool reuse do not hold there (the runtime intentionally
+// drops a fraction of pooled items under -race).
+const raceEnabled = true
