@@ -20,6 +20,9 @@ echo "== go test -race (reader churn stress) =="
 go test -race -run 'TestReaderChurnConcurrentWaits|TestUncappedRegisterNeverFails' \
     -timeout 300s ./internal/core .
 
+echo "== go test -race (chaos torture: fault injection over every engine) =="
+go test -race -short -timeout 300s ./internal/chaos
+
 echo "== fuzz seed corpora replay =="
 go test -run 'Fuzz' -timeout 120s ./internal/core ./hashtable
 

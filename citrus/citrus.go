@@ -223,13 +223,14 @@ func (t *Tree) lookup(k uint64) (uint64, bool) {
 	return curr.value.Load(), true
 }
 
-// Get returns the value stored under k.
-func (h *Handle) Get(k uint64) (uint64, bool) {
+// Get returns the value stored under k. The traversal runs under
+// Reader.Do, so a panicking lookup re-raises with the critical section
+// closed instead of wedging every future covering grace period.
+func (h *Handle) Get(k uint64) (val uint64, ok bool) {
 	checkKey(k)
-	v := h.t.domain.MapKey(k)
-	h.rd.Enter(v)
-	val, ok := h.t.lookup(k)
-	h.rd.Exit(v)
+	h.rd.Do(h.t.domain.MapKey(k), func() {
+		val, ok = h.t.lookup(k)
+	})
 	return val, ok
 }
 

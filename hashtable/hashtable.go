@@ -129,28 +129,33 @@ func (h *Handle) Close() {
 // section, the lookup re-enters under the new generation, so an expansion
 // that published a new table always covers us through one of its bucket
 // predicates.
-func (h *Handle) Get(k uint64) (uint64, bool) {
+// The traversal runs under Reader.Do, so a panic (a corrupted chain, a
+// bug in node state) re-raises with the critical section closed instead
+// of wedging every future covering grace period.
+func (h *Handle) Get(k uint64) (val uint64, ok bool) {
 	m := h.m
 	for {
 		t := m.tbl.Load()
 		v := prcu.Value(k & t.mask)
-		h.rd.Enter(v)
-		if m.tbl.Load() != t {
-			h.rd.Exit(v)
-			continue
+		retry := false
+		h.rd.Do(v, func() {
+			if m.tbl.Load() != t {
+				retry = true
+				return
+			}
+			// Chains may alias other buckets' nodes mid-expansion, so match
+			// on the key, never on position.
+			n := t.heads[k&t.mask].Load()
+			for n != nil && n.key != k {
+				n = n.next.Load()
+			}
+			if n != nil {
+				val, ok = n.value.Load(), true
+			}
+		})
+		if !retry {
+			return val, ok
 		}
-		// Chains may alias other buckets' nodes mid-expansion, so match on
-		// the key, never on position.
-		n := t.heads[k&t.mask].Load()
-		for n != nil && n.key != k {
-			n = n.next.Load()
-		}
-		var val uint64
-		if n != nil {
-			val = n.value.Load()
-		}
-		h.rd.Exit(v)
-		return val, n != nil
 	}
 }
 
@@ -162,11 +167,12 @@ func (h *Handle) Contains(k uint64) bool {
 
 // Get is the one-shot form: it borrows a pooled reader for a single
 // lookup. Hot loops should hold a Handle instead and amortize the borrow.
+// The borrow is returned even if the lookup panics, so a failed lookup
+// never leaks a pooled reader slot.
 func (m *Map) Get(k uint64) (uint64, bool) {
 	h := Handle{m: m, rd: m.pool.Get()}
-	val, ok := h.Get(k)
-	m.pool.Put(h.rd)
-	return val, ok
+	defer m.pool.Put(h.rd)
+	return h.Get(k)
 }
 
 // Contains is the one-shot membership test; see Get.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"time"
 
 	"prcu"
@@ -66,6 +67,19 @@ func (i *InstrumentedRCU) WaitForReaders(p prcu.Predicate) {
 	t0 := time.Now()
 	i.inner.WaitForReaders(p)
 	i.ext.Record(time.Since(t0).Nanoseconds())
+}
+
+// WaitForReadersCtx implements prcu.RCU. With attached metrics the
+// engine times itself; otherwise the call is timed here (including
+// cancelled waits — an aborted wait still spent that time blocking).
+func (i *InstrumentedRCU) WaitForReadersCtx(ctx context.Context, p prcu.Predicate) error {
+	if i.met != nil {
+		return i.inner.WaitForReadersCtx(ctx, p)
+	}
+	t0 := time.Now()
+	err := i.inner.WaitForReadersCtx(ctx, p)
+	i.ext.Record(time.Since(t0).Nanoseconds())
+	return err
 }
 
 // ResetWaits discards the wait latencies recorded so far (used to drop

@@ -1,0 +1,255 @@
+// Package chaos wraps an engine with seeded, deterministic fault
+// injection for resilience testing: scheduler jitter around Enter,
+// delayed and stalled Exits that hold critical sections open past a
+// configured stall timeout, and jitter ahead of grace-period waits.
+//
+// The wrapper perturbs only *timing* — every fault is a delay or a
+// yield inserted around the inner engine's own operations, never a
+// dropped or reordered operation — so the PRCU safety property must
+// hold under any chaos schedule. The torture tests exploit that: they
+// run the standard safety harness over chaos-wrapped engines and
+// assert no grace period ever returns early, while separately
+// asserting the injected stalls actually trip the stall watchdog and
+// deadline-bounded waits time out cleanly.
+//
+// Fault decisions come from a splitmix64 stream per reader (seeded
+// from Config.Seed and the reader's registration index) and a shared
+// sequence for wait-side jitter, so a fixed seed yields a fixed fault
+// pattern per reader regardless of scheduling.
+package chaos
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"prcu/internal/core"
+	"prcu/internal/obs"
+)
+
+// yield hands the processor to another goroutine — the minimal
+// perturbation, essential on GOMAXPROCS=1 hosts where a sleep would
+// stall the whole test.
+func yield() { runtime.Gosched() }
+
+// sleep holds for d, degrading to a yield when no duration is set.
+func sleep(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(d)
+}
+
+// Config selects the faults to inject. Probabilities are in [0, 1];
+// zero disables that fault class. The zero Config injects nothing.
+type Config struct {
+	// Seed fixes the fault pattern; the same seed and reader
+	// registration order reproduce the same per-reader decisions.
+	Seed uint64
+
+	// EnterJitter is the probability that an Enter yields the
+	// scheduler before entering, widening the race window between
+	// readers and concurrent waiter snapshots.
+	EnterJitter float64
+
+	// ExitDelay is the probability that an Exit holds the critical
+	// section open for ExitDelayDur before the inner Exit runs —
+	// the "slow reader" a grace period must still wait out.
+	ExitDelay    float64
+	ExitDelayDur time.Duration
+
+	// Stall is the probability that an Exit holds the critical
+	// section open for StallDur — sized by the caller to exceed the
+	// engine's StallConfig.Timeout, so the watchdog must fire.
+	Stall    float64
+	StallDur time.Duration
+
+	// WaitJitter is the probability that a WaitForReaders(Ctx) call
+	// yields before starting, perturbing waiter/reader interleavings.
+	WaitJitter float64
+}
+
+// Counts reports how many faults of each class an Engine injected.
+type Counts struct {
+	EnterJitters uint64
+	ExitDelays   uint64
+	Stalls       uint64
+	WaitJitters  uint64
+}
+
+// Engine is a fault-injecting core.RCU wrapper; construct with Wrap.
+type Engine struct {
+	inner core.RCU
+
+	seed       uint64
+	enterThr   uint64
+	delayThr   uint64
+	stallThr   uint64
+	waitThr    uint64
+	delayDur   time.Duration
+	stallDur   time.Duration
+	readers    atomic.Uint64 // registration index stream
+	waitSeq    atomic.Uint64 // wait-side decision stream
+	nJitter    atomic.Uint64
+	nDelay     atomic.Uint64
+	nStall     atomic.Uint64
+	nWaitShake atomic.Uint64
+}
+
+// Wrap returns inner behind the fault injector configured by cfg.
+func Wrap(inner core.RCU, cfg Config) *Engine {
+	return &Engine{
+		inner:    inner,
+		seed:     splitmix64(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		enterThr: threshold(cfg.EnterJitter),
+		delayThr: threshold(cfg.ExitDelay),
+		stallThr: threshold(cfg.Stall),
+		waitThr:  threshold(cfg.WaitJitter),
+		delayDur: cfg.ExitDelayDur,
+		stallDur: cfg.StallDur,
+	}
+}
+
+// threshold converts a probability to a uint64 comparison bound.
+func threshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	return uint64(p * float64(math.MaxUint64))
+}
+
+// splitmix64 is the SplitMix64 output function (Steele et al.) — the
+// standard seeding/stream generator, chosen for statelessness and
+// determinism rather than quality at scale.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is a per-reader SplitMix64 stream. Readers are single-goroutine
+// by the Reader contract, so the state needs no synchronization.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return splitmix64(r.state)
+}
+
+// Name implements core.RCU.
+func (e *Engine) Name() string { return "chaos(" + e.inner.Name() + ")" }
+
+// MaxReaders implements core.RCU.
+func (e *Engine) MaxReaders() int { return e.inner.MaxReaders() }
+
+// Stats implements core.RCU.
+func (e *Engine) Stats() obs.Snapshot { return e.inner.Stats() }
+
+// Counts returns the faults injected so far.
+func (e *Engine) Counts() Counts {
+	return Counts{
+		EnterJitters: e.nJitter.Load(),
+		ExitDelays:   e.nDelay.Load(),
+		Stalls:       e.nStall.Load(),
+		WaitJitters:  e.nWaitShake.Load(),
+	}
+}
+
+// SetStallConfig arms the inner engine's stall watchdog, when it has
+// one (every internal/core engine does).
+func (e *Engine) SetStallConfig(cfg core.StallConfig) {
+	if sc, ok := e.inner.(core.StallCarrier); ok {
+		sc.SetStallConfig(cfg)
+	}
+}
+
+// Register implements core.RCU, wrapping the inner reader with the
+// fault injector. Each reader gets its own decision stream keyed by
+// its registration index.
+func (e *Engine) Register() (core.Reader, error) {
+	rd, err := e.inner.Register()
+	if err != nil {
+		return nil, err
+	}
+	idx := e.readers.Add(1)
+	return &reader{
+		e:  e,
+		rd: rd,
+		r:  rng{state: splitmix64(e.seed ^ idx*0xbf58476d1ce4e5b9)},
+	}, nil
+}
+
+// waitShake maybe-yields ahead of a grace-period wait. The decision
+// stream is keyed by a shared atomic sequence: deterministic in the
+// count of waits issued, independent of which goroutine issues them.
+func (e *Engine) waitShake() {
+	if e.waitThr == 0 {
+		return
+	}
+	if splitmix64(e.seed^e.waitSeq.Add(1)*0x94d049bb133111eb) < e.waitThr {
+		e.nWaitShake.Add(1)
+		yield()
+	}
+}
+
+// WaitForReaders implements core.RCU.
+func (e *Engine) WaitForReaders(p core.Predicate) {
+	e.waitShake()
+	e.inner.WaitForReaders(p)
+}
+
+// WaitForReadersCtx implements core.RCU.
+func (e *Engine) WaitForReadersCtx(ctx context.Context, p core.Predicate) error {
+	e.waitShake()
+	return e.inner.WaitForReadersCtx(ctx, p)
+}
+
+var _ core.RCU = (*Engine)(nil)
+
+// reader injects faults around one inner reader.
+type reader struct {
+	e  *Engine
+	rd core.Reader
+	r  rng
+}
+
+// Enter implements core.Reader: maybe jitter, then enter.
+func (c *reader) Enter(v core.Value) {
+	if c.e.enterThr != 0 && c.r.next() < c.e.enterThr {
+		c.e.nJitter.Add(1)
+		yield()
+	}
+	c.rd.Enter(v)
+}
+
+// Exit implements core.Reader: maybe hold the section open (a plain
+// delay, or a stall sized to outlast the watchdog timeout), then exit.
+// The hold happens *before* the inner Exit, so from the engine's view
+// the critical section genuinely stays open — waiters must wait it out
+// and the stall watchdog must see it.
+func (c *reader) Exit(v core.Value) {
+	if c.e.stallThr != 0 && c.r.next() < c.e.stallThr {
+		c.e.nStall.Add(1)
+		sleep(c.e.stallDur)
+	} else if c.e.delayThr != 0 && c.r.next() < c.e.delayThr {
+		c.e.nDelay.Add(1)
+		sleep(c.e.delayDur)
+	}
+	c.rd.Exit(v)
+}
+
+// Do implements core.Reader via the chaos Enter/Exit, preserving the
+// panic-safety guarantee.
+func (c *reader) Do(v core.Value, fn func()) { core.DoCritical(c, v, fn) }
+
+// Unregister implements core.Reader.
+func (c *reader) Unregister() { c.rd.Unregister() }
+
+var _ core.Reader = (*reader)(nil)

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
 
 // Async provides call_rcu-style deferred execution (§2.1 "Asynchronous
 // wait-for-readers"): Call records a callback and returns immediately; a
@@ -13,8 +17,24 @@ import "sync"
 // grace period — the worker waits per predicate, preserving PRCU's cheap
 // targeted waits. Callbacks sharing the exact moment of submission still
 // amortize channel and scheduling overhead by draining as a batch.
+//
+// Shutdown contract: Close drains every outstanding callback, running
+// each after its grace period, and only then stops the worker — a clean
+// Close never drops work. CloseCtx bounds that drain by a context, for
+// shutting down on top of a wedged engine: when the context expires, all
+// in-progress and remaining waits are cancelled, error-aware callbacks
+// (CallCtx) run with the cancellation error, and plain callbacks are
+// dropped (counted by Dropped) rather than run after an incomplete grace
+// period. Both are idempotent; concurrent and repeated calls all block
+// until the worker has stopped.
 type Async struct {
 	rcu RCU
+
+	// workCtx is cancelled to abort all waits at bounded shutdown; the
+	// worker survives cancelled waits and keeps draining (fast-failing)
+	// until the queue empties.
+	workCtx    context.Context
+	cancelWork context.CancelFunc
 
 	mu      sync.Mutex
 	pending []asyncCB
@@ -23,12 +43,21 @@ type Async struct {
 	idle    *sync.Cond
 	inFlite int
 
+	// dropped counts callbacks whose grace period did not complete and
+	// that had no error handler to take delivery of the failure.
+	dropped atomic.Uint64
+
 	done chan struct{}
 }
 
 type asyncCB struct {
 	pred Predicate
-	fn   func()
+	// ctx, when non-nil, bounds this callback's grace-period wait.
+	ctx context.Context
+	// Exactly one of fn/fnErr is set: fn runs only after a completed
+	// grace period; fnErr always runs and receives the wait's error.
+	fn    func()
+	fnErr func(error)
 }
 
 // NewAsync starts a deferral worker on top of r. Close must be called to
@@ -39,28 +68,50 @@ func NewAsync(r RCU) *Async {
 		kick: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
+	a.workCtx, a.cancelWork = context.WithCancel(context.Background())
 	a.idle = sync.NewCond(&a.mu)
 	go a.worker()
 	return a
 }
 
 // Call schedules fn to run after a grace period covering p. It never
-// blocks for the grace period. Call panics after Close.
+// blocks for the grace period. fn runs only if its grace period
+// completes; if the wait is cancelled by a bounded shutdown the callback
+// is dropped (see Dropped) — it must never observe an incomplete grace
+// period. Call panics after Close.
 func (a *Async) Call(p Predicate, fn func()) {
+	a.enqueue(asyncCB{pred: p, fn: fn})
+}
+
+// CallCtx schedules fn to run once a grace period covering p completes
+// or ctx is cancelled, whichever comes first: fn receives nil after a
+// full grace period, or the context's error when the wait was abandoned —
+// in which case the grace period did NOT complete and fn must not
+// reclaim. CallCtx panics after Close.
+func (a *Async) CallCtx(ctx context.Context, p Predicate, fn func(error)) {
+	a.enqueue(asyncCB{pred: p, ctx: ctx, fnErr: fn})
+}
+
+func (a *Async) enqueue(cb asyncCB) {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
 		panic("prcu: Call on closed Async")
 	}
-	a.pending = append(a.pending, asyncCB{pred: p, fn: fn})
+	a.pending = append(a.pending, cb)
 	a.mu.Unlock()
+	a.kickWorker()
+}
+
+func (a *Async) kickWorker() {
 	select {
 	case a.kick <- struct{}{}:
 	default:
 	}
 }
 
-// Barrier blocks until every callback submitted before it has executed.
+// Barrier blocks until every callback submitted before it has been
+// resolved — executed, or (under a bounded shutdown) dropped.
 func (a *Async) Barrier() {
 	a.mu.Lock()
 	for len(a.pending) > 0 || a.inFlite > 0 {
@@ -69,29 +120,62 @@ func (a *Async) Barrier() {
 	a.mu.Unlock()
 }
 
-// Pending returns the number of callbacks not yet executed.
+// Pending returns the number of callbacks not yet resolved.
 func (a *Async) Pending() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.pending) + a.inFlite
 }
 
+// Dropped returns the number of plain Call callbacks abandoned because
+// their grace-period wait was cancelled (CallCtx callbacks are never
+// dropped — they take delivery of the error instead).
+func (a *Async) Dropped() uint64 { return a.dropped.Load() }
+
 // Close drains all outstanding callbacks (running each after its grace
-// period) and stops the worker. Close is idempotent.
-func (a *Async) Close() {
+// period) and stops the worker. Close is idempotent: a second Close is a
+// no-op that blocks until the first drain finishes.
+func (a *Async) Close() { _ = a.CloseCtx(context.Background()) }
+
+// CloseCtx is Close bounded by ctx: if the drain has not finished when
+// ctx expires — a wedged reader can stall grace periods indefinitely —
+// every remaining wait is cancelled, error-aware callbacks run with the
+// cancellation error, plain callbacks are dropped, the worker stops, and
+// CloseCtx returns ctx.Err(). A nil error means a complete, clean drain.
+func (a *Async) CloseCtx(ctx context.Context) error {
 	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
-		<-a.done
-		return
-	}
+	already := a.closed
 	a.closed = true
 	a.mu.Unlock()
-	select {
-	case a.kick <- struct{}{}:
-	default:
+	if !already {
+		a.kickWorker()
 	}
-	<-a.done
+	var cdone <-chan struct{}
+	if ctx != nil {
+		cdone = ctx.Done()
+	}
+	select {
+	case <-a.done:
+		return nil
+	case <-cdone:
+		a.cancelWork()
+		<-a.done
+		return ctx.Err()
+	}
+}
+
+// waitFor runs cb's grace-period wait, bounded by the callback's own
+// context (if any) and by the shutdown context.
+func (a *Async) waitFor(cb asyncCB) error {
+	if cb.ctx == nil {
+		return a.rcu.WaitForReadersCtx(a.workCtx, cb.pred)
+	}
+	// Merge: cancelled when either cb.ctx or workCtx is.
+	mctx, cancel := context.WithCancel(cb.ctx)
+	defer cancel()
+	stop := context.AfterFunc(a.workCtx, cancel)
+	defer stop()
+	return a.rcu.WaitForReadersCtx(mctx, cb.pred)
 }
 
 func (a *Async) worker() {
@@ -110,8 +194,17 @@ func (a *Async) worker() {
 		a.mu.Unlock()
 
 		for _, cb := range batch {
-			a.rcu.WaitForReaders(cb.pred)
-			cb.fn()
+			err := a.waitFor(cb)
+			switch {
+			case cb.fnErr != nil:
+				cb.fnErr(err)
+			case err == nil:
+				cb.fn()
+			default:
+				// The grace period did not complete; running fn now
+				// could free memory readers still hold. Drop it.
+				a.dropped.Add(1)
+			}
 			a.mu.Lock()
 			a.inFlite--
 			if a.inFlite == 0 && len(a.pending) == 0 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -113,5 +115,101 @@ func TestAsyncConcurrentCallers(t *testing.T) {
 	a.Barrier()
 	if got := ran.Load(); got != 400 {
 		t.Fatalf("ran %d callbacks, want 400", got)
+	}
+}
+
+func TestAsyncCallCtxDeliversCompletion(t *testing.T) {
+	a := NewAsync(NewTimeRCU(8, nil))
+	defer a.Close()
+	errs := make(chan error, 1)
+	a.CallCtx(context.Background(), All(), func(err error) { errs <- err })
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("CallCtx callback got %v, want nil after a clean grace period", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("CallCtx callback never ran")
+	}
+}
+
+func TestAsyncCallCtxDeliversDeadline(t *testing.T) {
+	r := NewEER(8, nil)
+	a := NewAsync(r)
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(7) // wedge every covering grace period
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	errs := make(chan error, 1)
+	a.CallCtx(ctx, Singleton(7), func(err error) { errs <- err })
+	select {
+	case err := <-errs:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("CallCtx callback got %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("CallCtx callback never ran on a wedged engine")
+	}
+	if got := a.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d; CallCtx callbacks take delivery, they are never dropped", got)
+	}
+	rd.Exit(7)
+	rd.Unregister()
+	a.Close()
+}
+
+// TestAsyncCloseCtxBoundedOnWedgedEngine is the shutdown-hardening
+// acceptance: a reader parked in a covered critical section would make a
+// plain Close hang forever; CloseCtx must give up at its deadline,
+// cancel the in-flight wait, drop the plain callback (it must not run
+// after an incomplete grace period), and stop the worker.
+func TestAsyncCloseCtxBoundedOnWedgedEngine(t *testing.T) {
+	r := NewEER(8, nil)
+	a := NewAsync(r)
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(7)
+	var ran atomic.Bool
+	a.Call(Singleton(7), func() { ran.Store(true) })
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := a.CloseCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseCtx on a wedged engine returned %v, want DeadlineExceeded", err)
+	}
+	if ran.Load() {
+		t.Fatal("plain callback ran although its grace period never completed")
+	}
+	if got := a.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	// Idempotent after a bounded shutdown too: the worker is gone, the
+	// call returns immediately.
+	if err := a.CloseCtx(context.Background()); err != nil {
+		t.Fatalf("second CloseCtx returned %v, want nil", err)
+	}
+	a.Close()
+	rd.Exit(7)
+	rd.Unregister()
+}
+
+func TestAsyncConcurrentClose(t *testing.T) {
+	a := NewAsync(NewDistRCU(4))
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		a.Call(All(), func() { ran.Add(1) })
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); a.Close() }()
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("concurrent Close ran %d callbacks, want 20", got)
 	}
 }

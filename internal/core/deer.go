@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"prcu/internal/obs"
@@ -22,6 +23,7 @@ const DefaultNodesPerReader = 16
 // coherence ping-pong fix of §4.3.
 type DEER struct {
 	metered
+	resilient
 	reg   *registry
 	clock Clock
 	// Each segment's state is one flat []timeNode allocation, carved into
@@ -64,6 +66,9 @@ func (d *DEER) MaxReaders() int { return d.reg.maxReaders() }
 
 // LiveReaders returns the number of currently registered readers.
 func (d *DEER) LiveReaders() int { return d.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (d *DEER) SlotCapacity() int { return d.reg.capacity() }
 
 // NodesPerReader returns the per-reader node-array size.
 func (d *DEER) NodesPerReader() int { return d.nodesPer }
@@ -115,6 +120,9 @@ func (r *deerReader) Exit(v Value) {
 	r.table[hashValue(v)&r.d.mask].time.Store(tsc.Infinity)
 }
 
+// Do implements Reader.
+func (r *deerReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
 // Unregister implements Reader.
 func (r *deerReader) Unregister() {
 	r.closing()
@@ -141,6 +149,14 @@ func (r *deerReader) Unregister() {
 // past t0 via that section's exit or a later re-entry, both of which mean
 // the pre-existing section has exited.
 func (d *DEER) WaitForReaders(p Predicate) {
+	if st := d.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		d.waitReaders(p, newControl(nil, st, p, d))
+		return
+	}
+	// Unarmed fast path: the pre-resilience wait, verbatim, so an unarmed
+	// wait costs exactly what it did before the watchdog existed. Keep in
+	// sync with waitReaders, its wc.step-controlled twin.
 	m := d.met
 	var start int64
 	if m != nil {
@@ -161,7 +177,7 @@ func (d *DEER) WaitForReaders(p Predicate) {
 					return true
 				}
 				visited |= 1 << idx
-				if d.waitAtNode(&table[idx], t0, p, &w) {
+				if looped, _ := d.waitAtNode(&table[idx], t0, p, &w, nil); looped {
 					readerWaited = true
 					readerParked = readerParked || w.Yielded()
 				}
@@ -169,7 +185,7 @@ func (d *DEER) WaitForReaders(p Predicate) {
 			})
 		} else {
 			for i := range table {
-				if d.waitAtNode(&table[i], t0, p, &w) {
+				if looped, _ := d.waitAtNode(&table[i], t0, p, &w, nil); looped {
 					readerWaited = true
 					readerParked = readerParked || w.Yielded()
 				}
@@ -187,23 +203,122 @@ func (d *DEER) WaitForReaders(p Predicate) {
 	}
 }
 
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx.
+func (d *DEER) WaitForReadersCtx(ctx context.Context, p Predicate) error {
+	wc := d.control(ctx, p, d)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return d.waitReaders(p, wc)
+}
+
+func (d *DEER) waitReaders(p Predicate, wc *waitControl) error {
+	m := d.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	t0 := d.clock.Now()
+	var w spin.Waiter
+	var scanned, waited, parked uint64
+	var werr error
+	d.reg.forEachActive(func(sg *segment, i int) {
+		if werr != nil {
+			return
+		}
+		scanned++
+		readerWaited, readerParked := false, false
+		table := d.readerTable(sg, i)
+		if p.Enumerable() {
+			var visited uint64 // nodesPer <= 64 covered by one word
+			p.ForEach(func(v Value) bool {
+				idx := hashValue(v) & d.mask
+				if visited&(1<<idx) != 0 {
+					return true
+				}
+				visited |= 1 << idx
+				looped, err := d.waitAtNode(&table[idx], t0, p, &w, wc)
+				if looped {
+					readerWaited = true
+					readerParked = readerParked || w.Yielded()
+				}
+				if err != nil {
+					werr = err
+					return false
+				}
+				return true
+			})
+		} else {
+			for i := range table {
+				looped, err := d.waitAtNode(&table[i], t0, p, &w, wc)
+				if looped {
+					readerWaited = true
+					readerParked = readerParked || w.Yielded()
+				}
+				if err != nil {
+					werr = err
+					break
+				}
+			}
+		}
+		if readerWaited {
+			waited++
+			if readerParked {
+				parked++
+			}
+		}
+	})
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
+	}
+	return werr
+}
+
 // waitAtNode blocks until node n's pre-existing covered critical section
-// (if any) has exited; it reports whether it had to wait at all.
-func (d *DEER) waitAtNode(n *timeNode, t0 int64, p Predicate, w *spin.Waiter) bool {
+// (if any) has exited; it reports whether it had to wait at all, and
+// surfaces cancellation from wc.
+func (d *DEER) waitAtNode(n *timeNode, t0 int64, p Predicate, w *spin.Waiter, wc *waitControl) (bool, error) {
 	w.Reset()
 	looped := false
 	for {
 		t := n.time.Load()
 		if t > t0 {
-			return looped
+			return looped, nil
 		}
 		if !p.Holds(n.value.Load()) {
 			// The critical section currently using this node is on an
 			// uncovered (hash-colliding) value; any covered pre-existing
 			// section on this node has already exited.
-			return looped
+			return looped, nil
 		}
 		looped = true
-		w.Wait()
+		if err := wc.step(w); err != nil {
+			return looped, err
+		}
 	}
+}
+
+// stalledReaders implements stallProber: for each active reader, the
+// covered open nodes in its table (one entry per open node, since
+// distinct values can occupy distinct nodes of the same reader).
+func (d *DEER) stalledReaders(p Predicate) []StalledReader {
+	now := d.clock.Now()
+	var out []StalledReader
+	d.reg.forEachActive(func(sg *segment, i int) {
+		table := d.readerTable(sg, i)
+		for j := range table {
+			t := table[j].time.Load()
+			if t == tsc.Infinity {
+				continue
+			}
+			v := table[j].value.Load()
+			if !p.Holds(v) {
+				continue
+			}
+			out = append(out, StalledReader{
+				Slot: sg.base + i, Value: v, HasValue: true, OpenFor: clampDur(now - t),
+			})
+		}
+	})
+	return out
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"prcu/internal/obs"
 	"prcu/internal/pad"
 	"prcu/internal/spin"
@@ -19,6 +21,7 @@ import (
 // successor).
 type DistRCU struct {
 	metered
+	resilient
 	reg *registry
 }
 
@@ -40,6 +43,9 @@ func (d *DistRCU) MaxReaders() int { return d.reg.maxReaders() }
 
 // LiveReaders returns the number of currently registered readers.
 func (d *DistRCU) LiveReaders() int { return d.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (d *DistRCU) SlotCapacity() int { return d.reg.capacity() }
 
 type distReader struct {
 	readerGuard
@@ -80,6 +86,9 @@ func (r *distReader) Exit(v Value) {
 	r.gen.Add(1)
 }
 
+// Do implements Reader.
+func (r *distReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
 // Unregister implements Reader.
 func (r *distReader) Unregister() {
 	r.closing()
@@ -92,7 +101,15 @@ func (r *distReader) Unregister() {
 }
 
 // WaitForReaders implements RCU. The predicate is ignored.
-func (d *DistRCU) WaitForReaders(Predicate) {
+func (d *DistRCU) WaitForReaders(p Predicate) {
+	if st := d.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		d.waitReaders(p, newControl(nil, st, p, d))
+		return
+	}
+	// Unarmed fast path: the pre-resilience wait, verbatim, so an unarmed
+	// wait costs exactly what it did before the watchdog existed. Keep in
+	// sync with waitReaders, its wc.step-controlled twin.
 	m := d.met
 	var start int64
 	if m != nil {
@@ -119,4 +136,63 @@ func (d *DistRCU) WaitForReaders(Predicate) {
 	if m != nil {
 		m.WaitEnd(start, scanned, waited, parked)
 	}
+}
+
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx.
+func (d *DistRCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
+	wc := d.control(ctx, p, d)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return d.waitReaders(p, wc)
+}
+
+func (d *DistRCU) waitReaders(_ Predicate, wc *waitControl) error {
+	m := d.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	var w spin.Waiter
+	var scanned, waited, parked uint64
+	var werr error
+	d.reg.forEachActive(func(sg *segment, i int) {
+		if werr != nil {
+			return
+		}
+		scanned++
+		g := &sg.state.([]pad.Uint64)[i]
+		s := g.Load()
+		if s&1 == 0 {
+			return
+		}
+		waited++
+		w.Reset()
+		for g.Load() == s {
+			if err := wc.step(&w); err != nil {
+				werr = err
+				break
+			}
+		}
+		if w.Yielded() {
+			parked++
+		}
+	})
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
+	}
+	return werr
+}
+
+// stalledReaders implements stallProber: readers whose generation counter
+// is odd (inside a critical section). No value or timestamp is tracked.
+func (d *DistRCU) stalledReaders(Predicate) []StalledReader {
+	var out []StalledReader
+	d.reg.forEachActive(func(sg *segment, i int) {
+		g := &sg.state.([]pad.Uint64)[i]
+		if g.Load()&1 == 1 {
+			out = append(out, StalledReader{Slot: sg.base + i})
+		}
+	})
+	return out
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,7 @@ func (t *dTable) index(v Value) uint64 { return hashValue(v) & t.mask }
 // draining the whole table, as described in §4.2.
 type D struct {
 	metered
+	resilient
 	reg *registry
 	tbl atomic.Pointer[dTable]
 	// old holds the previous table generation while a Resize drains it;
@@ -106,6 +108,9 @@ func (d *D) MaxReaders() int { return d.reg.maxReaders() }
 
 // LiveReaders returns the number of currently registered readers.
 func (d *D) LiveReaders() int { return d.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (d *D) SlotCapacity() int { return d.reg.capacity() }
 
 // TableSize returns |C|, the current counter table size.
 func (d *D) TableSize() int { return len(d.tbl.Load().nodes) }
@@ -190,6 +195,9 @@ func (r *dReader) Exit(v Value) {
 	r.node, r.tbl, r.inCS = nil, nil, false
 }
 
+// Do implements Reader.
+func (r *dReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
 // Unregister implements Reader.
 func (r *dReader) Unregister() {
 	r.closing()
@@ -209,6 +217,14 @@ func (r *dReader) Unregister() {
 // generation is drained in full — readers counted there may hold any
 // value, so only a global drain of that generation is conservative enough.
 func (d *D) WaitForReaders(p Predicate) {
+	if st := d.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		d.waitReaders(p, newControl(nil, st, p, d))
+		return
+	}
+	// Unarmed fast path: the pre-resilience wait, verbatim, so an unarmed
+	// wait costs exactly what it did before the watchdog existed. Keep in
+	// sync with waitReaders, its wc.step-controlled twin.
 	m := d.met
 	var start int64
 	if m != nil {
@@ -216,24 +232,82 @@ func (d *D) WaitForReaders(p Predicate) {
 	}
 	var agg drainAgg
 	// The updater's prior writes are ordered before the counter loads in
-	// drain by SC atomics (the paper's line 11 fence).
+	// drain by SC atomics (the paper's line 11 fence). A nil wc never
+	// errors, so the error returns are discarded here.
 	t := d.tbl.Load()
 	if !p.Enumerable() {
 		for j := range t.nodes {
-			agg.add(d.drainNode(&t.nodes[j]))
+			info, _ := d.drainNode(&t.nodes[j], nil)
+			agg.add(info)
 		}
 	} else {
-		d.drainCovered(t, p, &agg)
+		d.drainCoveredFast(t, p, &agg)
 	}
 	if o := d.old.Load(); o != nil && o != t {
 		for j := range o.nodes {
-			agg.add(d.drainNode(&o.nodes[j]))
+			info, _ := d.drainNode(&o.nodes[j], nil)
+			agg.add(info)
 		}
 	}
 	if m != nil {
 		m.DrainCounts(agg.opt, agg.gate, agg.piggy)
 		m.WaitEnd(start, agg.scanned, agg.waited, agg.parked)
 	}
+}
+
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx.
+// Cancellation is checked in the piggyback and gate-protocol wait loops
+// (the optimistic phase is already budget-bounded); aborting mid-gate
+// releases the node lock without advancing the drains counter, leaving
+// the protocol restartable by the next wait.
+func (d *D) WaitForReadersCtx(ctx context.Context, p Predicate) error {
+	wc := d.control(ctx, p, d)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return d.waitReaders(p, wc)
+}
+
+func (d *D) waitReaders(p Predicate, wc *waitControl) error {
+	m := d.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	var agg drainAgg
+	var werr error
+	// The updater's prior writes are ordered before the counter loads in
+	// drain by SC atomics (the paper's line 11 fence).
+	t := d.tbl.Load()
+	if !p.Enumerable() {
+		for j := range t.nodes {
+			info, err := d.drainNode(&t.nodes[j], wc)
+			agg.add(info)
+			if err != nil {
+				werr = err
+				break
+			}
+		}
+	} else {
+		werr = d.drainCovered(t, p, &agg, wc)
+	}
+	if werr == nil {
+		if o := d.old.Load(); o != nil && o != t {
+			for j := range o.nodes {
+				info, err := d.drainNode(&o.nodes[j], wc)
+				agg.add(info)
+				if err != nil {
+					werr = err
+					break
+				}
+			}
+		}
+	}
+	if m != nil {
+		m.DrainCounts(agg.opt, agg.gate, agg.piggy)
+		m.WaitEnd(start, agg.scanned, agg.waited, agg.parked)
+	}
+	return werr
 }
 
 // drainInfo reports how one node drain resolved: its outcome class,
@@ -271,11 +345,13 @@ func (a *drainAgg) add(i drainInfo) {
 	}
 }
 
-// drainCovered drains the nodes of t that p's values hash to, each once.
-func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg) {
-	// Dedup covered indices. Predicates in practice cover very few values
-	// (a bucket pair, a small key interval), so a small linear buffer
-	// avoids allocation; large predicates spill into a bitmap.
+// drainCovered drains the nodes of t that p's values hash to, each once,
+// stopping early on cancellation.
+// drainCoveredFast is the uncontrolled twin of drainCovered, used by the
+// unarmed WaitForReaders fast path (a nil wait control never errors, so
+// the error plumbing and its closure are dropped entirely). Keep the
+// dedup logic in sync with drainCovered.
+func (d *D) drainCoveredFast(t *dTable, p Predicate, agg *drainAgg) {
 	var small [16]uint64
 	seen := small[:0]
 	var bitmap []uint64
@@ -289,7 +365,8 @@ func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg) {
 			}
 			if len(seen) < cap(seen) {
 				seen = append(seen, idx)
-				agg.add(d.drainNode(&t.nodes[idx]))
+				info, _ := d.drainNode(&t.nodes[idx], nil)
+				agg.add(info)
 				return true
 			}
 			// Spill: promote to bitmap.
@@ -302,26 +379,72 @@ func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg) {
 			return true
 		}
 		bitmap[idx/64] |= 1 << (idx % 64)
-		agg.add(d.drainNode(&t.nodes[idx]))
+		info, _ := d.drainNode(&t.nodes[idx], nil)
+		agg.add(info)
 		return true
 	})
+}
+
+func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg, wc *waitControl) error {
+	// Dedup covered indices. Predicates in practice cover very few values
+	// (a bucket pair, a small key interval), so a small linear buffer
+	// avoids allocation; large predicates spill into a bitmap.
+	var small [16]uint64
+	seen := small[:0]
+	var bitmap []uint64
+	var werr error
+	drain := func(idx uint64) bool {
+		info, err := d.drainNode(&t.nodes[idx], wc)
+		agg.add(info)
+		if err != nil {
+			werr = err
+			return false
+		}
+		return true
+	}
+	p.ForEach(func(v Value) bool {
+		idx := t.index(v)
+		if bitmap == nil {
+			for _, s := range seen {
+				if s == idx {
+					return true
+				}
+			}
+			if len(seen) < cap(seen) {
+				seen = append(seen, idx)
+				return drain(idx)
+			}
+			// Spill: promote to bitmap.
+			bitmap = make([]uint64, (len(t.nodes)+63)/64)
+			for _, s := range seen {
+				bitmap[s/64] |= 1 << (s % 64)
+			}
+		}
+		if bitmap[idx/64]&(1<<(idx%64)) != 0 {
+			return true
+		}
+		bitmap[idx/64] |= 1 << (idx % 64)
+		return drain(idx)
+	})
+	return werr
 }
 
 // drainNode waits until node n has been observed with zero readers in each
 // counter (Lemma 1), first optimistically and then via the gate protocol
 // (Algorithm 2 lines 14–20), piggybacking on a concurrent drain when the
 // node lock is contended.
-func (d *D) drainNode(n *dNode) drainInfo {
+func (d *D) drainNode(n *dNode, wc *waitControl) (drainInfo, error) {
 	// Optimistic waiting (§4.2): hope readers drain naturally, avoiding the
 	// lock and the gate toggle. Lemma 1 needs each counter observed at zero
 	// at some point during the wait — not simultaneously — so the two
-	// observations are tracked independently.
+	// observations are tracked independently. The phase is budget-bounded,
+	// so no cancellation check is needed inside it.
 	info := drainInfo{outcome: obs.DrainOptimistic}
 	if d.optBudget > 0 {
 		seen0 := n.readers[0].Load() == 0
 		seen1 := n.readers[1].Load() == 0
 		if seen0 && seen1 {
-			return info // clean: no readers present on first look
+			return info, nil // clean: no readers present on first look
 		}
 		info.waited = true
 		if spin.UntilBudget(func() bool {
@@ -329,7 +452,7 @@ func (d *D) drainNode(n *dNode) drainInfo {
 			seen1 = seen1 || n.readers[1].Load() == 0
 			return seen0 && seen1
 		}, d.optBudget) {
-			return info
+			return info, nil
 		}
 	}
 	info.waited = true
@@ -346,28 +469,75 @@ func (d *D) drainNode(n *dNode) drainInfo {
 		if n.drains.Load() >= s0+2 {
 			info.outcome = obs.DrainPiggyback
 			info.parked = w.Yielded()
-			return info
+			return info, nil
 		}
-		w.Wait()
+		if err := wc.step(&w); err != nil {
+			info.parked = w.Yielded()
+			return info, err
+		}
 	}
 
 	// Full protocol: drain the inactive phase, toggle the gate so new
 	// arrivals use the drained phase, then drain the previously active
-	// phase. Termination needs only that readers keep taking steps.
+	// phase. Termination needs only that readers keep taking steps. On
+	// cancellation the lock is released without advancing drains — the
+	// protocol is restartable, and a mid-protocol gate toggle only means
+	// the next drain starts from the other phase.
 	info.outcome = obs.DrainGate
 	g := n.gate.Load() & 1
 	w.Reset()
 	for n.readers[1-g].Load() != 0 {
-		w.Wait()
+		if err := wc.step(&w); err != nil {
+			info.parked = w.Yielded()
+			n.mu.Unlock()
+			return info, err
+		}
 	}
 	n.gate.Store(1 - g)
 	for n.readers[g].Load() != 0 {
-		w.Wait()
+		if err := wc.step(&w); err != nil {
+			info.parked = w.Yielded()
+			n.mu.Unlock()
+			return info, err
+		}
 	}
 	info.parked = w.Yielded()
 	n.drains.Add(1)
 	n.mu.Unlock()
-	return info
+	return info, nil
+}
+
+// stalledReaders implements stallProber. D-PRCU waits block on counter
+// nodes, not readers, so Slot is the counter-node index in the current
+// table; for an enumerable predicate Value records one covered value that
+// hashes to the node (the diagnostic the hash obscures otherwise).
+func (d *D) stalledReaders(p Predicate) []StalledReader {
+	t := d.tbl.Load()
+	occupied := func(n *dNode) bool {
+		return n.readers[0].Load() != 0 || n.readers[1].Load() != 0
+	}
+	var out []StalledReader
+	if !p.Enumerable() {
+		for j := range t.nodes {
+			if occupied(&t.nodes[j]) {
+				out = append(out, StalledReader{Slot: j})
+			}
+		}
+		return out
+	}
+	seen := make(map[uint64]bool)
+	p.ForEach(func(v Value) bool {
+		idx := t.index(v)
+		if seen[idx] {
+			return true
+		}
+		seen[idx] = true
+		if occupied(&t.nodes[idx]) {
+			out = append(out, StalledReader{Slot: int(idx), Value: v, HasValue: true})
+		}
+		return true
+	})
+	return out
 }
 
 // Resize installs a counter table of newSize (a power of two) — the table
@@ -387,7 +557,7 @@ func (d *D) Resize(newSize int) {
 	d.old.Store(ot)
 	d.tbl.Store(nt)
 	for j := range ot.nodes {
-		d.drainNode(&ot.nodes[j])
+		d.drainNode(&ot.nodes[j], nil)
 	}
 	d.old.Store(nil)
 }

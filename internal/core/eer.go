@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"prcu/internal/obs"
 	"prcu/internal/pad"
 	"prcu/internal/spin"
@@ -39,6 +41,7 @@ func newTimeNodeSeg(n int) []timeNode {
 // and cross-thread consistency (see internal/tsc).
 type EER struct {
 	metered
+	resilient
 	reg   *registry
 	clock Clock
 }
@@ -65,6 +68,9 @@ func (e *EER) MaxReaders() int { return e.reg.maxReaders() }
 
 // LiveReaders returns the number of currently registered readers.
 func (e *EER) LiveReaders() int { return e.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (e *EER) SlotCapacity() int { return e.reg.capacity() }
 
 // eerReader is one registered EER reader (one slot of the Nodes array).
 type eerReader struct {
@@ -109,6 +115,9 @@ func (r *eerReader) Exit(v Value) {
 	r.node.time.Store(tsc.Infinity)
 }
 
+// Do implements Reader.
+func (r *eerReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
 // Unregister implements Reader.
 func (r *eerReader) Unregister() {
 	r.closing()
@@ -129,6 +138,14 @@ func (r *eerReader) Unregister() {
 // immediately. This removes the paper's "for each thread Tj != Ti"
 // bookkeeping without changing behavior.
 func (e *EER) WaitForReaders(p Predicate) {
+	if st := e.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		e.waitReaders(p, newControl(nil, st, p, e))
+		return
+	}
+	// Unarmed fast path: the pre-resilience wait, verbatim, so an unarmed
+	// wait costs exactly what it did before the watchdog existed. Keep in
+	// sync with waitReaders, its wc.step-controlled twin.
 	m := e.met
 	var start int64
 	if m != nil {
@@ -174,4 +191,92 @@ func (e *EER) WaitForReaders(p Predicate) {
 	if m != nil {
 		m.WaitEnd(start, scanned, waited, parked)
 	}
+}
+
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx.
+func (e *EER) WaitForReadersCtx(ctx context.Context, p Predicate) error {
+	wc := e.control(ctx, p, e)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return e.waitReaders(p, wc)
+}
+
+func (e *EER) waitReaders(p Predicate, wc *waitControl) error {
+	m := e.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	// Algorithm 1 line 10's fence (make the updater's prior writes visible
+	// before reading the clock) is implied by SC ordering of the atomic
+	// node loads below against the caller's preceding atomic stores.
+	t0 := e.clock.Now()
+	var w spin.Waiter
+	var scanned, waited, parked uint64
+	var werr error
+	e.reg.forEachActive(func(sg *segment, i int) {
+		if werr != nil {
+			return
+		}
+		scanned++
+		n := &sg.state.([]timeNode)[i]
+		w.Reset()
+		looped := false
+		for {
+			// Re-evaluating the predicate each iteration (rather than once,
+			// as the pseudo code shows) only relaxes waiting: if the reader
+			// re-entered on a value P does not hold for, its pre-existing
+			// critical section has necessarily exited.
+			t := n.time.Load()
+			if t > t0 {
+				break
+			}
+			if !p.Holds(n.value.Load()) {
+				// The value current at this instant is not covered. Any
+				// covered critical section this reader held was entered
+				// with an earlier value and has since exited (single
+				// writer, no nesting).
+				break
+			}
+			looped = true
+			if err := wc.step(&w); err != nil {
+				werr = err
+				break
+			}
+		}
+		if looped {
+			waited++
+			if w.Yielded() {
+				parked++
+			}
+		}
+	})
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
+	}
+	return werr
+}
+
+// stalledReaders implements stallProber: the covered open critical
+// sections a wait on p is blocked on, read from the same per-slot nodes
+// the wait scans.
+func (e *EER) stalledReaders(p Predicate) []StalledReader {
+	now := e.clock.Now()
+	var out []StalledReader
+	e.reg.forEachActive(func(sg *segment, i int) {
+		n := &sg.state.([]timeNode)[i]
+		t := n.time.Load()
+		if t == tsc.Infinity {
+			return
+		}
+		v := n.value.Load()
+		if !p.Holds(v) {
+			return
+		}
+		out = append(out, StalledReader{
+			Slot: sg.base + i, Value: v, HasValue: true, OpenFor: clampDur(now - t),
+		})
+	})
+	return out
 }

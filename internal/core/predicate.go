@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // Value is the opaque, algorithm-specific domain value a reader presents to
 // prcu_enter/prcu_exit and a predicate is evaluated over. The paper (§3.1)
 // envisions "a generic encoding of values (say, 64-bit integers)"; we use
@@ -93,6 +95,27 @@ func incValue(v Value) Value { return v + 1 }
 
 // Kind reports the predicate's encoding.
 func (p Predicate) Kind() PredicateKind { return p.kind }
+
+// String describes the predicate for diagnostics (stall reports, traces).
+// General predicates are opaque functions, so their description carries
+// no value information.
+func (p Predicate) String() string {
+	switch p.kind {
+	case KindAll:
+		return "all"
+	case KindFunc:
+		return "func"
+	case KindSingleton:
+		return fmt.Sprintf("singleton(%d)", p.first)
+	case KindIterable:
+		if p.unitStep {
+			return fmt.Sprintf("interval[%d,%d]", p.first, p.last)
+		}
+		return fmt.Sprintf("iterable(%d..%d)", p.first, p.last)
+	default:
+		return "invalid"
+	}
+}
 
 // Enumerable reports whether the engine can iterate the values the
 // predicate holds for (singleton or iterable). D-PRCU exploits enumerable

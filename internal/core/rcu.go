@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -29,6 +30,16 @@ type RCU interface {
 	// readers regardless of p.
 	WaitForReaders(p Predicate)
 
+	// WaitForReadersCtx is WaitForReaders bounded by ctx: it returns nil
+	// after a full grace period on p, or ctx.Err() as soon as ctx is
+	// cancelled or its deadline passes. An error return means the grace
+	// period did NOT complete — the caller must not reclaim. Cancellation
+	// is polled on the wait loops' park/backoff transitions, so a wait
+	// blocked on a stalled reader returns within a scheduler yield or two
+	// of the deadline. A nil or never-cancelled ctx behaves exactly like
+	// WaitForReaders.
+	WaitForReadersCtx(ctx context.Context, p Predicate) error
+
 	// MaxReaders returns the configured reader cap, or 0 when the engine
 	// grows its reader registry on demand.
 	MaxReaders() int
@@ -50,6 +61,15 @@ type RCU interface {
 type MetricsCarrier interface {
 	SetMetrics(*obs.Metrics)
 	Metrics() *obs.Metrics
+}
+
+// SlotCapacitor is implemented by every engine backed by the segmented
+// reader registry: SlotCapacity reports the number of reader slots
+// currently allocated (≥ live readers, grows on demand). Observability
+// attachment uses it to presize per-reader metric lanes for uncapped
+// engines, whose MaxReaders is 0.
+type SlotCapacitor interface {
+	SlotCapacity() int
 }
 
 // metered is the observability hook point embedded by every engine. The
@@ -89,6 +109,11 @@ type Reader interface {
 	Enter(v Value)
 	// Exit ends the read-side critical section on v.
 	Exit(v Value)
+	// Do runs fn inside a read-side critical section on v, guaranteeing
+	// Exit even if fn panics (the panic is re-raised). A panicking
+	// callback can therefore never leave the section open and wedge
+	// every future covering grace period.
+	Do(v Value, fn func())
 	// Unregister releases the slot. The reader must be quiescent (outside
 	// any critical section) and must not be used afterwards; engines panic
 	// on a second Unregister or on Enter/Exit after Unregister.

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"prcu/internal/obs"
+	"prcu/internal/spin"
+	"prcu/internal/tsc"
+)
+
+// This file is the grace-period resilience layer shared by every engine:
+// deadline/cancellation-aware waiting (WaitForReadersCtx) and the stall
+// watchdog (StallConfig/StallReport). Both piggyback on the waiting
+// discipline the engines already use — checks run only once a
+// spin.Waiter has crossed from pure spinning into scheduler yields, so
+// the common fast path (wait resolves within the spin budget, or no
+// covered readers at all) executes exactly the pre-resilience code: for
+// a wait with no Context and no watchdog configured, the only addition
+// is one atomic pointer load at wait start.
+
+// DefaultStallRateLimit is the minimum interval between repeat stall
+// reports for one engine, in the spirit of the kernel's RCU CPU stall
+// warnings: a wedged grace period keeps re-reporting, but at a bounded
+// rate however many waiters are stuck on it.
+const DefaultStallRateLimit = 10 * time.Second
+
+// StallConfig arms an engine's grace-period stall watchdog.
+type StallConfig struct {
+	// Timeout is how long a single WaitForReaders may block before the
+	// watchdog fires. Zero or negative disarms the watchdog.
+	Timeout time.Duration
+	// OnStall, when non-nil, receives the report. It is invoked from the
+	// stalled waiter's goroutine and must not call back into the engine's
+	// wait paths.
+	OnStall func(StallReport)
+	// RateLimit bounds repeat reports engine-wide; at most one report
+	// fires per window, shared by all concurrent waiters. Defaults to
+	// DefaultStallRateLimit.
+	RateLimit time.Duration
+	// Clock is the time source for stall detection. Defaults to the
+	// monotonic clock; tests inject a tsc.Manual for determinism.
+	Clock Clock
+}
+
+// StalledReader describes one reader (or, for the counter-table
+// engines, one counter node) a stalled wait is blocked on.
+type StalledReader struct {
+	// Slot is the reader's registry slot — except for D-PRCU and SRCU,
+	// whose waits block on counter nodes, not readers; there it is the
+	// counter-node index.
+	Slot int
+	// Value is the domain value the open critical section is on, when
+	// the engine records one (HasValue). For D-PRCU it is the covered
+	// predicate value that hashes to the stalled node.
+	Value    Value
+	HasValue bool
+	// OpenFor is how long the section has been open, for the
+	// timestamp-based engines (zero when the engine does not track it).
+	OpenFor time.Duration
+}
+
+// StallReport is the watchdog's diagnostic snapshot of a wedged grace
+// period, assembled when a wait exceeds StallConfig.Timeout.
+type StallReport struct {
+	// Engine is the engine's Name().
+	Engine string
+	// Predicate describes the wait's predicate (Predicate.String).
+	Predicate string
+	// Elapsed is how long the reporting wait had been blocked.
+	Elapsed time.Duration
+	// Readers are the offending open critical sections, scanned from the
+	// engine's per-slot state at report time.
+	Readers []StalledReader
+}
+
+// stallState is the armed watchdog: the normalized config plus the
+// engine-wide rate-limit clock.
+type stallState struct {
+	cfg       StallConfig
+	timeoutNs int64
+	windowNs  int64
+	// last is the clock reading of the most recent report. Fires CAS it
+	// forward, so concurrent stalled waiters elect one reporter per
+	// window.
+	last atomic.Int64
+}
+
+// resilient is the resilience hook point embedded by every engine,
+// alongside metered. The zero value is an unarmed watchdog.
+type resilient struct {
+	stallCfg atomic.Pointer[stallState]
+}
+
+// StallCarrier is implemented by every engine in this package: arming a
+// StallConfig turns on the grace-period stall watchdog. It may be armed,
+// re-armed or disarmed at any time.
+type StallCarrier interface {
+	SetStallConfig(StallConfig)
+}
+
+// SetStallConfig implements StallCarrier.
+func (r *resilient) SetStallConfig(cfg StallConfig) {
+	if cfg.Timeout <= 0 {
+		r.stallCfg.Store(nil)
+		return
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = tsc.NewMonotonic()
+	}
+	if cfg.RateLimit <= 0 {
+		cfg.RateLimit = DefaultStallRateLimit
+	}
+	st := &stallState{
+		cfg:       cfg,
+		timeoutNs: cfg.Timeout.Nanoseconds(),
+		windowNs:  cfg.RateLimit.Nanoseconds(),
+	}
+	// Far enough in the past that the first report is never rate-limited,
+	// without now-last underflowing for any clock epoch.
+	st.last.Store(math.MinInt64 / 4)
+	r.stallCfg.Store(st)
+}
+
+// stallProber is what a waitControl needs from its engine to assemble a
+// StallReport: the engine's name, its metrics (for the stall counters;
+// every engine provides it via the embedded metered), and a read-only
+// scan of the open critical sections a predicate's wait is blocked on.
+type stallProber interface {
+	Name() string
+	Metrics() *obs.Metrics
+	stalledReaders(p Predicate) []StalledReader
+}
+
+// waitControl carries one wait's cancellation and stall-detection state.
+// A nil *waitControl is the fast path: no Context, no watchdog — step
+// degenerates to spin.Waiter.Wait.
+type waitControl struct {
+	ctx    context.Context // nil for background waits
+	done   <-chan struct{}
+	st     *stallState
+	prober stallProber
+	met    *obs.Metrics
+	pred   Predicate
+	// startNs is the stall clock's reading at wait start (set only when
+	// the watchdog is armed).
+	startNs int64
+}
+
+// control builds the wait's control block, or nil when neither a
+// cancelable Context nor a watchdog is in play. It backs the
+// WaitForReadersCtx entry points; the plain WaitForReaders paths check
+// the armed watchdog inline instead (one atomic load and a branch) and
+// run their pre-resilience loop verbatim when it is unarmed.
+func (r *resilient) control(ctx context.Context, p Predicate, prober stallProber) *waitControl {
+	st := r.stallCfg.Load()
+	if st == nil && ctx == nil {
+		return nil
+	}
+	return newControl(ctx, st, p, prober)
+}
+
+// newControl is control's slow path: an armed watchdog or a Context is
+// in play (though a Context that can never be cancelled still yields a
+// nil control).
+func newControl(ctx context.Context, st *stallState, p Predicate, prober stallProber) *waitControl {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if st == nil && done == nil {
+		return nil
+	}
+	wc := &waitControl{ctx: ctx, done: done, st: st, prober: prober, met: prober.Metrics(), pred: p}
+	if st != nil {
+		wc.startNs = st.cfg.Clock.Now()
+	}
+	return wc
+}
+
+// pre reports an already-expired Context before any waiting starts, so
+// WaitForReadersCtx with a dead Context fails fast instead of scanning.
+func (wc *waitControl) pre() error {
+	if wc == nil || wc.done == nil {
+		return nil
+	}
+	select {
+	case <-wc.done:
+		return wc.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// step performs one back-off step of w, checking cancellation and the
+// stall watchdog only after w has crossed from its spin phase into
+// scheduler yields. On the nil receiver it is exactly w.Wait(): the
+// deadline checks ride the park/backoff transition, never the spin
+// iterations, preserving the engines' wait-side cost model.
+func (wc *waitControl) step(w *spin.Waiter) error {
+	w.Wait()
+	if wc == nil || !w.Yielded() {
+		return nil
+	}
+	return wc.check()
+}
+
+// check polls the Context and the watchdog. It is called only from the
+// yielding phase of a wait loop, i.e. at scheduler-boundary frequency.
+func (wc *waitControl) check() error {
+	if wc.done != nil {
+		select {
+		case <-wc.done:
+			return wc.ctx.Err()
+		default:
+		}
+	}
+	if wc.st != nil {
+		wc.checkStall()
+	}
+	return nil
+}
+
+// checkStall fires the watchdog when this wait has exceeded the stall
+// timeout and the engine-wide rate limiter admits a report.
+func (wc *waitControl) checkStall() {
+	st := wc.st
+	now := st.cfg.Clock.Now()
+	if now-wc.startNs < st.timeoutNs {
+		return
+	}
+	last := st.last.Load()
+	if now-last < st.windowNs {
+		return
+	}
+	if !st.last.CompareAndSwap(last, now) {
+		return // a concurrent stalled waiter won the window
+	}
+	rep := StallReport{
+		Engine:    wc.prober.Name(),
+		Predicate: wc.pred.String(),
+		Elapsed:   time.Duration(now - wc.startNs),
+		Readers:   wc.prober.stalledReaders(wc.pred),
+	}
+	if wc.met != nil {
+		wc.met.StallDetected(uint64(len(rep.Readers)))
+	}
+	if st.cfg.OnStall != nil {
+		st.cfg.OnStall(rep)
+	}
+}
+
+// DoCritical runs fn inside a read-side critical section on v,
+// guaranteeing Exit even if fn panics (the panic is re-raised after the
+// section closes). It backs every Reader's Do method: a panicking reader
+// callback must never leave a critical section open, because an open
+// section wedges every future covering grace period.
+func DoCritical(rd Reader, v Value, fn func()) {
+	rd.Enter(v)
+	defer rd.Exit(v)
+	fn()
+}
+
+// clampDur converts a nanosecond difference to a non-negative Duration
+// (a racing exit can post Infinity between the occupancy check and the
+// time read, or a clock shared across goroutines can read slightly
+// behind the enter timestamp).
+func clampDur(ns int64) time.Duration {
+	if ns < 0 {
+		return 0
+	}
+	return time.Duration(ns)
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"prcu/internal/obs"
 	"prcu/internal/spin"
 	"prcu/internal/tsc"
@@ -63,6 +65,37 @@ func (s *Simulated) WaitForReaders(Predicate) {
 	}
 }
 
+// WaitForReadersCtx implements RCU: the simulated spin, cut short by ctx.
+// As in the real engines, cancellation is polled only once the waiter has
+// crossed into its yielding phase.
+func (s *Simulated) WaitForReadersCtx(ctx context.Context, _ Predicate) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	if s.waitNs <= 0 {
+		return nil
+	}
+	deadline := s.clock.Now() + s.waitNs
+	var w spin.Waiter
+	for s.clock.Now() < deadline {
+		w.Wait()
+		if done != nil && w.Yielded() {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+	}
+	return nil
+}
+
 // Nop is an RCU whose every operation is free: Enter, Exit and
 // WaitForReaders do nothing. It is unsafe by construction and exists only
 // to measure the ceiling a data structure could reach with zero
@@ -103,6 +136,10 @@ func (n *Nop) Register() (Reader, error) {
 // WaitForReaders implements RCU: returns immediately, waiting for no one.
 func (n *Nop) WaitForReaders(Predicate) {}
 
+// WaitForReadersCtx implements RCU: the no-op "grace period" completes
+// instantly, so it never observes cancellation.
+func (n *Nop) WaitForReadersCtx(context.Context, Predicate) error { return nil }
+
 // Enter implements Reader: does nothing. Deliberately unguarded — Nop
 // measures the zero-synchronization ceiling, so its read side must stay
 // empty; Unregister misuse is still caught below.
@@ -110,6 +147,9 @@ func (r *nopReader) Enter(Value) {}
 
 // Exit implements Reader: does nothing.
 func (r *nopReader) Exit(Value) {}
+
+// Do implements Reader: runs fn with the same zero-cost read side.
+func (r *nopReader) Do(_ Value, fn func()) { fn() }
 
 // Unregister implements Reader.
 func (r *nopReader) Unregister() {

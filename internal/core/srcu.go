@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"prcu/internal/obs"
 	"prcu/internal/spin"
 )
@@ -18,6 +20,7 @@ import (
 // harness it behaves like a plain RCU whose readers pay one atomic RMW.
 type SRCU struct {
 	metered
+	resilient
 	reg  *registry
 	node dNode
 }
@@ -36,6 +39,9 @@ func (s *SRCU) MaxReaders() int { return s.reg.maxReaders() }
 
 // LiveReaders returns the number of currently registered readers.
 func (s *SRCU) LiveReaders() int { return s.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (s *SRCU) SlotCapacity() int { return s.reg.capacity() }
 
 type srcuReader struct {
 	readerGuard
@@ -86,6 +92,9 @@ func (r *srcuReader) Exit(v Value) {
 	r.inCS = false
 }
 
+// Do implements Reader.
+func (r *srcuReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
 // Unregister implements Reader.
 func (r *srcuReader) Unregister() {
 	r.closing()
@@ -102,7 +111,15 @@ func (r *srcuReader) Unregister() {
 // with the same lock-holder piggybacking D-PRCU uses. SRCU has one
 // counter node, so each wait scans one node and records one drain
 // outcome.
-func (s *SRCU) WaitForReaders(Predicate) {
+func (s *SRCU) WaitForReaders(p Predicate) {
+	if st := s.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		s.waitReaders(p, newControl(nil, st, p, s))
+		return
+	}
+	// Unarmed fast path: the pre-resilience wait, verbatim, so an unarmed
+	// wait costs exactly what it did before the watchdog existed. Keep in
+	// sync with waitReaders, its wc.step-controlled twin.
 	m := s.met
 	var start int64
 	if m != nil {
@@ -163,6 +180,114 @@ func (s *SRCU) WaitForReaders(Predicate) {
 		m.DrainCounts(0, 1, 0)
 		m.WaitEnd(start, 1, 1, parked)
 	}
+}
+
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx. As
+// with D-PRCU, aborting mid-gate releases the lock without advancing the
+// drains counter, leaving the protocol restartable.
+func (s *SRCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
+	wc := s.control(ctx, p, s)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return s.waitReaders(p, wc)
+}
+
+func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
+	m := s.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	n := &s.node
+	if n.readers[0].Load() == 0 && n.readers[1].Load() == 0 {
+		if m != nil {
+			m.DrainCounts(1, 0, 0)
+			m.WaitEnd(start, 1, 0, 0)
+		}
+		return nil
+	}
+	seen0, seen1 := false, false
+	if spin.UntilBudget(func() bool {
+		seen0 = seen0 || n.readers[0].Load() == 0
+		seen1 = seen1 || n.readers[1].Load() == 0
+		return seen0 && seen1
+	}, optimisticBudget) {
+		if m != nil {
+			m.DrainCounts(1, 0, 0)
+			m.WaitEnd(start, 1, 1, 0)
+		}
+		return nil
+	}
+	s0 := n.drains.Load()
+	var w spin.Waiter
+	for !n.mu.TryLock() {
+		if n.drains.Load() >= s0+2 {
+			if m != nil {
+				var parked uint64
+				if w.Yielded() {
+					parked = 1
+				}
+				m.DrainCounts(0, 0, 1)
+				m.WaitEnd(start, 1, 1, parked)
+			}
+			return nil
+		}
+		if err := wc.step(&w); err != nil {
+			s.waitAborted(m, start, &w)
+			return err
+		}
+	}
+	g := n.gate.Load() & 1
+	w.Reset()
+	for n.readers[1-g].Load() != 0 {
+		if err := wc.step(&w); err != nil {
+			n.mu.Unlock()
+			s.waitAborted(m, start, &w)
+			return err
+		}
+	}
+	n.gate.Store(1 - g)
+	for n.readers[g].Load() != 0 {
+		if err := wc.step(&w); err != nil {
+			n.mu.Unlock()
+			s.waitAborted(m, start, &w)
+			return err
+		}
+	}
+	n.drains.Add(1)
+	n.mu.Unlock()
+	if m != nil {
+		var parked uint64
+		if w.Yielded() {
+			parked = 1
+		}
+		m.DrainCounts(0, 1, 0)
+		m.WaitEnd(start, 1, 1, parked)
+	}
+	return nil
+}
+
+// waitAborted records wait metrics for a cancelled SRCU wait.
+func (s *SRCU) waitAborted(m *obs.Metrics, start int64, w *spin.Waiter) {
+	if m == nil {
+		return
+	}
+	var parked uint64
+	if w.Yielded() {
+		parked = 1
+	}
+	m.WaitEnd(start, 1, 1, parked)
+}
+
+// stalledReaders implements stallProber: SRCU has a single counter node
+// (Slot 0), reported when either phase counter is non-zero.
+func (s *SRCU) stalledReaders(Predicate) []StalledReader {
+	n := &s.node
+	if n.readers[0].Load() != 0 || n.readers[1].Load() != 0 {
+		return []StalledReader{{Slot: 0}}
+	}
+	return nil
 }
 
 // Compile-time interface checks for every engine in the package.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"prcu/internal/obs"
 	"prcu/internal/spin"
 	"prcu/internal/tsc"
@@ -13,6 +15,7 @@ import (
 // the strongest plain-RCU baseline on workloads with updates.
 type TimeRCU struct {
 	metered
+	resilient
 	reg   *registry
 	clock Clock
 }
@@ -40,6 +43,9 @@ func (t *TimeRCU) MaxReaders() int { return t.reg.maxReaders() }
 
 // LiveReaders returns the number of currently registered readers.
 func (t *TimeRCU) LiveReaders() int { return t.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (t *TimeRCU) SlotCapacity() int { return t.reg.capacity() }
 
 type timeReader struct {
 	readerGuard
@@ -78,6 +84,9 @@ func (r *timeReader) Exit(v Value) {
 	r.node.time.Store(tsc.Infinity)
 }
 
+// Do implements Reader.
+func (r *timeReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
 // Unregister implements Reader.
 func (r *timeReader) Unregister() {
 	r.closing()
@@ -91,7 +100,15 @@ func (r *timeReader) Unregister() {
 
 // WaitForReaders implements RCU. The predicate is ignored: every
 // pre-existing reader is waited for, as with standard RCU.
-func (t *TimeRCU) WaitForReaders(Predicate) {
+func (t *TimeRCU) WaitForReaders(p Predicate) {
+	if st := t.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		t.waitReaders(p, newControl(nil, st, p, t))
+		return
+	}
+	// Unarmed fast path: the pre-resilience wait, verbatim, so an unarmed
+	// wait costs exactly what it did before the watchdog existed. Keep in
+	// sync with waitReaders, its wc.step-controlled twin.
 	m := t.met
 	var start int64
 	if m != nil {
@@ -119,4 +136,68 @@ func (t *TimeRCU) WaitForReaders(Predicate) {
 	if m != nil {
 		m.WaitEnd(start, scanned, waited, parked)
 	}
+}
+
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx. The
+// predicate is ignored for waiting (plain RCU) but kept for diagnostics.
+func (t *TimeRCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
+	wc := t.control(ctx, p, t)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return t.waitReaders(p, wc)
+}
+
+func (t *TimeRCU) waitReaders(_ Predicate, wc *waitControl) error {
+	m := t.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	t0 := t.clock.Now()
+	var w spin.Waiter
+	var scanned, waited, parked uint64
+	var werr error
+	t.reg.forEachActive(func(sg *segment, i int) {
+		if werr != nil {
+			return
+		}
+		scanned++
+		n := &sg.state.([]timeNode)[i]
+		w.Reset()
+		looped := false
+		for n.time.Load() <= t0 {
+			looped = true
+			if err := wc.step(&w); err != nil {
+				werr = err
+				break
+			}
+		}
+		if looped {
+			waited++
+			if w.Yielded() {
+				parked++
+			}
+		}
+	})
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
+	}
+	return werr
+}
+
+// stalledReaders implements stallProber: every open critical section
+// (Time RCU waits for all readers; no value is tracked).
+func (t *TimeRCU) stalledReaders(Predicate) []StalledReader {
+	now := t.clock.Now()
+	var out []StalledReader
+	t.reg.forEachActive(func(sg *segment, i int) {
+		n := &sg.state.([]timeNode)[i]
+		ts := n.time.Load()
+		if ts == tsc.Infinity {
+			return
+		}
+		out = append(out, StalledReader{Slot: sg.base + i, OpenFor: clampDur(now - ts)})
+	})
+	return out
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -18,9 +19,11 @@ const treeFanout = 8
 // treeLevels is one generation of the combining tree, sized to cover a
 // fixed span of reader slots. When the registry grows past the span, the
 // next WaitForReaders builds a bigger generation and swaps it in — always
-// under the waiter lock and always while the tree is all-zero (the
-// previous grace period drained it), so seeded bits never live in an
-// abandoned generation.
+// under the waiter lock. A cancelled wait can abandon seeded bits, but
+// that is benign: every Exit clears its own bit against the current
+// generation (a no-op when unset), the next wait re-snapshots and
+// re-seeds still-open readers with Store overwrites, and a swapped-out
+// generation is discarded whole, so stuck bits are never polled.
 type treeLevels struct {
 	// slots is the number of leaf slots this generation covers.
 	slots int
@@ -73,6 +76,7 @@ func buildTree(slots int) *treeLevels {
 // when a grace period is in flight), so the read-side is contention free.
 type TreeRCU struct {
 	metered
+	resilient
 	reg *registry
 	mu  sync.Mutex
 	// tree is the current combining-tree generation. Swapped only under mu
@@ -115,6 +119,9 @@ func (t *TreeRCU) MaxReaders() int { return t.reg.maxReaders() }
 
 // LiveReaders returns the number of currently registered readers.
 func (t *TreeRCU) LiveReaders() int { return t.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (t *TreeRCU) SlotCapacity() int { return t.reg.capacity() }
 
 // Levels returns the height of the combining tree (for tests).
 func (t *TreeRCU) Levels() int { return len(t.tree.Load().levels) }
@@ -163,6 +170,9 @@ func (r *treeReader) Exit(v Value) {
 	clearBit(tl, 0, r.slot/treeFanout, uint64(1)<<(r.slot%treeFanout))
 }
 
+// Do implements Reader.
+func (r *treeReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
 // Unregister implements Reader.
 func (r *treeReader) Unregister() {
 	r.closing()
@@ -204,19 +214,28 @@ func clearBit(tl *treeLevels, level, idx int, bit uint64) {
 // WaitForReaders implements RCU. The predicate is ignored.
 //
 // Protocol: under the waiter lock, grow the tree generation if the
-// registry outgrew it (safe: the previous grace period left the tree at
-// zero, and the swap is ordered before every snapshot read below, so any
-// reader we seed observes the new generation on exit); snapshot every
-// reader's generation and collect those currently inside a critical
-// section; publish their bits top-down (ancestors before leaves) so an
-// exit can never propagate a clear past an unset ancestor; re-check each
-// collected generation and clear the bits of readers that exited while we
-// were seeding; then poll the root.
+// registry outgrew it (safe: the swap is ordered before every snapshot
+// read below, so any reader we seed observes the new generation on exit,
+// and a swapped-out generation — even one with bits a cancelled wait
+// abandoned — is discarded whole); snapshot every reader's generation and
+// collect those currently inside a critical section; publish their bits
+// top-down (ancestors before leaves) so an exit can never propagate a
+// clear past an unset ancestor; re-check each collected generation and
+// clear the bits of readers that exited while we were seeding; then poll
+// the root.
 //
 // Readers in slots beyond the generation's span registered after the span
 // was fixed — i.e. after this wait began — so their critical sections are
 // not pre-existing and are legitimately skipped.
-func (t *TreeRCU) WaitForReaders(Predicate) {
+func (t *TreeRCU) WaitForReaders(p Predicate) {
+	if st := t.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		t.waitReaders(p, newControl(nil, st, p, t))
+		return
+	}
+	// Unarmed fast path: the pre-resilience wait, verbatim, so an unarmed
+	// wait costs exactly what it did before the watchdog existed. Keep in
+	// sync with waitReaders, its wc.step-controlled twin.
 	m := t.met
 	var start int64
 	if m != nil {
@@ -292,4 +311,113 @@ func (t *TreeRCU) WaitForReaders(Predicate) {
 		}
 		m.WaitEnd(start, scanned, uint64(len(tl.waited)), parked)
 	}
+}
+
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx.
+// Cancellation mid-poll abandons this wait's seeded bits; that is safe
+// because still-open readers clear their own bits on exit and the next
+// wait re-snapshots and overwrites the bitmap (see treeLevels).
+func (t *TreeRCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
+	wc := t.control(ctx, p, t)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return t.waitReaders(p, wc)
+}
+
+func (t *TreeRCU) waitReaders(_ Predicate, wc *waitControl) error {
+	m := t.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	tl := t.tree.Load()
+	if span := t.treeSpan(); span > tl.slots {
+		tl = buildTree(span)
+		t.tree.Store(tl)
+	}
+
+	var scanned uint64
+	tl.waited = tl.waited[:0]
+	for l := range tl.masks {
+		clear(tl.masks[l])
+	}
+	t.reg.forEachActive(func(sg *segment, i int) {
+		slot := sg.base + i
+		if slot >= tl.slots {
+			return
+		}
+		scanned++
+		s := &sg.state.([]pad.Uint64)[i]
+		if gen := s.Load(); gen&1 == 1 {
+			tl.waited = append(tl.waited, treeWaited{gen: gen, slot: slot, state: s})
+			tl.masks[0][slot/treeFanout] |= 1 << (slot % treeFanout)
+		}
+	})
+	if len(tl.waited) == 0 {
+		if m != nil {
+			m.WaitEnd(start, scanned, 0, 0)
+		}
+		return nil
+	}
+	for l := 0; l+1 < len(tl.masks); l++ {
+		for idx, mask := range tl.masks[l] {
+			if mask != 0 {
+				tl.masks[l+1][idx/treeFanout] |= 1 << (idx % treeFanout)
+			}
+		}
+	}
+	for l := len(tl.levels) - 1; l >= 0; l-- {
+		for idx, mask := range tl.masks[l] {
+			if mask != 0 {
+				tl.levels[l][idx].Store(mask)
+			}
+		}
+	}
+	// Re-check: a reader that exited (or moved to a later section) between
+	// our snapshot and our seeding would never clear its bit — clear it on
+	// its behalf. If it is still in the snapshotted section, its own exit
+	// will clear.
+	for _, wd := range tl.waited {
+		if wd.state.Load() != wd.gen {
+			clearBit(tl, 0, wd.slot/treeFanout, uint64(1)<<(wd.slot%treeFanout))
+		}
+	}
+	root := &tl.levels[len(tl.levels)-1][0]
+	var w spin.Waiter
+	var werr error
+	for root.Load() != 0 {
+		if err := wc.step(&w); err != nil {
+			werr = err
+			break
+		}
+	}
+	if m != nil {
+		// The tree aggregates per-reader progress, so waited readers are
+		// those seeded into the bitmap; the single root poll either stayed
+		// in its spin phase or crossed into yields once for the whole set.
+		var parked uint64
+		if w.Yielded() {
+			parked = 1
+		}
+		m.WaitEnd(start, scanned, uint64(len(tl.waited)), parked)
+	}
+	return werr
+}
+
+// stalledReaders implements stallProber: readers whose generation counter
+// is odd (inside a critical section). Tree RCU waits for all readers, so
+// no value filtering applies.
+func (t *TreeRCU) stalledReaders(Predicate) []StalledReader {
+	var out []StalledReader
+	t.reg.forEachActive(func(sg *segment, i int) {
+		s := &sg.state.([]pad.Uint64)[i]
+		if s.Load()&1 == 1 {
+			out = append(out, StalledReader{Slot: sg.base + i})
+		}
+	})
+	return out
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"prcu/internal/obs"
@@ -27,6 +28,7 @@ const (
 // contention, standing in for URCU's waiter queue).
 type URCU struct {
 	metered
+	resilient
 	reg *registry
 	gp  pad.Uint64
 	mu  sync.Mutex
@@ -51,6 +53,9 @@ func (u *URCU) MaxReaders() int { return u.reg.maxReaders() }
 
 // LiveReaders returns the number of currently registered readers.
 func (u *URCU) LiveReaders() int { return u.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (u *URCU) SlotCapacity() int { return u.reg.capacity() }
 
 type urcuReader struct {
 	readerGuard
@@ -91,6 +96,9 @@ func (r *urcuReader) Exit(v Value) {
 	r.ctr.Store(0)
 }
 
+// Do implements Reader.
+func (r *urcuReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
 // Unregister implements Reader.
 func (r *urcuReader) Unregister() {
 	r.closing()
@@ -111,7 +119,15 @@ func ongoing(c, gp uint64) bool {
 // WaitForReaders implements RCU. The predicate is ignored. Readers are
 // scanned once per phase flip, so the scanned count reflects slots
 // examined across both phases.
-func (u *URCU) WaitForReaders(Predicate) {
+func (u *URCU) WaitForReaders(p Predicate) {
+	if st := u.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		u.waitReaders(p, newControl(nil, st, p, u))
+		return
+	}
+	// Unarmed fast path: the pre-resilience wait, verbatim, so an unarmed
+	// wait costs exactly what it did before the watchdog existed. Keep in
+	// sync with waitReaders, its wc.step-controlled twin.
 	m := u.met
 	var start int64
 	if m != nil {
@@ -144,4 +160,75 @@ func (u *URCU) WaitForReaders(Predicate) {
 	if m != nil {
 		m.WaitEnd(start, scanned, waited, parked)
 	}
+}
+
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx.
+// Cancellation mid-protocol is safe: an abandoned phase flip only toggles
+// the phase bit an extra time, and the next wait performs its own two
+// flips and drains both phases, so it still waits for every pre-existing
+// reader.
+func (u *URCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
+	wc := u.control(ctx, p, u)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return u.waitReaders(p, wc)
+}
+
+func (u *URCU) waitReaders(_ Predicate, wc *waitControl) error {
+	m := u.met
+	var start int64
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	var scanned, waited, parked uint64
+	var werr error
+	u.mu.Lock()
+	for phase := 0; phase < 2 && werr == nil; phase++ {
+		newGP := u.gp.Load() ^ urcuPhase
+		u.gp.Store(newGP)
+		var w spin.Waiter
+		u.reg.forEachActive(func(sg *segment, i int) {
+			if werr != nil {
+				return
+			}
+			scanned++
+			c := &sg.state.([]pad.Uint64)[i]
+			w.Reset()
+			looped := false
+			for ongoing(c.Load(), newGP) {
+				looped = true
+				if err := wc.step(&w); err != nil {
+					werr = err
+					break
+				}
+			}
+			if looped {
+				waited++
+				if w.Yielded() {
+					parked++
+				}
+			}
+		})
+	}
+	u.mu.Unlock()
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
+	}
+	return werr
+}
+
+// stalledReaders implements stallProber: readers online in the old phase
+// relative to the current grace-period counter — the ones a wait in
+// progress is (or would be) blocked on.
+func (u *URCU) stalledReaders(Predicate) []StalledReader {
+	gp := u.gp.Load()
+	var out []StalledReader
+	u.reg.forEachActive(func(sg *segment, i int) {
+		c := sg.state.([]pad.Uint64)[i].Load()
+		if c&urcuCount != 0 && (c^gp)&urcuPhase != 0 {
+			out = append(out, StalledReader{Slot: sg.base + i})
+		}
+	})
+	return out
 }

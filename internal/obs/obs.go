@@ -67,6 +67,12 @@ type Metrics struct {
 	drainsGate       pad.Uint64
 	drainsPiggyback  pad.Uint64
 
+	// stalls counts grace-period stall reports the watchdog fired (already
+	// rate-limited by the engine); stalledReaders accumulates the offending
+	// open critical sections those reports named.
+	stalls         pad.Uint64
+	stalledReaders pad.Uint64
+
 	// Reader side: per-slot lanes plus the shared sampled-duration
 	// histogram. Lanes are pointers so the slice can grow without moving
 	// cells out from under registered readers.
@@ -171,6 +177,19 @@ const (
 	DrainPiggyback
 )
 
+// StallDetected records one watchdog stall report naming stalled open
+// critical sections, and traces it (Value carries the stalled count).
+func (m *Metrics) StallDetected(stalled uint64) {
+	if m == nil {
+		return
+	}
+	m.stalls.Add(1)
+	m.stalledReaders.Add(stalled)
+	if tr := m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: m.now(), Kind: EvStall, Reader: -1, Value: stalled})
+	}
+}
+
 // DrainCounts records a batch of counter-node drain outcomes.
 func (m *Metrics) DrainCounts(optimistic, gate, piggyback uint64) {
 	if optimistic != 0 {
@@ -250,6 +269,8 @@ func (m *Metrics) Reset() {
 	m.drainsOptimistic.Store(0)
 	m.drainsGate.Store(0)
 	m.drainsPiggyback.Store(0)
+	m.stalls.Store(0)
+	m.stalledReaders.Store(0)
 	m.sectionNs.Reset()
 	m.retiredEnters.Store(0)
 	m.laneMu.Lock()

@@ -63,6 +63,11 @@ type Snapshot struct {
 	DrainsGate       uint64
 	DrainsPiggyback  uint64
 
+	// Stalls counts watchdog stall reports (rate-limited at the engine);
+	// StalledReaders totals the open critical sections those reports named.
+	Stalls         uint64
+	StalledReaders uint64
+
 	// Enters is the total number of read-side critical sections across
 	// all reader lanes, including readers that have since unregistered
 	// (their counts retire when a slot is recycled); SectionNs is the
@@ -92,6 +97,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		DrainsOptimistic: m.drainsOptimistic.Load(),
 		DrainsGate:       m.drainsGate.Load(),
 		DrainsPiggyback:  m.drainsPiggyback.Load(),
+		Stalls:           m.stalls.Load(),
+		StalledReaders:   m.stalledReaders.Load(),
 		SectionNs:        summarize(&m.sectionNs),
 	}
 	if s.ReadersScanned > 0 {
@@ -137,6 +144,10 @@ func (s Snapshot) Dump(w io.Writer, name string) {
 	if s.DrainsOptimistic+s.DrainsGate+s.DrainsPiggyback > 0 {
 		fmt.Fprintf(w, "counter drains:   %d optimistic, %d gate-protocol, %d piggybacked\n",
 			s.DrainsOptimistic, s.DrainsGate, s.DrainsPiggyback)
+	}
+	if s.Stalls > 0 {
+		fmt.Fprintf(w, "stalls detected:  %d reports naming %d open sections\n",
+			s.Stalls, s.StalledReaders)
 	}
 	fmt.Fprintf(w, "reader sections:  %d entered, %d sampled", s.Enters, s.SectionNs.Count)
 	if s.SectionNs.Count > 0 {

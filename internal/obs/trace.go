@@ -15,6 +15,9 @@ const (
 	// EvWaitEnd marks a WaitForReaders returning; Value carries the
 	// number of readers it waited on.
 	EvWaitEnd
+	// EvStall marks a grace-period stall report firing; Value carries the
+	// number of stalled open critical sections named by the report.
+	EvStall
 )
 
 // String returns the event kind's mnemonic.
@@ -28,6 +31,8 @@ func (k EventKind) String() string {
 		return "wait-begin"
 	case EvWaitEnd:
 		return "wait-end"
+	case EvStall:
+		return "stall"
 	default:
 		return "?"
 	}

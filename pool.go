@@ -3,6 +3,7 @@ package prcu
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ReaderPool caches registered readers for ephemeral goroutines.
@@ -16,9 +17,11 @@ import (
 // around one function call.
 //
 // A parked reader stays registered but quiescent, so it never delays
-// WaitForReaders. When the garbage collector purges the pool's cache (or a
-// borrowed handle is leaked), a finalizer unregisters the underlying
-// reader, so pooled slots are reclaimed rather than leaked.
+// WaitForReaders. Close drains the pool and unregisters cached readers
+// synchronously — the contract for tests and clean shutdowns. When the
+// garbage collector purges the pool's cache (or a borrowed handle is
+// leaked), a finalizer unregisters the underlying reader as a fallback,
+// so pooled slots are reclaimed rather than leaked either way.
 //
 // Long-lived, pinned goroutines should still call RCU.Register directly
 // and keep their Reader for life — that is one pointer dereference cheaper
@@ -27,8 +30,9 @@ import (
 //
 // A ReaderPool must not be copied after first use.
 type ReaderPool struct {
-	r    RCU
-	pool sync.Pool
+	r      RCU
+	pool   sync.Pool
+	closed atomic.Bool
 }
 
 // NewReaderPool returns a pool of registered readers of r. Use it with an
@@ -56,6 +60,9 @@ type pooledReader struct {
 // (or its own Unregister) when done. Panics if the underlying engine is
 // capped and full.
 func (p *ReaderPool) Get() Reader {
+	if p.closed.Load() {
+		panic("prcu: ReaderPool.Get after Close")
+	}
 	if h, _ := p.pool.Get().(*pooledReader); h != nil {
 		h.out = true
 		return h
@@ -85,7 +92,33 @@ func (p *ReaderPool) Put(rd Reader) {
 		panic("prcu: ReaderPool.Put called twice")
 	}
 	h.out = false
+	if p.closed.Load() {
+		// The pool is shut down: release the slot now instead of parking
+		// the reader in a cache no one will drain again.
+		runtime.SetFinalizer(h, nil)
+		h.rd.Unregister()
+		return
+	}
 	p.pool.Put(h)
+}
+
+// Close drains the pool and unregisters every cached reader synchronously,
+// releasing their registry slots. After Close, Get panics and Put releases
+// the returned handle's slot immediately. Close is idempotent.
+//
+// Handles still checked out are not touched — they release on their Put —
+// and any cache entries sync.Pool keeps out of reach of a drain fall back
+// to the finalizer, as unpooled leaks always have.
+func (p *ReaderPool) Close() {
+	p.closed.Store(true)
+	for {
+		h, _ := p.pool.Get().(*pooledReader)
+		if h == nil {
+			return
+		}
+		runtime.SetFinalizer(h, nil)
+		h.rd.Unregister()
+	}
 }
 
 // Critical runs fn inside a read-side critical section on v, borrowing a
@@ -121,9 +154,19 @@ func (h *pooledReader) Exit(v Value) {
 	h.rd.Exit(v)
 }
 
+// Do implements Reader: runs fn inside a panic-safe critical section on
+// the borrowed reader (see Reader.Do).
+func (h *pooledReader) Do(v Value, fn func()) {
+	if !h.out {
+		panic("prcu: use of pooled Reader after Put")
+	}
+	h.rd.Do(v, fn)
+}
+
 // Unregister implements Reader by returning the handle to its pool — the
-// underlying reader stays registered and warm. This keeps Close/teardown
-// code portable between pinned and pooled readers.
+// underlying reader stays registered and warm (or, after Close, releasing
+// its slot). This keeps Close/teardown code portable between pinned and
+// pooled readers.
 func (h *pooledReader) Unregister() {
 	h.pool.Put(h)
 }

@@ -118,7 +118,11 @@ func TestReaderPoolCriticalPanicSafety(t *testing.T) {
 		t.Fatal("WaitForReaders stuck: Critical leaked an open critical section")
 	}
 	pool.Critical(5, func() {})
-	if n := liveReaders(t, r); n != 1 {
+	// Under -race the runtime intentionally drops a fraction of sync.Pool
+	// items at Put, so the second Critical may have registered a fresh
+	// reader while the first awaits its finalizer; the tight bound only
+	// holds without it.
+	if n := liveReaders(t, r); n < 1 || (!raceEnabled && n != 1) {
 		t.Fatalf("LiveReaders = %d, want 1", n)
 	}
 }
@@ -299,4 +303,86 @@ func BenchmarkEphemeralReaders(b *testing.B) {
 			})
 		})
 	}
+}
+
+// TestReaderPoolCloseReleasesSlots checks the deterministic shutdown
+// path: Close drains the cache and unregisters every cached reader
+// synchronously, without waiting for the GC finalizer safety net.
+func TestReaderPoolCloseReleasesSlots(t *testing.T) {
+	r := prcu.NewD(prcu.Options{})
+	pool := prcu.NewReaderPool(r)
+	for i := 0; i < 8; i++ {
+		rd := pool.Get()
+		rd.Enter(prcu.Value(i))
+		rd.Exit(prcu.Value(i))
+		pool.Put(rd)
+	}
+	pool.Close()
+	// Under -race the runtime intentionally drops a fraction of sync.Pool
+	// items at Put, so Close cannot reach them synchronously; they fall to
+	// the finalizer safety net. Keep collecting until it has run.
+	deadline := time.Now().Add(20 * time.Second)
+	for liveReaders(t, r) != 0 {
+		if !raceEnabled {
+			t.Fatalf("LiveReaders = %d after Close, want 0", liveReaders(t, r))
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("LiveReaders still %d after Close + repeated GC", liveReaders(t, r))
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	expectPanic(t, "Get after Close", func() { pool.Get() })
+	// Idempotent.
+	pool.Close()
+}
+
+// TestReaderPoolPutAfterCloseReleases checks a handle still out when
+// Close runs: its Put must release the slot immediately rather than
+// repopulate a closed pool.
+func TestReaderPoolPutAfterCloseReleases(t *testing.T) {
+	r := prcu.NewEER(prcu.Options{})
+	pool := prcu.NewReaderPool(r)
+	rd := pool.Get()
+	pool.Close()
+	if n := liveReaders(t, r); n != 1 {
+		t.Fatalf("LiveReaders = %d with one handle out, want 1", n)
+	}
+	pool.Put(rd)
+	if n := liveReaders(t, r); n != 0 {
+		t.Fatalf("LiveReaders = %d after Put on a closed pool, want 0", n)
+	}
+}
+
+// TestReaderPoolDoPanicSafety checks the pooled handle's Do: a panic in
+// the callback exits the critical section (so grace periods cannot
+// wedge) and leaves the handle usable.
+func TestReaderPoolDoPanicSafety(t *testing.T) {
+	r := prcu.NewDEER(prcu.Options{})
+	pool := prcu.NewReaderPool(r)
+	rd := pool.Get()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the user panic to propagate")
+			}
+		}()
+		rd.Do(5, func() { panic("user bug") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		r.WaitForReaders(prcu.All())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitForReaders stuck: pooled Do leaked an open critical section")
+	}
+	ran := false
+	rd.Do(6, func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run after a prior panic")
+	}
+	pool.Put(rd)
 }

@@ -61,10 +61,23 @@
 // resolution, and D-PRCU counter-drain outcomes. Read them back with
 // RCU.Stats, or export them with PublishMetrics. With Metrics unset
 // (the default) every hook reduces to one predictable nil-check branch.
+//
+// # Production hardening
+//
+// WaitForReadersCtx bounds a grace period by a context deadline or
+// cancellation — an error return means the grace period did not complete
+// and nothing may be reclaimed. Options.StallTimeout arms a kernel-style
+// stall watchdog that reports waits wedged on a misbehaving reader
+// (Options.OnStall receives the diagnostic StallReport). Reader.Do and
+// ReaderPool.Critical keep critical sections panic-safe, and
+// ReaderPool.Close releases pooled slots deterministically at shutdown.
+// The internal chaos engine exercises all of this under fault injection
+// in the torture suite.
 package prcu
 
 import (
 	"fmt"
+	"time"
 
 	"prcu/internal/core"
 	"prcu/internal/obs"
@@ -162,6 +175,20 @@ type Options struct {
 	// nil (the default) disables collection at the cost of one
 	// predictable branch per hook.
 	Metrics *Metrics
+	// StallTimeout, when positive, arms the engine's grace-period stall
+	// watchdog: a WaitForReaders (or WaitForReadersCtx) blocked longer
+	// than this assembles a StallReport — engine, predicate, elapsed
+	// time, and the offending open critical sections — fires OnStall,
+	// and counts a stall in Metrics. Zero (the default) disables the
+	// watchdog; its checks then cost nothing on the wait path.
+	StallTimeout time.Duration
+	// OnStall receives stall reports when StallTimeout is set. It runs on
+	// the stalled waiter's goroutine and must not call back into the
+	// engine's wait paths. nil just counts/traces stalls in Metrics.
+	OnStall func(StallReport)
+	// StallRateLimit bounds repeat stall reports engine-wide (at most one
+	// per window, shared by all concurrent waiters). Default 10s.
+	StallRateLimit time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -171,12 +198,32 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// attach wires o.Metrics into a freshly constructed engine.
+// attach wires o.Metrics and the stall watchdog into a freshly
+// constructed engine.
 func (o Options) attach(r RCU) RCU {
 	if o.Metrics != nil {
 		if c, ok := r.(core.MetricsCarrier); ok {
-			o.Metrics.EnsureReaders(o.MaxReaders)
+			// Presize per-reader lanes from the slots the engine has
+			// actually allocated — MaxReaders is 0 for the default
+			// grow-on-demand registry, and presizing with it would leave
+			// an empty lane table every hot-path hook must grow on demand.
+			n := o.MaxReaders
+			if sc, ok := r.(core.SlotCapacitor); ok {
+				if c := sc.SlotCapacity(); c > n {
+					n = c
+				}
+			}
+			o.Metrics.EnsureReaders(n)
 			c.SetMetrics(o.Metrics)
+		}
+	}
+	if o.StallTimeout > 0 {
+		if sc, ok := r.(core.StallCarrier); ok {
+			sc.SetStallConfig(core.StallConfig{
+				Timeout:   o.StallTimeout,
+				OnStall:   o.OnStall,
+				RateLimit: o.StallRateLimit,
+			})
 		}
 	}
 	return r
@@ -325,6 +372,28 @@ type HistSummary = obs.HistSummary
 // TraceEvent is one entry of the optional event-trace ring buffer
 // (enable with Metrics.EnableTrace, read with Metrics.TraceSnapshot).
 type TraceEvent = obs.Event
+
+// StallReport is the stall watchdog's diagnostic snapshot of a wedged
+// grace period, delivered to Options.OnStall: engine name, predicate
+// description, how long the reporting wait had been blocked, and the
+// offending open critical sections.
+type StallReport = core.StallReport
+
+// StalledReader describes one open critical section a stalled grace
+// period is blocked on: its reader slot (counter-node index for D-PRCU
+// and SRCU), the value it is reading when the engine tracks one, and how
+// long it has been open when the engine timestamps sections.
+type StalledReader = core.StalledReader
+
+// StallCarrier is implemented by every engine: SetStallConfig arms,
+// re-arms or (with a zero Timeout) disarms the grace-period stall
+// watchdog at runtime. Options.StallTimeout is the usual way to arm it
+// at construction.
+type StallCarrier = core.StallCarrier
+
+// StallConfig is the watchdog configuration for StallCarrier; see
+// Options.StallTimeout/OnStall/StallRateLimit.
+type StallConfig = core.StallConfig
 
 // NewMetrics returns an enabled metrics collector to pass as
 // Options.Metrics.

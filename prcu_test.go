@@ -1,8 +1,10 @@
 package prcu_test
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"prcu"
 )
@@ -114,4 +116,64 @@ func TestAsyncViaPublicAPI(t *testing.T) {
 		t.Fatal("callback did not run by Barrier")
 	}
 	a.Close()
+}
+
+// TestStallWatchdogViaOptions checks the public wiring: StallTimeout
+// arms the watchdog at construction and OnStall receives the report
+// while a wait is wedged on a parked reader.
+func TestStallWatchdogViaOptions(t *testing.T) {
+	reports := make(chan prcu.StallReport, 4)
+	r := prcu.NewEER(prcu.Options{
+		StallTimeout:   5 * time.Millisecond,
+		StallRateLimit: time.Hour,
+		OnStall:        func(rep prcu.StallReport) { reports <- rep },
+	})
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(9)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := r.WaitForReadersCtx(ctx, prcu.Singleton(9)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait returned %v, want DeadlineExceeded", err)
+	}
+	select {
+	case rep := <-reports:
+		if rep.Engine != r.Name() {
+			t.Errorf("report engine %q, want %q", rep.Engine, r.Name())
+		}
+		if len(rep.Readers) != 1 || !rep.Readers[0].HasValue || rep.Readers[0].Value != 9 {
+			t.Errorf("report readers = %+v, want the one open section on 9", rep.Readers)
+		}
+	default:
+		t.Fatal("OnStall never fired although the wait blocked past StallTimeout")
+	}
+	rd.Exit(9)
+	rd.Unregister()
+}
+
+// TestWaitForReadersCtxPublic exercises the context-bounded wait
+// through the public interface on every flavor.
+func TestWaitForReadersCtxPublic(t *testing.T) {
+	for _, f := range prcu.Flavors() {
+		t.Run(string(f), func(t *testing.T) {
+			r := prcu.MustNew(f, prcu.Options{})
+			if err := r.WaitForReadersCtx(context.Background(), prcu.All()); err != nil {
+				t.Fatalf("uncontended ctx wait returned %v", err)
+			}
+			rd, err := r.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd.Enter(3)
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			if err := r.WaitForReadersCtx(ctx, prcu.All()); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("wedged ctx wait returned %v, want DeadlineExceeded", err)
+			}
+			cancel()
+			rd.Exit(3)
+			rd.Unregister()
+		})
+	}
 }
