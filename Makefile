@@ -24,7 +24,7 @@ short:
 # API (reader pool + churn), the engine core (including the torture
 # suite), and the two RCU-backed structures.
 race:
-	$(GO) test -race -short -timeout $(TEST_TIMEOUT) . ./internal/core ./citrus ./hashtable
+	$(GO) test -race -short -timeout $(TEST_TIMEOUT) . ./internal/core ./internal/reclaim ./citrus ./hashtable
 
 # Brief coverage-guided fuzzing on top of the checked-in seed corpora.
 FUZZTIME ?= 10s

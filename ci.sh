@@ -16,6 +16,9 @@ go test -timeout 300s ./...
 echo "== go test -race -short (API + engines + structures) =="
 go test -race -short -timeout 300s . ./internal/core ./citrus ./hashtable
 
+echo "== go test -race (reclaimer backlog/backpressure stress) =="
+go test -race -timeout 300s ./internal/reclaim
+
 echo "== go test -race (reader churn stress) =="
 go test -race -run 'TestReaderChurnConcurrentWaits|TestUncappedRegisterNeverFails' \
     -timeout 300s ./internal/core .
@@ -24,7 +27,7 @@ echo "== go test -race (chaos torture: fault injection over every engine) =="
 go test -race -short -timeout 300s ./internal/chaos
 
 echo "== fuzz seed corpora replay =="
-go test -run 'Fuzz' -timeout 120s ./internal/core ./hashtable
+go test -run 'Fuzz' -timeout 120s ./internal/core ./hashtable ./internal/reclaim
 
 echo "== prcubench -quick -json smoke =="
 out=$(go run ./cmd/prcubench -quick -json fig1 2>/dev/null)
@@ -32,6 +35,17 @@ case "$out" in
 '{'*) ;;
 *)
     echo "prcubench -json did not emit JSON on stdout:" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+esac
+
+echo "== prcubench -quick -json reclaim smoke =="
+out=$(go run ./cmd/prcubench -quick -json reclaim 2>/dev/null)
+case "$out" in
+'{'*) ;;
+*)
+    echo "prcubench -json reclaim did not emit JSON on stdout:" >&2
     echo "$out" >&2
     exit 1
     ;;

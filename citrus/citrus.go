@@ -120,7 +120,44 @@ type Tree struct {
 	domain Domain
 	root   *node
 	size   atomic.Int64
+
+	// rec, when set, moves two-child deletions' grace-period waits off
+	// the deleting goroutine; see SetReclaimer.
+	rec      *prcu.Reclaimer
+	deferred atomic.Uint64
 }
+
+// nodeApproxBytes is the backlog byte declaration for one deferred
+// unlink: the successor node itself plus its share of bookkeeping. An
+// estimate is all the reclaimer needs — the watermark bounds memory in
+// these units.
+const nodeApproxBytes = 96
+
+// SetReclaimer switches two-child deletions to asynchronous
+// reclamation: instead of blocking the deleting goroutine on
+// WaitForReaders, Delete publishes the successor's replacement and
+// hands the post-grace-period work — marking and unlinking the original
+// successor, then releasing the held locks — to rec as an error-aware
+// callback. The deleter returns immediately; the affected nodes stay
+// locked until the covering grace period completes (the same exclusion
+// the synchronous wait provides, moved to the reclaimer's worker), and
+// the reclaimer batches many deletions' predicates into few waits.
+//
+// If rec is shut down with the callback unresolved (bounded CloseCtx on
+// a wedged engine), the callback receives the abandonment error: it
+// releases the locks WITHOUT unlinking — the tree stays exactly in its
+// published intermediate state, which is safe for every reader — but
+// the original successor node leaks and updates into its key range may
+// retry indefinitely. That trade is intended for process shutdown.
+//
+// Call before the tree is shared; do not close rec while updaters are
+// active (Defer on a closed reclaimer panics). The synchronous path is
+// the default when no reclaimer is set.
+func (t *Tree) SetReclaimer(rec *prcu.Reclaimer) { t.rec = rec }
+
+// DeferredUnlinks returns how many two-child deletions handed their
+// unlink to the reclaimer instead of waiting synchronously.
+func (t *Tree) DeferredUnlinks() uint64 { return t.deferred.Load() }
 
 // New returns an empty tree synchronized by r, presenting searches to r
 // through domain.
@@ -384,31 +421,51 @@ func (t *Tree) deleteInternal(prev *node, dir int, curr, right *node) bool {
 	n.mu.Lock()
 	prev.child[dir].Store(n)
 
-	// The heart of §5.2: wait only for searches on keys in (k, k′].
-	t.rcu.WaitForReaders(t.domain.WaitPredicate(curr.key, succ.key))
-
-	// Marking the original successor stops pre-existing inserts from
-	// attaching children to it; then unlink it.
-	succ.marked = true
-	succRight := succ.child[1].Load()
-	if prevSucc == curr {
-		n.child[1].Store(succRight)
-		if succRight == nil {
-			n.tag[1].Add(1)
+	// finish is everything that must wait for the grace period: mark the
+	// original successor so pre-existing inserts cannot attach children
+	// to it, unlink it, and release every held lock. On an abandoned
+	// grace period (bounded shutdown) it releases the locks only — the
+	// published intermediate state with both copies reachable is safe for
+	// readers, whereas unlinking early is not. succ is still marked so a
+	// validation can never splice children onto the leaked node.
+	finish := func(err error) {
+		succ.marked = true
+		if err == nil {
+			succRight := succ.child[1].Load()
+			if prevSucc == curr {
+				n.child[1].Store(succRight)
+				if succRight == nil {
+					n.tag[1].Add(1)
+				}
+			} else {
+				prevSucc.child[0].Store(succRight)
+				if succRight == nil {
+					prevSucc.tag[0].Add(1)
+				}
+			}
 		}
-	} else {
-		prevSucc.child[0].Store(succRight)
-		if succRight == nil {
-			prevSucc.tag[0].Add(1)
+		n.mu.Unlock()
+		succ.mu.Unlock()
+		if prevSucc != curr {
+			prevSucc.mu.Unlock()
 		}
+		curr.mu.Unlock()
+		prev.mu.Unlock()
 	}
 
-	n.mu.Unlock()
-	succ.mu.Unlock()
-	if prevSucc != curr {
-		prevSucc.mu.Unlock()
+	// The heart of §5.2: wait only for searches on keys in (k, k′] —
+	// synchronously here, or batched on the reclaimer's worker, which
+	// coalesces many deletions' predicates into few grace periods. The
+	// locks travel with the callback either way (releasing a Mutex from
+	// another goroutine is legal in Go), so the exclusion window is
+	// identical to the synchronous wait's.
+	pred := t.domain.WaitPredicate(curr.key, succ.key)
+	if rec := t.rec; rec != nil {
+		t.deferred.Add(1)
+		rec.Defer(pred, nodeApproxBytes, finish)
+		return true
 	}
-	curr.mu.Unlock()
-	prev.mu.Unlock()
+	t.rcu.WaitForReaders(pred)
+	finish(nil)
 	return true
 }

@@ -1,0 +1,130 @@
+package citrus
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prcu"
+)
+
+// TestReclaimDeferredUnlink: with a reclaimer attached, two-child
+// deletions return without waiting; after a Barrier the tree must be
+// exactly the set the operations describe.
+func TestReclaimDeferredUnlink(t *testing.T) {
+	r := prcu.MustNew(prcu.FlavorEER, prcu.Options{})
+	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{Shards: 1})
+	tree := New(r, FuncDomain())
+	tree.SetReclaimer(rec)
+	h, err := tree.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// A chain of inserts that guarantees internal (two-child) nodes:
+	// parent 500 with subtrees on both sides, then delete the internal
+	// keys.
+	keys := []uint64{500, 250, 750, 125, 375, 625, 875, 60, 190, 310, 440}
+	for _, k := range keys {
+		if !h.Insert(k, k*10) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	for _, k := range []uint64{250, 500} { // both have two children
+		if !h.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	rec.Barrier()
+	if got := tree.DeferredUnlinks(); got == 0 {
+		t.Fatal("no deletion took the deferred path; the test exercised nothing")
+	}
+	for _, k := range keys {
+		want := k != 250 && k != 500
+		if got := h.Contains(k); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if err := rec.CloseCtx(context.Background()); err != nil {
+		t.Fatalf("clean CloseCtx returned %v", err)
+	}
+}
+
+// TestReclaimChurnUnderReaders hammers deferred deletions against
+// concurrent readers and inserters; the race detector plus the final
+// membership audit are the assertions.
+func TestReclaimChurnUnderReaders(t *testing.T) {
+	r := prcu.MustNew(prcu.FlavorD, prcu.Options{})
+	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{
+		Shards:     2,
+		MaxPending: 256,
+		FlushDelay: 200 * time.Microsecond,
+	})
+	tree := New(r, DefaultDomain(prcu.FlavorD))
+	tree.SetReclaimer(rec)
+
+	const keys = 512
+	h, err := tree.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < keys; k++ {
+		h.Insert(k, k)
+	}
+	h.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rh := tree.Handle()
+			defer rh.Close()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rh.Contains((i*7 + uint64(g)) % keys)
+			}
+		}(g)
+	}
+	var flips atomic.Int64
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			wh := tree.Handle()
+			defer wh.Close()
+			for i := 0; i < 300; i++ {
+				k := uint64((i*13 + g*7) % keys)
+				if wh.Delete(k) {
+					flips.Add(1)
+					wh.Insert(k, k)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	rec.Barrier()
+
+	ah := tree.Handle()
+	defer ah.Close()
+	for k := uint64(0); k < keys; k++ {
+		if !ah.Contains(k) {
+			t.Fatalf("key %d lost in churn (every delete was reinserted)", k)
+		}
+	}
+	if flips.Load() == 0 {
+		t.Fatal("no delete/reinsert cycles ran")
+	}
+	rec.Close()
+	t.Logf("deferred unlinks %d, grace periods %d", tree.DeferredUnlinks(), rec.Graces())
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|all
+//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|all
 //
 // The stats subcommand runs the mixed workload with the observability
 // layer attached and dumps each engine's internal metrics: grace-period
@@ -49,7 +49,7 @@ func main() {
 		quick        = flag.Bool("quick", false, "smoke-test preset: tiny windows, 1 run, small key spaces (explicit flags still override)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -138,6 +138,8 @@ func dispatch(cmd string, cfg bench.Config, includeLF bool) error {
 		return bench.Ablation(cfg)
 	case "stats":
 		return bench.Stats(cfg)
+	case "reclaim":
+		return bench.Reclaim(cfg)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return bench.Fig1(cfg) },
@@ -148,6 +150,7 @@ func dispatch(cmd string, cfg bench.Config, includeLF bool) error {
 			func() error { return bench.Fig9(cfg) },
 			func() error { return bench.Ablation(cfg) },
 			func() error { return bench.Stats(cfg) },
+			func() error { return bench.Reclaim(cfg) },
 		} {
 			if err := f(); err != nil {
 				return err

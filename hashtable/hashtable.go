@@ -64,6 +64,70 @@ type Map struct {
 	// waits counts WaitForReaders calls issued by expansions (exposed for
 	// the benchmark harness and tests).
 	waits atomic.Int64
+
+	// rec, when set, recycles deleted nodes through nodePool after a
+	// covering grace period; see SetReclaimer.
+	rec      *prcu.Reclaimer
+	nodePool sync.Pool
+	recycled atomic.Uint64
+}
+
+// hnodeBytes is the backlog byte declaration for one retired chain node.
+const hnodeBytes = 48
+
+// SetReclaimer enables deferred node recycling. Without it, Delete
+// simply unlinks and lets Go's GC reclaim the node once readers quiesce
+// — correct, but every delete allocates garbage and a later insert
+// allocates afresh. With a reclaimer, Delete retires the node and, after
+// a grace period covering every reader that could still be traversing
+// it, the node returns to an internal pool that Insert draws from.
+// Recycling mutates the node's key in place, which is exactly what must
+// never happen while a reader can still reach it — the grace period is
+// what licenses it.
+//
+// Call before the map is shared; do not close rec while updaters are
+// active (Retire on a closed reclaimer panics). If rec shuts down with
+// retirements unresolved, those nodes are simply not recycled — the GC
+// takes them, nothing leaks and no reader is harmed.
+func (m *Map) SetReclaimer(rec *prcu.Reclaimer) { m.rec = rec }
+
+// Recycled returns how many deleted nodes completed their grace period
+// and re-entered the insert pool.
+func (m *Map) Recycled() uint64 { return m.recycled.Load() }
+
+// recycleNode runs after the retirement's grace period: no reader can
+// reach n anymore, so scrubbing and pooling it is safe.
+func (m *Map) recycleNode(v any) {
+	n := v.(*hnode)
+	n.key = 0
+	n.value.Store(0)
+	n.next.Store(nil)
+	m.recycled.Add(1)
+	m.nodePool.Put(n)
+}
+
+// retirePredicate covers every PRCU value a reader still able to reach a
+// node with key k may have annotated its section with. Readers annotate
+// with a bucket index of the table generation they entered under, and
+// generations only ever double, so across generations k's bucket is
+// k & m for the nested masks m, mask ≥ m ≥ 0. Readers of *other*
+// buckets can transiently traverse k's node mid-expansion (chains alias
+// until unzipped), but every unzip cut is preceded by a wait covering
+// both affected buckets and updates are excluded while expansion runs,
+// so by the time a Delete can retire the node those readers are done.
+// Over-covering the handful of nested reductions is the cheap, safe
+// remainder.
+func retirePredicate(k, mask uint64) prcu.Predicate {
+	return prcu.Func(func(v prcu.Value) bool {
+		for m := mask; ; m >>= 1 {
+			if v == k&m {
+				return true
+			}
+			if m == 0 {
+				return false
+			}
+		}
+	})
 }
 
 // New returns a table with the given initial bucket count (a power of
@@ -214,7 +278,11 @@ func (m *Map) Insert(k, val uint64) bool {
 			return false
 		}
 	}
-	n := &hnode{key: k}
+	n, _ := m.nodePool.Get().(*hnode)
+	if n == nil {
+		n = &hnode{}
+	}
+	n.key = k
 	n.value.Store(val)
 	n.next.Store(head)
 	t.heads[b].Store(n)
@@ -226,7 +294,8 @@ func (m *Map) Insert(k, val uint64) bool {
 // while readers may still be traversing it; its next pointer is left
 // intact so they continue unharmed (the RCU discipline — in C this is
 // where reclamation would be deferred to a grace period; Go's GC plays
-// that role here).
+// that role by default, or the attached Reclaimer recycles the node
+// after its grace period when SetReclaimer was called).
 func (m *Map) Delete(k uint64) bool {
 	t, b := m.lockBucket(k)
 	defer t.locks[b].Unlock()
@@ -244,6 +313,12 @@ func (m *Map) Delete(k uint64) bool {
 		prev.next.Store(n.next.Load())
 	}
 	m.size.Add(-1)
+	// The node's next pointer is left intact for readers still on it; with
+	// a reclaimer attached it re-enters the insert pool once a grace
+	// period covering every such reader completes.
+	if rec := m.rec; rec != nil {
+		rec.Retire(n, retirePredicate(k, t.mask), hnodeBytes, m.recycleNode)
+	}
 	return true
 }
 

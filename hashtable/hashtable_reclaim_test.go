@@ -1,0 +1,117 @@
+package hashtable
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"prcu"
+)
+
+// TestReclaimRecyclesNodes: deleted nodes must come back through the
+// insert pool once their grace period completes.
+func TestReclaimRecyclesNodes(t *testing.T) {
+	r := prcu.MustNew(prcu.FlavorD, prcu.Options{})
+	m := New(r, 64)
+	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{Shards: 1})
+	m.SetReclaimer(rec)
+
+	const n = 200
+	for k := uint64(0); k < n; k++ {
+		m.Insert(k, k)
+	}
+	for k := uint64(0); k < n; k++ {
+		if !m.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	rec.Barrier()
+	if got := m.Recycled(); got != n {
+		t.Fatalf("Recycled = %d, want %d after Barrier", got, n)
+	}
+	// Reinsert: pool nodes are drawn back in; the map must behave as new.
+	for k := uint64(0); k < n; k++ {
+		if !m.Insert(k, k+1) {
+			t.Fatalf("reinsert %d failed", k)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := m.Get(k); !ok || v != k+1 {
+			t.Fatalf("Get(%d) = %d,%v after recycle, want %d,true", k, v, ok, k+1)
+		}
+	}
+	rec.Close()
+}
+
+// TestReclaimChurnWithReadersAndExpansion is the safety test for
+// recycling: node reuse mutates keys in place, so any under-covered
+// reader would trip the race detector or the membership audit. The
+// churn crosses an expansion to exercise the multi-generation predicate.
+func TestReclaimChurnWithReadersAndExpansion(t *testing.T) {
+	r := prcu.MustNew(prcu.FlavorD, prcu.Options{})
+	m := New(r, 16)
+	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{
+		Shards:     2,
+		MaxPending: 128,
+		FlushDelay: 100 * time.Microsecond,
+	})
+	m.SetReclaimer(rec)
+
+	const keys = 256
+	for k := uint64(0); k < keys; k++ {
+		m.Insert(k, k)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := m.Handle()
+			defer h.Close()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i*11 + uint64(g)) % keys
+				if v, ok := h.Get(k); ok && v != k && v != k+1 {
+					t.Errorf("Get(%d) observed foreign value %d", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := uint64((i*17 + g*5) % keys)
+				if m.Delete(k) {
+					m.Insert(k, k+1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	m.Expand()
+	m.Expand()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	rec.Barrier()
+
+	for k := uint64(0); k < keys; k++ {
+		if !m.Contains(k) {
+			t.Fatalf("key %d lost in churn (every delete was reinserted)", k)
+		}
+	}
+	if m.Recycled() == 0 {
+		t.Fatal("no node was ever recycled; the test exercised nothing")
+	}
+	rec.Close()
+	t.Logf("recycled %d nodes across %d grace periods", m.Recycled(), rec.Graces())
+}

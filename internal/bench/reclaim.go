@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"prcu"
+	"prcu/internal/workload"
+)
+
+// Reclaim measures what the bounded deferred-reclamation subsystem buys
+// over the naive discipline of one WaitForReaders per retirement: N
+// updater threads retire predicate-covered objects as fast as they can.
+// Grace periods use the simulated-wait instrument from Figure 8 — each
+// wait burns a fixed graceNs regardless of host scheduling — so the
+// comparison is deterministic and isolates the quantity under test: how
+// many grace periods each discipline pays for the same retirement
+// stream. Reported per thread count: retirement throughput and grace
+// periods per 1000 retirements, synchronous wait-per-retire versus a
+// Reclaimer with batching and predicate coalescing. The second table is
+// the subsystem's headline number — batching must cut grace periods
+// well below the baseline's fixed 1000 per 1k.
+func Reclaim(cfg Config) error {
+	modes := []string{"sync wait/retire", "reclaimer"}
+
+	tpTbl := &table{
+		title:   "Deferred reclamation: retirement throughput",
+		unit:    "retires/sec (higher is better); simulated grace periods",
+		columns: modes,
+	}
+	gpTbl := &table{
+		title:   "Deferred reclamation: grace periods per 1000 retires",
+		unit:    "waits issued per 1k retirements (lower is better)",
+		columns: modes,
+	}
+
+	for _, threads := range cfg.Threads {
+		row := make([]float64, len(modes))
+		gpRow := make([]float64, len(modes))
+		for mi := range modes {
+			batched := mi == 1
+			tp, gp, err := cfg.medianOfPair(func() (float64, float64, error) {
+				return reclaimPoint(cfg, threads, batched)
+			})
+			if err != nil {
+				return err
+			}
+			row[mi] = tp
+			gpRow[mi] = gp
+		}
+		tpTbl.addRow(fmt.Sprint(threads), row)
+		gpTbl.addRow(fmt.Sprint(threads), gpRow)
+	}
+
+	tpTbl.emit(cfg)
+	gpTbl.emit(cfg)
+	return nil
+}
+
+// waitCounter wraps an engine to count grace periods started through it.
+// The reclaimer's Graces() counter reports the same quantity for the
+// batched mode; the wrapper makes the two modes comparable through one
+// instrument.
+type waitCounter struct {
+	prcu.RCU
+	waits atomic.Uint64
+}
+
+func (w *waitCounter) WaitForReaders(p prcu.Predicate) {
+	w.waits.Add(1)
+	w.RCU.WaitForReaders(p)
+}
+
+func (w *waitCounter) WaitForReadersCtx(ctx context.Context, p prcu.Predicate) error {
+	w.waits.Add(1)
+	return w.RCU.WaitForReadersCtx(ctx, p)
+}
+
+const (
+	// reclaimKeys is the retirement key range: wide enough that
+	// coalescing has real merging to do, narrow enough that predicates
+	// in one batch overlap.
+	reclaimKeys = 64
+
+	// reclaimGraceNs is the simulated cost of one grace period —
+	// microsecond scale, the floor for a wait that must examine live
+	// readers (the real distributions are in the stats subcommand).
+	reclaimGraceNs = 2000
+)
+
+// reclaimPoint measures one (threads, mode) point. Returns retirement
+// throughput and grace periods per 1000 retirements.
+func reclaimPoint(cfg Config, threads int, batched bool) (float64, float64, error) {
+	eng := &waitCounter{RCU: prcu.NewSimulated(prcu.NewD(prcu.Options{}), reclaimGraceNs)}
+
+	var rec *prcu.Reclaimer
+	if batched {
+		rec = prcu.NewReclaimer(eng, prcu.ReclaimConfig{
+			MaxPending: 4096,
+			Policy:     prcu.PolicyBlock,
+			FlushDelay: 50 * time.Microsecond,
+		})
+	}
+
+	res := workload.Run(threads, cfg.Duration, func(w int, rng *workload.RNG) int {
+		k := rng.Intn(reclaimKeys)
+		p := prcu.Singleton(k)
+		if batched {
+			rec.Retire(struct{}{}, p, 64, nil)
+		} else {
+			eng.WaitForReaders(p)
+		}
+		return 1
+	})
+
+	var waits uint64
+	if batched {
+		rec.Barrier()
+		waits = rec.Graces()
+		rec.Close()
+	} else {
+		waits = eng.waits.Load()
+	}
+
+	retired := float64(res.Ops)
+	if retired == 0 {
+		return 0, 0, nil
+	}
+	return res.Throughput(), float64(waits) * 1000 / retired, nil
+}

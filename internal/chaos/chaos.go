@@ -70,6 +70,17 @@ type Config struct {
 	// WaitJitter is the probability that a WaitForReaders(Ctx) call
 	// yields before starting, perturbing waiter/reader interleavings.
 	WaitJitter float64
+
+	// WaitHold is the probability that a WaitForReaders(Ctx) call is
+	// held for WaitHoldDur before the inner wait starts — the "slow
+	// grace period" fault. Deferred-reclamation layers sit on top of
+	// exactly this failure mode: retirements keep arriving while grace
+	// periods crawl, so the backlog grows and the watermark machinery
+	// must engage. A held WaitForReadersCtx honors ctx during the hold,
+	// returning its error without starting the inner wait (the grace
+	// period then never completed, which is the truthful outcome).
+	WaitHold    float64
+	WaitHoldDur time.Duration
 }
 
 // Counts reports how many faults of each class an Engine injected.
@@ -78,6 +89,7 @@ type Counts struct {
 	ExitDelays   uint64
 	Stalls       uint64
 	WaitJitters  uint64
+	WaitHolds    uint64
 }
 
 // Engine is a fault-injecting core.RCU wrapper; construct with Wrap.
@@ -89,14 +101,18 @@ type Engine struct {
 	delayThr   uint64
 	stallThr   uint64
 	waitThr    uint64
+	holdThr    uint64
 	delayDur   time.Duration
 	stallDur   time.Duration
+	holdDur    time.Duration
 	readers    atomic.Uint64 // registration index stream
 	waitSeq    atomic.Uint64 // wait-side decision stream
+	holdSeq    atomic.Uint64 // wait-hold decision stream
 	nJitter    atomic.Uint64
 	nDelay     atomic.Uint64
 	nStall     atomic.Uint64
 	nWaitShake atomic.Uint64
+	nWaitHold  atomic.Uint64
 }
 
 // Wrap returns inner behind the fault injector configured by cfg.
@@ -108,8 +124,10 @@ func Wrap(inner core.RCU, cfg Config) *Engine {
 		delayThr: threshold(cfg.ExitDelay),
 		stallThr: threshold(cfg.Stall),
 		waitThr:  threshold(cfg.WaitJitter),
+		holdThr:  threshold(cfg.WaitHold),
 		delayDur: cfg.ExitDelayDur,
 		stallDur: cfg.StallDur,
+		holdDur:  cfg.WaitHoldDur,
 	}
 }
 
@@ -159,6 +177,7 @@ func (e *Engine) Counts() Counts {
 		ExitDelays:   e.nDelay.Load(),
 		Stalls:       e.nStall.Load(),
 		WaitJitters:  e.nWaitShake.Load(),
+		WaitHolds:    e.nWaitHold.Load(),
 	}
 }
 
@@ -199,15 +218,46 @@ func (e *Engine) waitShake() {
 	}
 }
 
+// holdDecision reports whether this wait should be held, from its own
+// shared decision stream (deterministic in the count of waits issued).
+func (e *Engine) holdDecision() bool {
+	if e.holdThr == 0 {
+		return false
+	}
+	if splitmix64(e.seed^e.holdSeq.Add(1)*0xbf58476d1ce4e5b9) >= e.holdThr {
+		return false
+	}
+	e.nWaitHold.Add(1)
+	return true
+}
+
 // WaitForReaders implements core.RCU.
 func (e *Engine) WaitForReaders(p core.Predicate) {
 	e.waitShake()
+	if e.holdDecision() {
+		sleep(e.holdDur)
+	}
 	e.inner.WaitForReaders(p)
 }
 
 // WaitForReadersCtx implements core.RCU.
 func (e *Engine) WaitForReadersCtx(ctx context.Context, p core.Predicate) error {
 	e.waitShake()
+	if e.holdDecision() {
+		// Honor ctx during the hold: a deadline that lands mid-hold means
+		// the grace period never completed, which is the truthful result.
+		if e.holdDur <= 0 {
+			yield()
+		} else {
+			t := time.NewTimer(e.holdDur)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+	}
 	return e.inner.WaitForReadersCtx(ctx, p)
 }
 

@@ -154,6 +154,22 @@ func (p Predicate) Holds(v Value) bool {
 	}
 }
 
+// Span reports the inclusive contiguous value range [lo, hi] the
+// predicate covers: ok is true exactly for Singleton and Interval
+// predicates, whose covered set is a dense integer range. Iterables with
+// custom step functions, Func and All report ok = false — their covered
+// set is not (knowably) one contiguous range. Batching layers use Span to
+// merge adjacent predicates into a single covering wait.
+func (p Predicate) Span() (lo, hi Value, ok bool) {
+	if p.kind == KindSingleton {
+		return p.first, p.first, true
+	}
+	if p.kind == KindIterable && p.unitStep {
+		return p.first, p.last, true
+	}
+	return 0, 0, false
+}
+
 // ForEach enumerates the values the predicate holds for, in iteration
 // order, calling yield for each. Enumeration stops early if yield returns
 // false. It reports whether the predicate was enumerable.

@@ -81,6 +81,24 @@ type Metrics struct {
 	sectionNs   stats.Histogram
 	sampleShift uint
 
+	// Deferred reclamation (internal/reclaim). The two gauges track the
+	// live backlog — callbacks accepted but not yet resolved, and their
+	// caller-declared bytes — and are updated under the reclaimer's
+	// capacity lock, so a concurrent Snapshot never observes a value above
+	// the configured hard watermark. The histograms are unitless
+	// (batch sizes) and nanoseconds (flush latency) respectively.
+	reclaimPending      pad.Int64
+	reclaimBytes        pad.Int64
+	reclaimRetired      pad.Uint64
+	reclaimFreed        pad.Uint64
+	reclaimDropped      pad.Uint64
+	reclaimGraces       pad.Uint64
+	reclaimExpedited    pad.Uint64
+	reclaimBackpressure pad.Uint64
+	reclaimInline       pad.Uint64
+	reclaimBatch        stats.Histogram
+	reclaimFlushNs      stats.Histogram
+
 	// retiredEnters accumulates the enter counts of dead readers: when a
 	// slot is recycled its lane restarts from zero for the new owner
 	// (per-slot stats must not smear across owners), and the old owner's
@@ -203,6 +221,84 @@ func (m *Metrics) DrainCounts(optimistic, gate, piggyback uint64) {
 	}
 }
 
+// OverloadKind classifies how a retirement crossed the reclaimer's hard
+// watermark.
+type OverloadKind uint8
+
+const (
+	// OverloadBackpressure: the caller blocked until the backlog drained
+	// below the watermark (PolicyBlock).
+	OverloadBackpressure OverloadKind = iota
+	// OverloadInline: the caller degraded to a synchronous grace period
+	// and freed its own retirement inline (PolicyInline, or an oversized
+	// single retirement under any policy).
+	OverloadInline
+)
+
+// ReclaimEnqueue records one callback entering the deferred-reclamation
+// backlog with its caller-declared bytes. The reclaimer calls it under
+// its capacity lock so the backlog gauges never transiently exceed the
+// configured watermarks.
+func (m *Metrics) ReclaimEnqueue(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.reclaimPending.Add(1)
+	m.reclaimBytes.Add(bytes)
+	m.reclaimRetired.Add(1)
+}
+
+// / ReclaimResolve records one backlog callback leaving the backlog: freed
+// after a completed grace period (freed = true) or dropped because its
+// wait was abandoned at a bounded shutdown.
+func (m *Metrics) ReclaimResolve(bytes int64, freed bool) {
+	if m == nil {
+		return
+	}
+	m.reclaimPending.Add(-1)
+	m.reclaimBytes.Add(-bytes)
+	if freed {
+		m.reclaimFreed.Add(1)
+	} else {
+		m.reclaimDropped.Add(1)
+	}
+}
+
+// / ReclaimFlush records one shard batch flush: how many callbacks it
+// resolved, how many grace periods the coalescer actually issued for
+// them, how long the whole flush took, and whether it was expedited
+// (soft-watermark or explicit Flush) rather than delay-batched.
+func (m *Metrics) ReclaimFlush(batch int, graces uint64, durNs int64, expedited bool) {
+	if m == nil {
+		return
+	}
+	m.reclaimBatch.Record(int64(batch))
+	m.reclaimFlushNs.Record(durNs)
+	m.reclaimGraces.Add(graces)
+	if expedited {
+		m.reclaimExpedited.Add(1)
+	}
+	if tr := m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: m.now(), Kind: EvReclaimFlush, Reader: -1, Value: uint64(batch)})
+	}
+}
+
+// ReclaimOverload records a retirement hitting the hard watermark, with
+// the backlog observed at that moment.
+func (m *Metrics) ReclaimOverload(kind OverloadKind, backlog uint64) {
+	if m == nil {
+		return
+	}
+	if kind == OverloadBackpressure {
+		m.reclaimBackpressure.Add(1)
+	} else {
+		m.reclaimInline.Add(1)
+	}
+	if tr := m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: m.now(), Kind: EvReclaimOverload, Reader: -1, Value: backlog})
+	}
+}
+
 // ReaderLane is one reader slot's private metrics cell. Its counter is a
 // padded atomic written only by the owning reader (Snapshot reads it),
 // and the sampling scratch fields are owner-only.
@@ -271,6 +367,17 @@ func (m *Metrics) Reset() {
 	m.drainsPiggyback.Store(0)
 	m.stalls.Store(0)
 	m.stalledReaders.Store(0)
+	m.reclaimPending.Store(0)
+	m.reclaimBytes.Store(0)
+	m.reclaimRetired.Store(0)
+	m.reclaimFreed.Store(0)
+	m.reclaimDropped.Store(0)
+	m.reclaimGraces.Store(0)
+	m.reclaimExpedited.Store(0)
+	m.reclaimBackpressure.Store(0)
+	m.reclaimInline.Store(0)
+	m.reclaimBatch.Reset()
+	m.reclaimFlushNs.Reset()
 	m.sectionNs.Reset()
 	m.retiredEnters.Store(0)
 	m.laneMu.Lock()

@@ -68,6 +68,31 @@ type Snapshot struct {
 	Stalls         uint64
 	StalledReaders uint64
 
+	// Deferred-reclamation (internal/reclaim) state. The two gauges are
+	// the live backlog at snapshot time — callbacks accepted but not yet
+	// resolved, and their caller-declared bytes; with watermarks
+	// configured they never exceed MaxPending/MaxBytes. Retired counts
+	// accepted callbacks, Freed those run after a completed grace period,
+	// Dropped those abandoned by a bounded shutdown. Graces is the number
+	// of grace periods the batch coalescer actually issued (Retired/Graces
+	// is the batching win). Expedited counts soft-watermark/Flush-forced
+	// flushes; Backpressure and Inline count hard-watermark overloads by
+	// how the caller degraded.
+	ReclaimPending      int64
+	ReclaimBytes        int64
+	ReclaimRetired      uint64
+	ReclaimFreed        uint64
+	ReclaimDropped      uint64
+	ReclaimGraces       uint64
+	ReclaimExpedited    uint64
+	ReclaimBackpressure uint64
+	ReclaimInline       uint64
+	// ReclaimBatch is the flush batch-size distribution (unitless — the
+	// histogram's Ns fields read as callback counts); ReclaimFlushNs is
+	// the flush latency distribution.
+	ReclaimBatch   HistSummary
+	ReclaimFlushNs HistSummary
+
 	// Enters is the total number of read-side critical sections across
 	// all reader lanes, including readers that have since unregistered
 	// (their counts retire when a slot is recycled); SectionNs is the
@@ -100,6 +125,18 @@ func (m *Metrics) Snapshot() Snapshot {
 		Stalls:           m.stalls.Load(),
 		StalledReaders:   m.stalledReaders.Load(),
 		SectionNs:        summarize(&m.sectionNs),
+
+		ReclaimPending:      m.reclaimPending.Load(),
+		ReclaimBytes:        m.reclaimBytes.Load(),
+		ReclaimRetired:      m.reclaimRetired.Load(),
+		ReclaimFreed:        m.reclaimFreed.Load(),
+		ReclaimDropped:      m.reclaimDropped.Load(),
+		ReclaimGraces:       m.reclaimGraces.Load(),
+		ReclaimExpedited:    m.reclaimExpedited.Load(),
+		ReclaimBackpressure: m.reclaimBackpressure.Load(),
+		ReclaimInline:       m.reclaimInline.Load(),
+		ReclaimBatch:        summarize(&m.reclaimBatch),
+		ReclaimFlushNs:      summarize(&m.reclaimFlushNs),
 	}
 	if s.ReadersScanned > 0 {
 		s.Selectivity = float64(s.ReadersWaited) / float64(s.ReadersScanned)
@@ -148,6 +185,20 @@ func (s Snapshot) Dump(w io.Writer, name string) {
 	if s.Stalls > 0 {
 		fmt.Fprintf(w, "stalls detected:  %d reports naming %d open sections\n",
 			s.Stalls, s.StalledReaders)
+	}
+	if s.ReclaimRetired > 0 || s.ReclaimInline > 0 {
+		fmt.Fprintf(w, "reclamation:      %d retired, %d freed, %d dropped; backlog %d cbs / %d bytes\n",
+			s.ReclaimRetired, s.ReclaimFreed, s.ReclaimDropped, s.ReclaimPending, s.ReclaimBytes)
+		fmt.Fprintf(w, "reclaim batching: %d grace periods for %d callbacks", s.ReclaimGraces, s.ReclaimRetired)
+		if s.ReclaimBatch.Count > 0 {
+			fmt.Fprintf(w, "  mean batch %.1f  flush p99 %s",
+				s.ReclaimBatch.MeanNs, fmtNs(s.ReclaimFlushNs.P99Ns))
+		}
+		fmt.Fprintln(w)
+		if s.ReclaimExpedited+s.ReclaimBackpressure+s.ReclaimInline > 0 {
+			fmt.Fprintf(w, "reclaim overload: %d expedited flushes, %d backpressure waits, %d inline waits\n",
+				s.ReclaimExpedited, s.ReclaimBackpressure, s.ReclaimInline)
+		}
 	}
 	fmt.Fprintf(w, "reader sections:  %d entered, %d sampled", s.Enters, s.SectionNs.Count)
 	if s.SectionNs.Count > 0 {

@@ -18,6 +18,13 @@ const (
 	// EvStall marks a grace-period stall report firing; Value carries the
 	// number of stalled open critical sections named by the report.
 	EvStall
+	// EvReclaimFlush marks a deferred-reclamation batch flush completing;
+	// Value carries the batch size (callbacks resolved by the flush).
+	EvReclaimFlush
+	// EvReclaimOverload marks a retirement hitting a reclaimer watermark:
+	// a caller blocked for backpressure or degraded to an inline grace
+	// period. Value carries the backlog (pending callbacks) at that moment.
+	EvReclaimOverload
 )
 
 // String returns the event kind's mnemonic.
@@ -33,6 +40,10 @@ func (k EventKind) String() string {
 		return "wait-end"
 	case EvStall:
 		return "stall"
+	case EvReclaimFlush:
+		return "reclaim-flush"
+	case EvReclaimOverload:
+		return "reclaim-overload"
 	default:
 		return "?"
 	}

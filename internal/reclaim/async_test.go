@@ -1,4 +1,4 @@
-package core
+package reclaim
 
 import (
 	"context"
@@ -7,14 +7,16 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"prcu/internal/core"
 )
 
 func TestAsyncRunsCallbacks(t *testing.T) {
-	a := NewAsync(NewTimeRCU(8, nil))
+	a := NewAsync(core.NewTimeRCU(8, nil))
 	defer a.Close()
 	var ran atomic.Int64
 	for i := 0; i < 100; i++ {
-		a.Call(All(), func() { ran.Add(1) })
+		a.Call(core.All(), func() { ran.Add(1) })
 	}
 	a.Barrier()
 	if got := ran.Load(); got != 100 {
@@ -26,7 +28,7 @@ func TestAsyncRunsCallbacks(t *testing.T) {
 }
 
 func TestAsyncCallbackWaitsForGracePeriod(t *testing.T) {
-	r := NewEER(8, nil)
+	r := core.NewEER(8, nil)
 	a := NewAsync(r)
 	defer a.Close()
 	rd, err := r.Register()
@@ -35,7 +37,7 @@ func TestAsyncCallbackWaitsForGracePeriod(t *testing.T) {
 	}
 	rd.Enter(7)
 	var ran atomic.Bool
-	a.Call(Singleton(7), func() { ran.Store(true) })
+	a.Call(core.Singleton(7), func() { ran.Store(true) })
 	// The callback must not run while the covered critical section is open.
 	time.Sleep(30 * time.Millisecond)
 	if ran.Load() {
@@ -51,7 +53,7 @@ func TestAsyncCallbackWaitsForGracePeriod(t *testing.T) {
 }
 
 func TestAsyncUncoveredReaderDoesNotBlockCallback(t *testing.T) {
-	r := NewD(8, 1024)
+	r := core.NewD(8, 1024)
 	a := NewAsync(r)
 	defer a.Close()
 	rd, err := r.Register()
@@ -64,7 +66,7 @@ func TestAsyncUncoveredReaderDoesNotBlockCallback(t *testing.T) {
 		rd.Unregister()
 	}()
 	done := make(chan struct{})
-	a.Call(Singleton(5), func() { close(done) })
+	a.Call(core.Singleton(5), func() { close(done) })
 	select {
 	case <-done:
 	case <-time.After(10 * time.Second):
@@ -73,10 +75,10 @@ func TestAsyncUncoveredReaderDoesNotBlockCallback(t *testing.T) {
 }
 
 func TestAsyncCloseDrains(t *testing.T) {
-	a := NewAsync(NewDistRCU(4))
+	a := NewAsync(core.NewDistRCU(4))
 	var ran atomic.Int64
 	for i := 0; i < 50; i++ {
-		a.Call(All(), func() { ran.Add(1) })
+		a.Call(core.All(), func() { ran.Add(1) })
 	}
 	a.Close()
 	if got := ran.Load(); got != 50 {
@@ -87,18 +89,18 @@ func TestAsyncCloseDrains(t *testing.T) {
 }
 
 func TestAsyncCallAfterClosePanics(t *testing.T) {
-	a := NewAsync(NewDistRCU(4))
+	a := NewAsync(core.NewDistRCU(4))
 	a.Close()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Call after Close must panic")
 		}
 	}()
-	a.Call(All(), func() {})
+	a.Call(core.All(), func() {})
 }
 
 func TestAsyncConcurrentCallers(t *testing.T) {
-	a := NewAsync(NewTimeRCU(16, nil))
+	a := NewAsync(core.NewTimeRCU(16, nil))
 	defer a.Close()
 	var ran atomic.Int64
 	var wg sync.WaitGroup
@@ -107,7 +109,7 @@ func TestAsyncConcurrentCallers(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				a.Call(All(), func() { ran.Add(1) })
+				a.Call(core.All(), func() { ran.Add(1) })
 			}
 		}()
 	}
@@ -119,10 +121,10 @@ func TestAsyncConcurrentCallers(t *testing.T) {
 }
 
 func TestAsyncCallCtxDeliversCompletion(t *testing.T) {
-	a := NewAsync(NewTimeRCU(8, nil))
+	a := NewAsync(core.NewTimeRCU(8, nil))
 	defer a.Close()
 	errs := make(chan error, 1)
-	a.CallCtx(context.Background(), All(), func(err error) { errs <- err })
+	a.CallCtx(context.Background(), core.All(), func(err error) { errs <- err })
 	select {
 	case err := <-errs:
 		if err != nil {
@@ -134,7 +136,7 @@ func TestAsyncCallCtxDeliversCompletion(t *testing.T) {
 }
 
 func TestAsyncCallCtxDeliversDeadline(t *testing.T) {
-	r := NewEER(8, nil)
+	r := core.NewEER(8, nil)
 	a := NewAsync(r)
 	rd, err := r.Register()
 	if err != nil {
@@ -144,7 +146,7 @@ func TestAsyncCallCtxDeliversDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	errs := make(chan error, 1)
-	a.CallCtx(ctx, Singleton(7), func(err error) { errs <- err })
+	a.CallCtx(ctx, core.Singleton(7), func(err error) { errs <- err })
 	select {
 	case err := <-errs:
 		if !errors.Is(err, context.DeadlineExceeded) {
@@ -167,7 +169,7 @@ func TestAsyncCallCtxDeliversDeadline(t *testing.T) {
 // cancel the in-flight wait, drop the plain callback (it must not run
 // after an incomplete grace period), and stop the worker.
 func TestAsyncCloseCtxBoundedOnWedgedEngine(t *testing.T) {
-	r := NewEER(8, nil)
+	r := core.NewEER(8, nil)
 	a := NewAsync(r)
 	rd, err := r.Register()
 	if err != nil {
@@ -175,7 +177,7 @@ func TestAsyncCloseCtxBoundedOnWedgedEngine(t *testing.T) {
 	}
 	rd.Enter(7)
 	var ran atomic.Bool
-	a.Call(Singleton(7), func() { ran.Store(true) })
+	a.Call(core.Singleton(7), func() { ran.Store(true) })
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	if err := a.CloseCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
@@ -198,10 +200,10 @@ func TestAsyncCloseCtxBoundedOnWedgedEngine(t *testing.T) {
 }
 
 func TestAsyncConcurrentClose(t *testing.T) {
-	a := NewAsync(NewDistRCU(4))
+	a := NewAsync(core.NewDistRCU(4))
 	var ran atomic.Int64
 	for i := 0; i < 20; i++ {
-		a.Call(All(), func() { ran.Add(1) })
+		a.Call(core.All(), func() { ran.Add(1) })
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
@@ -212,4 +214,78 @@ func TestAsyncConcurrentClose(t *testing.T) {
 	if got := ran.Load(); got != 20 {
 		t.Fatalf("concurrent Close ran %d callbacks, want 20", got)
 	}
+}
+
+// TestAsyncBarrierRacingCalls races Barrier against a stream of
+// concurrent Calls: every Barrier must return (no lost idle wakeups) and
+// every callback submitted before its Barrier must be resolved by it.
+// This is the regression test for the Pending/inFlight ("inFlite")
+// bookkeeping the reclaimer rewrite replaced.
+func TestAsyncBarrierRacingCalls(t *testing.T) {
+	a := NewAsync(core.NewTimeRCU(16, nil))
+	defer a.Close()
+	var ran atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.Call(core.All(), func() { ran.Add(1) })
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		before := ran.Load() // submitted-and-run so far; a lower bound
+		a.Barrier()
+		if got := ran.Load(); got < before {
+			t.Fatalf("ran went backwards: %d -> %d", before, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	a.Barrier()
+	if p := a.Pending(); p != 0 {
+		t.Fatalf("Pending = %d after final Barrier with callers stopped, want 0", p)
+	}
+}
+
+// TestAsyncCloseCtxExpiredContext: a CloseCtx whose context is already
+// expired must still cancel the outstanding waits, account every plain
+// callback as dropped exactly once, and leave Pending at zero.
+func TestAsyncCloseCtxExpiredContext(t *testing.T) {
+	r := core.NewEER(8, nil)
+	a := NewAsync(r)
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(3) // wedge predicates covering 3
+	const n = 10
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		a.Call(core.Singleton(3), func() { ran.Add(1) })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before CloseCtx even starts
+	if err := a.CloseCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CloseCtx with expired context returned %v, want Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d callbacks ran although no grace period completed", got)
+	}
+	if got := a.Dropped(); got != n {
+		t.Fatalf("Dropped = %d, want %d (each plain callback dropped exactly once)", got, n)
+	}
+	if p := a.Pending(); p != 0 {
+		t.Fatalf("Pending = %d after CloseCtx, want 0", p)
+	}
+	rd.Exit(3)
+	rd.Unregister()
 }

@@ -1,0 +1,487 @@
+// Package reclaim is the bounded deferred-reclamation subsystem: a
+// sharded call_rcu backlog with batching, watermark backpressure and an
+// expedited overload path.
+//
+// The paper's asynchronous wait-for-readers (§2.1) trades caller
+// blocking for deferred work, and notes nothing bounds that deferral: a
+// retirement storm grows the callback backlog without limit until the
+// process dies. Kernel RCU answers this shape with per-CPU callback
+// lists, the qhimark/blimit watermarks and expedited grace periods when
+// backlogged; this package gives PRCU the same production posture while
+// keeping the paper's per-predicate targeted waits:
+//
+//   - Retirements enqueue onto one of several shards. Shard affinity is
+//     processor-local (a sync.Pool-cached ticket, so goroutines sharing
+//     a P share a shard — the userspace analogue of per-CPU lists) and
+//     each shard has its own flush worker, so submission never contends
+//     on a global queue.
+//   - Each shard flushes its queue as a batch. The coalescer merges the
+//     batch's predicates — equal and adjacent singletons/intervals fuse
+//     into covering intervals, general predicates fuse into one
+//     disjunction — so one grace period retires many callbacks while
+//     every wait still covers exactly (a superset of) the readers each
+//     callback must outlive. Over-covering is always safe (§3.1); the
+//     batch never waits for less than any member's predicate demands.
+//   - The reclaimer tracks callback count and caller-declared bytes
+//     globally. Crossing the soft watermark (half the hard limit)
+//     expedites flushing; crossing the hard limit applies backpressure:
+//     under PolicyBlock the caller blocks until the backlog drains,
+//     under PolicyInline it synchronously waits its own grace period and
+//     frees inline — graceful degradation instead of OOM.
+//   - Shutdown follows the Async contract: Close drains everything;
+//     CloseCtx bounds the drain and drops (counting) callbacks whose
+//     grace period could not complete.
+package reclaim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prcu/internal/core"
+	"prcu/internal/obs"
+)
+
+// Policy selects how Retire behaves once the backlog crosses the hard
+// watermark (MaxPending callbacks or MaxBytes declared bytes).
+type Policy uint8
+
+const (
+	// PolicyBlock (the default) blocks the retiring caller until the
+	// backlog drains below the watermark. Flushing is expedited first, so
+	// the block lasts roughly one grace period.
+	PolicyBlock Policy = iota
+	// PolicyInline makes the overloaded caller synchronously wait its own
+	// grace period and run its free callback inline — the §2.1 synchronous
+	// variant as a degraded mode. The backlog never grows past the
+	// watermark and no caller blocks on another's grace period.
+	PolicyInline
+)
+
+// DefaultFlushDelay is the batch-accumulation window a shard waits after
+// the first retirement before flushing, letting a burst coalesce into
+// one grace period. Expedited flushes (soft watermark, Flush, Barrier,
+// shutdown) skip it.
+const DefaultFlushDelay = 200 * time.Microsecond
+
+// Config parameterizes a Reclaimer. The zero value is an unbounded,
+// delay-batched reclaimer with processor-count shards.
+type Config struct {
+	// Shards is the number of callback queues/flush workers. 0 picks
+	// min(GOMAXPROCS, 8). 1 gives strict submission-order processing.
+	Shards int
+	// MaxPending is the hard watermark on unresolved callbacks across all
+	// shards; 0 means unbounded. Half of it is the soft watermark that
+	// expedites flushing.
+	MaxPending int
+	// MaxBytes is the hard watermark on the sum of caller-declared bytes
+	// across unresolved callbacks; 0 means unbounded. Half of it is the
+	// soft watermark. A single retirement declaring more than MaxBytes is
+	// resolved inline under any policy (it could never fit).
+	MaxBytes int64
+	// Policy selects the hard-watermark behavior; see PolicyBlock.
+	Policy Policy
+	// FlushDelay overrides the batch-accumulation window: 0 means
+	// DefaultFlushDelay, negative means flush immediately (no batching
+	// beyond what accumulates during in-flight grace periods).
+	FlushDelay time.Duration
+	// Metrics, when non-nil, receives backlog gauges, batch-size and
+	// flush-latency histograms, and overload counters/trace events. It
+	// may be the same Metrics attached to the engine.
+	Metrics *obs.Metrics
+}
+
+// callback is one deferred retirement. Exactly one completion style is
+// set: free(v) runs only after a completed grace period; fn likewise
+// (closure form); fnErr always runs and receives the wait's error, nil
+// meaning the grace period completed. ctx, when non-nil, bounds this
+// callback's wait individually — such callbacks are never coalesced, so
+// their error semantics stay exact.
+type callback struct {
+	pred  core.Predicate
+	ctx   context.Context
+	v     any
+	free  func(any)
+	fn    func()
+	fnErr func(error)
+	bytes int64
+}
+
+// run resolves the callback with its wait's outcome and reports whether
+// it counts as freed (false = dropped).
+func (cb *callback) run(err error) bool {
+	switch {
+	case cb.fnErr != nil:
+		cb.fnErr(err)
+		return true
+	case err == nil:
+		if cb.fn != nil {
+			cb.fn()
+		} else if cb.free != nil {
+			cb.free(cb.v)
+		}
+		return true
+	default:
+		// The grace period did not complete; freeing now could release
+		// memory a reader still holds. Drop, and count the drop.
+		return false
+	}
+}
+
+// Reclaimer is the sharded, bounded deferred-reclamation engine.
+// Construct with New; Close (or CloseCtx) must be called to release the
+// flush workers.
+type Reclaimer struct {
+	rcu        core.RCU
+	met        *obs.Metrics
+	policy     Policy
+	maxPending int
+	maxBytes   int64
+	flushDelay time.Duration
+
+	// workCtx is cancelled at bounded shutdown to abort in-flight waits;
+	// workers survive cancelled waits and keep draining (fast-failing).
+	workCtx    context.Context
+	cancelWork context.CancelFunc
+
+	// Global capacity accounting. pending/pendingBytes are the
+	// authoritative backlog; the obs gauges mirror them inside the same
+	// critical sections so a concurrent Snapshot can never observe a
+	// value above the hard watermark.
+	capMu        sync.Mutex
+	space        *sync.Cond // signalled when capacity frees or on close
+	pending      int
+	pendingBytes int64
+	closed       bool
+
+	closedFlag atomic.Bool // workers' lock-free view of closed
+
+	shards []*shard
+	aff    sync.Pool     // *affinity tickets for P-local shard choice
+	rr     atomic.Uint32 // round-robin seed for fresh tickets
+
+	// submitting counts callers in the non-blocking window between a
+	// successful capacity reservation and the shard enqueue. CloseCtx
+	// spins it to zero before kicking the workers, so no callback can be
+	// appended to a queue after its worker concluded the drain is final.
+	submitting atomic.Int64
+
+	dropped atomic.Uint64
+	graces  atomic.Uint64
+	inline  atomic.Uint64
+	bp      atomic.Uint64
+
+	// closedPanic is the message for submissions after Close; the Async
+	// facade overrides it to keep its historical wording.
+	closedPanic string
+}
+
+// affinity is a shard ticket cached per-P by the sync.Pool, giving
+// goroutines that share a processor a shared shard without any runtime
+// introspection.
+type affinity struct{ idx uint32 }
+
+// New returns a running Reclaimer flushing through r's grace periods.
+func New(r core.RCU, cfg Config) *Reclaimer {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 8 {
+			n = 8
+		}
+	}
+	delay := cfg.FlushDelay
+	if delay == 0 {
+		delay = DefaultFlushDelay
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	met := cfg.Metrics
+	if met == nil {
+		// Unlike engine-side observability (off by default: it rides the
+		// read hot path), reclaim accounting lives on already-locked
+		// queue transitions, so Stats always works out of the box.
+		met = obs.New()
+	}
+	rc := &Reclaimer{
+		rcu:         r,
+		met:         met,
+		policy:      cfg.Policy,
+		maxPending:  cfg.MaxPending,
+		maxBytes:    cfg.MaxBytes,
+		flushDelay:  delay,
+		closedPanic: "prcu: Retire on closed Reclaimer",
+	}
+	rc.workCtx, rc.cancelWork = context.WithCancel(context.Background())
+	rc.space = sync.NewCond(&rc.capMu)
+	rc.aff.New = func() any { return &affinity{idx: rc.rr.Add(1)} }
+	rc.shards = make([]*shard, n)
+	for i := range rc.shards {
+		rc.shards[i] = newShard(rc)
+	}
+	return rc
+}
+
+// shard returns the submitting goroutine's shard.
+func (r *Reclaimer) shard() *shard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	t := r.aff.Get().(*affinity)
+	s := r.shards[int(t.idx)%len(r.shards)]
+	r.aff.Put(t)
+	return s
+}
+
+// Retire schedules free(v) to run after a grace period covering p,
+// declaring bytes of backlog accounting for v. It never blocks for the
+// grace period itself; it may block (PolicyBlock) or degrade to an
+// inline grace period (PolicyInline) when the backlog is at the hard
+// watermark. free may be nil when only the wait matters (Go's GC frees
+// v; the reclaimer still bounds and accounts the deferral). Retire
+// panics after Close.
+func (r *Reclaimer) Retire(v any, p core.Predicate, bytes int, free func(any)) {
+	r.submit(callback{pred: p, v: v, free: free, bytes: int64(bytes)})
+}
+
+// Defer schedules fn to run once a grace period covering p completes or
+// the reclaimer shuts down without completing it: fn receives nil after
+// a full grace period, or the abandonment error — in which case nothing
+// covered by p may be reclaimed. Error-aware callbacks are never
+// dropped. Defer panics after Close.
+func (r *Reclaimer) Defer(p core.Predicate, bytes int, fn func(error)) {
+	r.submit(callback{pred: p, fnErr: fn, bytes: int64(bytes)})
+}
+
+// submit routes cb through capacity admission to its shard. Callbacks
+// refused by admission (inline degradation or closed-while-blocked) are
+// resolved synchronously by admit and never enqueued.
+func (r *Reclaimer) submit(cb callback) {
+	soft, ok := r.admit(&cb)
+	if !ok {
+		return
+	}
+	r.shard().enqueue(cb, soft)
+}
+
+// over reports whether accepting bytes more would cross a hard
+// watermark. Caller holds capMu.
+func (r *Reclaimer) over(bytes int64) bool {
+	return (r.maxPending > 0 && r.pending+1 > r.maxPending) ||
+		(r.maxBytes > 0 && r.pendingBytes+bytes > r.maxBytes)
+}
+
+// soft reports whether the backlog has reached a soft watermark (half
+// the hard limit). Caller holds capMu.
+func (r *Reclaimer) soft() bool {
+	return (r.maxPending > 0 && 2*r.pending >= r.maxPending) ||
+		(r.maxBytes > 0 && 2*r.pendingBytes >= r.maxBytes)
+}
+
+// admit reserves backlog capacity for cb, applying the configured
+// overload behavior. It returns ok = false when cb was already resolved
+// (inline wait, or the reclaimer closed while the caller was blocked);
+// soft = true tells the enqueuer to expedite its shard's flush.
+func (r *Reclaimer) admit(cb *callback) (soft, ok bool) {
+	oversize := r.maxBytes > 0 && cb.bytes > r.maxBytes
+	overloaded := false
+	for {
+		r.capMu.Lock()
+		if r.closed {
+			r.capMu.Unlock()
+			if overloaded {
+				// The caller submitted before Close and was parked at the
+				// watermark; the shard workers may already be gone, so
+				// resolve here rather than enqueue into the void.
+				r.inlineResolve(cb)
+				return false, false
+			}
+			panic(r.closedPanic)
+		}
+		if !oversize && !r.over(cb.bytes) {
+			r.pending++
+			r.pendingBytes += cb.bytes
+			soft = r.soft()
+			r.submitting.Add(1)
+			r.met.ReclaimEnqueue(cb.bytes)
+			r.capMu.Unlock()
+			return soft, true
+		}
+		backlog := uint64(r.pending)
+		if r.policy == PolicyInline || oversize {
+			r.capMu.Unlock()
+			r.met.ReclaimOverload(obs.OverloadInline, backlog)
+			r.inlineResolve(cb)
+			return false, false
+		}
+		if !overloaded {
+			overloaded = true
+			r.bp.Add(1)
+			r.met.ReclaimOverload(obs.OverloadBackpressure, backlog)
+		}
+		r.capMu.Unlock()
+		// Expedite every shard before parking: the fastest way out of
+		// backpressure is finishing the batches that hold the capacity.
+		// (Done outside capMu — shard locks are never taken under it.)
+		r.expediteAll()
+		r.capMu.Lock()
+		if r.over(cb.bytes) && !r.closed {
+			r.space.Wait()
+		}
+		r.capMu.Unlock()
+	}
+}
+
+// inlineResolve is the degraded path: wait cb's own grace period
+// synchronously on the caller's goroutine and resolve it, without ever
+// touching the backlog.
+func (r *Reclaimer) inlineResolve(cb *callback) {
+	r.inline.Add(1)
+	err := r.waitFor(cb)
+	if !cb.run(err) {
+		r.dropped.Add(1)
+	}
+}
+
+// release returns cb's capacity to the pool after resolution.
+func (r *Reclaimer) release(cb *callback, freed bool) {
+	r.capMu.Lock()
+	r.pending--
+	r.pendingBytes -= cb.bytes
+	r.met.ReclaimResolve(cb.bytes, freed)
+	r.capMu.Unlock()
+	if r.maxPending > 0 || r.maxBytes > 0 {
+		r.space.Broadcast()
+	}
+}
+
+// waitFor runs cb's grace-period wait, bounded by the callback's own
+// context (if any) and by the shutdown context.
+func (r *Reclaimer) waitFor(cb *callback) error { return r.waitPred(cb.ctx, cb.pred) }
+
+// waitPred waits a grace period covering p, bounded by the shutdown
+// context and, when cctx is non-nil, by the callback's own context.
+func (r *Reclaimer) waitPred(cctx context.Context, p core.Predicate) error {
+	if cctx == nil {
+		return r.rcu.WaitForReadersCtx(r.workCtx, p)
+	}
+	mctx, cancel := context.WithCancel(cctx)
+	defer cancel()
+	stop := context.AfterFunc(r.workCtx, cancel)
+	defer stop()
+	return r.rcu.WaitForReadersCtx(mctx, p)
+}
+
+// Flush expedites every shard: queued callbacks are batched and their
+// grace periods started immediately, skipping any remaining
+// accumulation delay. Flush does not wait for them to resolve; use
+// Barrier for that.
+func (r *Reclaimer) Flush() { r.expediteAll() }
+
+func (r *Reclaimer) expediteAll() {
+	for _, s := range r.shards {
+		s.expediteFlush()
+	}
+}
+
+// Barrier blocks until every callback submitted before it has been
+// resolved — freed, delivered its error, or (under a bounded shutdown)
+// dropped. Flushing is expedited, so with a healthy engine Barrier
+// returns after roughly one coalesced grace period per shard.
+func (r *Reclaimer) Barrier() {
+	for _, s := range r.shards {
+		s.drainWait()
+	}
+}
+
+// Pending returns the backlog: callbacks accepted and not yet resolved.
+func (r *Reclaimer) Pending() int {
+	r.capMu.Lock()
+	defer r.capMu.Unlock()
+	return r.pending
+}
+
+// PendingBytes returns the caller-declared bytes held by the backlog.
+func (r *Reclaimer) PendingBytes() int64 {
+	r.capMu.Lock()
+	defer r.capMu.Unlock()
+	return r.pendingBytes
+}
+
+// Dropped returns the number of callbacks abandoned because their grace
+// period did not complete before a bounded shutdown gave up (error-aware
+// Defer callbacks take delivery of the error instead and are never
+// dropped).
+func (r *Reclaimer) Dropped() uint64 { return r.dropped.Load() }
+
+// Graces returns the number of grace periods issued on behalf of the
+// backlog — the denominator of the batching win (Pending+resolved
+// callbacks per grace period).
+func (r *Reclaimer) Graces() uint64 { return r.graces.Load() }
+
+// InlineWaits returns the number of retirements resolved by a
+// synchronous caller-side grace period under overload.
+func (r *Reclaimer) InlineWaits() uint64 { return r.inline.Load() }
+
+// BackpressureWaits returns the number of retirements that blocked at
+// the hard watermark before being accepted.
+func (r *Reclaimer) BackpressureWaits() uint64 { return r.bp.Load() }
+
+// Stats returns the attached Metrics' snapshot (zero Snapshot when no
+// Metrics was configured).
+func (r *Reclaimer) Stats() obs.Snapshot { return r.met.Snapshot() }
+
+// Close drains all outstanding callbacks (running each after its grace
+// period) and stops the flush workers. Close is idempotent; concurrent
+// and repeated calls all block until the drain finishes.
+func (r *Reclaimer) Close() { _ = r.CloseCtx(context.Background()) }
+
+// CloseCtx is Close bounded by ctx: if the drain has not finished when
+// ctx expires — a wedged reader can stall grace periods indefinitely —
+// every remaining wait is cancelled, error-aware callbacks run with the
+// cancellation error, plain callbacks are dropped (see Dropped), the
+// workers stop, and CloseCtx returns ctx.Err(). A nil error means a
+// complete, clean drain.
+func (r *Reclaimer) CloseCtx(ctx context.Context) error {
+	r.capMu.Lock()
+	already := r.closed
+	r.closed = true
+	r.closedFlag.Store(true)
+	r.capMu.Unlock()
+	if !already {
+		r.space.Broadcast()
+		// Let in-flight submits land in their queues before the workers
+		// are told the backlog is final; the window between reservation
+		// and enqueue holds no locks and performs no blocking calls, so
+		// this spin is bounded by a few instructions per submitter.
+		for r.submitting.Load() != 0 {
+			runtime.Gosched()
+		}
+		for _, s := range r.shards {
+			s.kickWorker()
+		}
+	}
+	var cdone <-chan struct{}
+	if ctx != nil {
+		cdone = ctx.Done()
+	}
+	err := error(nil)
+	for _, s := range r.shards {
+		select {
+		case <-s.done:
+		case <-cdone:
+			r.cancelWork()
+			err = ctx.Err()
+			cdone = nil // already cancelled; just collect the rest
+		}
+		if err != nil {
+			<-s.done
+		}
+	}
+	return err
+}
+
+func (r *Reclaimer) isClosed() bool { return r.closedFlag.Load() }

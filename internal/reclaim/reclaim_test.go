@@ -1,0 +1,435 @@
+package reclaim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prcu/internal/chaos"
+	"prcu/internal/core"
+	"prcu/internal/obs"
+)
+
+// countingRCU counts the grace periods an engine actually executes —
+// the denominator of every batching assertion.
+type countingRCU struct {
+	core.RCU
+	waits atomic.Uint64
+}
+
+func (c *countingRCU) WaitForReaders(p core.Predicate) {
+	c.waits.Add(1)
+	c.RCU.WaitForReaders(p)
+}
+
+func (c *countingRCU) WaitForReadersCtx(ctx context.Context, p core.Predicate) error {
+	c.waits.Add(1)
+	return c.RCU.WaitForReadersCtx(ctx, p)
+}
+
+// TestReclaimerBatchingSavesGracePeriods is the headline acceptance: a
+// retirement storm over a narrow key range must cost at least 2x fewer
+// grace periods than one-wait-per-callback (it lands orders of
+// magnitude fewer: each accumulated batch coalesces to a handful of
+// merged intervals).
+func TestReclaimerBatchingSavesGracePeriods(t *testing.T) {
+	eng := &countingRCU{RCU: core.NewTimeRCU(8, nil)}
+	r := New(eng, Config{Shards: 1, FlushDelay: 20 * time.Millisecond})
+	const n = 1000
+	var freed atomic.Int64
+	for i := 0; i < n; i++ {
+		r.Retire(nil, core.Singleton(core.Value(i%32)), 64, func(any) { freed.Add(1) })
+	}
+	r.Barrier()
+	if got := freed.Load(); got != n {
+		t.Fatalf("freed %d, want %d", got, n)
+	}
+	waits := eng.waits.Load()
+	if waits == 0 {
+		t.Fatal("no grace periods at all")
+	}
+	if waits*2 > n {
+		t.Fatalf("batching too weak: %d grace periods for %d retirements (want <= %d)",
+			waits, n, n/2)
+	}
+	if g := r.Graces(); g != waits {
+		t.Fatalf("Graces() = %d, engine saw %d waits", g, waits)
+	}
+	r.Close()
+	t.Logf("%d retirements -> %d grace periods", n, waits)
+}
+
+// TestReclaimerBacklogNeverExceedsWatermark is the overload acceptance:
+// with grace periods wedged slow by chaos injection and PolicyBlock,
+// the backlog — sampled continuously through the obs gauges — must
+// never exceed MaxPending, and callers must observe backpressure.
+func TestReclaimerBacklogNeverExceedsWatermark(t *testing.T) {
+	const maxPending = 64
+	met := obs.New()
+	eng := chaos.Wrap(core.NewTimeRCU(16, nil), chaos.Config{
+		Seed:        42,
+		WaitHold:    1.0,
+		WaitHoldDur: 10 * time.Millisecond,
+	})
+	r := New(eng, Config{
+		Shards:     2,
+		MaxPending: maxPending,
+		Policy:     PolicyBlock,
+		FlushDelay: -1,
+		Metrics:    met,
+	})
+
+	stop := make(chan struct{})
+	var overshoot atomic.Int64
+	var sampled atomic.Int64
+	sampler := make(chan struct{})
+	go func() {
+		defer close(sampler)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := met.Snapshot()
+			sampled.Add(1)
+			if s.ReclaimPending > maxPending {
+				overshoot.Store(s.ReclaimPending)
+				return
+			}
+			if p := r.Pending(); p > maxPending {
+				overshoot.Store(int64(p))
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	const retirers, each = 8, 100
+	var freed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < retirers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Retire(nil, core.Singleton(core.Value(g*each+i)), 128,
+					func(any) { freed.Add(1) })
+			}
+		}(g)
+	}
+	wg.Wait()
+	r.Barrier()
+	close(stop)
+	<-sampler
+	if ov := overshoot.Load(); ov != 0 {
+		t.Fatalf("backlog reached %d, hard watermark is %d", ov, maxPending)
+	}
+	if got := freed.Load(); got != retirers*each {
+		t.Fatalf("freed %d, want %d", got, retirers*each)
+	}
+	if sampled.Load() == 0 {
+		t.Fatal("sampler never ran")
+	}
+	if bp := r.BackpressureWaits(); bp == 0 {
+		t.Fatal("no caller ever observed backpressure although the engine was wedged slow")
+	}
+	s := met.Snapshot()
+	if s.ReclaimBackpressure == 0 {
+		t.Fatal("obs never recorded the backpressure overloads")
+	}
+	if s.ReclaimPending != 0 || s.ReclaimBytes != 0 {
+		t.Fatalf("gauges not drained: pending %d bytes %d", s.ReclaimPending, s.ReclaimBytes)
+	}
+	if s.ReclaimFreed != retirers*each {
+		t.Fatalf("obs freed = %d, want %d", s.ReclaimFreed, retirers*each)
+	}
+	holds := eng.Counts().WaitHolds
+	if holds == 0 {
+		t.Fatal("chaos injected no wait holds; the test exercised nothing")
+	}
+	r.Close()
+	t.Logf("backpressure waits %d, expedited flushes %d, chaos holds %d",
+		r.BackpressureWaits(), s.ReclaimExpedited, holds)
+}
+
+// TestReclaimerPolicyInline: at the hard watermark, PolicyInline callers
+// degrade to a synchronous grace period instead of blocking on the
+// backlog — the backlog stays bounded and every callback still frees.
+func TestReclaimerPolicyInline(t *testing.T) {
+	met := obs.New()
+	eng := chaos.Wrap(core.NewTimeRCU(16, nil), chaos.Config{
+		Seed:        7,
+		WaitHold:    1.0,
+		WaitHoldDur: 5 * time.Millisecond,
+	})
+	const maxPending = 8
+	r := New(eng, Config{
+		Shards:     1,
+		MaxPending: maxPending,
+		Policy:     PolicyInline,
+		FlushDelay: -1,
+		Metrics:    met,
+	})
+	const n = 64
+	var freed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				r.Retire(nil, core.Singleton(core.Value(i)), 0, func(any) { freed.Add(1) })
+				if p := r.Pending(); p > maxPending {
+					t.Errorf("backlog %d over watermark %d", p, maxPending)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	r.Barrier()
+	if got := freed.Load(); got != n {
+		t.Fatalf("freed %d, want %d", got, n)
+	}
+	if r.InlineWaits() == 0 {
+		t.Fatal("no retirement ever degraded to an inline wait")
+	}
+	if s := met.Snapshot(); s.ReclaimInline != r.InlineWaits() {
+		t.Fatalf("obs inline = %d, reclaimer counted %d", s.ReclaimInline, r.InlineWaits())
+	}
+	r.Close()
+}
+
+// TestReclaimerOversizeRetirementInline: a single retirement declaring
+// more than MaxBytes can never fit the backlog; it must resolve inline
+// under any policy rather than deadlock against the watermark.
+func TestReclaimerOversizeRetirementInline(t *testing.T) {
+	r := New(core.NewTimeRCU(8, nil), Config{
+		Shards:   1,
+		MaxBytes: 1 << 10,
+		Policy:   PolicyBlock,
+	})
+	defer r.Close()
+	done := make(chan struct{})
+	r.Retire(nil, core.All(), 1<<20, func(any) { close(done) })
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("oversize retirement deadlocked instead of resolving inline")
+	}
+	if r.InlineWaits() != 1 {
+		t.Fatalf("InlineWaits = %d, want 1", r.InlineWaits())
+	}
+	if p := r.Pending(); p != 0 {
+		t.Fatalf("Pending = %d after inline resolution, want 0", p)
+	}
+}
+
+// TestReclaimerByteAccounting: PendingBytes tracks declared bytes while
+// queued and returns to zero once resolved.
+func TestReclaimerByteAccounting(t *testing.T) {
+	met := obs.New()
+	r := New(core.NewTimeRCU(8, nil), Config{
+		Shards:     1,
+		FlushDelay: time.Hour, // park the batch so the gauge is observable
+		Metrics:    met,
+	})
+	defer r.Close()
+	for i := 0; i < 10; i++ {
+		r.Retire(nil, core.Singleton(core.Value(i)), 100, nil)
+	}
+	if got := r.PendingBytes(); got != 1000 {
+		t.Fatalf("PendingBytes = %d, want 1000", got)
+	}
+	if s := met.Snapshot(); s.ReclaimBytes != 1000 {
+		t.Fatalf("obs bytes gauge = %d, want 1000", s.ReclaimBytes)
+	}
+	r.Barrier()
+	if got := r.PendingBytes(); got != 0 {
+		t.Fatalf("PendingBytes = %d after Barrier, want 0", got)
+	}
+}
+
+// TestReclaimerFlushCutsDelay: with an hour-long accumulation window,
+// nothing resolves on its own; Flush must cut the window and start the
+// batch immediately.
+func TestReclaimerFlushCutsDelay(t *testing.T) {
+	r := New(core.NewTimeRCU(8, nil), Config{Shards: 1, FlushDelay: time.Hour})
+	defer r.Close()
+	done := make(chan struct{})
+	r.Retire(nil, core.Singleton(3), 0, func(any) { close(done) })
+	select {
+	case <-done:
+		t.Fatal("callback resolved before Flush despite hour-long accumulation window")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.Flush()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Flush did not cut the accumulation window")
+	}
+}
+
+// TestReclaimerSoftWatermarkExpedites: crossing half the hard watermark
+// must expedite the flush on its own — no Flush call, no waiting out an
+// hour-long window.
+func TestReclaimerSoftWatermarkExpedites(t *testing.T) {
+	met := obs.New()
+	r := New(core.NewTimeRCU(8, nil), Config{
+		Shards:     1,
+		MaxPending: 10,
+		FlushDelay: time.Hour,
+		Metrics:    met,
+	})
+	defer r.Close()
+	var freed atomic.Int64
+	for i := 0; i < 5; i++ { // 5th submission reaches soft watermark (2*5 >= 10)
+		r.Retire(nil, core.Singleton(core.Value(i)), 0, func(any) { freed.Add(1) })
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for freed.Load() != 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("soft watermark never expedited the flush (freed %d/5)", freed.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := met.Snapshot(); s.ReclaimExpedited == 0 {
+		t.Fatal("obs recorded no expedited flush")
+	}
+}
+
+// TestReclaimerDeferDeliversShutdownError: error-aware Defer callbacks
+// take delivery of the abandonment error at a bounded shutdown instead
+// of being dropped — the citrus deferred-unlink contract.
+func TestReclaimerDeferDeliversShutdownError(t *testing.T) {
+	eng := core.NewEER(8, nil)
+	r := New(eng, Config{Shards: 1, FlushDelay: -1})
+	rd, err := eng.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(5) // wedge
+	errs := make(chan error, 1)
+	r.Defer(core.Singleton(5), 64, func(e error) { errs <- e })
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := r.CloseCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseCtx = %v, want DeadlineExceeded", err)
+	}
+	select {
+	case e := <-errs:
+		if e == nil {
+			t.Fatal("Defer callback got nil although its grace period never completed")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Defer callback never delivered")
+	}
+	if d := r.Dropped(); d != 0 {
+		t.Fatalf("Dropped = %d; error-aware callbacks are never dropped", d)
+	}
+	rd.Exit(5)
+	rd.Unregister()
+}
+
+// TestReclaimerMultiShardConcurrent exercises the sharded path end to
+// end: many goroutines, all shards, metrics ledger must balance.
+func TestReclaimerMultiShardConcurrent(t *testing.T) {
+	met := obs.New()
+	r := New(core.NewTimeRCU(32, nil), Config{Shards: 4, Metrics: met})
+	const goroutines, each = 16, 200
+	var freed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Retire(nil, core.Interval(core.Value(i), core.Value(i+10)), 32,
+					func(any) { freed.Add(1) })
+			}
+		}(g)
+	}
+	wg.Wait()
+	r.Barrier()
+	const n = goroutines * each
+	if got := freed.Load(); got != n {
+		t.Fatalf("freed %d, want %d", got, n)
+	}
+	s := met.Snapshot()
+	if s.ReclaimRetired != n || s.ReclaimFreed != n || s.ReclaimDropped != 0 {
+		t.Fatalf("ledger: retired %d freed %d dropped %d, want %d/%d/0",
+			s.ReclaimRetired, s.ReclaimFreed, s.ReclaimDropped, n, n)
+	}
+	if s.ReclaimPending != 0 || s.ReclaimBytes != 0 {
+		t.Fatalf("gauges not drained: %d cbs / %d bytes", s.ReclaimPending, s.ReclaimBytes)
+	}
+	if s.ReclaimGraces == 0 || s.ReclaimGraces >= n {
+		t.Fatalf("graces = %d for %d retirements; batching should land well below", s.ReclaimGraces, n)
+	}
+	r.Close()
+}
+
+// TestReclaimerRetireAfterClosePanics mirrors the Async contract.
+func TestReclaimerRetireAfterClosePanics(t *testing.T) {
+	r := New(core.NewDistRCU(4), Config{})
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retire after Close must panic")
+		}
+	}()
+	r.Retire(nil, core.All(), 0, nil)
+}
+
+// TestReclaimerBlockedRetireSurvivesClose: a caller parked at the hard
+// watermark when Close lands must not enqueue into stopped workers; its
+// retirement resolves inline and Close still drains cleanly.
+func TestReclaimerBlockedRetireSurvivesClose(t *testing.T) {
+	eng := chaos.Wrap(core.NewTimeRCU(8, nil), chaos.Config{
+		Seed:        3,
+		WaitHold:    1.0,
+		WaitHoldDur: 20 * time.Millisecond,
+	})
+	r := New(eng, Config{Shards: 1, MaxPending: 2, Policy: PolicyBlock, FlushDelay: -1})
+	var freed, submitted atomic.Int64
+	// retire returns false once the reclaimer is closed (Retire then
+	// panics by contract; a racing caller treats that as its stop signal).
+	retire := func(v core.Value) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r.Retire(nil, core.Singleton(v), 0, func(any) { freed.Add(1) })
+		return true
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if !retire(core.Value(i)) {
+					return
+				}
+				submitted.Add(1)
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond) // let some callers reach the watermark
+	r.Close()
+	wg.Wait()
+	// Every accepted retirement resolves exactly once: pre-close ones by a
+	// clean drain, parked-at-watermark ones by the inline fallback. The
+	// only permitted shortfall is a caller whose Retire never started.
+	if got, want := freed.Load(), submitted.Load(); got < want {
+		t.Fatalf("freed %d of %d accepted retirements", got, want)
+	}
+	if p := r.Pending(); p != 0 {
+		t.Fatalf("Pending = %d after Close, want 0", p)
+	}
+}

@@ -1,0 +1,169 @@
+package reclaim
+
+import (
+	"sync"
+	"time"
+)
+
+// shard is one callback queue plus its flush worker. Submission is
+// spread across shards by processor affinity; everything below the
+// queue — batching, coalescing, the grace-period waits — runs on the
+// shard's own goroutine, so retiring callers never execute a wait.
+//
+// Lock discipline: mu guards queue/inFlight/expedite only; it is never
+// held while capMu is held and never held across a grace-period wait.
+type shard struct {
+	r *Reclaimer
+
+	mu       sync.Mutex
+	idle     *sync.Cond // on mu; signalled when queue+inFlight may be empty
+	queue    []callback
+	inFlight int  // callbacks handed to the worker, not yet resolved
+	expedite bool // skip the accumulation delay for the current queue
+
+	kick chan struct{} // cap 1: submission/flush/close doorbell
+	done chan struct{} // closed when the worker exits
+}
+
+func newShard(r *Reclaimer) *shard {
+	s := &shard{
+		r:    r,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	s.idle = sync.NewCond(&s.mu)
+	go s.worker()
+	return s
+}
+
+// enqueue appends cb and rings the worker. soft marks the submission as
+// having crossed the soft watermark, which expedites the flush. The
+// submitting counter (taken at admission) is released only after the
+// append, keeping the close protocol's "queues are final" step honest.
+func (s *shard) enqueue(cb callback, soft bool) {
+	s.mu.Lock()
+	s.queue = append(s.queue, cb)
+	if soft {
+		s.expedite = true
+	}
+	s.mu.Unlock()
+	s.r.submitting.Add(-1)
+	s.kickWorker()
+}
+
+// kickWorker rings the doorbell without blocking; a token already in
+// the channel means the worker is already due to look.
+func (s *shard) kickWorker() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// expediteFlush makes the worker cut its accumulation window short and
+// flush whatever is queued now.
+func (s *shard) expediteFlush() {
+	s.mu.Lock()
+	if len(s.queue) > 0 {
+		s.expedite = true
+	}
+	s.mu.Unlock()
+	s.kickWorker()
+}
+
+// drainWait blocks until every callback currently queued or in flight
+// on this shard has been resolved, expediting the flush first.
+func (s *shard) drainWait() {
+	s.expediteFlush()
+	s.mu.Lock()
+	for len(s.queue) > 0 || s.inFlight > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// worker is the shard's flush loop: park until kicked, optionally let a
+// burst accumulate, then take the whole queue as one batch and resolve
+// it through the coalescer. Exactly one worker runs per shard, so
+// inFlight is written only here.
+func (s *shard) worker() {
+	defer close(s.done)
+	r := s.r
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !r.isClosed() {
+			s.mu.Unlock()
+			<-s.kick
+			s.mu.Lock()
+		}
+		if len(s.queue) == 0 {
+			// Closed and drained: the close protocol guarantees no
+			// further enqueues, so the backlog here is final.
+			s.mu.Unlock()
+			return
+		}
+		wait := r.flushDelay > 0 && !s.expedite && !r.isClosed()
+		s.mu.Unlock()
+		if wait {
+			s.accumulate(r.flushDelay)
+		}
+		s.mu.Lock()
+		batch := s.queue
+		s.queue = nil
+		s.inFlight = len(batch)
+		expedited := s.expedite
+		s.expedite = false
+		s.mu.Unlock()
+
+		s.process(batch, expedited)
+
+		s.mu.Lock()
+		s.inFlight = 0
+		s.mu.Unlock()
+		s.idle.Broadcast()
+	}
+}
+
+// accumulate sleeps out the batching window so a retirement burst can
+// coalesce, returning early if the window is cut by an expedited flush
+// (soft watermark, Flush, Barrier) or by shutdown.
+func (s *shard) accumulate(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			return
+		case <-s.kick:
+			s.mu.Lock()
+			cut := s.expedite
+			s.mu.Unlock()
+			if cut || s.r.isClosed() {
+				return
+			}
+		}
+	}
+}
+
+// process resolves one batch: coalesce into wait groups, run one grace
+// period per group, then complete and release every member.
+func (s *shard) process(batch []callback, expedited bool) {
+	r := s.r
+	start := time.Now()
+	groups := coalesce(batch)
+	for gi := range groups {
+		g := &groups[gi]
+		err := r.waitPred(g.ctx, g.pred)
+		for _, ci := range g.cbs {
+			cb := &batch[ci]
+			freed := cb.run(err)
+			if !freed {
+				r.dropped.Add(1)
+			}
+			r.release(cb, freed)
+		}
+	}
+	r.graces.Add(uint64(len(groups)))
+	r.met.ReclaimFlush(len(batch), uint64(len(groups)),
+		time.Since(start).Nanoseconds(), expedited)
+}

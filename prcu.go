@@ -81,6 +81,7 @@ import (
 
 	"prcu/internal/core"
 	"prcu/internal/obs"
+	"prcu/internal/reclaim"
 	"prcu/internal/tsc"
 )
 
@@ -325,11 +326,42 @@ func NewSRCU(opt Options) RCU {
 // NewAsync wraps r with a call_rcu-style deferral worker (§2.1): Call
 // schedules a callback to run after a grace period covering its predicate
 // without blocking the caller. Close the returned Async to release its
-// worker.
-func NewAsync(r RCU) *Async { return core.NewAsync(r) }
+// worker. Async is unbounded; use NewReclaimer when the retirement rate
+// can outrun grace periods and the backlog must stay bounded.
+func NewAsync(r RCU) *Async { return reclaim.NewAsync(r) }
 
 // Async is the deferred-callback helper returned by NewAsync.
-type Async = core.Async
+type Async = reclaim.Async
+
+// Reclaimer is the bounded deferred-reclamation engine: sharded
+// call_rcu-style retirement queues with batch coalescing (one grace
+// period covers many retirements), count and byte watermarks, and
+// backpressure or inline-wait degradation under overload. Construct
+// with NewReclaimer; see internal/reclaim for the design.
+type Reclaimer = reclaim.Reclaimer
+
+// ReclaimConfig parameterizes NewReclaimer. The zero value is an
+// unbounded, delay-batched reclaimer with processor-count shards.
+type ReclaimConfig = reclaim.Config
+
+// ReclaimPolicy selects the hard-watermark behavior of a Reclaimer.
+type ReclaimPolicy = reclaim.Policy
+
+const (
+	// PolicyBlock blocks retiring callers at the hard watermark until the
+	// backlog drains (flushing is expedited first).
+	PolicyBlock = reclaim.PolicyBlock
+	// PolicyInline degrades overloaded retirements to a synchronous
+	// caller-side grace period and inline free.
+	PolicyInline = reclaim.PolicyInline
+)
+
+// NewReclaimer starts a bounded deferred-reclamation engine over r.
+// Retire schedules a free callback behind a covering grace period;
+// batches coalesce compatible predicates so a retirement storm costs a
+// handful of grace periods instead of one each. CloseCtx (or Close)
+// must be called to release the shard workers.
+func NewReclaimer(r RCU, cfg ReclaimConfig) *Reclaimer { return reclaim.New(r, cfg) }
 
 // CounterTableResizer is implemented by the D-PRCU engine: Resize installs
 // a larger (or smaller) counter table, globally draining the old one —

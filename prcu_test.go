@@ -118,6 +118,32 @@ func TestAsyncViaPublicAPI(t *testing.T) {
 	a.Close()
 }
 
+// TestReclaimerViaPublicAPI checks the public wiring of the bounded
+// reclamation subsystem: Retire frees after a covering grace period,
+// stats surface through the obs snapshot, and Close drains.
+func TestReclaimerViaPublicAPI(t *testing.T) {
+	r := prcu.NewEER(prcu.Options{})
+	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{
+		MaxPending: 8,
+		Policy:     prcu.PolicyBlock,
+	})
+	freed := make(chan uint64, 4)
+	for k := uint64(0); k < 4; k++ {
+		rec.Retire(k, prcu.Singleton(k), 16, func(v any) { freed <- v.(uint64) })
+	}
+	rec.Barrier()
+	if len(freed) != 4 {
+		t.Fatalf("freed %d of 4 retirements by Barrier", len(freed))
+	}
+	if s := rec.Stats(); s.ReclaimFreed != 4 || s.ReclaimPending != 0 {
+		t.Fatalf("stats: freed=%d pending=%d, want 4/0", s.ReclaimFreed, s.ReclaimPending)
+	}
+	if rec.Graces() == 0 || rec.Dropped() != 0 {
+		t.Fatalf("graces=%d dropped=%d, want >0 and 0", rec.Graces(), rec.Dropped())
+	}
+	rec.Close()
+}
+
 // TestStallWatchdogViaOptions checks the public wiring: StallTimeout
 // arms the watchdog at construction and OnStall receives the report
 // while a wait is wedged on a parked reader.
