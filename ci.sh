@@ -19,6 +19,9 @@ go test -race -short -timeout 300s . ./internal/core ./citrus ./hashtable
 echo "== go test -race (reclaimer backlog/backpressure stress) =="
 go test -race -timeout 300s ./internal/reclaim
 
+echo "== go test -race (export plane: exposition format, trace ring, health) =="
+go test -race -timeout 300s ./internal/obshttp
+
 echo "== go test -race (reader churn stress) =="
 go test -race -run 'TestReaderChurnConcurrentWaits|TestUncappedRegisterNeverFails' \
     -timeout 300s ./internal/core .
@@ -50,5 +53,8 @@ case "$out" in
     exit 1
     ;;
 esac
+
+echo "== export plane HTTP smoke (loopback /metrics + /debug/prcu/health) =="
+go run ./cmd/obssmoke
 
 echo "CI PASS"

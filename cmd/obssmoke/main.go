@@ -1,0 +1,107 @@
+// Command obssmoke is the CI gate for the live export plane: it builds
+// every engine flavor with metrics attached, drives a little traffic,
+// serves prcu.ObsHandler on a loopback listener, scrapes /metrics and
+// /debug/prcu/health over real HTTP, and exits non-zero if either
+// scrape fails, comes back empty, or /metrics is missing a flavor's
+// series. ci.sh runs it after the unit suites; it needs no curl.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"prcu"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obssmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: OK")
+}
+
+func run() error {
+	// One engine per flavor, auto-registered under its engine name, with
+	// enough traffic that waits and sections carry data.
+	names := make([]string, 0, len(prcu.Flavors()))
+	for _, f := range prcu.Flavors() {
+		m := prcu.NewMetrics()
+		m.SetSectionSampleShift(0)
+		r := prcu.MustNew(f, prcu.Options{Metrics: m})
+		names = append(names, r.Name())
+		rd, err := r.Register()
+		if err != nil {
+			return fmt.Errorf("%s: Register: %w", r.Name(), err)
+		}
+		for i := 0; i < 8; i++ {
+			rd.Enter(prcu.Value(i))
+			rd.Exit(prcu.Value(i))
+		}
+		for i := 0; i < 3; i++ {
+			r.WaitForReaders(prcu.All())
+		}
+		rd.Unregister()
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: prcu.ObsHandler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	metrics, err := scrape(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		series := fmt.Sprintf("prcu_waits_total{engine=%q}", n)
+		if !strings.Contains(metrics, series) {
+			return fmt.Errorf("/metrics missing %s", series)
+		}
+	}
+	for _, fam := range []string{"prcu_wait_duration_seconds_bucket", "prcu_reclaim_pending", "le=\"+Inf\""} {
+		if !strings.Contains(metrics, fam) {
+			return fmt.Errorf("/metrics missing %s", fam)
+		}
+	}
+
+	health, err := scrape(base + "/debug/prcu/health")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(health, `"status": "ok"`) {
+		return fmt.Errorf("/debug/prcu/health not ok: %s", health)
+	}
+	return nil
+}
+
+// scrape GETs url and fails on non-200 or an empty body.
+func scrape(url string) (string, error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if len(body) == 0 {
+		return "", fmt.Errorf("GET %s returned an empty body", url)
+	}
+	return string(body), nil
+}

@@ -4,12 +4,23 @@
 //
 // Usage:
 //
-//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|all
+//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|all
 //
 // The stats subcommand runs the mixed workload with the observability
 // layer attached and dumps each engine's internal metrics: grace-period
 // latency histograms, predicate selectivity, wait resolution and sampled
-// reader-section durations.
+// reader-section durations. The monitor subcommand runs the same
+// workload on every engine concurrently and renders a live table of
+// windowed rates (waits/s, enters/s, selectivity, latency percentiles)
+// refreshed every -refresh for -monitor-for.
+//
+// With -serve ADDR any subcommand also serves the live export plane
+// while it runs — Prometheus /metrics, /debug/prcu/stats,
+// /debug/prcu/trace and /debug/prcu/health — over the engines the
+// experiment constructs:
+//
+//	prcubench -serve 127.0.0.1:9090 stats      # scrape /metrics mid-run
+//	prcubench -serve 127.0.0.1:9090 reclaim    # watch backlog gauges live
 //
 // The defaults are scaled for a laptop-class host; use the flags to dial
 // the experiment back up to the paper's methodology (3-second windows,
@@ -27,11 +38,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"prcu"
 	"prcu/internal/bench"
 )
 
@@ -47,9 +61,12 @@ func main() {
 		csvPath      = flag.String("csv", "", "also write every table as CSV to this file")
 		jsonOut      = flag.Bool("json", false, "write tables as JSON Lines on stdout instead of text (progress goes to stderr)")
 		quick        = flag.Bool("quick", false, "smoke-test preset: tiny windows, 1 run, small key spaces (explicit flags still override)")
+		serve        = flag.String("serve", "", "serve the live export plane (/metrics, /debug/prcu/*) on this address for the duration of the run")
+		refresh      = flag.Duration("refresh", time.Second, "monitor subcommand: table refresh interval")
+		monitorFor   = flag.Duration("monitor-for", 10*time.Second, "monitor subcommand: total time to run the monitored workload")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: prcubench [flags] %s\n\n", subcommands)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,6 +99,12 @@ func main() {
 		if !set["hash-elements"] {
 			*hashElements = 1 << 10
 		}
+		if !set["monitor-for"] {
+			*monitorFor = 2 * time.Second
+		}
+		if !set["refresh"] {
+			*refresh = 500 * time.Millisecond
+		}
 	}
 
 	cfg := bench.DefaultConfig(os.Stdout)
@@ -112,15 +135,33 @@ func main() {
 		cfg.CSV = f
 	}
 
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prcubench:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		// Engines constructed from here on carry registered metrics the
+		// handler can see; the listener dies with the process.
+		cfg.Observe = true
+		fmt.Fprintf(os.Stderr, "serving /metrics and /debug/prcu/* on http://%s\n", ln.Addr())
+		go http.Serve(ln, prcu.ObsHandler())
+	}
+
 	start := time.Now()
-	if err := dispatch(flag.Arg(0), cfg, *includeLF); err != nil {
+	if err := dispatch(flag.Arg(0), cfg, *includeLF, *monitorFor, *refresh); err != nil {
 		fmt.Fprintln(os.Stderr, "prcubench:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(cfg.Out, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func dispatch(cmd string, cfg bench.Config, includeLF bool) error {
+// subcommands is the canonical experiment list, shared by the usage
+// text and the unknown-subcommand error.
+const subcommands = "fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|all"
+
+func dispatch(cmd string, cfg bench.Config, includeLF bool, monitorFor, refresh time.Duration) error {
 	switch cmd {
 	case "fig1":
 		return bench.Fig1(cfg)
@@ -140,6 +181,8 @@ func dispatch(cmd string, cfg bench.Config, includeLF bool) error {
 		return bench.Stats(cfg)
 	case "reclaim":
 		return bench.Reclaim(cfg)
+	case "monitor":
+		return bench.Monitor(cfg, monitorFor, refresh)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return bench.Fig1(cfg) },
@@ -158,7 +201,7 @@ func dispatch(cmd string, cfg bench.Config, includeLF bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q", cmd)
+		return fmt.Errorf("unknown subcommand %q (want %s)", cmd, subcommands)
 	}
 }
 

@@ -39,6 +39,13 @@ type Config struct {
 	// JSON, when non-nil, additionally receives every table as one JSON
 	// object per line (JSON Lines) for machine consumption.
 	JSON io.Writer
+	// Observe, when set, attaches a fresh metrics collector to every
+	// engine the drivers construct and registers it in the export plane
+	// under the engine's name, so a live listener (prcubench -serve, or
+	// the monitor subcommand) can watch the run. Rebuilt engines rebind
+	// their name, keeping one stable series per engine across sweep
+	// points.
+	Observe bool
 }
 
 // DefaultConfig returns parameters sized so the full suite completes in
@@ -81,36 +88,50 @@ type Engine struct {
 }
 
 // Engines returns the RCU lineup of the paper's figures, in their order.
-func Engines() []Engine {
+func Engines() []Engine { return Config{}.engines() }
+
+// options returns the engine-construction options the drivers share.
+// With Observe set, each call carries a fresh metrics collector, which
+// construction auto-registers in the export plane under the engine's
+// name.
+func (c Config) options() prcu.Options {
+	if !c.Observe {
+		return prcu.Options{}
+	}
+	return prcu.Options{Metrics: prcu.NewMetrics()}
+}
+
+// engines returns the paper's lineup built with this config's options.
+func (c Config) engines() []Engine {
 	return []Engine{
 		{
 			Name:   "EER-PRCU",
-			New:    func() prcu.RCU { return prcu.NewEER(prcu.Options{}) },
+			New:    func() prcu.RCU { return prcu.NewEER(c.options()) },
 			Domain: citrus.FuncDomain,
 		},
 		{
 			Name:   "D-PRCU",
-			New:    func() prcu.RCU { return prcu.NewD(prcu.Options{}) },
+			New:    func() prcu.RCU { return prcu.NewD(c.options()) },
 			Domain: func() citrus.Domain { return citrus.CompressedDomain(1024) },
 		},
 		{
 			Name:   "DEER-PRCU",
-			New:    func() prcu.RCU { return prcu.NewDEER(prcu.Options{}) },
+			New:    func() prcu.RCU { return prcu.NewDEER(c.options()) },
 			Domain: func() citrus.Domain { return citrus.CompressedDomain(1024) },
 		},
 		{
 			Name:   "Time RCU",
-			New:    func() prcu.RCU { return prcu.NewTimeRCU(prcu.Options{}) },
+			New:    func() prcu.RCU { return prcu.NewTimeRCU(c.options()) },
 			Domain: citrus.WildcardDomain,
 		},
 		{
 			Name:   "Tree RCU",
-			New:    func() prcu.RCU { return prcu.NewTreeRCU(prcu.Options{}) },
+			New:    func() prcu.RCU { return prcu.NewTreeRCU(c.options()) },
 			Domain: citrus.WildcardDomain,
 		},
 		{
 			Name:   "URCU",
-			New:    func() prcu.RCU { return prcu.NewURCU(prcu.Options{}) },
+			New:    func() prcu.RCU { return prcu.NewURCU(c.options()) },
 			Domain: citrus.WildcardDomain,
 		},
 	}

@@ -64,7 +64,7 @@ func fig1Point(cfg Config, threads int) (opNs, waitNs float64, err error) {
 	elements := uint64(buckets * 2) // load factor 2
 	keyRange := elements * 2
 
-	r := prcu.NewTimeRCU(prcu.Options{})
+	r := prcu.NewTimeRCU(cfg.options())
 	m := hashtable.New(r, buckets)
 	seed := workload.NewRNG(1)
 	for n := uint64(0); n < elements; {

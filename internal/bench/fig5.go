@@ -43,7 +43,7 @@ func Fig7(cfg Config, includeLF bool) error {
 
 // treeThroughputPanel sweeps thread counts for every curve of one panel.
 func treeThroughputPanel(cfg Config, title string, mix workload.Mix, keys uint64, includeLF bool) error {
-	engines := Engines()
+	engines := cfg.engines()
 	cols := make([]string, 0, len(engines)+2)
 	for _, e := range engines {
 		cols = append(cols, e.Name)

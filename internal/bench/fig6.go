@@ -27,7 +27,7 @@ func Fig6(cfg Config) error {
 		for _, threads := range cfg.Threads {
 			pctRow := make([]float64, 0, len(pctTbl.columns))
 			latRow := make([]float64, 0, len(latTbl.columns))
-			for _, e := range Engines() {
+			for _, e := range cfg.engines() {
 				pct, lat, err := waitShare(cfg, e, mix, cfg.SmallKeys, threads)
 				if err != nil {
 					return err

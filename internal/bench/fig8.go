@@ -27,7 +27,7 @@ func Fig8(cfg Config) error {
 		{"mx/small", workload.Mixed, cfg.SmallKeys},
 		{"wr/small", workload.WriteDominated, cfg.SmallKeys},
 	}
-	engines := fig8Engines()
+	engines := fig8Engines(cfg)
 	tbl := &table{
 		title:   "Figure 8: throughput normalized to simulated-wait variant",
 		unit:    fmt.Sprintf("percent (100 = no reader/waiter coherence cost), %d threads", cfg.maxThreads()),
@@ -51,9 +51,9 @@ func Fig8(cfg Config) error {
 	return nil
 }
 
-func fig8Engines() []Engine {
+func fig8Engines(cfg Config) []Engine {
 	var out []Engine
-	for _, e := range Engines() {
+	for _, e := range cfg.engines() {
 		if e.Name == "Tree RCU" {
 			continue
 		}

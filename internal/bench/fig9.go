@@ -17,7 +17,7 @@ import (
 // count, normalized to Time RCU as in the paper: (a) lookup throughput and
 // (b) expansion latency, plus the geometric-mean summary column.
 func Fig9(cfg Config) error {
-	engines := Engines()
+	engines := cfg.engines()
 	names := engineNamesOf(engines)
 
 	type point struct{ throughput, latency float64 }

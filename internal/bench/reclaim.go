@@ -93,7 +93,7 @@ const (
 // reclaimPoint measures one (threads, mode) point. Returns retirement
 // throughput and grace periods per 1000 retirements.
 func reclaimPoint(cfg Config, threads int, batched bool) (float64, float64, error) {
-	eng := &waitCounter{RCU: prcu.NewSimulated(prcu.NewD(prcu.Options{}), reclaimGraceNs)}
+	eng := &waitCounter{RCU: prcu.NewSimulated(prcu.NewD(cfg.options()), reclaimGraceNs)}
 
 	var rec *prcu.Reclaimer
 	if batched {

@@ -41,6 +41,7 @@ func Stats(cfg Config) error {
 			return err
 		}
 		obs.Publish("prcu."+e.Name, m)
+		obs.Register(e.Name, m)
 		m.Snapshot().Dump(cfg.Out, e.Name)
 	}
 	return nil

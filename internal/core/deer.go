@@ -158,7 +158,7 @@ func (d *DEER) WaitForReaders(p Predicate) {
 	// wait costs exactly what it did before the watchdog existed. Keep in
 	// sync with waitReaders, its wc.step-controlled twin.
 	m := d.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -214,7 +214,7 @@ func (d *DEER) WaitForReadersCtx(ctx context.Context, p Predicate) error {
 
 func (d *DEER) waitReaders(p Predicate, wc *waitControl) error {
 	m := d.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}

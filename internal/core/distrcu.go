@@ -111,7 +111,7 @@ func (d *DistRCU) WaitForReaders(p Predicate) {
 	// wait costs exactly what it did before the watchdog existed. Keep in
 	// sync with waitReaders, its wc.step-controlled twin.
 	m := d.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -149,7 +149,7 @@ func (d *DistRCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
 
 func (d *DistRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := d.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}

@@ -226,7 +226,7 @@ func (d *D) WaitForReaders(p Predicate) {
 	// wait costs exactly what it did before the watchdog existed. Keep in
 	// sync with waitReaders, its wc.step-controlled twin.
 	m := d.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -270,7 +270,7 @@ func (d *D) WaitForReadersCtx(ctx context.Context, p Predicate) error {
 
 func (d *D) waitReaders(p Predicate, wc *waitControl) error {
 	m := d.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}

@@ -147,7 +147,7 @@ func (e *EER) WaitForReaders(p Predicate) {
 	// wait costs exactly what it did before the watchdog existed. Keep in
 	// sync with waitReaders, its wc.step-controlled twin.
 	m := e.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -204,7 +204,7 @@ func (e *EER) WaitForReadersCtx(ctx context.Context, p Predicate) error {
 
 func (e *EER) waitReaders(p Predicate, wc *waitControl) error {
 	m := e.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}

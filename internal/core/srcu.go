@@ -121,7 +121,7 @@ func (s *SRCU) WaitForReaders(p Predicate) {
 	// wait costs exactly what it did before the watchdog existed. Keep in
 	// sync with waitReaders, its wc.step-controlled twin.
 	m := s.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -195,7 +195,7 @@ func (s *SRCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
 
 func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := s.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -269,7 +269,7 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 }
 
 // waitAborted records wait metrics for a cancelled SRCU wait.
-func (s *SRCU) waitAborted(m *obs.Metrics, start int64, w *spin.Waiter) {
+func (s *SRCU) waitAborted(m *obs.Metrics, start obs.WaitSpan, w *spin.Waiter) {
 	if m == nil {
 		return
 	}

@@ -110,7 +110,7 @@ func (t *TimeRCU) WaitForReaders(p Predicate) {
 	// wait costs exactly what it did before the watchdog existed. Keep in
 	// sync with waitReaders, its wc.step-controlled twin.
 	m := t.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -150,7 +150,7 @@ func (t *TimeRCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
 
 func (t *TimeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := t.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}

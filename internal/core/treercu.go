@@ -237,7 +237,7 @@ func (t *TreeRCU) WaitForReaders(p Predicate) {
 	// wait costs exactly what it did before the watchdog existed. Keep in
 	// sync with waitReaders, its wc.step-controlled twin.
 	m := t.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -327,7 +327,7 @@ func (t *TreeRCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
 
 func (t *TreeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := t.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}

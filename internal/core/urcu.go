@@ -129,7 +129,7 @@ func (u *URCU) WaitForReaders(p Predicate) {
 	// wait costs exactly what it did before the watchdog existed. Keep in
 	// sync with waitReaders, its wc.step-controlled twin.
 	m := u.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}
@@ -177,7 +177,7 @@ func (u *URCU) WaitForReadersCtx(ctx context.Context, p Predicate) error {
 
 func (u *URCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := u.met
-	var start int64
+	var start obs.WaitSpan
 	if m != nil {
 		start = m.WaitBegin()
 	}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math"
+	"time"
+
+	"prcu/internal/stats"
+)
+
+// Rates is the windowed view of two Snapshots: what happened between
+// prev and cur, normalized per second where that is meaningful. It is
+// the arithmetic shared by the health endpoint and the prcubench
+// monitor — both watch a live process, where the cumulative totals a
+// Snapshot carries say little and the slope over the last window says
+// everything (a paper-§2 stall or a §5 backlog blow-up is a rate
+// anomaly long before it is a large total).
+type Rates struct {
+	// Interval is the window the rates are computed over.
+	Interval time.Duration
+
+	// Waits is the number of WaitForReaders completed in the window;
+	// WaitsPerSec is its rate.
+	Waits       uint64
+	WaitsPerSec float64
+	// EntersPerSec is the read-side critical-section entry rate.
+	EntersPerSec float64
+	// Selectivity is the windowed readers-waited / readers-scanned — the
+	// paper's central quantity, over just this window.
+	Selectivity float64
+	// ParksPerSec is the rate of waited-on readers that fell out of the
+	// spin phase into scheduler yields.
+	ParksPerSec float64
+
+	// WaitP50Ns / WaitP99Ns are percentile estimates over only the waits
+	// completed in the window (histogram bucket deltas, geometric
+	// midpoint — same estimator as HistSummary's percentiles).
+	WaitP50Ns float64
+	WaitP99Ns float64
+	// SectionP50Ns / SectionP99Ns likewise, over the sampled reader
+	// sections recorded in the window.
+	SectionP50Ns float64
+	SectionP99Ns float64
+
+	// Stalls is the number of watchdog stall reports fired in the window.
+	Stalls uint64
+
+	// ReclaimBacklog / ReclaimBacklogBytes are the live backlog gauges at
+	// cur (not a delta); BacklogSlope is the backlog's growth rate in
+	// callbacks per second — positive means retirement is outrunning
+	// grace periods.
+	ReclaimBacklog      int64
+	ReclaimBacklogBytes int64
+	BacklogSlope        float64
+	// RetiresPerSec / FreesPerSec / GracesPerSec are the reclaimer's
+	// windowed rates.
+	RetiresPerSec float64
+	FreesPerSec   float64
+	GracesPerSec  float64
+	// Overloads counts hard-watermark events (backpressure blocks plus
+	// inline degradations) in the window.
+	Overloads uint64
+}
+
+// Delta computes the windowed rates between two snapshots of the same
+// Metrics taken dt apart (prev first). A zero prev Snapshot yields
+// since-start rates. Counters that moved backwards — the Metrics was
+// Reset or the name rebound to a fresh collector between the samples —
+// clamp to zero rather than go negative.
+func Delta(prev, cur Snapshot, dt time.Duration) Rates {
+	r := Rates{
+		Interval:            dt,
+		Waits:               sub(cur.Waits, prev.Waits),
+		Stalls:              sub(cur.Stalls, prev.Stalls),
+		ReclaimBacklog:      cur.ReclaimPending,
+		ReclaimBacklogBytes: cur.ReclaimBytes,
+		Overloads: sub(cur.ReclaimBackpressure, prev.ReclaimBackpressure) +
+			sub(cur.ReclaimInline, prev.ReclaimInline),
+	}
+	scanned := sub(cur.ReadersScanned, prev.ReadersScanned)
+	waited := sub(cur.ReadersWaited, prev.ReadersWaited)
+	if scanned > 0 {
+		r.Selectivity = float64(waited) / float64(scanned)
+	}
+
+	wait := bucketDelta(prev.WaitNs.Buckets, cur.WaitNs.Buckets)
+	r.WaitP50Ns = bucketPercentile(wait, 50)
+	r.WaitP99Ns = bucketPercentile(wait, 99)
+	sect := bucketDelta(prev.SectionNs.Buckets, cur.SectionNs.Buckets)
+	r.SectionP50Ns = bucketPercentile(sect, 50)
+	r.SectionP99Ns = bucketPercentile(sect, 99)
+
+	if dt > 0 {
+		sec := dt.Seconds()
+		r.WaitsPerSec = float64(r.Waits) / sec
+		r.EntersPerSec = float64(sub(cur.Enters, prev.Enters)) / sec
+		r.ParksPerSec = float64(sub(cur.Parks, prev.Parks)) / sec
+		r.BacklogSlope = float64(cur.ReclaimPending-prev.ReclaimPending) / sec
+		r.RetiresPerSec = float64(sub(cur.ReclaimRetired, prev.ReclaimRetired)) / sec
+		r.FreesPerSec = float64(sub(cur.ReclaimFreed, prev.ReclaimFreed)) / sec
+		r.GracesPerSec = float64(sub(cur.ReclaimGraces, prev.ReclaimGraces)) / sec
+	}
+	return r
+}
+
+// sub is a monotone-counter delta clamped at zero.
+func sub(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
+}
+
+// bucketDelta subtracts prev's bucket counts from cur's, keyed by bucket
+// bound, keeping only buckets that gained samples. Both inputs are
+// ascending (stats.Histogram.Buckets), so the result is too.
+func bucketDelta(prev, cur []stats.Bucket) []stats.Bucket {
+	pm := make(map[int64]int64, len(prev))
+	for _, b := range prev {
+		pm[b.LoNs] = b.Count
+	}
+	var out []stats.Bucket
+	for _, b := range cur {
+		if c := b.Count - pm[b.LoNs]; c > 0 {
+			out = append(out, stats.Bucket{LoNs: b.LoNs, HiNs: b.HiNs, Count: c})
+		}
+	}
+	return out
+}
+
+// bucketPercentile estimates the p-th percentile of an ascending bucket
+// list by the geometric midpoint of the bucket holding that rank — the
+// same estimator stats.Histogram.ApproxPercentile uses.
+func bucketPercentile(bs []stats.Bucket, p float64) float64 {
+	var total int64
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for _, b := range bs {
+		seen += b.Count
+		if seen >= rank {
+			lo := float64(b.LoNs)
+			if lo == 0 {
+				lo = 1
+			}
+			return lo * math.Sqrt2
+		}
+	}
+	return float64(bs[len(bs)-1].HiNs)
+}

@@ -27,6 +27,8 @@ package obs
 
 import (
 	"expvar"
+	"runtime/pprof"
+	rttrace "runtime/trace"
 	"sync"
 
 	"prcu/internal/pad"
@@ -106,6 +108,7 @@ type Metrics struct {
 	retiredEnters pad.Uint64
 
 	trace traceHolder
+	attr  attrHolder
 }
 
 // New returns an enabled Metrics with the default section sampling rate
@@ -147,24 +150,30 @@ func (m *Metrics) Lane(slot int) *ReaderLane {
 	return m.lanes[slot]
 }
 
-// WaitBegin marks the start of a WaitForReaders and returns its start
-// timestamp, to be handed back to WaitEnd.
-func (m *Metrics) WaitBegin() int64 {
-	t := m.now()
-	if tr := m.trace.load(); tr != nil {
-		tr.add(Event{TimeNs: t, Kind: EvWaitBegin})
+// WaitBegin marks the start of a WaitForReaders and returns its span
+// (start timestamp plus any open attribution state), to be handed back
+// to WaitEnd on the same goroutine.
+func (m *Metrics) WaitBegin() WaitSpan {
+	sp := WaitSpan{StartNs: m.now()}
+	if a := m.attr.Load(); a != nil {
+		sp.region = rttrace.StartRegion(a.taskCtx, "prcu:wait")
+		pprof.SetGoroutineLabels(a.waitCtx)
+		sp.labeled = true
 	}
-	return t
+	if tr := m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: sp.StartNs, Kind: EvWaitBegin})
+	}
+	return sp
 }
 
-// WaitEnd completes the wait started at startNs: scanned slots (or
-// counter nodes) were examined, waited of them had an open covered
-// critical section, and parked of those waits fell out of the spin phase
-// into scheduler yields.
-func (m *Metrics) WaitEnd(startNs int64, scanned, waited, parked uint64) {
+// WaitEnd completes the wait sp: scanned slots (or counter nodes) were
+// examined, waited of them had an open covered critical section, and
+// parked of those waits fell out of the spin phase into scheduler
+// yields.
+func (m *Metrics) WaitEnd(sp WaitSpan, scanned, waited, parked uint64) {
 	end := m.now()
 	m.waits.Add(1)
-	m.waitNs.Record(end - startNs)
+	m.waitNs.Record(end - sp.StartNs)
 	if scanned != 0 {
 		m.readersScanned.Add(scanned)
 	}
@@ -176,6 +185,12 @@ func (m *Metrics) WaitEnd(startNs int64, scanned, waited, parked uint64) {
 	}
 	if tr := m.trace.load(); tr != nil {
 		tr.add(Event{TimeNs: end, Kind: EvWaitEnd, Value: waited})
+	}
+	if sp.region != nil {
+		sp.region.End()
+	}
+	if sp.labeled {
+		pprof.SetGoroutineLabels(unlabeled)
 	}
 }
 
@@ -203,6 +218,11 @@ func (m *Metrics) StallDetected(stalled uint64) {
 	}
 	m.stalls.Add(1)
 	m.stalledReaders.Add(stalled)
+	if a := m.attr.Load(); a != nil {
+		// Mark the stall in the execution trace too, so a trace of a
+		// wedged process shows the report inside the blocked wait region.
+		rttrace.Log(a.taskCtx, "prcu:stall", a.engine)
+	}
 	if tr := m.trace.load(); tr != nil {
 		tr.add(Event{TimeNs: m.now(), Kind: EvStall, Reader: -1, Value: stalled})
 	}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// The named metrics registry is what the export plane (internal/obshttp)
+// serves: every name→Metrics binding becomes an `engine="name"` label
+// set on /metrics and an entry on the debug endpoints. It is distinct
+// from Publish (expvar) — Publish hands a snapshot to whatever already
+// serves /debug/vars, the registry feeds the handlers this module mounts
+// itself — but it shares Publish's rebind semantics: registering an
+// already-registered name atomically swaps the backing Metrics, so a
+// benchmark sweep that rebuilds its engine per data point keeps one
+// stable series name.
+var (
+	regMu      sync.Mutex
+	registered = map[string]*Metrics{}
+)
+
+// Register binds name to m in the process-wide export registry.
+// Registering a bound name rebinds it; registering a nil Metrics removes
+// the binding. Empty names are ignored.
+func Register(name string, m *Metrics) {
+	if name == "" {
+		return
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if m == nil {
+		delete(registered, name)
+		return
+	}
+	registered[name] = m
+}
+
+// Registered returns the Metrics bound to name, nil when unbound.
+func Registered(name string) *Metrics {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registered[name]
+}
+
+// RegisteredNames returns the bound names in sorted order.
+func RegisteredNames() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registered))
+	for n := range registered {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EachRegistered calls f for every binding in sorted name order. f runs
+// outside the registry lock, so it may snapshot, register or rebind.
+func EachRegistered(f func(name string, m *Metrics)) {
+	for _, n := range RegisteredNames() {
+		if m := Registered(n); m != nil {
+			f(n, m)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryRebindAndRemove(t *testing.T) {
+	defer func() {
+		Register("reg-a", nil)
+		Register("reg-b", nil)
+	}()
+
+	a, b := New(), New()
+	Register("reg-a", a)
+	Register("reg-b", b)
+	if Registered("reg-a") != a || Registered("reg-b") != b {
+		t.Fatal("lookup did not return the bound Metrics")
+	}
+
+	// Rebinding swaps the backing collector under the same name.
+	a2 := New()
+	Register("reg-a", a2)
+	if Registered("reg-a") != a2 {
+		t.Fatal("rebind did not swap the backing Metrics")
+	}
+
+	names := RegisteredNames()
+	got := []string{}
+	for _, n := range names {
+		if n == "reg-a" || n == "reg-b" {
+			got = append(got, n)
+		}
+	}
+	if !reflect.DeepEqual(got, []string{"reg-a", "reg-b"}) {
+		t.Fatalf("RegisteredNames order = %v", got)
+	}
+
+	// nil removes; empty name is ignored.
+	Register("reg-b", nil)
+	if Registered("reg-b") != nil {
+		t.Fatal("nil Register did not remove the binding")
+	}
+	Register("", New())
+	if Registered("") != nil {
+		t.Fatal("empty name was registered")
+	}
+}
+
+func TestEachRegisteredSortedOutsideLock(t *testing.T) {
+	defer func() {
+		Register("each-1", nil)
+		Register("each-2", nil)
+	}()
+	Register("each-2", New())
+	Register("each-1", New())
+	var seen []string
+	EachRegistered(func(name string, m *Metrics) {
+		if name == "each-1" || name == "each-2" {
+			seen = append(seen, name)
+			// Re-entrant registry use must not deadlock: f runs outside
+			// the lock.
+			Register(name, Registered(name))
+		}
+	})
+	if !reflect.DeepEqual(seen, []string{"each-1", "each-2"}) {
+		t.Fatalf("EachRegistered order = %v", seen)
+	}
+}

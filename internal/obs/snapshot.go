@@ -151,11 +151,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	m.laneMu.Unlock()
 	if tr := m.trace.load(); tr != nil {
-		n := tr.head.Load()
-		if n > uint64(len(tr.slots)) {
-			n = uint64(len(tr.slots))
-		}
-		s.TraceLen = int(n)
+		s.TraceLen = tr.len()
 	}
 	return s
 }

@@ -61,9 +61,31 @@ type Event struct {
 
 // traceSlot holds one ring entry. seq is odd while a writer is mid-store,
 // so TraceSnapshot can skip torn records instead of returning garbage.
+// The event's fields are stored atomically (Kind and Reader packed into
+// meta) so a reader racing a lapping writer sees a torn *record* — which
+// the seq re-check discards — never a torn word, and the scheme stays
+// clean under the race detector.
 type traceSlot struct {
-	seq atomic.Uint64
-	ev  Event
+	seq  atomic.Uint64
+	time atomic.Int64
+	meta atomic.Uint64 // Kind<<32 | uint32(Reader)
+	val  atomic.Uint64
+}
+
+func (s *traceSlot) store(ev Event) {
+	s.time.Store(ev.TimeNs)
+	s.meta.Store(uint64(ev.Kind)<<32 | uint64(uint32(ev.Reader)))
+	s.val.Store(ev.Value)
+}
+
+func (s *traceSlot) load() Event {
+	meta := s.meta.Load()
+	return Event{
+		TimeNs: s.time.Load(),
+		Kind:   EventKind(meta >> 32),
+		Reader: int32(uint32(meta)),
+		Value:  s.val.Load(),
+	}
 }
 
 // trace is a fixed-capacity lock-free ring buffer. Writers reserve a
@@ -85,12 +107,26 @@ type traceHolder struct {
 
 func (h *traceHolder) load() *trace { return h.p.Load() }
 
+// MaxTraceCapacity is the largest event ring EnableTrace will allocate:
+// 2^20 events (~32 MiB of slots) is already far past post-mortem use,
+// and an unchecked capacity would otherwise size (or overflow) the
+// power-of-two rounding loop below.
+const MaxTraceCapacity = 1 << 20
+
 // EnableTrace attaches an event ring of at least capacity entries
-// (rounded up to a power of two, minimum 64). Call it once, before the
-// traffic of interest; events wrap, keeping the most recent.
+// (rounded up to a power of two, minimum 64, clamped to
+// MaxTraceCapacity). Call it once, before the traffic of interest;
+// events wrap, keeping the most recent. Non-positive capacities are a
+// caller bug and panic.
 func (m *Metrics) EnableTrace(capacity int) {
+	if capacity <= 0 {
+		panic("prcu/obs: EnableTrace capacity must be positive")
+	}
 	if m == nil {
 		return
+	}
+	if capacity > MaxTraceCapacity {
+		capacity = MaxTraceCapacity
 	}
 	size := 64
 	for size < capacity {
@@ -112,15 +148,27 @@ func (t *trace) add(ev Event) {
 		// leave seq even over a torn record).
 		return
 	}
-	s.ev = ev
+	s.store(ev)
 	s.seq.Store(seq + 2)
+}
+
+// len returns the number of events currently buffered: the write cursor
+// until the ring first fills, its capacity afterwards. Shared by
+// Snapshot (TraceLen) and TraceSnapshot so the two can never disagree
+// about how much of the ring is live.
+func (t *trace) len() int {
+	n := t.head.Load()
+	if n > uint64(len(t.slots)) {
+		n = uint64(len(t.slots))
+	}
+	return int(n)
 }
 
 func (t *trace) reset() {
 	t.head.Store(0)
 	for i := range t.slots {
 		t.slots[i].seq.Store(0)
-		t.slots[i].ev = Event{}
+		t.slots[i].store(Event{})
 	}
 }
 
@@ -136,16 +184,15 @@ func (m *Metrics) TraceSnapshot() []Event {
 	if t == nil {
 		return nil
 	}
+	// len() first, then the cursor: writers only advance head, so the
+	// second load is ≥ the one len() saw and n ≤ head always holds.
+	n := uint64(t.len())
 	head := t.head.Load()
-	n := head
-	if n > uint64(len(t.slots)) {
-		n = uint64(len(t.slots))
-	}
 	out := make([]Event, 0, n)
 	for i := head - n; i < head; i++ {
 		s := &t.slots[i&t.mask]
 		seq := s.seq.Load()
-		ev := s.ev
+		ev := s.load()
 		if seq&1 == 1 || s.seq.Load() != seq {
 			continue // torn: a writer lapped us mid-read
 		}

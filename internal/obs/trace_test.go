@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceLenSharedHelper pins the satellite contract: Snapshot's
+// TraceLen and TraceSnapshot's length come from the same trace.len()
+// accounting, before and after the ring wraps.
+func TestTraceLenSharedHelper(t *testing.T) {
+	m := New()
+	m.EnableTrace(64)
+	m.EnsureReaders(1)
+	l := m.Lane(0)
+
+	for i := 0; i < 10; i++ {
+		l.OnEnter(1)
+		l.OnExit(1)
+	}
+	s := m.Snapshot()
+	if s.TraceLen != 20 {
+		t.Fatalf("TraceLen before wrap = %d, want 20", s.TraceLen)
+	}
+	if got := len(m.TraceSnapshot()); got != s.TraceLen {
+		t.Fatalf("TraceSnapshot len %d != Snapshot.TraceLen %d", got, s.TraceLen)
+	}
+
+	for i := 0; i < 100; i++ {
+		l.OnEnter(1)
+		l.OnExit(1)
+	}
+	s = m.Snapshot()
+	if s.TraceLen != 64 {
+		t.Fatalf("TraceLen after wrap = %d, want ring capacity 64", s.TraceLen)
+	}
+	if got := len(m.TraceSnapshot()); got != s.TraceLen {
+		t.Fatalf("wrapped TraceSnapshot len %d != Snapshot.TraceLen %d", got, s.TraceLen)
+	}
+}
+
+// TestTraceSnapshotOldestFirst checks ordering across a wrap: with a
+// quiesced ring the snapshot must be the most recent capacity events in
+// non-decreasing time order.
+func TestTraceSnapshotOldestFirst(t *testing.T) {
+	m := New()
+	m.EnableTrace(64)
+	m.EnsureReaders(4)
+	for i := 0; i < 200; i++ {
+		l := m.Lane(i % 4)
+		l.OnEnter(uint64(i))
+		l.OnExit(uint64(i))
+	}
+	evs := m.TraceSnapshot()
+	if len(evs) != 64 {
+		t.Fatalf("len = %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeNs < evs[i-1].TimeNs {
+			t.Fatalf("event %d out of order: %d after %d", i, evs[i].TimeNs, evs[i-1].TimeNs)
+		}
+	}
+}
+
+// TestTraceSnapshotConcurrent hammers the ring from several writers
+// while snapshotting. Run under -race this checks the seq-lock
+// discipline; functionally each snapshot must stay within the ring
+// capacity, hold no torn (zero-Kind) records, and be time-ordered
+// enough that only records overwritten mid-read were skipped.
+func TestTraceSnapshotConcurrent(t *testing.T) {
+	m := New()
+	m.EnableTrace(128)
+	m.EnsureReaders(3)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			l := m.Lane(id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.OnEnter(uint64(id))
+				l.OnExit(uint64(id))
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		evs := m.TraceSnapshot()
+		if len(evs) > 128 {
+			t.Errorf("snapshot longer than ring: %d", len(evs))
+			break
+		}
+		for i, ev := range evs {
+			if ev.Kind == 0 {
+				t.Errorf("event %d torn/zero: %+v", i, ev)
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEnableTraceClampAndPanic covers the capacity guard rails: huge
+// requests clamp to MaxTraceCapacity, non-positive ones panic.
+func TestEnableTraceClampAndPanic(t *testing.T) {
+	m := New()
+	m.EnableTrace(MaxTraceCapacity * 4)
+	if got := len(m.trace.load().slots); got != MaxTraceCapacity {
+		t.Fatalf("clamped ring size = %d, want %d", got, MaxTraceCapacity)
+	}
+
+	for _, cap := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EnableTrace(%d) did not panic", cap)
+				}
+			}()
+			m.EnableTrace(cap)
+		}()
+	}
+	// The guard must fire even on the nil (disabled) receiver, so a bug
+	// does not hide behind observability being off.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil-receiver EnableTrace(0) did not panic")
+			}
+		}()
+		var nilM *Metrics
+		nilM.EnableTrace(0)
+	}()
+}

@@ -1,0 +1,113 @@
+// Package obshttp is the live export plane over the obs registry: every
+// engine registered with obs.Register (prcu.RegisterMetrics, or
+// automatically by Options.Metrics) is served on four endpoints —
+//
+//	GET /metrics            Prometheus text exposition (v0.0.4)
+//	GET /debug/prcu/stats   full JSON Snapshot per engine
+//	GET /debug/prcu/trace   event-ring dump for one engine (?engine=X)
+//	GET /debug/prcu/health  stall/backlog-aware status (200 ok, 503 degraded)
+//
+// It is pull-only and stdlib-only: scraping takes Snapshots, which read
+// the recording structures atomically, so serving traffic costs the
+// engines nothing between scrapes.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"prcu/internal/obs"
+)
+
+// Handler returns the export-plane handler with all four endpoints
+// mounted at their canonical paths. Each call returns an independent
+// handler (the health endpoint keeps per-handler rate-window state);
+// mount one per server.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", get(metricsHandler))
+	mux.HandleFunc("/debug/prcu/stats", get(statsHandler))
+	mux.HandleFunc("/debug/prcu/trace", get(traceHandler))
+	mux.HandleFunc("/debug/prcu/health", get(newHealthState().serve))
+	return mux
+}
+
+func get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// snapshots collects (name, Snapshot) for every registered engine in
+// sorted name order — one consistent pass shared by the endpoints.
+func snapshots() (names []string, snaps []obs.Snapshot) {
+	obs.EachRegistered(func(name string, m *obs.Metrics) {
+		names = append(names, name)
+		snaps = append(snaps, m.Snapshot())
+	})
+	return names, snaps
+}
+
+func statsHandler(w http.ResponseWriter, _ *http.Request) {
+	names, snaps := snapshots()
+	out := make(map[string]obs.Snapshot, len(names))
+	for i, n := range names {
+		out[n] = snaps[i]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func traceHandler(w http.ResponseWriter, r *http.Request) {
+	engine := r.URL.Query().Get("engine")
+	if engine == "" {
+		http.Error(w, "missing ?engine= (registered: "+
+			strings.Join(obs.RegisteredNames(), ", ")+")", http.StatusBadRequest)
+		return
+	}
+	m := obs.Registered(engine)
+	if m == nil {
+		http.Error(w, fmt.Sprintf("no engine registered as %q", engine), http.StatusNotFound)
+		return
+	}
+	evs := m.TraceSnapshot()
+	if r.URL.Query().Get("format") == "json" {
+		type jsonEvent struct {
+			TimeNs int64  `json:"time_ns"`
+			Kind   string `json:"kind"`
+			Reader int32  `json:"reader"`
+			Value  uint64 `json:"value"`
+		}
+		out := struct {
+			Engine string      `json:"engine"`
+			Events []jsonEvent `json:"events"`
+		}{Engine: engine, Events: make([]jsonEvent, 0, len(evs))}
+		for _, ev := range evs {
+			out.Events = append(out.Events, jsonEvent{ev.TimeNs, ev.Kind.String(), ev.Reader, ev.Value})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "# engine %s: %d events, oldest first; +offset from first event\n", engine, len(evs))
+	if len(evs) == 0 {
+		return
+	}
+	base := evs[0].TimeNs
+	for _, ev := range evs {
+		fmt.Fprintf(w, "+%-12d %-16s reader=%-4d value=%d\n",
+			ev.TimeNs-base, ev.Kind, ev.Reader, ev.Value)
+	}
+}

@@ -149,6 +149,7 @@ func (s *shard) accumulate(d time.Duration) {
 // period per group, then complete and release every member.
 func (s *shard) process(batch []callback, expedited bool) {
 	r := s.r
+	reg := r.met.ReclaimFlushBegin()
 	start := time.Now()
 	groups := coalesce(batch)
 	for gi := range groups {
@@ -166,4 +167,7 @@ func (s *shard) process(batch []callback, expedited bool) {
 	r.graces.Add(uint64(len(groups)))
 	r.met.ReclaimFlush(len(batch), uint64(len(groups)),
 		time.Since(start).Nanoseconds(), expedited)
+	if reg != nil {
+		reg.End()
+	}
 }

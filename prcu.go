@@ -59,7 +59,11 @@
 // predicate selectivity (readers scanned versus actually waited for),
 // sampled reader critical-section durations, spin-versus-park wait
 // resolution, and D-PRCU counter-drain outcomes. Read them back with
-// RCU.Stats, or export them with PublishMetrics. With Metrics unset
+// RCU.Stats, export them with PublishMetrics (expvar), or serve the full
+// export plane with ObsHandler: Prometheus /metrics, JSON stats, trace
+// dumps and a health endpoint for every engine bound by RegisterMetrics.
+// Options.RuntimeAttribution additionally tags wait and reclaim-flush
+// work with runtime/trace regions and pprof labels. With Metrics unset
 // (the default) every hook reduces to one predictable nil-check branch.
 //
 // # Production hardening
@@ -77,10 +81,12 @@ package prcu
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
 	"prcu/internal/core"
 	"prcu/internal/obs"
+	"prcu/internal/obshttp"
 	"prcu/internal/reclaim"
 	"prcu/internal/tsc"
 )
@@ -190,6 +196,16 @@ type Options struct {
 	// StallRateLimit bounds repeat stall reports engine-wide (at most one
 	// per window, shared by all concurrent waiters). Default 10s.
 	StallRateLimit time.Duration
+	// RuntimeAttribution, when set together with Metrics, tags the
+	// engine's wait and reclaim-flush work for the Go runtime's own
+	// profilers: WaitForReaders executes inside a runtime/trace user
+	// region under a per-engine task, stall reports log into that task,
+	// and the wait/flush goroutines carry pprof labels (prcu_engine,
+	// prcu_op) visible in CPU and goroutine profiles. Off (the default)
+	// the hook costs one pointer load and branch per wait. Note the
+	// labels replace any pprof labels the waiting goroutine already
+	// carried — attribution is per-engine opt-in for exactly that reason.
+	RuntimeAttribution bool
 }
 
 func (o Options) withDefaults() Options {
@@ -216,6 +232,13 @@ func (o Options) attach(r RCU) RCU {
 			}
 			o.Metrics.EnsureReaders(n)
 			c.SetMetrics(o.Metrics)
+			// Feed the export plane (ObsHandler) under the engine's own
+			// name; rebuilding an engine with the same flavor rebinds the
+			// name, keeping one stable series per flavor.
+			obs.Register(r.Name(), o.Metrics)
+			if o.RuntimeAttribution {
+				o.Metrics.EnableRuntimeAttribution(r.Name())
+			}
 		}
 	}
 	if o.StallTimeout > 0 {
@@ -434,3 +457,38 @@ func NewMetrics() *Metrics { return obs.New() }
 // PublishMetrics exports m's live Snapshot through expvar under the
 // given name, visible on /debug/vars wherever the process serves it.
 func PublishMetrics(name string, m *Metrics) { obs.Publish(name, m) }
+
+// RegisterMetrics binds m to name in the export plane served by
+// ObsHandler: name becomes the engine="name" label on /metrics and the
+// key on the /debug/prcu endpoints. Engines constructed with
+// Options.Metrics are registered automatically under their engine name;
+// use RegisterMetrics for custom names (one per engine instance, say)
+// or for Metrics driven outside an engine. Registering a bound name
+// rebinds it — a benchmark sweep that rebuilds its engine per data
+// point keeps one stable series — and registering a nil Metrics removes
+// the binding.
+func RegisterMetrics(name string, m *Metrics) { obs.Register(name, m) }
+
+// ObsHandler returns the live export plane over every metrics collector
+// bound by RegisterMetrics (or automatically by Options.Metrics):
+//
+//	GET /metrics            Prometheus text exposition (v0.0.4)
+//	GET /debug/prcu/stats   full JSON Snapshot per engine
+//	GET /debug/prcu/trace   event-ring dump for one engine (?engine=X)
+//	GET /debug/prcu/health  stall/backlog-aware status (200 ok, 503 degraded)
+//
+// Mount it on any server: http.ListenAndServe(addr, prcu.ObsHandler()).
+// Scrapes read the recording structures atomically; serving costs the
+// engines nothing between scrapes.
+func ObsHandler() http.Handler { return obshttp.Handler() }
+
+// Rates is the windowed view between two Snapshots of the same Metrics:
+// waits and section entries per second, windowed selectivity and
+// latency percentiles, and the reclamation backlog's growth slope. The
+// /debug/prcu/health endpoint and `prcubench monitor` are built on it.
+type Rates = obs.Rates
+
+// DeltaStats computes the windowed rates between two snapshots taken dt
+// apart (prev first). A zero prev yields since-start rates; counters
+// that moved backwards (Metrics reset between samples) clamp to zero.
+func DeltaStats(prev, cur Snapshot, dt time.Duration) Rates { return obs.Delta(prev, cur, dt) }

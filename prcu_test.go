@@ -3,6 +3,8 @@ package prcu_test
 import (
 	"context"
 	"errors"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -201,5 +203,101 @@ func TestWaitForReadersCtxPublic(t *testing.T) {
 			rd.Exit(3)
 			rd.Unregister()
 		})
+	}
+}
+
+// TestRegisterMetricsRebinds mirrors the PublishMetrics rebind test:
+// binding a live name must swap the backing collector, not panic, so
+// sweeps that rebuild engines per data point keep one series name.
+func TestRegisterMetricsRebinds(t *testing.T) {
+	m1, m2 := prcu.NewMetrics(), prcu.NewMetrics()
+	prcu.RegisterMetrics("prcu-test-rebind", m1)
+	prcu.RegisterMetrics("prcu-test-rebind", m2)
+	defer prcu.RegisterMetrics("prcu-test-rebind", nil)
+}
+
+// TestObsHandlerServesEngine checks the wiring end to end through the
+// public API: Options.Metrics auto-registers under the engine name and
+// ObsHandler serves its series and snapshot.
+func TestObsHandlerServesEngine(t *testing.T) {
+	m := prcu.NewMetrics()
+	r := prcu.MustNew(prcu.FlavorEER, prcu.Options{Metrics: m})
+	defer prcu.RegisterMetrics(r.Name(), nil)
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(1)
+	rd.Exit(1)
+	rd.Unregister()
+	r.WaitForReaders(prcu.All())
+
+	h := prcu.ObsHandler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	want := `prcu_waits_total{engine="` + r.Name() + `"} 1`
+	if !strings.Contains(rec.Body.String(), want) {
+		t.Fatalf("metrics body missing %q", want)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/prcu/stats", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"`+r.Name()+`"`) {
+		t.Fatalf("stats = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDeltaStatsPublic exercises the windowed-rates helper through the
+// public alias.
+func TestDeltaStatsPublic(t *testing.T) {
+	m := prcu.NewMetrics()
+	r := prcu.MustNew(prcu.FlavorD, prcu.Options{Metrics: m})
+	defer prcu.RegisterMetrics(r.Name(), nil)
+	prev := m.Snapshot()
+	r.WaitForReaders(prcu.All())
+	r.WaitForReaders(prcu.All())
+	rt := prcu.DeltaStats(prev, m.Snapshot(), time.Second)
+	if rt.Waits != 2 || rt.WaitsPerSec != 2 {
+		t.Fatalf("DeltaStats waits = %d (%v/s), want 2", rt.Waits, rt.WaitsPerSec)
+	}
+}
+
+// TestRuntimeAttributionOption checks the opt-in path works end to end
+// (regions and labels are applied and cleared around waits) and that
+// the default stays off.
+func TestRuntimeAttributionOption(t *testing.T) {
+	m := prcu.NewMetrics()
+	r := prcu.MustNew(prcu.FlavorDEER, prcu.Options{Metrics: m, RuntimeAttribution: true})
+	defer prcu.RegisterMetrics(r.Name(), nil)
+	defer m.DisableRuntimeAttribution()
+	if !m.AttributionEnabled() {
+		t.Fatal("RuntimeAttribution option did not enable attribution")
+	}
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(7)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.WaitForReaders(prcu.Singleton(8)) // uncovered: returns fast
+		r.WaitForReaders(prcu.All())
+	}()
+	time.Sleep(10 * time.Millisecond)
+	rd.Exit(7)
+	<-done
+	rd.Unregister()
+	if s := m.Snapshot(); s.Waits != 2 {
+		t.Fatalf("Waits = %d with attribution on, want 2", s.Waits)
+	}
+
+	m2 := prcu.NewMetrics()
+	r2 := prcu.MustNew(prcu.FlavorDEER, prcu.Options{Metrics: m2})
+	defer prcu.RegisterMetrics(r2.Name(), nil)
+	if m2.AttributionEnabled() {
+		t.Fatal("attribution enabled without the option")
 	}
 }
