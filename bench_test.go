@@ -20,24 +20,46 @@ const (
 	benchKeySpace = 1 << 14
 )
 
-func benchEngines() []struct {
+// benchEngine is one row of the benchmark lineup. The lineup is derived
+// from prcu.Flavors() so every engine appears in every figure bench; a
+// flavor missing from the spec table below is a hard failure, not a
+// silently thinner comparison.
+type benchEngine struct {
 	name   string
 	mk     func() prcu.RCU
 	domain citrus.Domain
-} {
-	return []struct {
+}
+
+func benchEngines() []benchEngine {
+	specs := map[prcu.Flavor]struct {
 		name   string
-		mk     func() prcu.RCU
-		domain citrus.Domain
+		domain func() citrus.Domain
 	}{
-		{"EER-PRCU", func() prcu.RCU { return prcu.NewEER(prcu.Options{MaxReaders: benchReaders}) }, citrus.FuncDomain()},
-		{"D-PRCU", func() prcu.RCU { return prcu.NewD(prcu.Options{MaxReaders: benchReaders}) }, citrus.CompressedDomain(1024)},
-		{"DEER-PRCU", func() prcu.RCU { return prcu.NewDEER(prcu.Options{MaxReaders: benchReaders}) }, citrus.CompressedDomain(1024)},
-		{"TimeRCU", func() prcu.RCU { return prcu.NewTimeRCU(prcu.Options{MaxReaders: benchReaders}) }, citrus.WildcardDomain()},
-		{"TreeRCU", func() prcu.RCU { return prcu.NewTreeRCU(prcu.Options{MaxReaders: benchReaders}) }, citrus.WildcardDomain()},
-		{"URCU", func() prcu.RCU { return prcu.NewURCU(prcu.Options{MaxReaders: benchReaders}) }, citrus.WildcardDomain()},
-		{"DistRCU", func() prcu.RCU { return prcu.NewDistRCU(prcu.Options{MaxReaders: benchReaders}) }, citrus.WildcardDomain()},
+		prcu.FlavorEER:    {"EER-PRCU", citrus.FuncDomain},
+		prcu.FlavorD:      {"D-PRCU", func() citrus.Domain { return citrus.CompressedDomain(1024) }},
+		prcu.FlavorDEER:   {"DEER-PRCU", func() citrus.Domain { return citrus.CompressedDomain(1024) }},
+		prcu.FlavorTime:   {"TimeRCU", citrus.WildcardDomain},
+		prcu.FlavorTree:   {"TreeRCU", citrus.WildcardDomain},
+		prcu.FlavorURCU:   {"URCU", citrus.WildcardDomain},
+		prcu.FlavorDist:   {"DistRCU", citrus.WildcardDomain},
+		prcu.FlavorSRCU:   {"SRCU", citrus.WildcardDomain},
+		prcu.FlavorPacked: {"Packed", citrus.WildcardDomain},
 	}
+	flavors := prcu.Flavors()
+	out := make([]benchEngine, 0, len(flavors))
+	for _, f := range flavors {
+		spec, ok := specs[f]
+		if !ok {
+			panic(fmt.Sprintf("bench_test: flavor %q has no benchmark spec; add it to benchEngines", f))
+		}
+		f := f
+		out = append(out, benchEngine{
+			name:   spec.name,
+			mk:     func() prcu.RCU { return prcu.MustNew(f, prcu.Options{MaxReaders: benchReaders}) },
+			domain: spec.domain(),
+		})
+	}
+	return out
 }
 
 // BenchmarkReadSideEnterExit measures each engine's raw rcu_enter/rcu_exit
@@ -58,6 +80,35 @@ func BenchmarkReadSideEnterExit(b *testing.B) {
 				rd.Enter(v)
 				rd.Exit(v)
 			}
+		})
+	}
+}
+
+// BenchmarkEnterExit is the packed-vs-URCU read-side head-to-head: both
+// engines do one reader-private store on Enter and one on Exit, but URCU's
+// Enter also derives its word from the global phase under a seq-cst RMW
+// discipline, while the packed engine is a plain load + or + store. This
+// is the regression guard for the packed engine's reason to exist — its
+// per-op time must stay at or below URCU's (EXPERIMENTS.md records the
+// numbers). Run with -cpu 1,4 to see both the uncontended and the
+// cacheline-sharing-free parallel picture.
+func BenchmarkEnterExit(b *testing.B) {
+	for _, f := range []prcu.Flavor{prcu.FlavorURCU, prcu.FlavorPacked} {
+		b.Run(string(f), func(b *testing.B) {
+			r := prcu.MustNew(f, prcu.Options{})
+			b.RunParallel(func(pb *testing.PB) {
+				rd, err := r.Register()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer rd.Unregister()
+				for i := 0; pb.Next(); i++ {
+					v := prcu.Value(i & 1023)
+					rd.Enter(v)
+					rd.Exit(v)
+				}
+			})
 		})
 	}
 }

@@ -29,6 +29,9 @@ go test -race -run 'TestReaderChurnConcurrentWaits|TestUncappedRegisterNeverFail
 echo "== go test -race (chaos torture: fault injection over every engine) =="
 go test -race -short -timeout 300s ./internal/chaos
 
+echo "== go test -race (packed engine: litmus + conformance over all flavors) =="
+go test -race -run 'TestPacked|TestConformance' -timeout 300s ./internal/core .
+
 echo "== fuzz seed corpora replay =="
 go test -run 'Fuzz' -timeout 120s ./internal/core ./hashtable ./internal/reclaim
 

@@ -1,0 +1,316 @@
+// Engine conformance suite: one table-driven contract, run over every
+// flavor Flavors() lists, so a new engine is held to the full RCU
+// contract by adding a single constructor case — and cannot ship as a
+// prototype that only passes its own hand-picked tests. The properties
+// here are the public-API restatement of the PRCU safety property (§3.1)
+// and the library's hardening guarantees:
+//
+//   - grace periods: WaitForReaders never returns while an overlapping
+//     covered critical section entered before the call is open, and does
+//     return once it exits — so reclamation behind a wait is safe;
+//   - predicate selectivity: on the predicate-aware engines, a reader on
+//     a value outside an interval predicate never blocks the wait;
+//   - reader lifecycle: slots are reusable after Unregister, pooled
+//     handles borrow/return correctly, and a recycled slot never haunts
+//     a later wait;
+//   - WaitForReadersCtx honors cancellation and deadlines, failing the
+//     wait rather than the process;
+//   - Reader.Do closes the critical section even when the callback
+//     panics, so a panicking reader cannot wedge future grace periods.
+//
+// Per-engine ad-hoc copies of these checks are intentionally replaced by
+// this suite; internal protocol details (phase flips, counter drains,
+// packed words) stay in internal/core's white-box tests.
+package prcu_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"prcu"
+)
+
+// selectiveFlavors are the engines that implement predicate-targeted
+// waiting; the rest are plain RCUs whose waits conservatively cover all
+// readers (§3.1 "RCU fallback" run in reverse).
+var selectiveFlavors = map[prcu.Flavor]bool{
+	prcu.FlavorEER:  true,
+	prcu.FlavorD:    true,
+	prcu.FlavorDEER: true,
+}
+
+// conformWaitTimeout bounds every "this wait must complete" assertion.
+const conformWaitTimeout = 10 * time.Second
+
+func TestConformance(t *testing.T) {
+	props := []struct {
+		name string
+		run  func(t *testing.T, f prcu.Flavor, r prcu.RCU)
+	}{
+		{"GracePeriod", conformGracePeriod},
+		{"DeferredReclaim", conformDeferredReclaim},
+		{"Selectivity", conformSelectivity},
+		{"ReaderReuse", conformReaderReuse},
+		{"PooledReaders", conformPooledReaders},
+		{"CtxCancellation", conformCtxCancellation},
+		{"PanicSafeDo", conformPanicSafeDo},
+	}
+	for _, f := range prcu.Flavors() {
+		f := f
+		t.Run(string(f), func(t *testing.T) {
+			for _, p := range props {
+				p := p
+				t.Run(p.name, func(t *testing.T) {
+					p.run(t, f, prcu.MustNew(f, prcu.Options{}))
+				})
+			}
+		})
+	}
+}
+
+// mustComplete fails the test unless done closes within the conformance
+// deadline.
+func mustComplete(t *testing.T, done <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-done:
+	case <-time.After(conformWaitTimeout):
+		t.Fatal(what)
+	}
+}
+
+// conformGracePeriod is the core contract: a wait covering an open
+// pre-existing critical section blocks until that section exits, for
+// both the wildcard and a covering singleton predicate.
+func conformGracePeriod(t *testing.T, f prcu.Flavor, r prcu.RCU) {
+	for _, pred := range []prcu.Predicate{prcu.All(), prcu.Singleton(5)} {
+		rd, err := r.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		entered := make(chan struct{})
+		release := make(chan struct{})
+		go func() {
+			rd.Enter(5)
+			close(entered)
+			<-release
+			rd.Exit(5)
+			rd.Unregister()
+		}()
+		<-entered
+		returned := make(chan struct{})
+		go func() {
+			r.WaitForReaders(pred)
+			close(returned)
+		}()
+		select {
+		case <-returned:
+			t.Fatalf("WaitForReaders(%s) returned while a covered section was open", pred)
+		case <-time.After(50 * time.Millisecond):
+		}
+		close(release)
+		mustComplete(t, returned, "WaitForReaders did not return after the reader exited")
+	}
+}
+
+// conformDeferredReclaim runs the same property through the reclamation
+// subsystem: a retirement's free callback must not run while an
+// overlapping reader is in-section, and must run once it has exited.
+func conformDeferredReclaim(t *testing.T, f prcu.Flavor, r prcu.RCU) {
+	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{Shards: 1, FlushDelay: -1})
+	defer rec.Close()
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(7)
+	freed := make(chan struct{})
+	rec.Retire(uint64(7), prcu.Singleton(7), 8, func(any) { close(freed) })
+	select {
+	case <-freed:
+		t.Fatal("retirement freed while an overlapping reader was in-section")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rd.Exit(7)
+	done := make(chan struct{})
+	go func() {
+		rec.Barrier()
+		close(done)
+	}()
+	mustComplete(t, done, "Reclaimer.Barrier did not drain after the reader exited")
+	select {
+	case <-freed:
+	default:
+		t.Fatal("retirement not freed by Barrier after the reader exited")
+	}
+	rd.Unregister()
+}
+
+// conformSelectivity: an open section on a value outside the wait's
+// interval predicate must not block a predicate-aware engine. Plain-RCU
+// flavors legitimately wait for all readers and are exempt.
+func conformSelectivity(t *testing.T, f prcu.Flavor, r prcu.RCU) {
+	if !selectiveFlavors[f] {
+		t.Skipf("%s is a plain RCU: waits conservatively cover every reader", f)
+	}
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far outside [10, 20] and, for D-PRCU, not hash-colliding with it
+	// under the default 1024-node table (values 10..20 and 100000 map to
+	// distinct nodes).
+	rd.Enter(100000)
+	returned := make(chan struct{})
+	go func() {
+		r.WaitForReaders(prcu.Interval(10, 20))
+		r.WaitForReaders(prcu.Singleton(15))
+		close(returned)
+	}()
+	mustComplete(t, returned, "wait blocked on a non-overlapping reader")
+	rd.Exit(100000)
+	rd.Unregister()
+}
+
+// conformReaderReuse cycles registration so released slots are re-issued,
+// and checks a recycled slot's previous occupancy never blocks a wait.
+func conformReaderReuse(t *testing.T, f prcu.Flavor, r prcu.RCU) {
+	for cycle := 0; cycle < 3; cycle++ {
+		rds := make([]prcu.Reader, 8)
+		for i := range rds {
+			rd, err := r.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rds[i] = rd
+			rd.Enter(prcu.Value(i))
+			rd.Exit(prcu.Value(i))
+		}
+		// Release every other reader mid-set, then re-register into the
+		// freed slots while the rest stay live.
+		for i := 0; i < len(rds); i += 2 {
+			rds[i].Unregister()
+		}
+		for i := 0; i < len(rds); i += 2 {
+			rd, err := r.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rds[i] = rd
+		}
+		// All readers quiescent: a full wait must complete promptly even
+		// though every slot has history.
+		done := make(chan struct{})
+		go func() {
+			r.WaitForReaders(prcu.All())
+			close(done)
+		}()
+		mustComplete(t, done, "wait blocked on quiescent recycled slots")
+		for _, rd := range rds {
+			rd.Unregister()
+		}
+	}
+}
+
+// conformPooledReaders exercises the ReaderPool lifecycle over the
+// engine: borrowed handles enter/exit, Critical is panic-safe, and Close
+// releases the cached slots.
+func conformPooledReaders(t *testing.T, f prcu.Flavor, r prcu.RCU) {
+	pool := prcu.NewReaderPool(r)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				pool.Critical(prcu.Value(g*100+i), func() {})
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Explicit borrow/return, including reuse of a returned handle.
+	rd := pool.Get()
+	rd.Enter(3)
+	rd.Exit(3)
+	pool.Put(rd)
+	rd = pool.Get()
+	rd.Enter(4)
+	rd.Exit(4)
+	pool.Put(rd)
+	// Parked pooled readers are quiescent: they must not delay a wait.
+	done := make(chan struct{})
+	go func() {
+		r.WaitForReaders(prcu.All())
+		close(done)
+	}()
+	mustComplete(t, done, "wait blocked on parked pooled readers")
+	pool.Close()
+}
+
+// conformCtxCancellation: an uncontended bounded wait succeeds; a wait
+// wedged on an open section returns the deadline error instead of
+// blocking, and the engine remains usable afterwards.
+func conformCtxCancellation(t *testing.T, f prcu.Flavor, r prcu.RCU) {
+	if err := r.WaitForReadersCtx(context.Background(), prcu.All()); err != nil {
+		t.Fatalf("uncontended ctx wait returned %v", err)
+	}
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	if err := r.WaitForReadersCtx(ctx, prcu.All()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wedged ctx wait returned %v, want DeadlineExceeded", err)
+	}
+	cancel()
+	// Pre-cancelled context: fail fast without scanning.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := r.WaitForReadersCtx(ctx2, prcu.All()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx wait returned %v, want Canceled", err)
+	}
+	rd.Exit(3)
+	// The abandoned wait must not have corrupted the protocol: a fresh
+	// unbounded wait completes.
+	done := make(chan struct{})
+	go func() {
+		r.WaitForReaders(prcu.All())
+		close(done)
+	}()
+	mustComplete(t, done, "wait after an abandoned ctx wait did not complete")
+	rd.Unregister()
+}
+
+// conformPanicSafeDo: a panicking Do callback re-raises but closes the
+// section, so a subsequent covering wait completes and the reader stays
+// usable.
+func conformPanicSafeDo(t *testing.T, f prcu.Flavor, r prcu.RCU) {
+	rd, err := r.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Do swallowed the callback's panic")
+			}
+		}()
+		rd.Do(9, func() { panic("reader callback failure") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		r.WaitForReaders(prcu.Singleton(9))
+		close(done)
+	}()
+	mustComplete(t, done, "wait blocked on a section Do should have closed")
+	ran := false
+	rd.Do(9, func() { ran = true })
+	if !ran {
+		t.Fatal("reader unusable after a panicking Do")
+	}
+	rd.Unregister()
+}

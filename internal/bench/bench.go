@@ -87,7 +87,8 @@ type Engine struct {
 	Domain func() citrus.Domain
 }
 
-// Engines returns the RCU lineup of the paper's figures, in their order.
+// Engines returns the RCU lineup of the paper's figures, in their order,
+// followed by the post-paper baselines — one entry per Flavors() flavor.
 func Engines() []Engine { return Config{}.engines() }
 
 // options returns the engine-construction options the drivers share.
@@ -101,40 +102,50 @@ func (c Config) options() prcu.Options {
 	return prcu.Options{Metrics: prcu.NewMetrics()}
 }
 
-// engines returns the paper's lineup built with this config's options.
+// engineSpec is the per-flavor benchmark configuration: the display name
+// the figure drivers key on (fig8 excludes "Tree RCU", fig9 requires
+// "Time RCU") and the citrus Domain presenting searches to the engine.
+// Predicate-aware flavors get real domains; plain-RCU baselines get the
+// wildcard domain, mirroring §6's per-engine setup.
+type engineSpec struct {
+	name   string
+	domain func() citrus.Domain
+}
+
+func compressed1024() citrus.Domain { return citrus.CompressedDomain(1024) }
+
+var engineSpecs = map[prcu.Flavor]engineSpec{
+	prcu.FlavorEER:    {name: "EER-PRCU", domain: citrus.FuncDomain},
+	prcu.FlavorD:      {name: "D-PRCU", domain: compressed1024},
+	prcu.FlavorDEER:   {name: "DEER-PRCU", domain: compressed1024},
+	prcu.FlavorTime:   {name: "Time RCU", domain: citrus.WildcardDomain},
+	prcu.FlavorTree:   {name: "Tree RCU", domain: citrus.WildcardDomain},
+	prcu.FlavorURCU:   {name: "URCU", domain: citrus.WildcardDomain},
+	prcu.FlavorDist:   {name: "Dist RCU", domain: citrus.WildcardDomain},
+	prcu.FlavorSRCU:   {name: "SRCU", domain: citrus.WildcardDomain},
+	prcu.FlavorPacked: {name: "Packed RCU", domain: citrus.WildcardDomain},
+}
+
+// engines returns the benchmark lineup built with this config's options.
+// It is derived from Flavors() so a new engine cannot silently miss the
+// figures: a flavor without a benchmark spec is a hard failure, not a
+// skipped row.
 func (c Config) engines() []Engine {
-	return []Engine{
-		{
-			Name:   "EER-PRCU",
-			New:    func() prcu.RCU { return prcu.NewEER(c.options()) },
-			Domain: citrus.FuncDomain,
-		},
-		{
-			Name:   "D-PRCU",
-			New:    func() prcu.RCU { return prcu.NewD(c.options()) },
-			Domain: func() citrus.Domain { return citrus.CompressedDomain(1024) },
-		},
-		{
-			Name:   "DEER-PRCU",
-			New:    func() prcu.RCU { return prcu.NewDEER(c.options()) },
-			Domain: func() citrus.Domain { return citrus.CompressedDomain(1024) },
-		},
-		{
-			Name:   "Time RCU",
-			New:    func() prcu.RCU { return prcu.NewTimeRCU(c.options()) },
-			Domain: citrus.WildcardDomain,
-		},
-		{
-			Name:   "Tree RCU",
-			New:    func() prcu.RCU { return prcu.NewTreeRCU(c.options()) },
-			Domain: citrus.WildcardDomain,
-		},
-		{
-			Name:   "URCU",
-			New:    func() prcu.RCU { return prcu.NewURCU(c.options()) },
-			Domain: citrus.WildcardDomain,
-		},
+	flavors := prcu.Flavors()
+	out := make([]Engine, 0, len(flavors))
+	for _, f := range flavors {
+		spec, ok := engineSpecs[f]
+		if !ok {
+			panic(fmt.Sprintf("bench: flavor %q has no benchmark spec; add it to engineSpecs", f))
+		}
+		f := f
+		out = append(out, Engine{
+			Name:   spec.name,
+			New:    func() prcu.RCU { return prcu.MustNew(f, c.options()) },
+			Domain: spec.domain,
+		})
 	}
+	return out
 }
 
 // Set abstracts the search trees under comparison (CITRUS under each RCU

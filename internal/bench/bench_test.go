@@ -26,9 +26,18 @@ func tinyConfig(buf *bytes.Buffer) Config {
 
 func TestEnginesLineup(t *testing.T) {
 	es := Engines()
-	want := []string{"EER-PRCU", "D-PRCU", "DEER-PRCU", "Time RCU", "Tree RCU", "URCU"}
+	want := []string{
+		"EER-PRCU", "D-PRCU", "DEER-PRCU",
+		"Time RCU", "Tree RCU", "URCU", "Dist RCU", "SRCU",
+		"Packed RCU",
+	}
 	if len(es) != len(want) {
 		t.Fatalf("engine count = %d, want %d", len(es), len(want))
+	}
+	// The lineup is derived from the flavor registry: every flavor must
+	// appear, in registry order, and no bench row may exist without one.
+	if flavors := prcu.Flavors(); len(es) != len(flavors) {
+		t.Fatalf("lineup has %d engines but Flavors() lists %d", len(es), len(flavors))
 	}
 	for i, e := range es {
 		if e.Name != want[i] {

@@ -18,14 +18,15 @@ import (
 // tree, per-reader generations).
 func engines(maxReaders int) map[string]func() core.RCU {
 	return map[string]func() core.RCU{
-		"EER":  func() core.RCU { return core.NewEER(maxReaders, nil) },
-		"D":    func() core.RCU { return core.NewD(maxReaders, 64) },
-		"DEER": func() core.RCU { return core.NewDEER(maxReaders, 16, nil) },
-		"Time": func() core.RCU { return core.NewTimeRCU(maxReaders, nil) },
-		"URCU": func() core.RCU { return core.NewURCU(maxReaders) },
-		"Tree": func() core.RCU { return core.NewTreeRCU(maxReaders) },
-		"Dist": func() core.RCU { return core.NewDistRCU(maxReaders) },
-		"SRCU": func() core.RCU { return core.NewSRCU(maxReaders) },
+		"EER":    func() core.RCU { return core.NewEER(maxReaders, nil) },
+		"D":      func() core.RCU { return core.NewD(maxReaders, 64) },
+		"DEER":   func() core.RCU { return core.NewDEER(maxReaders, 16, nil) },
+		"Time":   func() core.RCU { return core.NewTimeRCU(maxReaders, nil) },
+		"URCU":   func() core.RCU { return core.NewURCU(maxReaders) },
+		"Tree":   func() core.RCU { return core.NewTreeRCU(maxReaders) },
+		"Dist":   func() core.RCU { return core.NewDistRCU(maxReaders) },
+		"SRCU":   func() core.RCU { return core.NewSRCU(maxReaders) },
+		"Packed": func() core.RCU { return core.NewPacked(maxReaders) },
 	}
 }
 

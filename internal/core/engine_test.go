@@ -89,7 +89,7 @@ func TestNames(t *testing.T) {
 	want := map[string]string{
 		"EER": "EER-PRCU", "D": "D-PRCU", "DEER": "DEER-PRCU",
 		"Time": "Time RCU", "URCU": "URCU", "Tree": "Tree RCU",
-		"Dist": "Dist RCU", "SRCU": "SRCU",
+		"Dist": "Dist RCU", "SRCU": "SRCU", "Packed": "Packed RCU",
 	}
 	for name, mk := range engines(2) {
 		if got := mk().Name(); got != want[name] {

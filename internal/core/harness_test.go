@@ -156,14 +156,15 @@ func scaleDur(full, short time.Duration) time.Duration {
 // engines lists every engine under test with a fresh-construction function.
 func engines(maxReaders int) map[string]func() RCU {
 	return map[string]func() RCU{
-		"EER":  func() RCU { return NewEER(maxReaders, nil) },
-		"D":    func() RCU { return NewD(maxReaders, 64) },
-		"DEER": func() RCU { return NewDEER(maxReaders, 16, nil) },
-		"Time": func() RCU { return NewTimeRCU(maxReaders, nil) },
-		"URCU": func() RCU { return NewURCU(maxReaders) },
-		"Tree": func() RCU { return NewTreeRCU(maxReaders) },
-		"Dist": func() RCU { return NewDistRCU(maxReaders) },
-		"SRCU": func() RCU { return NewSRCU(maxReaders) },
+		"EER":    func() RCU { return NewEER(maxReaders, nil) },
+		"D":      func() RCU { return NewD(maxReaders, 64) },
+		"DEER":   func() RCU { return NewDEER(maxReaders, 16, nil) },
+		"Time":   func() RCU { return NewTimeRCU(maxReaders, nil) },
+		"URCU":   func() RCU { return NewURCU(maxReaders) },
+		"Tree":   func() RCU { return NewTreeRCU(maxReaders) },
+		"Dist":   func() RCU { return NewDistRCU(maxReaders) },
+		"SRCU":   func() RCU { return NewSRCU(maxReaders) },
+		"Packed": func() RCU { return NewPacked(maxReaders) },
 	}
 }
 

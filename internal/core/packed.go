@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+
+	"prcu/internal/obs"
+	"prcu/internal/pad"
+	"prcu/internal/spin"
+)
+
+// Packed implements the packed-state epoch RCU: the yanet2-style variant
+// of the classic epoch scheme in which each reader's entire wait-visible
+// state — the in-critical-section flag and the grace-period epoch it
+// entered under — lives in one 32-bit atomic word. Enter is one load of
+// the global epoch and one store of the packed word; Exit is a single
+// store of zero (no global access at all); neither performs a
+// read-modify-write. Wait-for-readers advances the epoch with a
+// fetch-and-add — the flip and the seq-cst fence the protocol needs are
+// the same instruction — and then scans reader words, skipping any slot
+// whose word it observes inactive with a single load.
+//
+// Word layout (bit 0 is the cheap bit to test):
+//
+//	bit 0      active: the reader is inside a critical section
+//	bits 1..31 epoch: the global epoch observed at Enter, pre-shifted
+//
+// The global epoch gp is kept pre-shifted (always even, advancing by
+// packedEpochInc), so Enter composes the word with a single OR and the
+// wait-side comparison needs no shifting.
+//
+// Differences from URCU, the closest sibling:
+//
+//   - URCU's phase is one bit, so a waiter must serialize behind a global
+//     writer mutex and flip/drain twice to disambiguate stale snapshots.
+//     Packed's epoch is a 31-bit monotone counter compared with
+//     wraparound-safe signed arithmetic (packedOngoing), so concurrent
+//     waiters need no mutex: each fetch-and-adds its own flip and drains
+//     everything older. This removes the wait-side scalability bottleneck
+//     the paper measures in URCU.
+//   - A quiescent reader costs the scan one load of its packed word
+//     (bit 0 clear ⇒ skip); URCU's scan must also decode the phase.
+//
+// The wait still performs a two-phase flip (two fetch-and-adds, each
+// followed by a drain). With a monotone epoch the first drain alone
+// already covers every pre-existing reader; the second phase is retained
+// deliberately: it mirrors the yanet2/URCU protocol shape, and it means a
+// reader's stale epoch must survive 2^30 grace periods *within one
+// critical section* before signed comparison could alias — twice the
+// single-phase margin. See DESIGN.md, "Packed reader word", for the full
+// happens-before argument (why acquire/release pairing suffices for the
+// reader word in the C11 model, where the seq-cst fence at the flip is
+// still mandatory, and why Go's all-seq-cst sync/atomic discharges both
+// obligations).
+type Packed struct {
+	metered
+	resilient
+	reg *registry
+	// gp is the global epoch, pre-shifted into bits 1..31 (always even).
+	// It only ever advances, via Add — the RMW doubles as the seq-cst
+	// fence between a waiter's prior stores and its reader-word scan.
+	gp pad.Uint32
+}
+
+const (
+	// packedActive is the in-critical-section flag, bit 0 of the word.
+	packedActive uint32 = 1
+	// packedEpochInc advances the pre-shifted epoch by one.
+	packedEpochInc uint32 = 2
+)
+
+// NewPacked returns a packed-state epoch engine capped at maxReaders
+// concurrent readers (0 = grow on demand).
+func NewPacked(maxReaders int) *Packed {
+	p := &Packed{}
+	p.reg = newRegistry(maxReaders, func(base, size int) any {
+		return make([]pad.Uint32, size)
+	})
+	return p
+}
+
+// Name implements RCU.
+func (p *Packed) Name() string { return "Packed RCU" }
+
+// MaxReaders implements RCU.
+func (p *Packed) MaxReaders() int { return p.reg.maxReaders() }
+
+// LiveReaders returns the number of currently registered readers.
+func (p *Packed) LiveReaders() int { return p.reg.liveReaders() }
+
+// SlotCapacity implements SlotCapacitor.
+func (p *Packed) SlotCapacity() int { return p.reg.capacity() }
+
+type packedReader struct {
+	readerGuard
+	p    *Packed
+	word *pad.Uint32
+	lane *obs.ReaderLane
+	slot int
+}
+
+// Register implements RCU.
+func (p *Packed) Register() (Reader, error) {
+	slot, sg, err := p.reg.acquire()
+	if err != nil {
+		return nil, err
+	}
+	w := &sg.state.([]pad.Uint32)[slot-sg.base]
+	w.Store(0)
+	return &packedReader{p: p, word: w, lane: p.lane(slot), slot: slot}, nil
+}
+
+// Enter implements Reader: publish active-with-current-epoch in one
+// store. The value is ignored — Packed is a plain RCU. Because the flag
+// and the epoch travel in the same word, a scan can never observe the
+// active bit without the epoch it belongs to (no torn state); because
+// the store is a Go atomic (seq-cst), it cannot sink below the reads
+// inside the critical section, and a waiter that flipped the epoch
+// before this store is guaranteed to observe it during its drain.
+func (r *packedReader) Enter(v Value) {
+	r.check()
+	r.word.Store(r.p.gp.Load() | packedActive)
+	if r.lane != nil {
+		r.lane.OnEnter(v)
+	}
+}
+
+// Exit implements Reader: one store of zero, touching no shared global
+// state — the release publication that lets a blocked drain pass.
+func (r *packedReader) Exit(v Value) {
+	r.check()
+	if r.lane != nil {
+		r.lane.OnExit(v)
+	}
+	r.word.Store(0)
+}
+
+// Do implements Reader.
+func (r *packedReader) Do(v Value, fn func()) { DoCritical(r, v, fn) }
+
+// Unregister implements Reader.
+func (r *packedReader) Unregister() {
+	r.closing()
+	if r.word.Load()&packedActive != 0 {
+		panic("prcu: Unregister inside a read-side critical section")
+	}
+	r.markClosed()
+	r.p.reg.release(r.slot)
+	r.word = nil
+}
+
+// packedOngoing reports whether reader word c belongs to a critical
+// section the flip to epoch gp must wait for: active, and entered under
+// an epoch strictly older than gp. The subtraction is compared signed so
+// the 31-bit epoch wraps safely: "older" means "within the trailing half
+// of the epoch circle", which only misclassifies a section that stayed
+// open across 2^30 consecutive grace periods.
+func packedOngoing(c, gp uint32) bool {
+	return c&packedActive != 0 && int32((c&^packedActive)-gp) < 0
+}
+
+// WaitForReaders implements RCU. The predicate is ignored. Each phase
+// advances the epoch with one fetch-and-add (no writer mutex — see the
+// type comment) and drains every active reader older than the new epoch;
+// readers entering during the drain adopt the new epoch and are skipped.
+func (p *Packed) WaitForReaders(pred Predicate) {
+	if st := p.stallCfg.Load(); st != nil {
+		// Watchdog armed: run the controlled twin of the loop below.
+		p.waitReaders(pred, newControl(nil, st, pred, p))
+		return
+	}
+	// Unarmed fast path: keep in sync with waitReaders, its
+	// wc.step-controlled twin.
+	m := p.met
+	var start obs.WaitSpan
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	var scanned, waited, parked uint64
+	for phase := 0; phase < 2; phase++ {
+		g := p.gp.Add(packedEpochInc)
+		var w spin.Waiter
+		p.reg.forEachActive(func(sg *segment, i int) {
+			scanned++
+			c := &sg.state.([]pad.Uint32)[i]
+			// One load decides quiescent slots; only an ongoing covered
+			// section pays the spin loop.
+			if !packedOngoing(c.Load(), g) {
+				return
+			}
+			waited++
+			w.Reset()
+			for packedOngoing(c.Load(), g) {
+				w.Wait()
+			}
+			if w.Yielded() {
+				parked++
+			}
+		})
+	}
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
+	}
+}
+
+// WaitForReadersCtx implements RCU: WaitForReaders bounded by ctx.
+// Cancellation mid-protocol is safe: an abandoned flip just leaves the
+// monotone epoch advanced, and the next wait fetch-and-adds past it and
+// drains everything older, so it still covers every pre-existing reader.
+func (p *Packed) WaitForReadersCtx(ctx context.Context, pred Predicate) error {
+	wc := p.control(ctx, pred, p)
+	if err := wc.pre(); err != nil {
+		return err
+	}
+	return p.waitReaders(pred, wc)
+}
+
+func (p *Packed) waitReaders(_ Predicate, wc *waitControl) error {
+	m := p.met
+	var start obs.WaitSpan
+	if m != nil {
+		start = m.WaitBegin()
+	}
+	var scanned, waited, parked uint64
+	var werr error
+	for phase := 0; phase < 2 && werr == nil; phase++ {
+		g := p.gp.Add(packedEpochInc)
+		var w spin.Waiter
+		p.reg.forEachActive(func(sg *segment, i int) {
+			if werr != nil {
+				return
+			}
+			scanned++
+			c := &sg.state.([]pad.Uint32)[i]
+			if !packedOngoing(c.Load(), g) {
+				return
+			}
+			waited++
+			w.Reset()
+			for packedOngoing(c.Load(), g) {
+				if err := wc.step(&w); err != nil {
+					werr = err
+					break
+				}
+			}
+			if w.Yielded() {
+				parked++
+			}
+		})
+	}
+	if m != nil {
+		m.WaitEnd(start, scanned, waited, parked)
+	}
+	return werr
+}
+
+// stalledReaders implements stallProber: active readers whose epoch is
+// older than the current global epoch — the sections a wait in progress
+// is (or would be) blocked on.
+func (p *Packed) stalledReaders(Predicate) []StalledReader {
+	g := p.gp.Load()
+	var out []StalledReader
+	p.reg.forEachActive(func(sg *segment, i int) {
+		if packedOngoing(sg.state.([]pad.Uint32)[i].Load(), g) {
+			out = append(out, StalledReader{Slot: sg.base + i})
+		}
+	})
+	return out
+}

@@ -39,6 +39,27 @@ func (p *Uint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwa
 // Swap atomically stores v and returns the previous value.
 func (p *Uint64) Swap(v uint64) uint64 { return p.v.Swap(v) }
 
+// Uint32 is a cache-line padded atomic uint32. The packed-state engine
+// stores a reader's entire per-slot state (active bit + epoch) in one of
+// these, so the padding keeps adjacent readers' words off each other's
+// coherence granule exactly as for Uint64.
+type Uint32 struct {
+	v atomic.Uint32
+	_ [CacheLineSize - 4]byte
+}
+
+// Load atomically loads the value.
+func (p *Uint32) Load() uint32 { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *Uint32) Store(v uint32) { p.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Uint32) Add(delta uint32) uint32 { return p.v.Add(delta) }
+
+// CompareAndSwap executes an atomic compare-and-swap.
+func (p *Uint32) CompareAndSwap(old, new uint32) bool { return p.v.CompareAndSwap(old, new) }
+
 // Int64 is a cache-line padded atomic int64.
 type Int64 struct {
 	v atomic.Int64

@@ -15,7 +15,7 @@
 //
 // # Engines
 //
-// Seven interchangeable engines implement the one RCU interface:
+// Nine interchangeable engines implement the one RCU interface:
 //
 //	NewEER      EER-PRCU: evaluate the predicate per reader (§4.1)
 //	NewD        D-PRCU: shared counter table indexed by hashed value (§4.2)
@@ -24,6 +24,8 @@
 //	NewURCU     URCU: global grace-period counter + writer lock
 //	NewTreeRCU  Tree RCU: Linux hierarchical algorithm, userspace restriction
 //	NewDistRCU  Arbel–Attiya distributed per-reader counters
+//	NewSRCU     SRCU: per-subsystem two-counter gate protocol
+//	NewPacked   Packed RCU: active bit + epoch packed in one reader word
 //
 // The plain-RCU engines ignore values and predicates, so algorithms can be
 // written once against the PRCU interface and benchmarked over any engine.
@@ -149,13 +151,18 @@ const (
 	FlavorTree Flavor = "tree"
 	FlavorDist Flavor = "dist"
 	FlavorSRCU Flavor = "srcu"
+	// FlavorPacked is the packed-state epoch engine: per-reader active
+	// bit + epoch in a single atomic word, mutex-free epoch-flip waits.
+	FlavorPacked Flavor = "packed"
 )
 
-// Flavors lists every engine, in the order the paper's figures use.
+// Flavors lists every engine, in the order the paper's figures use
+// (baselines beyond the paper follow in the order they were added).
 func Flavors() []Flavor {
 	return []Flavor{
 		FlavorEER, FlavorD, FlavorDEER,
 		FlavorTime, FlavorTree, FlavorURCU, FlavorDist, FlavorSRCU,
+		FlavorPacked,
 	}
 }
 
@@ -273,6 +280,8 @@ func New(flavor Flavor, opt Options) (RCU, error) {
 		return opt.attach(core.NewDistRCU(opt.MaxReaders)), nil
 	case FlavorSRCU:
 		return opt.attach(core.NewSRCU(opt.MaxReaders)), nil
+	case FlavorPacked:
+		return opt.attach(core.NewPacked(opt.MaxReaders)), nil
 	default:
 		return nil, fmt.Errorf("prcu: unknown flavor %q", flavor)
 	}
@@ -344,6 +353,16 @@ func NewDistRCU(opt Options) RCU {
 func NewSRCU(opt Options) RCU {
 	opt = opt.withDefaults()
 	return opt.attach(core.NewSRCU(opt.MaxReaders))
+}
+
+// NewPacked returns the packed-state epoch engine: each reader's active
+// flag and entry epoch share one padded atomic word, so Enter is a load
+// plus a store, Exit a single store, and wait-for-readers fetch-and-adds
+// a monotone epoch (no writer mutex, unlike URCU) and skips inactive
+// readers with one load each. A plain RCU — predicates are ignored.
+func NewPacked(opt Options) RCU {
+	opt = opt.withDefaults()
+	return opt.attach(core.NewPacked(opt.MaxReaders))
 }
 
 // NewAsync wraps r with a call_rcu-style deferral worker (§2.1): Call

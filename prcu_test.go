@@ -84,6 +84,7 @@ func TestNamedConstructors(t *testing.T) {
 		{prcu.NewTreeRCU, "Tree RCU"},
 		{prcu.NewDistRCU, "Dist RCU"},
 		{prcu.NewSRCU, "SRCU"},
+		{prcu.NewPacked, "Packed RCU"},
 	}
 	for _, c := range cases {
 		if got := c.mk(prcu.Options{MaxReaders: 2}).Name(); got != c.name {
@@ -181,30 +182,9 @@ func TestStallWatchdogViaOptions(t *testing.T) {
 	rd.Unregister()
 }
 
-// TestWaitForReadersCtxPublic exercises the context-bounded wait
-// through the public interface on every flavor.
-func TestWaitForReadersCtxPublic(t *testing.T) {
-	for _, f := range prcu.Flavors() {
-		t.Run(string(f), func(t *testing.T) {
-			r := prcu.MustNew(f, prcu.Options{})
-			if err := r.WaitForReadersCtx(context.Background(), prcu.All()); err != nil {
-				t.Fatalf("uncontended ctx wait returned %v", err)
-			}
-			rd, err := r.Register()
-			if err != nil {
-				t.Fatal(err)
-			}
-			rd.Enter(3)
-			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
-			if err := r.WaitForReadersCtx(ctx, prcu.All()); !errors.Is(err, context.DeadlineExceeded) {
-				t.Fatalf("wedged ctx wait returned %v, want DeadlineExceeded", err)
-			}
-			cancel()
-			rd.Exit(3)
-			rd.Unregister()
-		})
-	}
-}
+// The per-flavor contract tests (grace-period blocking, selectivity,
+// reader reuse, context cancellation, panic-safe Do) live in the
+// conformance suite, conformance_test.go, which runs over Flavors().
 
 // TestRegisterMetricsRebinds mirrors the PublishMetrics rebind test:
 // binding a live name must swap the backing collector, not panic, so
