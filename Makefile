@@ -11,8 +11,15 @@ all: ci
 build:
 	$(GO) build ./...
 
+# Where `make vet` drops the freshly built prcuvet binary.
+PRCUVET ?= /tmp/prcuvet
+
+# go vet plus prcuvet, the repo's own analyzer for typed-guard misuse
+# (Enter without Exit, guarded-pointer escapes, retire-before-unlink).
 vet:
 	$(GO) vet ./...
+	$(GO) build -o $(PRCUVET) ./cmd/prcuvet
+	$(GO) vet -vettool=$(PRCUVET) ./...
 
 test:
 	$(GO) test -timeout $(TEST_TIMEOUT) ./...
@@ -24,7 +31,7 @@ short:
 # API (reader pool + churn), the engine core (including the torture
 # suite), and the two RCU-backed structures.
 race:
-	$(GO) test -race -short -timeout $(TEST_TIMEOUT) . ./internal/core ./internal/reclaim ./citrus ./hashtable
+	$(GO) test -race -short -timeout $(TEST_TIMEOUT) . ./internal/core ./internal/reclaim ./citrus ./hashtable ./guard
 
 # Brief coverage-guided fuzzing on top of the checked-in seed corpora.
 FUZZTIME ?= 10s

@@ -118,7 +118,7 @@ func BenchmarkEnterExit(b *testing.B) {
 func BenchmarkFig1WaitVsOp(b *testing.B) {
 	b.Run("HashLookup", func(b *testing.B) {
 		r := prcu.NewTimeRCU(prcu.Options{MaxReaders: 2})
-		m := hashtable.New(r, 1<<12)
+		m := hashtable.NewModulo(r, 1<<12)
 		rng := workload.NewRNG(1)
 		for n := 0; n < 2<<12; {
 			if m.Insert(rng.Intn(4<<12), 0) {
@@ -254,7 +254,7 @@ func BenchmarkFig9Expand(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				r := e.mk()
-				m := hashtable.New(r, 1<<10)
+				m := hashtable.NewModulo(r, 1<<10)
 				rng := workload.NewRNG(9)
 				for n := 0; n < 4<<10; {
 					if m.Insert(rng.Intn(8<<10), 0) {

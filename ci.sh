@@ -10,11 +10,16 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
+echo "== prcuvet (typed-guard misuse analysis over the whole repo) =="
+go build -o /tmp/prcuvet.ci ./cmd/prcuvet
+go vet -vettool=/tmp/prcuvet.ci ./...
+rm -f /tmp/prcuvet.ci
+
 echo "== go test (full) =="
 go test -timeout 300s ./...
 
-echo "== go test -race -short (API + engines + structures) =="
-go test -race -short -timeout 300s . ./internal/core ./citrus ./hashtable
+echo "== go test -race -short (API + engines + structures + typed guard layer) =="
+go test -race -short -timeout 300s . ./internal/core ./citrus ./hashtable ./guard
 
 echo "== go test -race (reclaimer backlog/backpressure stress) =="
 go test -race -timeout 300s ./internal/reclaim

@@ -29,15 +29,16 @@ import (
 // sentinel itself can never be deleted.
 const sentinelKey = math.MaxUint64
 
-// node is a tree node. key is immutable; the child pointers are atomic
-// because RCU readers traverse them without locks; the tags version
-// nil-child slots so an optimistic traversal that observed nil can detect
-// an intervening insert+delete when it validates; marked flags a node that
-// has been spliced out or replaced, and is guarded by mu.
+// node is a tree node. key is immutable; the child pointers are guarded
+// cells — readers traverse them only through an open *prcu.Scope, updaters
+// through the LoadLocked/Store side under the fine-grained locks; the tags
+// version nil-child slots so an optimistic traversal that observed nil can
+// detect an intervening insert+delete when it validates; marked flags a
+// node that has been spliced out or replaced, and is guarded by mu.
 type node struct {
 	key    uint64
 	value  atomic.Uint64
-	child  [2]atomic.Pointer[node]
+	child  [2]prcu.Cell[node]
 	tag    [2]atomic.Uint64
 	mu     sync.Mutex
 	marked bool
@@ -173,11 +174,13 @@ func New(r prcu.RCU, domain Domain) *Tree {
 	}
 }
 
-// Handle is one goroutine's access to the tree, wrapping its reader slot.
-// A Handle must not be used concurrently.
+// Handle is one goroutine's access to the tree, wrapping its reader slot
+// in a typed guard: every traversal happens inside a *prcu.Scope obtained
+// from the guard, and the child cells refuse loads without one. A Handle
+// must not be used concurrently.
 type Handle struct {
-	t  *Tree
-	rd prcu.Reader
+	t *Tree
+	g *prcu.GuardedReader
 }
 
 // NewHandle registers a pinned reader slot and returns a handle. Call
@@ -189,21 +192,21 @@ func (t *Tree) NewHandle() (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{t: t, rd: rd}, nil
+	return &Handle{t: t, g: prcu.WrapReader(rd)}, nil
 }
 
 // Handle borrows a pooled reader and returns a handle around it — the
 // infallible choice for goroutines that come and go. Close returns the
 // reader to the pool for the next borrower.
 func (t *Tree) Handle() *Handle {
-	return &Handle{t: t, rd: t.pool.Get()}
+	return &Handle{t: t, g: prcu.WrapReader(t.pool.Get())}
 }
 
 // Close releases the handle's reader: a pinned reader's slot is freed, a
 // pooled reader goes back to the pool.
 func (h *Handle) Close() {
-	h.rd.Unregister()
-	h.rd = nil
+	h.g.Unregister()
+	h.g = nil
 }
 
 // Size returns the number of keys in the tree. It is exact when the tree
@@ -226,16 +229,16 @@ func dirFor(k uint64, n *node) int {
 // traverse walks from the root toward k, returning the last edge followed:
 // prev, the direction taken from prev, the tag of that edge observed
 // *before* reading the child, and curr (nil, or the node holding k).
-// Must run inside a read-side critical section.
-func (t *Tree) traverse(k uint64) (prev *node, dir int, tag uint64, curr *node) {
+// The scope s witnesses the read-side critical section the walk requires.
+func (t *Tree) traverse(s *prcu.Scope, k uint64) (prev *node, dir int, tag uint64, curr *node) {
 	prev, dir = t.root, 0
 	tag = prev.tag[0].Load()
-	curr = prev.child[0].Load()
+	curr = prev.child[0].Load(s)
 	for curr != nil && curr.key != k {
 		prev = curr
 		dir = dirFor(k, curr)
 		tag = prev.tag[dir].Load()
-		curr = prev.child[dir].Load()
+		curr = prev.child[dir].Load(s)
 	}
 	return prev, dir, tag, curr
 }
@@ -247,12 +250,12 @@ func (h *Handle) Contains(k uint64) bool {
 	return ok
 }
 
-// lookup walks to the node holding k, reading its value in place. Must run
-// inside a read-side critical section on MapKey(k).
-func (t *Tree) lookup(k uint64) (uint64, bool) {
-	curr := t.root.child[0].Load()
+// lookup walks to the node holding k, reading its value in place. The
+// scope s witnesses the read-side critical section on MapKey(k).
+func (t *Tree) lookup(s *prcu.Scope, k uint64) (uint64, bool) {
+	curr := t.root.child[0].Load(s)
 	for curr != nil && curr.key != k {
-		curr = curr.child[dirFor(k, curr)].Load()
+		curr = curr.child[dirFor(k, curr)].Load(s)
 	}
 	if curr == nil {
 		return 0, false
@@ -261,12 +264,12 @@ func (t *Tree) lookup(k uint64) (uint64, bool) {
 }
 
 // Get returns the value stored under k. The traversal runs under
-// Reader.Do, so a panicking lookup re-raises with the critical section
-// closed instead of wedging every future covering grace period.
+// GuardedReader.Read, so a panicking lookup re-raises with the critical
+// section closed instead of wedging every future covering grace period.
 func (h *Handle) Get(k uint64) (val uint64, ok bool) {
 	checkKey(k)
-	h.rd.Do(h.t.domain.MapKey(k), func() {
-		val, ok = h.t.lookup(k)
+	h.g.Read(h.t.domain.MapKey(k), func(s *prcu.Scope) {
+		val, ok = h.t.lookup(s, k)
 	})
 	return val, ok
 }
@@ -274,15 +277,9 @@ func (h *Handle) Get(k uint64) (val uint64, ok bool) {
 // Get is the one-shot form: it borrows a pooled reader for a single
 // lookup. Hot loops should hold a Handle instead and amortize the borrow.
 func (t *Tree) Get(k uint64) (uint64, bool) {
-	checkKey(k)
-	var (
-		val uint64
-		ok  bool
-	)
-	t.pool.Critical(t.domain.MapKey(k), func() {
-		val, ok = t.lookup(k)
-	})
-	return val, ok
+	h := t.Handle()
+	defer h.Close()
+	return h.Get(k)
 }
 
 // Contains is the one-shot membership test; see Get.
@@ -298,14 +295,20 @@ func (h *Handle) Insert(k, val uint64) bool {
 	t := h.t
 	dv := t.domain.MapKey(k)
 	for {
-		h.rd.Enter(dv)
-		prev, dir, tag, curr := t.traverse(k)
-		h.rd.Exit(dv)
+		// Validated-optimistic pattern: the traversal runs inside a scope,
+		// and the nodes it found deliberately outlive it — GuardEscape is
+		// the audited hatch. Safe because the pointers are only acted on
+		// after lock + tag/marked revalidation below.
+		s := h.g.Enter(dv)
+		p, dir, tag, c := t.traverse(s, k)
+		prev := prcu.GuardEscape(s, p)
+		curr := prcu.GuardEscape(s, c)
+		h.g.Exit(s)
 		if curr != nil {
 			return false
 		}
 		prev.mu.Lock()
-		if !prev.marked && prev.child[dir].Load() == nil && prev.tag[dir].Load() == tag {
+		if !prev.marked && prev.child[dir].LoadLocked() == nil && prev.tag[dir].Load() == tag {
 			n := &node{key: k}
 			n.value.Store(val)
 			prev.child[dir].Store(n)
@@ -330,20 +333,23 @@ func (h *Handle) Delete(k uint64) bool {
 	t := h.t
 	dv := t.domain.MapKey(k)
 	for {
-		h.rd.Enter(dv)
-		prev, dir, _, curr := t.traverse(k)
-		h.rd.Exit(dv)
+		// Same escape-then-revalidate pattern as Insert.
+		s := h.g.Enter(dv)
+		p, dir, _, c := t.traverse(s, k)
+		prev := prcu.GuardEscape(s, p)
+		curr := prcu.GuardEscape(s, c)
+		h.g.Exit(s)
 		if curr == nil {
 			return false
 		}
 		prev.mu.Lock()
 		curr.mu.Lock()
-		if prev.marked || curr.marked || prev.child[dir].Load() != curr {
+		if prev.marked || curr.marked || prev.child[dir].LoadLocked() != curr {
 			curr.mu.Unlock()
 			prev.mu.Unlock()
 			continue
 		}
-		left, right := curr.child[0].Load(), curr.child[1].Load()
+		left, right := curr.child[0].LoadLocked(), curr.child[1].LoadLocked()
 		if left == nil || right == nil {
 			// At most one child: splice curr out.
 			repl := left
@@ -375,12 +381,15 @@ func (h *Handle) Delete(k uint64) bool {
 func (t *Tree) deleteInternal(prev *node, dir int, curr, right *node) bool {
 	// Find the successor: the leftmost node of curr's right subtree. Read
 	// each nil-candidate edge's tag before the child pointer so the
-	// validation below can detect churn.
+	// validation below can detect churn. The walk runs on the updater-side
+	// (LoadLocked) cells: it is optimistic — the nodes are not yet locked —
+	// but every observation is revalidated under locks before acting, and
+	// Go's GC rules out use-after-free for the pointers themselves.
 	prevSucc, succ := curr, right
 	var succTag uint64
 	for {
 		tag := succ.tag[0].Load()
-		next := succ.child[0].Load()
+		next := succ.child[0].LoadLocked()
 		if next == nil {
 			succTag = tag
 			break
@@ -396,8 +405,8 @@ func (t *Tree) deleteInternal(prev *node, dir int, curr, right *node) bool {
 	if prevSucc == curr {
 		dirPS = 1
 	}
-	ok := !prevSucc.marked && prevSucc.child[dirPS].Load() == succ &&
-		!succ.marked && succ.child[0].Load() == nil && succ.tag[0].Load() == succTag
+	ok := !prevSucc.marked && prevSucc.child[dirPS].LoadLocked() == succ &&
+		!succ.marked && succ.child[0].LoadLocked() == nil && succ.tag[0].Load() == succTag
 	if !ok {
 		succ.mu.Unlock()
 		if prevSucc != curr {
@@ -414,8 +423,8 @@ func (t *Tree) deleteInternal(prev *node, dir int, curr, right *node) bool {
 	curr.marked = true
 	n := &node{key: succ.key}
 	n.value.Store(succ.value.Load())
-	n.child[0].Store(curr.child[0].Load())
-	n.child[1].Store(curr.child[1].Load())
+	n.child[0].Store(curr.child[0].LoadLocked())
+	n.child[1].Store(curr.child[1].LoadLocked())
 	// Lock the copy before publishing so no concurrent update can touch it
 	// while we are still rewiring its right edge below.
 	n.mu.Lock()
@@ -431,7 +440,7 @@ func (t *Tree) deleteInternal(prev *node, dir int, curr, right *node) bool {
 	finish := func(err error) {
 		succ.marked = true
 		if err == nil {
-			succRight := succ.child[1].Load()
+			succRight := succ.child[1].LoadLocked()
 			if prevSucc == curr {
 				n.child[1].Store(succRight)
 				if succRight == nil {

@@ -9,10 +9,10 @@ import "fmt"
 // and is intended for tests and integrity checks at rest).
 func (t *Tree) Validate() error {
 	count := 0
-	if err := validateNode(t.root.child[0].Load(), 0, sentinelKey, &count); err != nil {
+	if err := validateNode(t.root.child[0].LoadLocked(), 0, sentinelKey, &count); err != nil {
 		return err
 	}
-	if r := t.root.child[1].Load(); r != nil {
+	if r := t.root.child[1].LoadLocked(); r != nil {
 		return fmt.Errorf("citrus: sentinel grew a right child (key %d)", r.key)
 	}
 	if got := t.Size(); got != count {
@@ -37,10 +37,10 @@ func validateNode(n *node, low, high uint64, count *int) error {
 		return fmt.Errorf("citrus: marked node %d reachable in quiescent tree", n.key)
 	}
 	*count++
-	if err := validateNode(n.child[0].Load(), low, n.key, count); err != nil {
+	if err := validateNode(n.child[0].LoadLocked(), low, n.key, count); err != nil {
 		return err
 	}
-	return validateNode(n.child[1].Load(), n.key+1, high, count)
+	return validateNode(n.child[1].LoadLocked(), n.key+1, high, count)
 }
 
 // Keys returns the tree's keys in ascending order. Like Validate it is a
@@ -52,10 +52,10 @@ func (t *Tree) Keys() []uint64 {
 		if n == nil {
 			return
 		}
-		walk(n.child[0].Load())
+		walk(n.child[0].LoadLocked())
 		keys = append(keys, n.key)
-		walk(n.child[1].Load())
+		walk(n.child[1].LoadLocked())
 	}
-	walk(t.root.child[0].Load())
+	walk(t.root.child[0].LoadLocked())
 	return keys
 }

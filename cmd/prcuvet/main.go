@@ -1,0 +1,96 @@
+// Command prcuvet statically checks PRCU guard-API usage. It reports three
+// misuse classes the type system cannot rule out: read sections opened and
+// never closed (enterexit), guarded pointers that outlive their scope
+// (guardescape), and retirements of still-reachable nodes (retireunlink).
+// See the internal/vet package documentation for the precise rules.
+//
+// Two modes:
+//
+// Standalone, over package patterns (non-test sources):
+//
+//	prcuvet ./...
+//
+// As a go vet tool, which also covers test files:
+//
+//	go vet -vettool=$(which prcuvet) ./...
+//
+// Exit status is 0 when clean, 2 when findings were reported, 1 on
+// operational errors.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+
+	"prcu/internal/vet"
+)
+
+// printVersion emits the `-V=full` line the go command uses as this
+// tool's build-cache key: "name version devel buildID=<content hash>",
+// the convention vet tools follow so rebuilt binaries invalidate cached
+// vet results.
+func printVersion() {
+	fmt.Printf("prcuvet version devel")
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				fmt.Printf(" buildID=%02x", h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet protocol: version for the build cache key, flags, then one
+	// invocation per package unit with a .cfg file.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "-V":
+			printVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case len(args[0]) > 4 && args[0][len(args[0])-4:] == ".cfg":
+			n, err := vet.RunUnit(args[0], os.Stderr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if n > 0 {
+				os.Exit(2)
+			}
+			return
+		}
+	}
+
+	// Standalone mode over package patterns.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pkgs, err := vet.Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diags := vet.Analyze(pkgs)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

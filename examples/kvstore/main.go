@@ -29,7 +29,10 @@ func main() {
 		initialB = 1 << 10 // start at load factor 16
 	)
 	rcu := prcu.NewD(prcu.Options{})
-	store := hashtable.New(rcu, initialB)
+	// The generic table: uint64 keys placed by the seeded maphash (any
+	// comparable key type works; NewModulo gives the paper's deterministic
+	// uint64 layout instead).
+	store := hashtable.New[uint64, uint64](rcu, initialB)
 
 	for k := uint64(0); k < keys; k++ {
 		store.Insert(k, k^0xabcdef)

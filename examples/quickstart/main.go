@@ -1,12 +1,15 @@
-// Quickstart: the PRCU interface on a tiny RCU-protected linked list.
+// Quickstart: the typed PRCU interface on a tiny RCU-protected linked list.
 //
 // The program maintains a lock-free-readable singly linked list of
-// (key, value) pairs. Readers traverse inside read-side critical sections
-// annotated with the key they are looking for. The single writer removes
-// nodes and — before recycling a node's memory through a pool — calls
-// WaitForReaders with a predicate covering only readers that could still
-// hold a reference to it. That targeted wait is the paper's whole idea:
-// with classic RCU the writer would stall behind *every* reader.
+// (key, value) pairs built from the typed guard layer: the links are
+// prcu.Cell fields that can only be followed inside an open read scope, so
+// "traversal outside a critical section" is a compile error rather than a
+// latent race. Readers traverse inside scopes annotated with the key they
+// are looking for. The single writer unlinks nodes and retires them through
+// a typed Retirer — the node's memory is recycled only after a
+// WaitForReaders covering just the readers that could still hold a
+// reference. That targeted wait is the paper's whole idea: with classic RCU
+// the writer would stall behind *every* reader.
 //
 // Run with:
 //
@@ -22,12 +25,12 @@ import (
 	"prcu"
 )
 
-// listNode is an RCU-protected list node. next is atomic because readers
-// walk it without locks.
+// listNode is an RCU-protected list node. next is a guarded cell: readers
+// can only load it through an open *prcu.Scope.
 type listNode struct {
 	key   uint64
 	value uint64
-	next  atomic.Pointer[listNode]
+	next  prcu.Cell[listNode]
 }
 
 func main() {
@@ -36,25 +39,33 @@ func main() {
 	// there is nothing to size here.
 	rcu := prcu.NewD(prcu.Options{})
 
-	var head atomic.Pointer[listNode]
+	// The typed list: one Guarded head plus per-node Cell links.
+	list := prcu.NewList(func(n *listNode) *prcu.Cell[listNode] { return &n.next })
 
-	// A free pool stands in for C's free(): a node may be recycled only
-	// after no reader can still be traversing it.
-	pool := make(chan *listNode, 64)
+	// A free pool stands in for C's free(). The Retirer routes every
+	// retired node through the reclaimer: the recycle callback runs only
+	// after a grace period covering the retirement's predicate, so a node
+	// in the pool is guaranteed unreachable by any reader.
+	rec := prcu.NewReclaimer(rcu, prcu.ReclaimConfig{})
+	var freed sync.Pool
+	var recycledToPool atomic.Int64
+	ret := prcu.NewRetirer(rec, 0, func(n *listNode) {
+		n.next.Store(nil)
+		freed.Put(n)
+		recycledToPool.Add(1)
+	})
 
 	// Build a list with keys 0..31.
 	for k := uint64(32); k > 0; k-- {
-		n := &listNode{key: k - 1, value: (k - 1) * 100}
-		n.next.Store(head.Load())
-		head.Store(n)
+		list.PushHead(&listNode{key: k - 1, value: (k - 1) * 100})
 	}
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	var lookups atomic.Int64
 
-	// Four readers search for random keys, entering a critical section on
-	// the key they search for.
+	// Four readers search for random keys, opening a read scope on the key
+	// they search for. Read closes the scope even if the closure panics.
 	for r := 0; r < 4; r++ {
 		wg.Add(1)
 		go func(seed uint64) {
@@ -63,18 +74,15 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			defer rd.Unregister()
+			g := prcu.WrapReader(rd)
+			defer g.Unregister()
 			state := seed
 			for !stop.Load() {
 				state = state*6364136223846793005 + 1442695040888963407
 				key := (state >> 33) % 32
-				rd.Enter(key)
-				for n := head.Load(); n != nil; n = n.next.Load() {
-					if n.key == key {
-						break
-					}
-				}
-				rd.Exit(key)
+				g.Read(key, func(s *prcu.Scope) {
+					list.Find(s, func(n *listNode) bool { return n.key == key })
+				})
 				lookups.Add(1)
 			}
 		}(uint64(r + 1))
@@ -82,7 +90,8 @@ func main() {
 
 	// Ephemeral readers: short-lived goroutines should not pay Register per
 	// lookup — a ReaderPool lends out warm, already-registered readers, and
-	// Critical wraps the whole borrow/Enter/Exit/return cycle.
+	// wrapping the borrowed reader gives it the same typed scope API.
+	// Unregister on a pooled reader returns it to the pool.
 	rpool := prcu.NewReaderPool(rcu)
 	var oneShots atomic.Int64
 	wg.Add(1)
@@ -90,65 +99,59 @@ func main() {
 		defer wg.Done()
 		for !stop.Load() {
 			var inner sync.WaitGroup
-			for g := 0; g < 4; g++ {
+			for gi := 0; gi < 4; gi++ {
 				inner.Add(1)
 				go func(key uint64) {
 					defer inner.Done()
-					rpool.Critical(key, func() {
-						for n := head.Load(); n != nil; n = n.next.Load() {
-							if n.key == key {
-								break
-							}
-						}
+					g := prcu.WrapReader(rpool.Get())
+					defer g.Unregister()
+					g.Read(key, func(s *prcu.Scope) {
+						list.Find(s, func(n *listNode) bool { return n.key == key })
 					})
 					oneShots.Add(1)
-				}(uint64(g) * 8)
+				}(uint64(gi) * 8)
 			}
 			inner.Wait()
 		}
 	}()
 
-	// The writer repeatedly unlinks the node after head and recycles it
-	// once no reader on its key remains.
-	recycled := 0
+	// The writer repeatedly unlinks the node after head and retires it.
+	// Retire quarantines the node behind a predicate covering only readers
+	// on its key; the recycle callback above frees it into the pool once
+	// the covering grace period completes.
+	retired := 0
 	deadline := time.Now().Add(300 * time.Millisecond)
 	for time.Now().Before(deadline) {
-		h := head.Load()
-		victim := h.next.Load()
+		h := list.HeadLocked()
+		victim := list.NextLocked(h)
 		if victim == nil {
 			break
 		}
-		h.next.Store(victim.next.Load()) // unlink (single writer)
+		// Capture the victim's payload before handing it to the reclaimer:
+		// after Retire the writer must not touch it again.
+		vkey, vval := victim.key, victim.value
+		list.Unlink(h, victim) // unlink (single writer)
+		ret.Retire(prcu.Singleton(vkey), victim)
+		retired++
 
-		// Wait only for readers that could hold a reference: those whose
-		// critical section is on the victim's key.
-		rcu.WaitForReaders(prcu.Singleton(victim.key))
-
-		// Now the node is unreachable by any present or future reader:
-		// recycle it.
-		victim.next.Store(nil)
-		select {
-		case pool <- victim:
-		default:
-		}
-		recycled++
-
-		// Put a fresh node (reusing pooled memory when available) at the
-		// front so readers always have work.
+		// Put a fresh node (reusing quarantine-cleared memory when
+		// available) at the front so readers always have work.
 		var n *listNode
-		select {
-		case n = <-pool:
-		default:
+		if v := freed.Get(); v != nil {
+			n = v.(*listNode)
+		} else {
 			n = new(listNode)
 		}
-		n.key, n.value = victim.key, victim.value+1
-		n.next.Store(head.Load())
-		head.Store(n)
+		n.key, n.value = vkey, vval+1
+		list.PushHead(n)
 	}
 	stop.Store(true)
 	wg.Wait()
+	rec.Barrier() // drain every outstanding retirement
+	rec.Close()
 
-	fmt.Printf("quickstart: %d pinned + %d pooled lookups raced %d recycle cycles with zero torn reads\n",
-		lookups.Load(), oneShots.Load(), recycled)
-	fmt.Println("every recycled node was quarantined by a predicate-scoped WaitForReaders")
+	fmt.Printf("quickstart: %d pinned + %d pooled lookups raced %d retire cycles with zero torn reads\n",
+		lookups.Load(), oneShots.Load(), retired)
+	fmt.Printf("every one of the %d recycled nodes was quarantined by a predicate-scoped grace period\n",
+		recycledToPool.Load())
 }

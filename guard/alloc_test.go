@@ -1,0 +1,58 @@
+package guard_test
+
+import (
+	"testing"
+	"time"
+	"unsafe"
+
+	"prcu"
+	"prcu/guard"
+)
+
+// TestRetirerNoBoxingAllocs is the regression guard for the typed retire
+// path: Retirer binds its free-callback adapter once at construction and
+// converts only the node pointer to any (which never allocates), so a
+// typed Retire must cost no more allocations than handing the reclaimer
+// a raw any-typed callback directly. Before the Retirer existed, the
+// hashtable's recycle path built a fresh `func(any)` closure around a
+// type assertion per call site — this test keeps that from coming back.
+//
+// Both sides share the reclaimer's shard-queue append (amortized, and
+// identical for both), so the comparison isolates exactly the typed
+// wrapper. A long FlushDelay keeps the shard worker asleep during the
+// measured runs so its own batch processing does not pollute the global
+// malloc counters AllocsPerRun reads.
+func TestRetirerNoBoxingAllocs(t *testing.T) {
+	r := prcu.NewPacked(prcu.Options{})
+	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{Shards: 1, FlushDelay: time.Second})
+	defer rec.Close()
+
+	const runs = 2000
+	nodes := make([]*tnode, runs+1)
+	for i := range nodes {
+		nodes[i] = &tnode{}
+	}
+	pred := prcu.Singleton(1) // value predicate: no per-call allocation
+	bytes := int(unsafe.Sizeof(tnode{}))
+	freeAny := func(x any) { _ = x.(*tnode) }
+
+	i := 0
+	raw := testing.AllocsPerRun(runs, func() {
+		rec.Retire(nodes[i%len(nodes)], pred, bytes, freeAny)
+		i++
+	})
+	rec.Barrier()
+
+	ret := guard.NewRetirer(rec, 0, func(n *tnode) {})
+	i = 0
+	typed := testing.AllocsPerRun(runs, func() {
+		ret.Retire(pred, nodes[i%len(nodes)])
+		i++
+	})
+	rec.Barrier()
+
+	if typed > raw+0.5 {
+		t.Fatalf("typed Retire = %.3f allocs/op vs raw %.3f allocs/op: the typed path is boxing again", typed, raw)
+	}
+	t.Logf("allocs/op: raw=%.3f typed=%.3f", raw, typed)
+}

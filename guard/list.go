@@ -1,0 +1,80 @@
+package guard
+
+// List[T] composes a Guarded head and per-node Cell links into the
+// canonical RCU singly linked list: lock-free guarded traversal on the
+// read side, head pushes and unlinks on the updater side under the
+// caller's exclusion. The node type stays the caller's own struct; the
+// list reaches its link through the next accessor, so one node type
+// can participate in several lists.
+//
+// The zero List is not usable; construct with NewList.
+type List[T any] struct {
+	head Cell[T]
+	next func(*T) *Cell[T]
+}
+
+// NewList returns an empty list whose per-node link is reached by next
+// (typically func(n *node) *guard.Cell[node] { return &n.next }).
+func NewList[T any](next func(*T) *Cell[T]) *List[T] {
+	if next == nil {
+		panic("guard: NewList with nil link accessor")
+	}
+	return &List[T]{next: next}
+}
+
+// Head returns the first node inside the open section s witnesses.
+func (l *List[T]) Head(s *Scope) *T { return l.head.Load(s) }
+
+// Next returns the node linked after n inside the open section.
+func (l *List[T]) Next(s *Scope, n *T) *T { return l.next(n).Load(s) }
+
+// Find returns the first node for which match reports true, or nil.
+// match runs inside the section and must treat its argument as guarded:
+// copy values out, do not keep the pointer.
+func (l *List[T]) Find(s *Scope, match func(*T) bool) *T {
+	for n := l.head.Load(s); n != nil; n = l.next(n).Load(s) {
+		if match(n) {
+			return n
+		}
+	}
+	return nil
+}
+
+// Each invokes f on every node in order until f returns false. f runs
+// inside the section under the same guarded-argument rules as Find.
+func (l *List[T]) Each(s *Scope, f func(*T) bool) {
+	for n := l.head.Load(s); n != nil; n = l.next(n).Load(s) {
+		if !f(n) {
+			return
+		}
+	}
+}
+
+// HeadLocked returns the first node on the updater side; the caller
+// must hold the list's update exclusion.
+func (l *List[T]) HeadLocked() *T { return l.head.LoadLocked() }
+
+// NextLocked returns the node after n on the updater side.
+func (l *List[T]) NextLocked(n *T) *T { return l.next(n).LoadLocked() }
+
+// PushHead links n at the head. Updater-side: n must be fully
+// initialized (its link included) before the call publishes it, so the
+// list writes n's link itself and then publishes — readers observe the
+// insert atomically.
+func (l *List[T]) PushHead(n *T) {
+	l.next(n).Store(l.head.LoadLocked())
+	l.head.Store(n)
+}
+
+// Unlink removes n, which must currently follow prev (nil prev means n
+// is the head). n's own link is left intact so pre-existing readers
+// standing on n keep a valid path; the caller must Retire n before its
+// memory is reused.
+func (l *List[T]) Unlink(prev, n *T) {
+	succ := l.next(n).LoadLocked()
+	if prev == nil {
+		l.head.Store(succ)
+		return
+	}
+	l.next(prev).Store(succ)
+}

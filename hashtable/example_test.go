@@ -11,7 +11,7 @@ import (
 // contents and bucket structure survive.
 func Example() {
 	engine := prcu.NewD(prcu.Options{MaxReaders: 8})
-	m := hashtable.New(engine, 4)
+	m := hashtable.NewModulo(engine, 4)
 
 	for k := uint64(0); k < 16; k++ {
 		m.Insert(k, k*k)

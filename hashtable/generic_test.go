@@ -1,0 +1,115 @@
+package hashtable
+
+import (
+	"fmt"
+	"testing"
+
+	"prcu"
+)
+
+// TestGenericStringKeys drives the default maphash.Comparable hash with
+// a non-uint64 key type through the full lifecycle: insert, lookup via
+// handle, expansion (which re-buckets by the same hash), delete, and the
+// structural audit. Bucket placement is seed-dependent, so nothing here
+// may assume which bucket a key lands in.
+func TestGenericStringKeys(t *testing.T) {
+	r := prcu.NewPacked(prcu.Options{})
+	m := New[string, int](r, 8)
+	key := func(i int) string { return fmt.Sprintf("key-%04d", i) }
+
+	const n = 512
+	for i := 0; i < n; i++ {
+		if !m.Insert(key(i), i) {
+			t.Fatalf("Insert(%q) failed", key(i))
+		}
+	}
+	if m.Insert(key(0), 999) {
+		t.Fatal("duplicate Insert succeeded")
+	}
+	if m.Size() != n {
+		t.Fatalf("Size = %d, want %d", m.Size(), n)
+	}
+
+	h, err := m.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for i := 0; i < n; i++ {
+		if v, ok := h.Get(key(i)); !ok || v != i {
+			t.Fatalf("Get(%q) = %d,%v, want %d,true", key(i), v, ok, i)
+		}
+	}
+	if _, ok := h.Get("absent"); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+
+	// Expansion re-buckets under the same hash; every key must survive.
+	m.Expand()
+	m.Expand()
+	if got := m.Buckets(); got != 32 {
+		t.Fatalf("Buckets after two expansions = %d, want 32", got)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := h.Get(key(i)); !ok || v != i {
+			t.Fatalf("post-expand Get(%q) = %d,%v, want %d,true", key(i), v, ok, i)
+		}
+	}
+
+	for i := 0; i < n; i += 2 {
+		if !m.Delete(key(i)) {
+			t.Fatalf("Delete(%q) failed", key(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok := h.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("after deletes Contains(%q) = %v, want %v", key(i), ok, want)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenericStructKeys: composite comparable keys hash through
+// maphash.Comparable too — the table never requires an integer key.
+func TestGenericStructKeys(t *testing.T) {
+	type point struct {
+		X, Y int32
+		Tag  string
+	}
+	r := prcu.MustNew(prcu.FlavorD, prcu.Options{})
+	m := New[point, float64](r, 4)
+
+	const n = 128
+	for i := 0; i < n; i++ {
+		p := point{X: int32(i), Y: int32(-i), Tag: fmt.Sprint(i % 7)}
+		if !m.Insert(p, float64(i)) {
+			t.Fatalf("Insert(%+v) failed", p)
+		}
+	}
+	m.Expand()
+	for i := 0; i < n; i++ {
+		p := point{X: int32(i), Y: int32(-i), Tag: fmt.Sprint(i % 7)}
+		if v, ok := m.Get(p); !ok || v != float64(i) {
+			t.Fatalf("Get(%+v) = %v,%v, want %v,true", p, v, ok, float64(i))
+		}
+		// A near-miss key (same X,Y, different Tag) must not match.
+		if _, ok := m.Get(point{X: p.X, Y: p.Y, Tag: "other"}); ok {
+			t.Fatalf("near-miss key matched %+v", p)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := point{X: int32(i), Y: int32(-i), Tag: fmt.Sprint(i % 7)}
+		if !m.Delete(p) {
+			t.Fatalf("Delete(%+v) failed", p)
+		}
+	}
+	if m.Size() != 0 {
+		t.Fatalf("Size after full delete = %d", m.Size())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

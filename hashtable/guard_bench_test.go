@@ -1,0 +1,171 @@
+package hashtable
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"prcu"
+	"prcu/guard"
+)
+
+// rawNode mirrors hnode with bare atomics and no scope discipline — the
+// baseline BenchmarkGuardedRead measures the typed layer against.
+type rawNode struct {
+	key  uint64
+	val  uint64
+	next atomic.Pointer[rawNode]
+}
+
+// BenchmarkGuardedRead prices the typed guard layer on the read side
+// against raw Enter/Get/Exit, on the packed and URCU engines. The
+// headline pair is the canonical guarded read — Enter, one load through
+// the head cell, Exit — typed (guard.R/Scope/Cell) vs raw (bare reader,
+// atomic.Pointer); the acceptance budget for this PR is ≤1 ns/op of
+// typed overhead there. The walk8 pair scales the section to an 8-node
+// chain walk, showing how the Scope liveness branch prices per guarded
+// load, and tableGet runs the full generic Map lookup (hash, hint
+// validation, handle) for end-to-end context.
+func BenchmarkGuardedRead(b *testing.B) {
+	const chain = 8
+	const lastKey = chain - 1
+
+	for _, f := range []prcu.Flavor{prcu.FlavorPacked, prcu.FlavorURCU} {
+		r := prcu.MustNew(f, prcu.Options{})
+
+		// Typed chain: hnode links are guard.Cells, loads demand a Scope.
+		var theadCell guard.Cell[hnode[uint64, uint64]]
+		for k := uint64(chain); k > 0; k-- {
+			n := &hnode[uint64, uint64]{key: k - 1, val: (k - 1) * 10}
+			n.next.Store(theadCell.LoadLocked())
+			theadCell.Store(n)
+		}
+		// Raw chain: same shape, bare atomics.
+		var rhead atomic.Pointer[rawNode]
+		for k := uint64(chain); k > 0; k-- {
+			n := &rawNode{key: k - 1, val: (k - 1) * 10}
+			n.next.Store(rhead.Load())
+			rhead.Store(n)
+		}
+
+		b.Run(string(f)+"/typed", func(b *testing.B) {
+			rd, err := r.Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := guard.Wrap(rd)
+			defer g.Unregister()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := g.Enter(0)
+				n := theadCell.Load(s)
+				if n == nil {
+					b.Fatal("typed head load lost the chain")
+				}
+				g.Exit(s)
+			}
+		})
+
+		b.Run(string(f)+"/raw", func(b *testing.B) {
+			rd, err := r.Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rd.Unregister()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rd.Enter(0)
+				n := rhead.Load()
+				if n == nil {
+					b.Fatal("raw head load lost the chain")
+				}
+				rd.Exit(0)
+			}
+		})
+
+		b.Run(string(f)+"/typedWalk8", func(b *testing.B) {
+			rd, err := r.Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := guard.Wrap(rd)
+			defer g.Unregister()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := g.Enter(lastKey)
+				n := theadCell.Load(s)
+				for n != nil && n.key != lastKey {
+					n = n.next.Load(s)
+				}
+				if n == nil {
+					b.Fatal("typed walk lost the tail key")
+				}
+				g.Exit(s)
+			}
+		})
+
+		b.Run(string(f)+"/rawWalk8", func(b *testing.B) {
+			rd, err := r.Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rd.Unregister()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rd.Enter(lastKey)
+				n := rhead.Load()
+				for n != nil && n.key != lastKey {
+					n = n.next.Load()
+				}
+				if n == nil {
+					b.Fatal("raw walk lost the tail key")
+				}
+				rd.Exit(lastKey)
+			}
+		})
+
+		b.Run(string(f)+"/tableGet", func(b *testing.B) {
+			m := NewModulo(r, chain)
+			for k := uint64(0); k < chain; k++ {
+				m.Insert(k, k*10)
+			}
+			h, err := m.NewHandle()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := h.Get(lastKey); !ok {
+					b.Fatal("table lookup missed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecycleChurn is the update-side allocation profile with the
+// reclaimer attached: steady-state Delete+Insert of the same key, nodes
+// recycling through the typed Retirer into the insert pool. The retire
+// call itself adds no boxing allocations (see the guard package's
+// TestRetirerNoBoxingAllocs); what remains per op is the Delete's
+// predicate closure and the reclaimer's amortized queue bookkeeping.
+func BenchmarkRecycleChurn(b *testing.B) {
+	r := prcu.NewPacked(prcu.Options{})
+	m := NewModulo(r, 64)
+	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{Shards: 2, MaxPending: 8192})
+	m.SetReclaimer(rec)
+	for k := uint64(0); k < 64; k++ {
+		m.Insert(k, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 64)
+		m.Delete(k)
+		m.Insert(k, k)
+	}
+	b.StopTimer()
+	rec.Barrier()
+	b.ReportMetric(float64(m.Recycled())/float64(b.N), "recycled/op")
+	rec.Close()
+}

@@ -4,15 +4,27 @@
 // without locks, updates synchronize with per-bucket locks, and expansion
 // doubles the bucket array in place while lookups keep running.
 //
-// The table uses a modulo-table-size hash, so an expansion splits each old
-// bucket into exactly two new ones. Expand first points every new bucket at
-// the first node of the old chain that belongs to it (new buckets alias
-// into old chains, which is why lookups always compare keys), publishes the
-// new array, and then "unzips" each old chain — and it calls
-// WaitForReaders before every pointer change, since each change disconnects
-// the path some pre-existing traversal may still be relying on (the
-// paper's Figure 3 anomalies). With PRCU, each of those waits covers only
-// readers of the two affected buckets: P(x) = (x = b_old or x = b_new).
+// The table is generic over its key and value types. Keys hash to a
+// fixed 64-bit value per map (hash/maphash.Comparable under a per-map
+// seed by default, any caller-supplied hash via NewWithHash, or the
+// paper's modulo-table-size identity hash for uint64 keys via
+// NewModulo), and a bucket is the hash masked to the table size — so an
+// expansion still splits each old bucket into exactly two new ones.
+// Expand first points every new bucket at the first node of the old
+// chain that belongs to it (new buckets alias into old chains, which is
+// why lookups always compare keys), publishes the new array, and then
+// "unzips" each old chain — and it calls WaitForReaders before every
+// pointer change, since each change disconnects the path some
+// pre-existing traversal may still be relying on (the paper's Figure 3
+// anomalies). With PRCU, each of those waits covers only readers of the
+// two affected buckets: P(x) = (x = b_old or x = b_new).
+//
+// All traversal runs on the typed guard layer: chain links are
+// guard.Cell, the current table generation is a guard.Guarded, and
+// read-side loads demand the lookup's open guard.Scope — so a lookup
+// that leaks a node pointer out of its critical section no longer
+// type-checks against the raw atomics, and cmd/prcuvet flags the
+// escapes Go's types cannot rule out.
 //
 // As in Triplett et al., updates are prevented during expansion; they spin
 // until it completes.
@@ -20,31 +32,33 @@ package hashtable
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
 	"prcu"
+	"prcu/guard"
 	"prcu/internal/spin"
 )
 
-// hnode is a chain node; key is immutable, next is traversed by lock-free
-// readers and so is atomic.
-type hnode struct {
-	key   uint64
-	value atomic.Uint64
-	next  atomic.Pointer[hnode]
+// hnode is a chain node; key and val are immutable while the node is
+// reachable, and next is a guarded link traversed by lock-free readers.
+type hnode[K comparable, V any] struct {
+	key  K
+	val  V
+	next guard.Cell[hnode[K, V]]
 }
 
 // table is one immutable-size generation of the bucket array.
-type table struct {
-	heads []atomic.Pointer[hnode]
+type table[K comparable, V any] struct {
+	heads []guard.Cell[hnode[K, V]]
 	locks []sync.Mutex
 	mask  uint64
 }
 
-func newTable(buckets int) *table {
-	return &table{
-		heads: make([]atomic.Pointer[hnode], buckets),
+func newTable[K comparable, V any](buckets int) *table[K, V] {
+	return &table[K, V]{
+		heads: make([]guard.Cell[hnode[K, V]], buckets),
 		locks: make([]sync.Mutex, buckets),
 		mask:  uint64(buckets - 1),
 	}
@@ -52,10 +66,16 @@ func newTable(buckets int) *table {
 
 // Map is the resizable hash table. Lookups go through per-goroutine
 // Handles; Insert, Delete and Expand may be called from any goroutine.
-type Map struct {
+type Map[K comparable, V any] struct {
 	rcu  prcu.RCU
 	pool *prcu.ReaderPool
-	tbl  atomic.Pointer[table]
+	hash func(K) uint64
+	// tbl is the current generation, RCU-published: readers reach it only
+	// inside their lookup scope. maskHint mirrors the current mask so a
+	// lookup can pick its PRCU domain value before entering the section;
+	// a stale hint is detected inside the section and retried.
+	tbl      guard.Guarded[table[K, V]]
+	maskHint atomic.Uint64
 	// resizeMu serializes expansions; expanding blocks updates while one
 	// is in flight.
 	resizeMu  sync.Mutex
@@ -65,15 +85,12 @@ type Map struct {
 	// the benchmark harness and tests).
 	waits atomic.Int64
 
-	// rec, when set, recycles deleted nodes through nodePool after a
+	// ret, when set, recycles deleted nodes through nodePool after a
 	// covering grace period; see SetReclaimer.
-	rec      *prcu.Reclaimer
+	ret      *guard.Retirer[hnode[K, V]]
 	nodePool sync.Pool
 	recycled atomic.Uint64
 }
-
-// hnodeBytes is the backlog byte declaration for one retired chain node.
-const hnodeBytes = 48
 
 // SetReclaimer enables deferred node recycling. Without it, Delete
 // simply unlinks and lets Go's GC reclaim the node once readers quiesce
@@ -85,42 +102,55 @@ const hnodeBytes = 48
 // never happen while a reader can still reach it — the grace period is
 // what licenses it.
 //
+// The retire path is typed end-to-end: a guard.Retirer[hnode[K,V]]
+// binds the recycle callback once, declares the node's byte footprint
+// from unsafe.Sizeof, and never round-trips the node through a
+// hand-written any assertion. (Out-of-line memory owned by K or V —
+// string bodies, slices — is invisible to Sizeof and is not declared.)
+//
 // Call before the map is shared; do not close rec while updaters are
 // active (Retire on a closed reclaimer panics). If rec shuts down with
 // retirements unresolved, those nodes are simply not recycled — the GC
 // takes them, nothing leaks and no reader is harmed.
-func (m *Map) SetReclaimer(rec *prcu.Reclaimer) { m.rec = rec }
+func (m *Map[K, V]) SetReclaimer(rec *prcu.Reclaimer) {
+	if rec == nil {
+		m.ret = nil
+		return
+	}
+	m.ret = guard.NewRetirer(rec, 0, m.recycleNode)
+}
 
 // Recycled returns how many deleted nodes completed their grace period
 // and re-entered the insert pool.
-func (m *Map) Recycled() uint64 { return m.recycled.Load() }
+func (m *Map[K, V]) Recycled() uint64 { return m.recycled.Load() }
 
 // recycleNode runs after the retirement's grace period: no reader can
 // reach n anymore, so scrubbing and pooling it is safe.
-func (m *Map) recycleNode(v any) {
-	n := v.(*hnode)
-	n.key = 0
-	n.value.Store(0)
+func (m *Map[K, V]) recycleNode(n *hnode[K, V]) {
+	var zk K
+	var zv V
+	n.key = zk
+	n.val = zv
 	n.next.Store(nil)
 	m.recycled.Add(1)
 	m.nodePool.Put(n)
 }
 
 // retirePredicate covers every PRCU value a reader still able to reach a
-// node with key k may have annotated its section with. Readers annotate
-// with a bucket index of the table generation they entered under, and
-// generations only ever double, so across generations k's bucket is
-// k & m for the nested masks m, mask ≥ m ≥ 0. Readers of *other*
-// buckets can transiently traverse k's node mid-expansion (chains alias
-// until unzipped), but every unzip cut is preceded by a wait covering
-// both affected buckets and updates are excluded while expansion runs,
-// so by the time a Delete can retire the node those readers are done.
-// Over-covering the handful of nested reductions is the cheap, safe
-// remainder.
-func retirePredicate(k, mask uint64) prcu.Predicate {
+// node hashing to hk may have annotated its section with. Readers
+// annotate with a bucket index of the table generation they entered
+// under, and generations only ever double, so across generations the
+// node's bucket is hk & m for the nested masks m, mask ≥ m ≥ 0. Readers
+// of *other* buckets can transiently traverse the node mid-expansion
+// (chains alias until unzipped), but every unzip cut is preceded by a
+// wait covering both affected buckets and updates are excluded while
+// expansion runs, so by the time a Delete can retire the node those
+// readers are done. Over-covering the handful of nested reductions is
+// the cheap, safe remainder.
+func retirePredicate(hk, mask uint64) prcu.Predicate {
 	return prcu.Func(func(v prcu.Value) bool {
 		for m := mask; ; m >>= 1 {
-			if v == k&m {
+			if v == hk&m {
 				return true
 			}
 			if m == 0 {
@@ -130,101 +160,142 @@ func retirePredicate(k, mask uint64) prcu.Predicate {
 	})
 }
 
-// New returns a table with the given initial bucket count (a power of
-// two), synchronized by r.
-func New(r prcu.RCU, initialBuckets int) *Map {
+func checkBuckets(initialBuckets int) {
 	if initialBuckets < 1 || initialBuckets&(initialBuckets-1) != 0 {
 		panic(fmt.Sprintf("hashtable: bucket count must be a power of two, got %d", initialBuckets))
 	}
-	m := &Map{rcu: r, pool: prcu.NewReaderPool(r)}
-	m.tbl.Store(newTable(initialBuckets))
+}
+
+// New returns a table with the given initial bucket count (a power of
+// two), synchronized by r. Keys are hashed with hash/maphash.Comparable
+// under a seed drawn per map, so bucket placement is collision-resistant
+// but not reproducible across runs; use NewModulo for the paper's
+// deterministic uint64 table or NewWithHash to supply your own hash.
+func New[K comparable, V any](r prcu.RCU, initialBuckets int) *Map[K, V] {
+	seed := maphash.MakeSeed()
+	return NewWithHash[K, V](r, initialBuckets, func(k K) uint64 {
+		return maphash.Comparable(seed, k)
+	})
+}
+
+// NewWithHash is New with a caller-supplied key hash. The hash must be
+// fixed per key for the lifetime of the map; quality only affects chain
+// balance, never correctness.
+func NewWithHash[K comparable, V any](r prcu.RCU, initialBuckets int, hash func(K) uint64) *Map[K, V] {
+	checkBuckets(initialBuckets)
+	if hash == nil {
+		panic("hashtable: NewWithHash with nil hash")
+	}
+	m := &Map[K, V]{rcu: r, pool: prcu.NewReaderPool(r), hash: hash}
+	t := newTable[K, V](initialBuckets)
+	m.tbl.Publish(t)
+	m.maskHint.Store(t.mask)
 	return m
 }
 
+// NewModulo returns the paper's evaluation table: uint64 keys placed by
+// the modulo-table-size identity hash, so key k lives in bucket
+// k mod buckets and expansion behavior is exactly §5.1's.
+func NewModulo(r prcu.RCU, initialBuckets int) *Map[uint64, uint64] {
+	return NewWithHash[uint64, uint64](r, initialBuckets, func(k uint64) uint64 { return k })
+}
+
 // Buckets returns the current bucket count.
-func (m *Map) Buckets() int { return len(m.tbl.Load().heads) }
+func (m *Map[K, V]) Buckets() int { return len(m.tbl.LoadLocked().heads) }
 
 // Size returns the number of keys (exact at rest, approximate under
 // concurrent updates).
-func (m *Map) Size() int { return int(m.size.Load()) }
+func (m *Map[K, V]) Size() int { return int(m.size.Load()) }
 
 // LoadFactor returns Size divided by Buckets.
-func (m *Map) LoadFactor() float64 { return float64(m.Size()) / float64(m.Buckets()) }
+func (m *Map[K, V]) LoadFactor() float64 { return float64(m.Size()) / float64(m.Buckets()) }
 
 // ExpansionWaits returns the cumulative number of WaitForReaders calls
 // issued by Expand — the quantity Figure 9's latency is made of.
-func (m *Map) ExpansionWaits() int64 { return m.waits.Load() }
+func (m *Map[K, V]) ExpansionWaits() int64 { return m.waits.Load() }
 
-// Handle is one goroutine's lookup context, wrapping its reader slot.
+// Handle is one goroutine's lookup context, wrapping its typed reader.
 // A Handle must not be used concurrently.
-type Handle struct {
-	m  *Map
-	rd prcu.Reader
+type Handle[K comparable, V any] struct {
+	m *Map[K, V]
+	g *guard.R
 }
 
 // NewHandle registers a pinned reader slot for lookups. Registration only
 // fails when the engine was built with a reader cap; prefer Handle for
 // ephemeral goroutines.
-func (m *Map) NewHandle() (*Handle, error) {
+func (m *Map[K, V]) NewHandle() (*Handle[K, V], error) {
 	rd, err := m.rcu.Register()
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{m: m, rd: rd}, nil
+	return &Handle[K, V]{m: m, g: guard.Wrap(rd)}, nil
 }
 
 // Handle borrows a pooled reader and returns a handle around it — the
 // infallible choice for goroutines that come and go. Close returns the
 // reader to the pool for the next borrower.
-func (m *Map) Handle() *Handle {
-	return &Handle{m: m, rd: m.pool.Get()}
+func (m *Map[K, V]) Handle() *Handle[K, V] {
+	return &Handle[K, V]{m: m, g: guard.Wrap(m.pool.Get())}
 }
 
 // Close releases the handle's reader: a pinned reader's slot is freed, a
 // pooled reader goes back to the pool.
-func (h *Handle) Close() {
-	h.rd.Unregister()
-	h.rd = nil
+func (h *Handle[K, V]) Close() {
+	h.g.Unregister()
+	h.g = nil
 }
 
 // Get returns the value stored under k. The read-side critical section's
-// PRCU value is the bucket index in the table generation being traversed;
-// if the table is swapped between computing the value and entering the
-// section, the lookup re-enters under the new generation, so an expansion
-// that published a new table always covers us through one of its bucket
-// predicates.
-// The traversal runs under Reader.Do, so a panic (a corrupted chain, a
-// bug in node state) re-raises with the critical section closed instead
-// of wedging every future covering grace period.
-func (h *Handle) Get(k uint64) (val uint64, ok bool) {
+// PRCU value is the key's bucket index in the table generation being
+// traversed; the bucket is picked from the mask hint before entering
+// and re-validated against the generation loaded inside the section, so
+// an expansion that published a new table always covers the lookup
+// through one of its bucket predicates. Every chain load demands the
+// section's Scope, and the section is closed even if the traversal
+// panics (an incomparable dynamic key type, a corrupted chain), so a
+// failing lookup can never wedge future covering grace periods.
+func (h *Handle[K, V]) Get(k K) (val V, ok bool) {
 	m := h.m
+	hk := m.hash(k)
 	for {
-		t := m.tbl.Load()
-		v := prcu.Value(k & t.mask)
-		retry := false
-		h.rd.Do(v, func() {
-			if m.tbl.Load() != t {
-				retry = true
-				return
-			}
-			// Chains may alias other buckets' nodes mid-expansion, so match
-			// on the key, never on position.
-			n := t.heads[k&t.mask].Load()
-			for n != nil && n.key != k {
-				n = n.next.Load()
-			}
-			if n != nil {
-				val, ok = n.value.Load(), true
-			}
-		})
+		var retry bool
+		val, ok, retry = m.lookup(h.g, hk, k)
 		if !retry {
 			return val, ok
 		}
 	}
 }
 
+// lookup is one guarded traversal attempt: it enters on the hinted
+// bucket, validates the hint against the generation read inside the
+// section, and walks the chain. retry means the hint was stale and the
+// attempt saw a newer generation.
+func (m *Map[K, V]) lookup(g *guard.R, hk uint64, k K) (val V, ok, retry bool) {
+	v := prcu.Value(hk & m.maskHint.Load())
+	s := g.Enter(v)
+	defer g.Exit(s)
+	t := m.tbl.Load(s)
+	if hk&t.mask != uint64(v) {
+		// The table was swapped after the hint was read; re-enter under
+		// the new generation's bucket so its split predicates cover us.
+		m.maskHint.Store(t.mask)
+		return val, false, true
+	}
+	// Chains may alias other buckets' nodes mid-expansion, so match
+	// on the key, never on position.
+	n := t.heads[uint64(v)].Load(s)
+	for n != nil && n.key != k {
+		n = n.next.Load(s)
+	}
+	if n != nil {
+		val, ok = n.val, true
+	}
+	return val, ok, false
+}
+
 // Contains reports whether k is present.
-func (h *Handle) Contains(k uint64) bool {
+func (h *Handle[K, V]) Contains(k K) bool {
 	_, ok := h.Get(k)
 	return ok
 }
@@ -233,32 +304,33 @@ func (h *Handle) Contains(k uint64) bool {
 // lookup. Hot loops should hold a Handle instead and amortize the borrow.
 // The borrow is returned even if the lookup panics, so a failed lookup
 // never leaks a pooled reader slot.
-func (m *Map) Get(k uint64) (uint64, bool) {
-	h := Handle{m: m, rd: m.pool.Get()}
-	defer m.pool.Put(h.rd)
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	rd := m.pool.Get()
+	defer m.pool.Put(rd)
+	h := Handle[K, V]{m: m, g: guard.Wrap(rd)}
 	return h.Get(k)
 }
 
 // Contains is the one-shot membership test; see Get.
-func (m *Map) Contains(k uint64) bool {
+func (m *Map[K, V]) Contains(k K) bool {
 	_, ok := m.Get(k)
 	return ok
 }
 
-// lockBucket acquires the bucket lock for k in the current table, retrying
-// across expansions; it returns with the lock held, expansion quiescent,
-// and the table current.
-func (m *Map) lockBucket(k uint64) (*table, uint64) {
+// lockBucket acquires the bucket lock for hash hk in the current table,
+// retrying across expansions; it returns with the lock held, expansion
+// quiescent, and the table current.
+func (m *Map[K, V]) lockBucket(hk uint64) (*table[K, V], uint64) {
 	var w spin.Waiter
 	for {
 		if m.expanding.Load() {
 			w.Wait()
 			continue
 		}
-		t := m.tbl.Load()
-		b := k & t.mask
+		t := m.tbl.LoadLocked()
+		b := hk & t.mask
 		t.locks[b].Lock()
-		if !m.expanding.Load() && m.tbl.Load() == t {
+		if !m.expanding.Load() && m.tbl.LoadLocked() == t {
 			return t, b
 		}
 		t.locks[b].Unlock()
@@ -269,21 +341,22 @@ func (m *Map) lockBucket(k uint64) (*table, uint64) {
 // Insert adds k with value val, returning false if k is already present.
 // Inserts push at the chain head, so lock-free readers observe them
 // atomically.
-func (m *Map) Insert(k, val uint64) bool {
-	t, b := m.lockBucket(k)
+func (m *Map[K, V]) Insert(k K, val V) bool {
+	hk := m.hash(k)
+	t, b := m.lockBucket(hk)
 	defer t.locks[b].Unlock()
-	head := t.heads[b].Load()
-	for n := head; n != nil; n = n.next.Load() {
+	head := t.heads[b].LoadLocked()
+	for n := head; n != nil; n = n.next.LoadLocked() {
 		if n.key == k {
 			return false
 		}
 	}
-	n, _ := m.nodePool.Get().(*hnode)
+	n, _ := m.nodePool.Get().(*hnode[K, V])
 	if n == nil {
-		n = &hnode{}
+		n = &hnode[K, V]{}
 	}
 	n.key = k
-	n.value.Store(val)
+	n.val = val
 	n.next.Store(head)
 	t.heads[b].Store(n)
 	m.size.Add(1)
@@ -296,28 +369,29 @@ func (m *Map) Insert(k, val uint64) bool {
 // where reclamation would be deferred to a grace period; Go's GC plays
 // that role by default, or the attached Reclaimer recycles the node
 // after its grace period when SetReclaimer was called).
-func (m *Map) Delete(k uint64) bool {
-	t, b := m.lockBucket(k)
+func (m *Map[K, V]) Delete(k K) bool {
+	hk := m.hash(k)
+	t, b := m.lockBucket(hk)
 	defer t.locks[b].Unlock()
-	var prev *hnode
-	n := t.heads[b].Load()
+	var prev *hnode[K, V]
+	n := t.heads[b].LoadLocked()
 	for n != nil && n.key != k {
-		prev, n = n, n.next.Load()
+		prev, n = n, n.next.LoadLocked()
 	}
 	if n == nil {
 		return false
 	}
 	if prev == nil {
-		t.heads[b].Store(n.next.Load())
+		t.heads[b].Store(n.next.LoadLocked())
 	} else {
-		prev.next.Store(n.next.Load())
+		prev.next.Store(n.next.LoadLocked())
 	}
 	m.size.Add(-1)
 	// The node's next pointer is left intact for readers still on it; with
 	// a reclaimer attached it re-enters the insert pool once a grace
 	// period covering every such reader completes.
-	if rec := m.rec; rec != nil {
-		rec.Retire(n, retirePredicate(k, t.mask), hnodeBytes, m.recycleNode)
+	if ret := m.ret; ret != nil {
+		ret.Retire(retirePredicate(hk, t.mask), n)
 	}
 	return true
 }
@@ -332,11 +406,11 @@ func splitPredicate(b, oldSize uint64) prcu.Predicate {
 // Expand doubles the bucket array while lookups proceed concurrently.
 // Updates are blocked for its duration. Safe to call from one goroutine at
 // a time per table; concurrent calls serialize.
-func (m *Map) Expand() {
+func (m *Map[K, V]) Expand() {
 	m.resizeMu.Lock()
 	defer m.resizeMu.Unlock()
 
-	old := m.tbl.Load()
+	old := m.tbl.LoadLocked()
 	oldSize := uint64(len(old.heads))
 
 	// Stop updates: raise the flag, then drain in-flight holders of every
@@ -351,16 +425,17 @@ func (m *Map) Expand() {
 
 	// Build the new array: each new bucket points at the first node of its
 	// old chain that belongs to it (Figure 3a).
-	nt := newTable(int(oldSize * 2))
+	nt := newTable[K, V](int(oldSize * 2))
 	for b := uint64(0); b < oldSize; b++ {
-		for n := old.heads[b].Load(); n != nil; n = n.next.Load() {
-			d := n.key & nt.mask
-			if nt.heads[d].Load() == nil {
+		for n := old.heads[b].LoadLocked(); n != nil; n = n.next.LoadLocked() {
+			d := m.hash(n.key) & nt.mask
+			if nt.heads[d].LoadLocked() == nil {
 				nt.heads[d].Store(n)
 			}
 		}
 	}
-	m.tbl.Store(nt)
+	m.tbl.Publish(nt)
+	m.maskHint.Store(nt.mask)
 
 	// Unzip every old chain (Figure 3b–3d).
 	for b := uint64(0); b < oldSize; b++ {
@@ -371,16 +446,16 @@ func (m *Map) Expand() {
 // unzip separates old bucket b's chain into the two new chains, calling
 // WaitForReaders before every pointer change so no traversal that might
 // still rely on the old link can be stranded.
-func (m *Map) unzip(old, nt *table, b, oldSize uint64) {
+func (m *Map[K, V]) unzip(old, nt *table[K, V], b, oldSize uint64) {
 	pred := splitPredicate(b, oldSize)
-	cur := old.heads[b].Load()
+	cur := old.heads[b].LoadLocked()
 	for cur != nil {
-		d := cur.key & nt.mask
+		d := m.hash(cur.key) & nt.mask
 		// Advance to the end of the current run of destination d.
-		next := cur.next.Load()
-		for next != nil && next.key&nt.mask == d {
+		next := cur.next.LoadLocked()
+		for next != nil && m.hash(next.key)&nt.mask == d {
 			cur = next
-			next = cur.next.Load()
+			next = cur.next.LoadLocked()
 		}
 		if next == nil {
 			return // fully split
@@ -388,8 +463,8 @@ func (m *Map) unzip(old, nt *table, b, oldSize uint64) {
 		// next begins a run of the other destination; find the first
 		// node after it that belongs to d again.
 		q := next
-		for q != nil && q.key&nt.mask != d {
-			q = q.next.Load()
+		for q != nil && m.hash(q.key)&nt.mask != d {
+			q = q.next.LoadLocked()
 		}
 		// Pre-existing readers of bucket d may be traversing the foreign
 		// run to reach their nodes beyond it; let them finish before

@@ -12,7 +12,7 @@ import (
 // insert pool once their grace period completes.
 func TestReclaimRecyclesNodes(t *testing.T) {
 	r := prcu.MustNew(prcu.FlavorD, prcu.Options{})
-	m := New(r, 64)
+	m := NewModulo(r, 64)
 	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{Shards: 1})
 	m.SetReclaimer(rec)
 
@@ -49,7 +49,7 @@ func TestReclaimRecyclesNodes(t *testing.T) {
 // churn crosses an expansion to exercise the multi-generation predicate.
 func TestReclaimChurnWithReadersAndExpansion(t *testing.T) {
 	r := prcu.MustNew(prcu.FlavorD, prcu.Options{})
-	m := New(r, 16)
+	m := NewModulo(r, 16)
 	rec := prcu.NewReclaimer(r, prcu.ReclaimConfig{
 		Shards:     2,
 		MaxPending: 128,

@@ -11,19 +11,19 @@ import (
 	"prcu"
 )
 
-func mapVariants(maxReaders, buckets int) map[string]func() *Map {
-	return map[string]func() *Map{
-		"EER":  func() *Map { return New(prcu.NewEER(prcu.Options{MaxReaders: maxReaders}), buckets) },
-		"D":    func() *Map { return New(prcu.NewD(prcu.Options{MaxReaders: maxReaders}), buckets) },
-		"DEER": func() *Map { return New(prcu.NewDEER(prcu.Options{MaxReaders: maxReaders}), buckets) },
-		"Time": func() *Map { return New(prcu.NewTimeRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
-		"URCU": func() *Map { return New(prcu.NewURCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
-		"Tree": func() *Map { return New(prcu.NewTreeRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
-		"Dist": func() *Map { return New(prcu.NewDistRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
+func mapVariants(maxReaders, buckets int) map[string]func() *Map[uint64, uint64] {
+	return map[string]func() *Map[uint64, uint64]{
+		"EER":  func() *Map[uint64, uint64] { return NewModulo(prcu.NewEER(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"D":    func() *Map[uint64, uint64] { return NewModulo(prcu.NewD(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"DEER": func() *Map[uint64, uint64] { return NewModulo(prcu.NewDEER(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"Time": func() *Map[uint64, uint64] { return NewModulo(prcu.NewTimeRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"URCU": func() *Map[uint64, uint64] { return NewModulo(prcu.NewURCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"Tree": func() *Map[uint64, uint64] { return NewModulo(prcu.NewTreeRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
+		"Dist": func() *Map[uint64, uint64] { return NewModulo(prcu.NewDistRCU(prcu.Options{MaxReaders: maxReaders}), buckets) },
 	}
 }
 
-func mustHandle(t *testing.T, m *Map) *Handle {
+func mustHandle(t *testing.T, m *Map[uint64, uint64]) *Handle[uint64, uint64] {
 	t.Helper()
 	h, err := m.NewHandle()
 	if err != nil {
@@ -38,7 +38,7 @@ func TestBucketCountValidation(t *testing.T) {
 			t.Fatal("non-power-of-two bucket count must panic")
 		}
 	}()
-	New(prcu.NewEER(prcu.Options{MaxReaders: 2}), 12)
+	NewModulo(prcu.NewEER(prcu.Options{MaxReaders: 2}), 12)
 }
 
 func TestBasicOperations(t *testing.T) {
@@ -112,7 +112,7 @@ func TestExpandPreservesContents(t *testing.T) {
 }
 
 func TestLoadFactor(t *testing.T) {
-	m := New(prcu.NewEER(prcu.Options{MaxReaders: 2}), 8)
+	m := NewModulo(prcu.NewEER(prcu.Options{MaxReaders: 2}), 8)
 	for k := uint64(0); k < 16; k++ {
 		m.Insert(k, k)
 	}
@@ -126,7 +126,7 @@ func TestLoadFactor(t *testing.T) {
 }
 
 func TestSequentialAgainstModel(t *testing.T) {
-	m := New(prcu.NewD(prcu.Options{MaxReaders: 4}), 8)
+	m := NewModulo(prcu.NewD(prcu.Options{MaxReaders: 4}), 8)
 	h := mustHandle(t, m)
 	defer h.Close()
 	model := map[uint64]uint64{}
@@ -169,7 +169,7 @@ func TestSequentialAgainstModel(t *testing.T) {
 }
 
 func TestQuickInsertDeleteSet(t *testing.T) {
-	m := New(prcu.NewDEER(prcu.Options{MaxReaders: 4}), 16)
+	m := NewModulo(prcu.NewDEER(prcu.Options{MaxReaders: 4}), 16)
 	h, err := m.NewHandle()
 	if err != nil {
 		t.Fatal(err)
@@ -257,7 +257,7 @@ func TestLookupsDuringExpansion(t *testing.T) {
 // TestUpdatesBlockedDuringExpansion verifies updates wait out an expansion
 // and then land correctly.
 func TestUpdatesBlockedDuringExpansion(t *testing.T) {
-	m := New(prcu.NewTimeRCU(prcu.Options{MaxReaders: 8}), 4)
+	m := NewModulo(prcu.NewTimeRCU(prcu.Options{MaxReaders: 8}), 4)
 	for k := uint64(0); k < 200; k++ {
 		m.Insert(k, k)
 	}
@@ -357,7 +357,7 @@ func TestConcurrentUpdatesAndLookups(t *testing.T) {
 }
 
 func TestHandleExhaustion(t *testing.T) {
-	m := New(prcu.NewEER(prcu.Options{MaxReaders: 1}), 4)
+	m := NewModulo(prcu.NewEER(prcu.Options{MaxReaders: 1}), 4)
 	h := mustHandle(t, m)
 	if _, err := m.NewHandle(); err == nil {
 		t.Fatal("expected handle exhaustion")

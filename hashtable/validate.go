@@ -6,19 +6,19 @@ import "fmt"
 // node lives in the bucket its key hashes to, no key appears twice, every
 // chain terminates, and the reachable count matches Size. Like the citrus
 // validator it takes no locks and must not race with operations.
-func (m *Map) Validate() error {
-	t := m.tbl.Load()
-	seen := make(map[uint64]bool, m.Size())
+func (m *Map[K, V]) Validate() error {
+	t := m.tbl.LoadLocked()
+	seen := make(map[K]bool, m.Size())
 	count := 0
 	for b := range t.heads {
 		steps := 0
-		for n := t.heads[b].Load(); n != nil; n = n.next.Load() {
-			if n.key&t.mask != uint64(b) {
-				return fmt.Errorf("hashtable: key %d found in bucket %d, belongs in %d",
-					n.key, b, n.key&t.mask)
+		for n := t.heads[b].LoadLocked(); n != nil; n = n.next.LoadLocked() {
+			if m.hash(n.key)&t.mask != uint64(b) {
+				return fmt.Errorf("hashtable: key %v found in bucket %d, belongs in %d",
+					n.key, b, m.hash(n.key)&t.mask)
 			}
 			if seen[n.key] {
-				return fmt.Errorf("hashtable: key %d reachable twice", n.key)
+				return fmt.Errorf("hashtable: key %v reachable twice", n.key)
 			}
 			seen[n.key] = true
 			count++

@@ -21,7 +21,7 @@ import (
 func TestSharedEngineAcrossStructures(t *testing.T) {
 	r := prcu.NewD(prcu.Options{MaxReaders: 32})
 	tree := citrus.New(r, citrus.CompressedDomain(64))
-	table := hashtable.New(r, 16)
+	table := hashtable.NewModulo(r, 16)
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -215,7 +215,7 @@ func TestEveryEngineDrivesBothApplications(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			table := hashtable.New(r, 8)
+			table := hashtable.NewModulo(r, 8)
 			hh, err := table.NewHandle()
 			if err != nil {
 				t.Fatal(err)

@@ -65,7 +65,7 @@ func fig1Point(cfg Config, threads int) (opNs, waitNs float64, err error) {
 	keyRange := elements * 2
 
 	r := prcu.NewTimeRCU(cfg.options())
-	m := hashtable.New(r, buckets)
+	m := hashtable.NewModulo(r, buckets)
 	seed := workload.NewRNG(1)
 	for n := uint64(0); n < elements; {
 		if m.Insert(seed.Intn(keyRange), 0) {

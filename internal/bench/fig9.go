@@ -98,7 +98,7 @@ func fig9Point(cfg Config, e Engine, readers int) (throughput, latencyNs float64
 	keyRange := elements * 2
 
 	r := e.New()
-	m := hashtable.New(r, buckets)
+	m := hashtable.NewModulo(r, buckets)
 	seed := workload.NewRNG(3)
 	for n := uint64(0); n < elements; {
 		if m.Insert(seed.Intn(keyRange), 0) {

@@ -58,7 +58,7 @@ func TestUseAfterUnregisterPanics(t *testing.T) {
 			rd.Enter(1)
 			rd.Exit(1)
 			rd.Unregister()
-			mustPanicContaining(t, "after Unregister", func() { rd.Enter(2) })
+			mustPanicContaining(t, "after Unregister", func() { rd.Enter(2) }) //prcuvet:ignore — Enter must panic, no section opens
 			mustPanicContaining(t, "after Unregister", func() { rd.Exit(2) })
 		})
 	}

@@ -1,0 +1,228 @@
+// Package vet implements prcuvet, a static checker for misuse of the PRCU
+// typed guard API that the type system alone cannot rule out. It is a
+// self-contained miniature of the go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) built only on the standard library's go/ast, go/types and
+// go/importer, so the repository stays dependency-free.
+//
+// Three analyzers ship today:
+//
+//   - enterexit: a guard.R.Enter (or raw Reader.Enter) with no matching
+//     Exit anywhere in the same function wedges every future covering
+//     grace period.
+//   - guardescape: a pointer loaded through a *guard.Scope that outlives
+//     the scope — used after Exit, assigned to a variable captured from
+//     outside a Read closure, or sent on a channel — defeats the guard.
+//     guard.Escape is the audited hatch that silences the check.
+//   - retireunlink: a value passed to Retire/Retirer.Retire with no
+//     unlink/store between its definition and the retirement is likely
+//     still reachable; readers entering after the grace period would
+//     touch freed memory.
+//
+// The guard package itself is exempt from enterexit and guardescape: it
+// is the implementation being guarded, not a client.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col printing.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns every prcuvet check, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{EnterExitAnalyzer, GuardEscapeAnalyzer, RetireUnlinkAnalyzer}
+}
+
+// RunAnalyzers applies every analyzer to one type-checked package and
+// returns the findings sorted by position. A finding on a line carrying
+// (or directly following) a `//prcuvet:ignore` comment is suppressed —
+// the escape hatch for deliberate-misuse tests and audited exceptions.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, analyzer: a, diags: &diags}
+		a.Run(pass)
+	}
+	diags = suppressIgnored(fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// suppressIgnored drops findings covered by a //prcuvet:ignore comment on
+// the same line or the line immediately above.
+func suppressIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	ignored := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "prcuvet:ignore") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ignored[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					ignored[pos.Filename] = lines
+				}
+				lines[pos.Line] = true   // same-line trailing comment
+				lines[pos.Line+1] = true // comment above the statement
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignored[d.Pos.Filename][d.Pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// --- shared type predicates -------------------------------------------------
+
+const guardPath = "prcu/guard"
+
+// isGuardScopePtr reports whether t is *guard.Scope. Aliases are
+// resolved first: the public surface spells the type *prcu.Scope
+// (`type Scope = guard.Scope`), which materializes as *types.Alias,
+// and an explicitly annotated closure parameter carries that alias.
+func isGuardScopePtr(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Scope" && obj.Pkg() != nil && obj.Pkg().Path() == guardPath
+}
+
+// funcObj resolves the called function/method object of a call, or nil.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[f].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := info.Uses[f.Sel].(*types.Func)
+		return obj
+	case *ast.IndexExpr: // instantiated generic: guard.Escape[T](...)
+		return funcObj(info, &ast.CallExpr{Fun: f.X})
+	case *ast.IndexListExpr:
+		return funcObj(info, &ast.CallExpr{Fun: f.X})
+	}
+	return nil
+}
+
+// isGuardFunc reports whether obj is the named function or method from the
+// guard package (methods match on their receiver's package).
+func isGuardFunc(obj *types.Func, name string) bool {
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == guardPath
+}
+
+// isEscapeFunc matches the audited escape hatch under either of its names:
+// guard.Escape or the prcu.GuardEscape re-export wrapper.
+func isEscapeFunc(obj *types.Func) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case guardPath, "prcu":
+	default:
+		return false
+	}
+	return obj.Name() == "Escape" || obj.Name() == "GuardEscape"
+}
+
+// isReaderEnterExit reports whether obj is Enter or Exit from the guard
+// layer or the raw core Reader interface (the prcu re-exports resolve to
+// these same objects).
+func isReaderEnterExit(obj *types.Func, name string) bool {
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case guardPath, "prcu/internal/core", "prcu":
+		return true
+	}
+	return false
+}
+
+// baseIdent returns the root identifier of a chain like g, h.g, t.pool.x —
+// used to correlate Enter and Exit receivers textually.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return x.Sel // correlate on the innermost field name
+		default:
+			return nil
+		}
+	}
+}
+
+// recvString renders a receiver chain (g, h.g) for diagnostics.
+func recvString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return recvString(x.X) + "." + x.Sel.Name
+	default:
+		return "receiver"
+	}
+}

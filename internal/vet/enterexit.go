@@ -1,0 +1,179 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EnterExitAnalyzer flags read-side sections that are opened and never
+// closed. An Enter with no Exit on the same receiver anywhere in the same
+// function (including defers and nested function literals) leaves the
+// section open forever: every future grace period covering its value
+// blocks, which wedges updaters and the reclaimer alike.
+//
+// The check is per function and per receiver object, so a function that
+// opens sections on two different readers must close both. Functions that
+// return a *guard.Scope are treated as deliberate scope factories and
+// skipped — their caller owns the Exit.
+var EnterExitAnalyzer = &Analyzer{
+	Name: "enterexit",
+	Doc:  "report guard.R.Enter / Reader.Enter calls with no matching Exit in the same function",
+	Run:  runEnterExit,
+}
+
+func runEnterExit(pass *Pass) {
+	if pass.Pkg.Path() == guardPath {
+		return // the implementation package, not a client
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && (fd.Name.Name == "Enter" || fd.Name.Name == "Exit") {
+				// Delegation wrappers implementing the Reader interface
+				// (pooled readers, chaos injectors) forward Enter and Exit
+				// in separate methods by design.
+				continue
+			}
+			checkEnterExitFunc(pass, fd.Type, fd.Body)
+		}
+	}
+}
+
+// checkEnterExitFunc analyzes one function body as a unit. Nested function
+// literals are searched for Exits (a defer closure counts) but their own
+// Enters are their own problem: a literal that Enters must also Exit, so
+// literals recurse as independent units.
+func checkEnterExitFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	if scopeFactory(pass.Info, ftype) {
+		return
+	}
+
+	type site struct {
+		call *ast.CallExpr
+		recv types.Object
+		name string
+	}
+	var enters []site
+	exits := map[types.Object]bool{}
+	// exitNames is the fallback correlation: distinct objects sharing a
+	// spelling (two range variables both named rd) close each other — the
+	// per-object map alone would misread sibling loops as leaks.
+	exitNames := map[string]bool{}
+
+	var walk func(n ast.Node, topLevel bool)
+	walk = func(n ast.Node, topLevel bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.DeferStmt:
+				// A deferred call that receives the reader as an argument
+				// is a closer by convention (`defer criticalExit(p, rd, v)`
+				// — the allocation-free defer idiom); trust it.
+				for _, arg := range x.Call.Args {
+					if id := baseIdent(arg); id != nil {
+						if obj := pass.Info.ObjectOf(id); obj != nil {
+							exits[obj] = true
+						}
+					}
+				}
+				return true
+			case *ast.FuncLit:
+				if topLevel {
+					// Exits inside the literal still close the outer
+					// section when the literal is deferred or invoked;
+					// count them, and analyze the literal separately for
+					// its own Enters.
+					checkEnterExitFunc(pass, x.Type, x.Body)
+					walkExitsOnly(pass, x.Body, exits, exitNames)
+					return false
+				}
+				return false
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := funcObj(pass.Info, x)
+				recv := baseIdent(sel.X)
+				if recv == nil {
+					return true
+				}
+				recvObj := pass.Info.ObjectOf(recv)
+				if recvObj == nil {
+					return true
+				}
+				if isReaderEnterExit(obj, "Enter") {
+					enters = append(enters, site{call: x, recv: recvObj, name: recvString(sel.X)})
+				}
+				if isReaderEnterExit(obj, "Exit") || isGuardFunc(obj, "Read") || isReaderDo(obj) {
+					// Read and Do manage their own Exit; treat them as
+					// closing nothing but never as leaks.
+					exits[recvObj] = true
+					exitNames[recvString(sel.X)] = true
+				}
+			}
+			return true
+		})
+	}
+	walk(body, true)
+
+	for _, e := range enters {
+		if !exits[e.recv] && !exitNames[e.name] {
+			pass.Reportf(e.call.Pos(), "%s.Enter with no matching Exit in this function; the section never closes and covering grace periods block forever", e.name)
+		}
+	}
+}
+
+// walkExitsOnly records Exit receivers inside a nested literal without
+// re-reporting its Enters.
+func walkExitsOnly(pass *Pass, body *ast.BlockStmt, exits map[types.Object]bool, exitNames map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isReaderEnterExit(funcObj(pass.Info, call), "Exit") {
+			return true
+		}
+		if recv := baseIdent(sel.X); recv != nil {
+			if obj := pass.Info.ObjectOf(recv); obj != nil {
+				exits[obj] = true
+			}
+			exitNames[recvString(sel.X)] = true
+		}
+		return true
+	})
+}
+
+// isReaderDo matches the scoped-execution helpers that pair Enter and Exit
+// internally: Reader.Do, ReaderPool.Critical.
+func isReaderDo(obj *types.Func) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "prcu/internal/core", "prcu":
+	default:
+		return false
+	}
+	return obj.Name() == "Do" || obj.Name() == "Critical"
+}
+
+// scopeFactory reports whether ftype returns a *guard.Scope.
+func scopeFactory(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype.Results == nil {
+		return false
+	}
+	for _, r := range ftype.Results.List {
+		if t := info.TypeOf(r.Type); t != nil && isGuardScopePtr(t) {
+			return true
+		}
+	}
+	return false
+}

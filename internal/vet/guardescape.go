@@ -1,0 +1,392 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardEscapeAnalyzer flags guarded pointers that outlive their scope.
+// A pointer obtained through a *guard.Scope (Guarded.Load, Cell.Load,
+// List.Find/Head/Next, or any call that takes the scope) is only valid
+// while the scope is open. Three escapes defeat that:
+//
+//   - using the pointer after the scope's Exit in the same function;
+//   - assigning it to a variable declared outside the function literal
+//     that received the scope (a Read-closure capture);
+//   - sending it on a channel.
+//
+// guard.Escape is the audited hatch: a pointer laundered through it is
+// deliberately unguarded (validated-optimistic algorithms revalidate under
+// locks) and is not tracked further.
+//
+// Helper functions that *receive* a scope as a parameter may return
+// guarded pointers — the caller's scope still covers them — so returns are
+// only flagged in the function that opened the scope itself.
+var GuardEscapeAnalyzer = &Analyzer{
+	Name: "guardescape",
+	Doc:  "report guarded pointers escaping their read scope",
+	Run:  runGuardEscape,
+}
+
+func runGuardEscape(pass *Pass) {
+	if pass.Pkg.Path() == guardPath {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			e := &escapeWalker{pass: pass, reported: map[token.Pos]bool{}}
+			e.unit(fd.Type, fd.Body)
+		}
+	}
+}
+
+type escapeWalker struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+// unitState is the per-function-unit dataflow state.
+type unitState struct {
+	fnPos, fnEnd token.Pos
+	// scopes maps each *guard.Scope variable to the End position of its
+	// Exit call; token.NoPos while still open. Scope parameters are
+	// foreign (the caller owns Exit) and marked param.
+	scopes map[types.Object]*scopeState
+	// taint maps a variable to the scope it was loaded under.
+	taint map[types.Object]types.Object
+}
+
+type scopeState struct {
+	exitEnd token.Pos
+	param   bool // received as parameter: returns of its pointers are the caller's business
+}
+
+// unit analyzes one function declaration or literal in source order.
+func (e *escapeWalker) unit(ftype *ast.FuncType, body *ast.BlockStmt) {
+	st := &unitState{
+		fnPos:  ftype.Pos(),
+		fnEnd:  body.End(),
+		scopes: map[types.Object]*scopeState{},
+		taint:  map[types.Object]types.Object{},
+	}
+	if ftype.Params != nil {
+		for _, p := range ftype.Params.List {
+			for _, name := range p.Names {
+				if obj := e.pass.Info.Defs[name]; obj != nil && isGuardScopePtr(obj.Type()) {
+					st.scopes[obj] = &scopeState{param: true}
+				}
+			}
+		}
+	}
+	e.walk(body, st)
+}
+
+func (e *escapeWalker) walk(n ast.Node, st *unitState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is its own unit: its scope parameters (Read
+			// closures) start fresh, and assignments to variables declared
+			// outside it are the capture-escape case, detected because the
+			// literal's unitState carries the literal's extent.
+			e.unit(x.Type, x.Body)
+			return false
+
+		case *ast.AssignStmt:
+			e.assign(x, st)
+			return false
+
+		case *ast.SendStmt:
+			if scope := e.taintOf(x.Value, st); scope != nil {
+				e.reportf(x.Value.Pos(), "guarded pointer sent on a channel escapes its read scope; copy the value out or use guard.Escape")
+			}
+			e.checkUses(x, st)
+			return false
+
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if scope := e.taintOf(res, st); scope != nil {
+					if ss := st.scopes[scope]; ss != nil && !ss.param {
+						e.reportf(res.Pos(), "guarded pointer returned from the function that opened its scope; it outlives the section — copy the value or use guard.Escape")
+					}
+				}
+			}
+			e.checkUses(x, st)
+			return false
+
+		case *ast.DeferStmt:
+			// defer recv.Exit(s) closes the scope at function end.
+			if sel, ok := ast.Unparen(x.Call.Fun).(*ast.SelectorExpr); ok {
+				if isReaderEnterExit(funcObj(e.pass.Info, x.Call), "Exit") {
+					_ = sel
+					for _, arg := range x.Call.Args {
+						if obj := identObj(e.pass.Info, arg); obj != nil {
+							if ss := st.scopes[obj]; ss != nil {
+								ss.exitEnd = st.fnEnd
+							}
+						}
+					}
+					return false
+				}
+			}
+			return true
+
+		case *ast.CallExpr:
+			e.call(x, st)
+			e.checkUses(x, st)
+			return false
+
+		case *ast.Ident:
+			e.checkUse(x, st)
+			return true
+		}
+		return true
+	})
+}
+
+// assign handles := and = statements: scope creation from Enter, taint
+// propagation, and the capture-escape case.
+func (e *escapeWalker) assign(a *ast.AssignStmt, st *unitState) {
+	// Evaluate RHS first (use-after-exit checks apply to it too).
+	for _, rhs := range a.Rhs {
+		e.checkUses(rhs, st)
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			e.call(call, st)
+		}
+	}
+
+	// x := recv.Enter(v): a new scope owned by this unit.
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			if isReaderEnterExit(funcObj(e.pass.Info, call), "Enter") {
+				if len(a.Lhs) == 1 {
+					if obj := identObj(e.pass.Info, a.Lhs[0]); obj != nil && isGuardScopePtr(obj.Type()) {
+						st.scopes[obj] = &scopeState{}
+						return
+					}
+				}
+			}
+		}
+	}
+
+	// Parallel assignment taint transfer. Multi-value calls (v, ok := ...)
+	// taint every pointer-typed LHS from the call's scope.
+	var rhsScopes []types.Object
+	if len(a.Rhs) == len(a.Lhs) {
+		for _, rhs := range a.Rhs {
+			rhsScopes = append(rhsScopes, e.taintOf(rhs, st))
+		}
+	} else if len(a.Rhs) == 1 {
+		s := e.taintOf(a.Rhs[0], st)
+		for range a.Lhs {
+			rhsScopes = append(rhsScopes, s)
+		}
+	}
+	for i, lhs := range a.Lhs {
+		var scope types.Object
+		if i < len(rhsScopes) {
+			scope = rhsScopes[i]
+		}
+		obj := identObj(e.pass.Info, lhs)
+		if obj == nil {
+			continue // *p = x, s.f = x: stores through memory, not tracked
+		}
+		if scope != nil && !pointerish(obj.Type()) {
+			scope = nil
+		}
+		if scope != nil && (obj.Pos() < st.fnPos || obj.Pos() > st.fnEnd) {
+			e.reportf(lhs.Pos(), "guarded pointer assigned to %s, declared outside this scope's function; it outlives the section — copy the value or use guard.Escape", obj.Name())
+			continue
+		}
+		if scope != nil {
+			st.taint[obj] = scope
+		} else {
+			delete(st.taint, obj)
+		}
+	}
+}
+
+// call records Exit positions and checks arguments of ordinary calls.
+func (e *escapeWalker) call(call *ast.CallExpr, st *unitState) {
+	if isReaderEnterExit(funcObj(e.pass.Info, call), "Exit") {
+		for _, arg := range call.Args {
+			if obj := identObj(e.pass.Info, arg); obj != nil {
+				if ss := st.scopes[obj]; ss != nil {
+					ss.exitEnd = call.End()
+				}
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			e.unit(lit.Type, lit.Body)
+		}
+	}
+}
+
+// taintOf returns the scope a value derives from, or nil if unguarded.
+func (e *escapeWalker) taintOf(expr ast.Expr, st *unitState) types.Object {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := e.pass.Info.ObjectOf(x)
+		if obj == nil {
+			return nil
+		}
+		return st.taint[obj]
+	case *ast.CallExpr:
+		obj := funcObj(e.pass.Info, x)
+		if isEscapeFunc(obj) {
+			return nil // the audited hatch: result is deliberately unguarded
+		}
+		// A call that receives an open scope returns guarded data; only
+		// pointer-shaped results carry the taint.
+		var scope types.Object
+		for _, arg := range x.Args {
+			if aobj := identObj(e.pass.Info, arg); aobj != nil {
+				if _, ok := st.scopes[aobj]; ok {
+					scope = aobj
+					break
+				}
+			}
+		}
+		if scope == nil {
+			return nil
+		}
+		if t := e.pass.Info.TypeOf(x); t != nil && !anyPointerish(t) {
+			return nil
+		}
+		return scope
+	case *ast.SelectorExpr:
+		// Field selection keeps the taint only while the result is still a
+		// pointer into the structure; copying a scalar out is the blessed
+		// pattern.
+		base := e.taintOf(x.X, st)
+		if base == nil {
+			return nil
+		}
+		if t := e.pass.Info.TypeOf(x); t != nil && !pointerish(t) {
+			return nil
+		}
+		return base
+	case *ast.IndexExpr:
+		base := e.taintOf(x.X, st)
+		if base == nil {
+			return nil
+		}
+		if t := e.pass.Info.TypeOf(x); t != nil && !pointerish(t) {
+			return nil
+		}
+		return base
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return e.taintOf(x.X, st)
+		}
+		return nil
+	case *ast.StarExpr:
+		// Dereferencing copies the pointee; a non-pointer copy is clean.
+		base := e.taintOf(x.X, st)
+		if base == nil {
+			return nil
+		}
+		if t := e.pass.Info.TypeOf(x); t != nil && !pointerish(t) {
+			return nil
+		}
+		return base
+	}
+	return nil
+}
+
+// checkUses runs the use-after-exit check over every identifier in n.
+func (e *escapeWalker) checkUses(n ast.Node, st *unitState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			e.unit(lit.Type, lit.Body)
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			e.checkUse(id, st)
+		}
+		return true
+	})
+}
+
+// checkUse reports a tainted identifier used after its scope's Exit.
+func (e *escapeWalker) checkUse(id *ast.Ident, st *unitState) {
+	obj := e.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	scope, ok := st.taint[obj]
+	if !ok {
+		return
+	}
+	ss := st.scopes[scope]
+	if ss == nil || ss.exitEnd == token.NoPos || ss.exitEnd >= st.fnEnd {
+		return
+	}
+	if id.Pos() > ss.exitEnd {
+		e.reportf(id.Pos(), "%s is a guarded pointer used after its scope's Exit; revalidate under a lock via guard.Escape or copy the value before Exit", id.Name)
+	}
+}
+
+func (e *escapeWalker) reportf(pos token.Pos, format string, args ...any) {
+	if e.reported[pos] {
+		return
+	}
+	e.reported[pos] = true
+	e.pass.Reportf(pos, format, args...)
+}
+
+// identObj resolves an expression to the object of its identifier, seeing
+// through parens; selector chains resolve to the terminal field.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+// pointerish reports whether values of t are pointers into shared
+// structure (pointer, or anything containing one at top level we track:
+// plain pointers only — maps/slices/chans of guarded nodes are exotic
+// enough to leave to guardescape's channel rule).
+func pointerish(t types.Type) bool {
+	if _, ok := t.(*types.TypeParam); ok {
+		// A type parameter's underlying is its constraint interface; do
+		// not let that read as "pointer". Instantiations with pointer
+		// arguments are the instantiating package's concern.
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return true
+	case *types.Slice:
+		return pointerish(u.Elem())
+	case *types.Interface:
+		return true
+	default:
+		return false
+	}
+}
+
+// anyPointerish reports whether a (possibly tuple) result type carries a
+// pointer.
+func anyPointerish(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if pointerish(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return pointerish(t)
+}

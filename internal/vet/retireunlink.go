@@ -1,0 +1,192 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RetireUnlinkAnalyzer flags retirements of values that were never
+// unlinked. Retire hands a node to the reclaimer: after a covering grace
+// period its memory is freed or recycled. That is only sound if the node
+// became unreachable *before* the retirement — some store severed the last
+// published path to it. A Retire with no store/unlink between the retired
+// variable's definition and the call usually means the node is still
+// reachable, and a reader entering after the grace period will walk into
+// freed memory.
+//
+// The check is deliberately shallow: it looks, inside the same function,
+// for any unlink evidence between the retired variable's binding and the
+// Retire call — a call to a publishing method (Store, CompareAndSwap,
+// Swap, Publish, Update, Unlink, Delete, Remove) or an assignment through
+// memory (deref, field, or index target). If the variable's binding is not
+// visible in the function (a parameter, or loaded elsewhere) the call is
+// trusted.
+var RetireUnlinkAnalyzer = &Analyzer{
+	Name: "retireunlink",
+	Doc:  "report Retire calls with no unlink/store between the value's definition and the retirement",
+	Run:  runRetireUnlink,
+}
+
+// unlinkMethods are method names that count as publishing a structural
+// change readers can observe.
+var unlinkMethods = map[string]bool{
+	"Store":          true,
+	"CompareAndSwap": true,
+	"Swap":           true,
+	"Publish":        true,
+	"Update":         true,
+	"Unlink":         true,
+	"Delete":         true,
+	"Remove":         true,
+	"Pop":            true,
+}
+
+func runRetireUnlink(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRetires(pass, fd.Body)
+		}
+	}
+}
+
+func checkRetires(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		retired := retiredArg(pass, call)
+		if retired == nil {
+			return true
+		}
+		id, ok := ast.Unparen(retired).(*ast.Ident)
+		if !ok {
+			return true // retiring a fresh expression: nothing to correlate
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		binding := bindingStmt(pass, body, obj, call.Pos())
+		if binding == nil {
+			return true // parameter or cross-function flow: trusted
+		}
+		if bindingUnlinks(binding) {
+			// `old := head.Swap(new)` / `replaced := cell.Update(f)`: the
+			// binding itself atomically unpublished the value.
+			return true
+		}
+		if !unlinkBetween(pass, body, binding.End(), call.Pos()) {
+			pass.Reportf(call.Pos(), "%s is retired with no unlink/store between its definition and Retire; a still-reachable node will be freed under readers", id.Name)
+		}
+		return true
+	})
+}
+
+// retiredArg returns the expression being retired, or nil if call is not a
+// retirement. Matches guard.Retire/RetireBytes (and the prcu re-exports,
+// which resolve to the same objects) and guard.Retirer.Retire.
+func retiredArg(pass *Pass, call *ast.CallExpr) ast.Expr {
+	obj := funcObj(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	switch obj.Pkg().Path() {
+	case guardPath, "prcu":
+	default:
+		return nil
+	}
+	switch obj.Name() {
+	case "Retire", "RetireBytes":
+		if sig := obj.Signature(); sig.Recv() != nil {
+			// Retirer.Retire(p, v)
+			if len(call.Args) >= 2 {
+				return call.Args[1]
+			}
+			return nil
+		}
+		// Retire(rec, p, v, free) / RetireBytes(rec, p, v, extra, free)
+		if len(call.Args) >= 3 {
+			return call.Args[2]
+		}
+	}
+	return nil
+}
+
+// bindingStmt finds the latest assignment before limit that binds obj.
+func bindingStmt(pass *Pass, body *ast.BlockStmt, obj interface{ Pos() token.Pos }, limit token.Pos) *ast.AssignStmt {
+	var latest *ast.AssignStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if a.Pos() >= limit {
+			return false
+		}
+		for _, lhs := range a.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if pass.Info.ObjectOf(id) == obj && (latest == nil || a.End() > latest.End()) {
+					latest = a
+				}
+			}
+		}
+		return true
+	})
+	return latest
+}
+
+// bindingUnlinks reports whether the binding's right-hand side is itself a
+// publishing call (Swap, Update, ...) that atomically severed the value.
+func bindingUnlinks(a *ast.AssignStmt) bool {
+	for _, rhs := range a.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if unlinkMethods[sel.Sel.Name] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// unlinkBetween reports whether any statement strictly between from and to
+// publishes a structural change.
+func unlinkBetween(pass *Pass, body *ast.BlockStmt, from, to token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if x.Pos() <= from || x.Pos() >= to {
+				return true
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if unlinkMethods[sel.Sel.Name] {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if x.Pos() <= from || x.Pos() >= to {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				switch ast.Unparen(lhs).(type) {
+				case *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr:
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

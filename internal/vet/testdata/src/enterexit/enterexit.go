@@ -1,0 +1,67 @@
+// Corpus for the enterexit analyzer: every `want` comment marks a line
+// prcuvet must flag; everything else must stay silent.
+package enterexit
+
+import (
+	"prcu"
+	"prcu/guard"
+)
+
+func leak(g *guard.R, v guard.Value) {
+	s := g.Enter(v) // want "no matching Exit"
+	_ = s
+}
+
+func balanced(g *guard.R, v guard.Value) {
+	s := g.Enter(v)
+	g.Exit(s)
+}
+
+func deferred(g *guard.R, v guard.Value) {
+	s := g.Enter(v)
+	defer g.Exit(s)
+}
+
+func deferredClosure(g *guard.R, v guard.Value) {
+	s := g.Enter(v)
+	defer func() { g.Exit(s) }()
+}
+
+func viaRead(g *guard.R, v guard.Value) {
+	g.Read(v, func(s *guard.Scope) {})
+}
+
+func rawLeak(rd prcu.Reader) {
+	rd.Enter(1) // want "no matching Exit"
+}
+
+func rawBalanced(rd prcu.Reader) {
+	rd.Enter(1)
+	defer rd.Exit(1)
+}
+
+func rawDo(rd prcu.Reader) {
+	rd.Do(1, func() {})
+}
+
+func twoReaders(a, b *guard.R, v guard.Value) {
+	sa := a.Enter(v)
+	sb := b.Enter(v) // want "no matching Exit"
+	a.Exit(sa)
+	_ = sb
+}
+
+// scopeFactory returns the open scope: the caller owns the Exit, so the
+// function itself is exempt.
+func scopeFactory(g *guard.R, v guard.Value) *guard.Scope {
+	return g.Enter(v)
+}
+
+func branchyButClosed(g *guard.R, v guard.Value, cond bool) {
+	s := g.Enter(v)
+	if cond {
+		g.Exit(s)
+		return
+	}
+	g.Exit(s)
+}

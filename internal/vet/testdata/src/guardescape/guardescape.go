@@ -1,0 +1,102 @@
+// Corpus for the guardescape analyzer.
+package guardescape
+
+import (
+	"prcu"
+	"prcu/guard"
+)
+
+type node struct {
+	val  uint64
+	next guard.Cell[node]
+}
+
+var ch = make(chan *node, 1)
+
+func useAfterExit(g *guard.R, v guard.Value, head *guard.Guarded[node]) uint64 {
+	s := g.Enter(v)
+	n := head.Load(s)
+	g.Exit(s)
+	return n.val // want "used after its scope's Exit"
+}
+
+func copyBeforeExit(g *guard.R, v guard.Value, head *guard.Guarded[node]) uint64 {
+	s := g.Enter(v)
+	n := head.Load(s)
+	val := n.val
+	g.Exit(s)
+	return val
+}
+
+func escapeCapture(g *guard.R, v guard.Value, head *guard.Guarded[node]) {
+	var leaked *node
+	g.Read(v, func(s *guard.Scope) {
+		leaked = head.Load(s) // want "assigned to leaked"
+	})
+	_ = leaked
+}
+
+// escapeCaptureAlias spells the scope parameter through the public
+// alias (*prcu.Scope = *guard.Scope, a types.Alias): the analyzer must
+// see through it, since migrated code writes the alias form.
+func escapeCaptureAlias(g *prcu.GuardedReader, v prcu.Value, head *prcu.Guarded[node]) {
+	var leaked *node
+	g.Read(v, func(s *prcu.Scope) {
+		leaked = head.Load(s) // want "assigned to leaked"
+	})
+	_ = leaked
+}
+
+func copyCapture(g *guard.R, v guard.Value, head *guard.Guarded[node]) uint64 {
+	var val uint64
+	g.Read(v, func(s *guard.Scope) {
+		if n := head.Load(s); n != nil {
+			val = n.val
+		}
+	})
+	return val
+}
+
+func escapeSend(g *guard.R, v guard.Value, head *guard.Guarded[node]) {
+	g.Read(v, func(s *guard.Scope) {
+		ch <- head.Load(s) // want "sent on a channel"
+	})
+}
+
+func returnOwned(g *guard.R, v guard.Value, head *guard.Guarded[node]) *node {
+	s := g.Enter(v)
+	defer g.Exit(s)
+	return head.Load(s) // want "returned from the function"
+}
+
+func returnOwnedVar(g *guard.R, v guard.Value, head *guard.Guarded[node]) *node {
+	s := g.Enter(v)
+	n := head.Load(s)
+	g.Exit(s)
+	return n // want "returned from the function"
+}
+
+// helper receives its scope: the caller's section still covers the
+// result, so returning a guarded pointer is the caller's business.
+func helper(s *guard.Scope, head *guard.Guarded[node]) *node {
+	return head.Load(s)
+}
+
+// laundered goes through the audited hatch; prcuvet trusts the auditor.
+func laundered(g *guard.R, v guard.Value, head *guard.Guarded[node]) *node {
+	s := g.Enter(v)
+	n := guard.Escape(s, head.Load(s))
+	g.Exit(s)
+	return n
+}
+
+func chainWalk(g *guard.R, v guard.Value, head *guard.Guarded[node], k uint64) (val uint64, ok bool) {
+	s := g.Enter(v)
+	defer g.Exit(s)
+	for n := head.Load(s); n != nil; n = n.next.Load(s) {
+		if n.val == k {
+			return n.val, true
+		}
+	}
+	return 0, false
+}

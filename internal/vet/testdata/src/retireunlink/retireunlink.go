@@ -1,0 +1,67 @@
+// Corpus for the retireunlink analyzer.
+package retireunlink
+
+import (
+	"prcu"
+)
+
+type node struct {
+	val  uint64
+	next prcu.Cell[node]
+}
+
+func freeNode(*node) {}
+
+func stillReachable(ret *prcu.Retirer[node], p prcu.Predicate, head *prcu.Guarded[node]) {
+	n := head.LoadLocked()
+	ret.Retire(p, n) // want "no unlink/store"
+}
+
+func unlinkedFirst(ret *prcu.Retirer[node], p prcu.Predicate, head *prcu.Guarded[node]) {
+	n := head.LoadLocked()
+	head.Publish(n.next.LoadLocked())
+	ret.Retire(p, n)
+}
+
+func pkgFuncStillReachable(rec *prcu.Reclaimer, p prcu.Predicate, head *prcu.Guarded[node]) {
+	n := head.LoadLocked()
+	prcu.Retire(rec, p, n, freeNode) // want "no unlink/store"
+}
+
+func pkgFuncUnlinked(rec *prcu.Reclaimer, p prcu.Predicate, head *prcu.Guarded[node]) {
+	n := head.LoadLocked()
+	head.Publish(nil)
+	prcu.RetireBytes(rec, p, n, 0, freeNode)
+}
+
+func listUnlink(ret *prcu.Retirer[node], p prcu.Predicate, l *prcu.List[node], prev *node) {
+	n := l.NextLocked(prev)
+	l.Unlink(prev, n)
+	ret.Retire(p, n)
+}
+
+// retireParam's argument was unlinked by the caller; with no visible
+// binding the checker stays quiet.
+func retireParam(ret *prcu.Retirer[node], p prcu.Predicate, n *node) {
+	ret.Retire(p, n)
+}
+
+// retireFresh retires a never-published temporary; not an identifier, so
+// nothing to correlate.
+func retireFresh(rec *prcu.Reclaimer, p prcu.Predicate) {
+	prcu.Retire(rec, p, &node{}, freeNode)
+}
+
+// swapBinding: the binding itself atomically unpublished the value.
+func swapBinding(rec *prcu.Reclaimer, p prcu.Predicate, head *prcu.Guarded[node]) {
+	old := head.Swap(&node{})
+	prcu.Retire(rec, p, old, freeNode)
+}
+
+// rawAssignCounts: an assignment through a pointer target severs a path
+// readers could be on; that is unlink evidence too.
+func rawAssignCounts(ret *prcu.Retirer[node], p prcu.Predicate, slot **node) {
+	n := *slot
+	*slot = nil
+	ret.Retire(p, n)
+}

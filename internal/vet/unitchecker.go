@@ -1,0 +1,104 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// go vet -vettool support. The go command drives a vet tool through a
+// small protocol (the same one golang.org/x/tools' unitchecker speaks):
+//
+//   - `tool -V=full` must print "name version ..." for the build cache key;
+//   - `tool -flags` must print a JSON array of tool flags (none here);
+//   - `tool <unit>.cfg` analyzes one package unit described by a JSON
+//     config: source files, the import map, and compiled export data for
+//     every dependency, all prepared by the go command.
+//
+// Diagnostics go to stderr as file:line:col: message; the tool exits 2
+// when it found anything, which go vet reports as a failure of the unit.
+
+// unitConfig mirrors the fields of the go command's vet config that the
+// checker consumes.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one vet unit from cfgPath, writing diagnostics to w.
+// It returns the number of findings.
+func RunUnit(cfgPath string, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("prcuvet: parsing %s: %v", cfgPath, err)
+	}
+	// The go command expects the facts file regardless of outcome; prcuvet
+	// computes no cross-package facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("prcuvet: no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("prcuvet: type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := RunAnalyzers(fset, files, tpkg, info)
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,146 @@
+package vet
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the corpus expectation syntax: `// want "pattern"` at the
+// end of the line prcuvet must flag. The pattern is a regexp matched
+// against the diagnostic message, analysistest-style.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// repoRoot returns the module root (two levels up from internal/vet).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// parseWants scans a corpus file for expectations, keyed by line number.
+func parseWants(t *testing.T, filename string) map[int]string {
+	t.Helper()
+	f, err := os.Open(filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wants := map[int]string{}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
+			wants[line] = m[1]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestCorpus type-checks every testdata package against the real prcu and
+// guard export data and demands an exact match between the analyzers'
+// findings and the `want` annotations: nothing missed, nothing extra.
+func TestCorpus(t *testing.T) {
+	root := repoRoot(t)
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no corpus packages under testdata/src")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+			if err != nil || len(files) == 0 {
+				t.Fatalf("no corpus files in %s (%v)", dir, err)
+			}
+			var abs []string
+			wants := map[string]map[int]string{} // file base -> line -> pattern
+			for _, f := range files {
+				a, err := filepath.Abs(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				abs = append(abs, a)
+				wants[filepath.Base(f)] = parseWants(t, f)
+			}
+			importPath := "prcu/internal/vet/testdata/src/" + filepath.Base(dir)
+			pkg, err := LoadFiles(root, []string{"prcu", "prcu/guard"}, importPath, abs)
+			if err != nil {
+				t.Fatalf("loading corpus: %v", err)
+			}
+			diags := RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+
+			matched := map[string]map[int]bool{}
+			for _, d := range diags {
+				base := filepath.Base(d.Pos.Filename)
+				pattern, ok := wants[base][d.Pos.Line]
+				if !ok {
+					t.Errorf("unexpected diagnostic: %s", d)
+					continue
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pattern, err)
+				}
+				if !re.MatchString(d.Message) {
+					t.Errorf("diagnostic at %s:%d does not match want %q: %s",
+						base, d.Pos.Line, pattern, d.Message)
+					continue
+				}
+				if matched[base] == nil {
+					matched[base] = map[int]bool{}
+				}
+				matched[base][d.Pos.Line] = true
+			}
+			for base, lines := range wants {
+				var missing []int
+				for line := range lines {
+					if !matched[base][line] {
+						missing = append(missing, line)
+					}
+				}
+				sort.Ints(missing)
+				for _, line := range missing {
+					t.Errorf("missing expected diagnostic at %s:%d (want %q)", base, line, lines[line])
+				}
+			}
+		})
+	}
+}
+
+// TestRepoClean is the zero-false-positive gate: prcuvet over every
+// package of the repository itself must report nothing.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	root := repoRoot(t)
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags := Analyze(pkgs)
+	if len(diags) != 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		t.Fatalf("prcuvet found %d issue(s) in the repository:\n%s", len(diags), b.String())
+	}
+}

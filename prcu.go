@@ -86,6 +86,7 @@ import (
 	"net/http"
 	"time"
 
+	"prcu/guard"
 	"prcu/internal/core"
 	"prcu/internal/obs"
 	"prcu/internal/obshttp"
@@ -500,6 +501,64 @@ func RegisterMetrics(name string, m *Metrics) { obs.Register(name, m) }
 // Scrapes read the recording structures atomically; serving costs the
 // engines nothing between scrapes.
 func ObsHandler() http.Handler { return obshttp.Handler() }
+
+// The typed API: package guard re-exported. See package guard for the
+// full misuse model; the aliases below make `prcu` a one-import
+// surface for new code, and cmd/prcuvet recognizes both spellings.
+
+// Scope witnesses an open read-side critical section; every typed load
+// demands one and it dies when the section exits. See guard.Scope.
+type Scope = guard.Scope
+
+// GuardedReader is the typed reader: a Reader plus reusable scope
+// storage, minted by WrapReader. See guard.R.
+type GuardedReader = guard.R
+
+// WrapReader returns the typed reader over rd; see guard.Wrap.
+func WrapReader(rd Reader) *GuardedReader { return guard.Wrap(rd) }
+
+// Guarded is an atomic cell whose value is reachable only inside read
+// scopes; see guard.Guarded.
+type Guarded[T any] = guard.Guarded[T]
+
+// NewGuarded returns a Guarded cell holding v; see guard.NewGuarded.
+func NewGuarded[T any](v *T) *Guarded[T] { return guard.NewGuarded(v) }
+
+// Cell is the intrusive atomic link of an RCU structure, loadable only
+// through a Scope; see guard.Cell.
+type Cell[T any] = guard.Cell[T]
+
+// List is the canonical RCU linked list over Guarded/Cell; see
+// guard.List.
+type List[T any] = guard.List[T]
+
+// NewList returns an empty typed RCU list; see guard.NewList.
+func NewList[T any](next func(*T) *Cell[T]) *List[T] { return guard.NewList(next) }
+
+// Retire schedules free(v) behind a grace period covering p, declaring
+// unsafe.Sizeof(*v) retained bytes automatically; see guard.Retire.
+func Retire[T any](rec *Reclaimer, p Predicate, v *T, free func(*T)) {
+	guard.Retire(rec, p, v, free)
+}
+
+// RetireBytes is Retire with extra out-of-line bytes declared; see
+// guard.RetireBytes.
+func RetireBytes[T any](rec *Reclaimer, p Predicate, v *T, extra int, free func(*T)) {
+	guard.RetireBytes(rec, p, v, extra, free)
+}
+
+// Retirer binds reclaimer, byte declaration and typed free once for an
+// allocation-free retire path; see guard.Retirer.
+type Retirer[T any] = guard.Retirer[T]
+
+// NewRetirer constructs a Retirer; see guard.NewRetirer.
+func NewRetirer[T any](rec *Reclaimer, extra int, free func(*T)) *Retirer[T] {
+	return guard.NewRetirer(rec, extra, free)
+}
+
+// GuardEscape deliberately carries a guarded pointer out of its scope
+// for validated-optimistic algorithms; see guard.Escape.
+func GuardEscape[T any](s *Scope, p *T) *T { return guard.Escape(s, p) }
 
 // Rates is the windowed view between two Snapshots of the same Metrics:
 // waits and section entries per second, windowed selectivity and
