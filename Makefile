@@ -4,7 +4,7 @@ GO ?= go
 # -short; the full run stays well inside this on a laptop-class host.
 TEST_TIMEOUT ?= 300s
 
-.PHONY: all build vet test race short fuzz bench monitor ci clean
+.PHONY: all build vet test race short fuzz bench monitor chaos adapt ci clean
 
 all: ci
 
@@ -33,6 +33,14 @@ short:
 race:
 	$(GO) test -race -short -timeout $(TEST_TIMEOUT) . ./internal/core ./internal/reclaim ./citrus ./hashtable ./guard
 
+# Chaos storm suite: seeded deterministic fault injection (torture over
+# every engine, live-reconfig storm schedules) plus the self-tuning
+# controller's envelope proof — the same storm campaign runs with the
+# controller off (must violate the age envelope) and on (must hold it),
+# per flavor, under the race detector.
+chaos:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/chaos ./internal/adapt
+
 # Brief coverage-guided fuzzing on top of the checked-in seed corpora.
 FUZZTIME ?= 10s
 fuzz:
@@ -47,6 +55,11 @@ bench:
 MONITOR_FOR ?= 10s
 monitor:
 	$(GO) run ./cmd/prcubench -monitor-for $(MONITOR_FOR) monitor
+
+# Live self-tuning demo: the chaos storm campaign against a
+# misconfigured reclaimer, controller off vs on, envelope verdict table.
+adapt:
+	$(GO) run ./cmd/prcubench -monitor-for $(MONITOR_FOR) adapt
 
 ci:
 	./ci.sh

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|all
+//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|adapt|all
 //
 // The stats subcommand runs the mixed workload with the observability
 // layer attached and dumps each engine's internal metrics: grace-period
@@ -12,7 +12,11 @@
 // reader-section durations. The monitor subcommand runs the same
 // workload on every engine concurrently and renders a live table of
 // windowed rates (waits/s, enters/s, selectivity, latency percentiles)
-// refreshed every -refresh for -monitor-for.
+// refreshed every -refresh for -monitor-for. The adapt subcommand runs
+// the chaos storm campaign against a deliberately misconfigured
+// reclaimer twice — with and without the self-tuning controller — and
+// reports whether each run held the operator's age/backlog envelope
+// (-monitor-for sizes one run, -refresh the live display).
 //
 // With -serve ADDR any subcommand also serves the live export plane
 // while it runs — Prometheus /metrics, /debug/prcu/stats,
@@ -159,7 +163,7 @@ func main() {
 
 // subcommands is the canonical experiment list, shared by the usage
 // text and the unknown-subcommand error.
-const subcommands = "fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|all"
+const subcommands = "fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|adapt|all"
 
 func dispatch(cmd string, cfg bench.Config, includeLF bool, monitorFor, refresh time.Duration) error {
 	switch cmd {
@@ -183,6 +187,8 @@ func dispatch(cmd string, cfg bench.Config, includeLF bool, monitorFor, refresh 
 		return bench.Reclaim(cfg)
 	case "monitor":
 		return bench.Monitor(cfg, monitorFor, refresh)
+	case "adapt":
+		return bench.Adapt(cfg, monitorFor, refresh)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return bench.Fig1(cfg) },

@@ -1,0 +1,288 @@
+package adapt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prcu/internal/core"
+	"prcu/internal/obs"
+	"prcu/internal/reclaim"
+)
+
+// wedge opens a covered critical section on e and returns a release
+// func; while held, every grace period covering value 7 is wedged, so
+// retired callbacks pend and the backlog/age gauges climb.
+func wedge(t *testing.T, e core.RCU) func() {
+	t.Helper()
+	rd, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rd.Enter(7)
+		close(entered)
+		<-release
+		rd.Exit(7)
+		rd.Unregister()
+	}()
+	<-entered
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(release) })
+		<-done
+	}
+}
+
+// TestLadderDeterministic walks the full mode ladder with synchronous
+// Steps: a wedged reader makes the backlog exceed the envelope, the
+// controller escalates normal→elevated→degraded actuating each rung
+// (pacing, watermarks, policy, wait tuning, observability shedding);
+// releasing the reader drains the backlog and EaseAfter calm ticks per
+// rung walk it back down, restoring the exact baseline.
+func TestLadderDeterministic(t *testing.T) {
+	eng := core.NewTimeRCU(8, nil)
+	met := obs.New()
+	met.EnableTrace(128)
+	rec := reclaim.New(eng, reclaim.Config{Shards: 1, FlushDelay: time.Millisecond, Metrics: met})
+	defer rec.Close()
+
+	c := New(Config{
+		Name:      "ladder-test",
+		Envelope:  Envelope{MaxPending: 4},
+		Metrics:   met,
+		Reclaimer: rec,
+		Engines:   []core.RCU{eng},
+		EaseAfter: 2,
+	})
+	defer c.Close()
+	if c.Mode() != ModeNormal {
+		t.Fatalf("fresh controller mode = %v, want normal", c.Mode())
+	}
+
+	release := wedge(t, eng)
+	defer release()
+	var freed atomic.Int64
+	for i := 0; i < 10; i++ {
+		rec.Retire(nil, core.Singleton(7), 8, func(any) { freed.Add(1) })
+	}
+
+	c.Step() // backlog 10 > 4: normal → elevated
+	if c.Mode() != ModeElevated {
+		t.Fatalf("after breach tick mode = %v, want elevated", c.Mode())
+	}
+	if got := rec.Pacing(); got != 0 {
+		t.Errorf("elevated pacing = %v, want immediate", got)
+	}
+	if mp, _ := rec.Watermarks(); mp != 4 {
+		t.Errorf("elevated hard watermark = %d, want envelope's 4", mp)
+	}
+	if rec.Policy() != reclaim.PolicyBlock {
+		t.Error("elevated flipped the policy; that is degraded's job")
+	}
+
+	c.Step() // still breached: elevated → degraded
+	if c.Mode() != ModeDegraded {
+		t.Fatalf("after second breach tick mode = %v, want degraded", c.Mode())
+	}
+	if rec.Policy() != reclaim.PolicyInline {
+		t.Error("degraded mode did not flip PolicyBlock → PolicyInline")
+	}
+	if met.TraceEnabled() {
+		t.Error("degraded mode did not shed the trace ring")
+	}
+	tun := eng.WaitTuning()
+	if tun.Park == 0 {
+		t.Errorf("degraded wait tuning = %+v, want the park preset", tun)
+	}
+
+	st := c.State()
+	if st.Mode != "degraded" || st.ModeCode != 2 {
+		t.Errorf("state mode = %q/%d, want degraded/2", st.Mode, st.ModeCode)
+	}
+	if st.Breaches == 0 || st.Decisions != 2 || st.Ticks != 2 {
+		t.Errorf("state counters = %+v, want breaches>0 decisions=2 ticks=2", st)
+	}
+	if !st.Breached() {
+		t.Error("state.Breached() = false with backlog over the envelope")
+	}
+	found := false
+	for _, cs := range obs.Controllers() {
+		if cs.Name == "ladder-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("controller missing from obs.Controllers() registry")
+	}
+
+	release()
+	rec.Barrier()
+	if got := freed.Load(); got != 10 {
+		t.Fatalf("freed %d callbacks after drain, want 10", got)
+	}
+
+	c.Step()
+	c.Step() // two calm ticks: degraded → elevated
+	if c.Mode() != ModeElevated {
+		t.Fatalf("after %d calm ticks mode = %v, want elevated", 2, c.Mode())
+	}
+	if rec.Policy() != reclaim.PolicyBlock {
+		t.Error("easing out of degraded did not restore the policy")
+	}
+	if !met.TraceEnabled() {
+		t.Error("easing out of degraded did not restore the trace ring")
+	}
+
+	c.Step()
+	c.Step() // two more: elevated → normal, baseline restored
+	if c.Mode() != ModeNormal {
+		t.Fatalf("after ease-out mode = %v, want normal", c.Mode())
+	}
+	if mp, mb := rec.Watermarks(); mp != 0 || mb != 0 {
+		t.Errorf("baseline watermarks = %d/%d, want unbounded 0/0", mp, mb)
+	}
+	if got := rec.Pacing(); got != time.Millisecond {
+		t.Errorf("baseline pacing = %v, want the configured 1ms", got)
+	}
+	if got := eng.WaitTuning(); got != (core.WaitTuning{}) {
+		t.Errorf("baseline wait tuning = %+v, want zero", got)
+	}
+
+	wantEvents := uint64(4) // two escalations, two eases
+	if st := c.State(); st.Decisions != wantEvents {
+		t.Errorf("decisions = %d, want %d", st.Decisions, wantEvents)
+	}
+	var adaptEvents int
+	for _, ev := range met.TraceSnapshot() {
+		if ev.Kind == obs.EvAdapt {
+			adaptEvents++
+		}
+	}
+	// The ring was shed while degraded; at minimum the post-restore
+	// decisions (degraded→elevated, elevated→normal) must be in it.
+	if adaptEvents < 2 {
+		t.Errorf("trace ring holds %d adapt events, want >= 2", adaptEvents)
+	}
+}
+
+// TestHysteresis checks BreachAfter delays escalation and a single calm
+// tick does not ease: the controller must not flap.
+func TestHysteresis(t *testing.T) {
+	eng := core.NewTimeRCU(8, nil)
+	rec := reclaim.New(eng, reclaim.Config{Shards: 1, Metrics: obs.New()})
+	defer rec.Close()
+	c := New(Config{
+		Envelope:    Envelope{MaxPending: 2},
+		Reclaimer:   rec,
+		Engines:     []core.RCU{eng},
+		BreachAfter: 3,
+		EaseAfter:   3,
+	})
+	defer c.Close()
+
+	release := wedge(t, eng)
+	defer release()
+	for i := 0; i < 8; i++ {
+		rec.Retire(nil, core.Singleton(7), 1, func(any) {})
+	}
+	c.Step()
+	c.Step()
+	if c.Mode() != ModeNormal {
+		t.Fatalf("mode = %v after 2 of 3 breach ticks, want normal still", c.Mode())
+	}
+	c.Step()
+	if c.Mode() != ModeElevated {
+		t.Fatalf("mode = %v after BreachAfter ticks, want elevated", c.Mode())
+	}
+
+	release()
+	rec.Barrier()
+	c.Step()
+	c.Step()
+	if c.Mode() != ModeElevated {
+		t.Fatalf("mode = %v after 2 of 3 calm ticks, want elevated still", c.Mode())
+	}
+	c.Step()
+	if c.Mode() != ModeNormal {
+		t.Fatalf("mode = %v after EaseAfter calm ticks, want normal", c.Mode())
+	}
+}
+
+// TestKeepObservability pins the escape hatch: degraded mode must not
+// shed the trace ring when the operator asked to keep it.
+func TestKeepObservability(t *testing.T) {
+	eng := core.NewTimeRCU(8, nil)
+	met := obs.New()
+	met.EnableTrace(64)
+	rec := reclaim.New(eng, reclaim.Config{Shards: 1, Metrics: met})
+	defer rec.Close()
+	c := New(Config{
+		Envelope:          Envelope{MaxPending: 1},
+		Metrics:           met,
+		Reclaimer:         rec,
+		Engines:           []core.RCU{eng},
+		KeepObservability: true,
+	})
+	defer c.Close()
+
+	release := wedge(t, eng)
+	defer release()
+	for i := 0; i < 4; i++ {
+		rec.Retire(nil, core.Singleton(7), 1, func(any) {})
+	}
+	c.Step()
+	c.Step()
+	if c.Mode() != ModeDegraded {
+		t.Fatalf("mode = %v, want degraded", c.Mode())
+	}
+	if !met.TraceEnabled() {
+		t.Fatal("KeepObservability was ignored: trace ring shed in degraded mode")
+	}
+}
+
+// TestStartStop exercises the self-ticking path: a controller started
+// on a fast interval escalates on its own when the envelope is
+// breached, and Stop halts the ticker cleanly.
+func TestStartStop(t *testing.T) {
+	eng := core.NewTimeRCU(8, nil)
+	rec := reclaim.New(eng, reclaim.Config{Shards: 1, Metrics: obs.New()})
+	defer rec.Close()
+	c := New(Config{
+		Interval:  2 * time.Millisecond,
+		Envelope:  Envelope{MaxPending: 2},
+		Reclaimer: rec,
+		Engines:   []core.RCU{eng},
+		EaseAfter: 1000, // stay escalated once triggered
+	})
+	defer c.Close()
+
+	release := wedge(t, eng)
+	defer release()
+	for i := 0; i < 8; i++ {
+		rec.Retire(nil, core.Singleton(7), 1, func(any) {})
+	}
+	c.Start()
+	c.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Mode() == ModeNormal && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Mode() == ModeNormal {
+		t.Fatal("self-ticking controller never reacted to a breached envelope")
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	release()
+	rec.Barrier()
+	ticksAtStop := c.State().Ticks
+	time.Sleep(10 * time.Millisecond)
+	if got := c.State().Ticks; got != ticksAtStop {
+		t.Errorf("ticks advanced %d → %d after Stop", ticksAtStop, got)
+	}
+}

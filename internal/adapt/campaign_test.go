@@ -1,0 +1,249 @@
+package adapt
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prcu/internal/chaos"
+	"prcu/internal/core"
+	"prcu/internal/obs"
+	"prcu/internal/reclaim"
+)
+
+// engines mirrors the core test harness's flavor list.
+func engines(maxReaders int) map[string]func() core.RCU {
+	return map[string]func() core.RCU{
+		"EER":    func() core.RCU { return core.NewEER(maxReaders, nil) },
+		"D":      func() core.RCU { return core.NewD(maxReaders, 64) },
+		"DEER":   func() core.RCU { return core.NewDEER(maxReaders, 16, nil) },
+		"Time":   func() core.RCU { return core.NewTimeRCU(maxReaders, nil) },
+		"URCU":   func() core.RCU { return core.NewURCU(maxReaders) },
+		"Tree":   func() core.RCU { return core.NewTreeRCU(maxReaders) },
+		"Dist":   func() core.RCU { return core.NewDistRCU(maxReaders) },
+		"SRCU":   func() core.RCU { return core.NewSRCU(maxReaders) },
+		"Packed": func() core.RCU { return core.NewPacked(maxReaders) },
+	}
+}
+
+// campaignParams sizes one storm run. The proportions are fixed; short
+// mode halves the clock.
+type campaignParams struct {
+	run        time.Duration // total sampled span
+	unit       time.Duration // chaos.Campaign unit
+	maxAge     time.Duration // envelope bound on data age
+	maxPending int           // envelope bound on backlog
+	badPacing  time.Duration // the misconfigured FlushDelay both runs start with
+	floodEvery time.Duration // retire period during UpdateFlood phases
+	bgEvery    time.Duration // retire period otherwise
+}
+
+func params() campaignParams {
+	p := campaignParams{
+		run:        300 * time.Millisecond,
+		unit:       8 * time.Millisecond,
+		maxAge:     200 * time.Millisecond,
+		maxPending: 1024,
+		badPacing:  500 * time.Millisecond,
+		floodEvery: 50 * time.Microsecond,
+		bgEvery:    500 * time.Microsecond,
+	}
+	if testing.Short() {
+		p.run = 150 * time.Millisecond
+		p.unit = 4 * time.Millisecond
+		p.maxAge = 100 * time.Millisecond
+		p.badPacing = 250 * time.Millisecond
+	}
+	return p
+}
+
+// campaignResult is what one storm run observed.
+type campaignResult struct {
+	maxAge     time.Duration
+	maxBacklog int
+	decisions  uint64
+	finalMode  Mode
+}
+
+// runCampaign drives the standard chaos.Campaign storm schedule — stall
+// bursts (WaitHold), an update flood, reader churn spikes — against one
+// flavor behind a fixed-seed chaos wrapper and a reclaimer whose
+// operator "guessed wrong": a batching window far above the age
+// envelope. With controlled set, an adapt.Controller samples every
+// couple of milliseconds and may actuate; without it the
+// misconfiguration stands. The run samples the age and backlog gauges
+// throughout and returns their maxima.
+func runCampaign(t *testing.T, mk func() core.RCU, controlled bool, p campaignParams) campaignResult {
+	t.Helper()
+	eng := chaos.Wrap(mk(), chaos.Config{Seed: 0x5eed_ca12})
+	met := obs.New()
+	rec := reclaim.New(eng, reclaim.Config{
+		Shards:     2,
+		FlushDelay: p.badPacing,
+		Metrics:    met,
+	})
+
+	var c *Controller
+	if controlled {
+		c = New(Config{
+			Name: "campaign",
+			Envelope: Envelope{
+				MaxAge:     p.maxAge,
+				MaxPending: p.maxPending,
+				Headroom:   0.3,
+			},
+			Metrics:   met,
+			Reclaimer: rec,
+			Engines:   []core.RCU{eng},
+			EaseAfter: 1 << 30, // hold the reaction for the whole storm
+		})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var flood, churn atomic.Bool
+
+	// Storm walker: one goroutine owns both sides of the script — the
+	// fault mix (SetConfig) and the workload hints — so they cannot
+	// drift apart.
+	sched := chaos.Campaign(p.unit)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer eng.SetConfig(chaos.Config{})
+		for _, ph := range sched {
+			eng.SetConfig(ph.Cfg)
+			flood.Store(ph.UpdateFlood)
+			churn.Store(ph.ReaderChurn)
+			select {
+			case <-time.After(ph.Dur):
+			case <-ctx.Done():
+				return
+			}
+		}
+		flood.Store(false)
+		churn.Store(false)
+	}()
+
+	// Updater: steady retirement traffic, throttled so the pre-reaction
+	// backlog stays well under the envelope (the age axis, not raw
+	// volume, is what the storm attacks), stepping up during floods.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			rec.Retire(nil, core.All(), 64, func(any) {})
+			d := p.bgEvery
+			if flood.Load() {
+				d = p.floodEvery
+			}
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Readers: two loops cycling values; churn phases re-register each
+	// pass instead of keeping the registration.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var rd core.Reader
+			var err error
+			for i := 0; ctx.Err() == nil; i++ {
+				if rd == nil {
+					if rd, err = eng.Register(); err != nil {
+						return
+					}
+				}
+				v := core.Value((seed*31 + i) % 16)
+				rd.Enter(v)
+				rd.Exit(v)
+				if churn.Load() {
+					rd.Unregister()
+					rd = nil
+				}
+				if i%64 == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			if rd != nil {
+				rd.Unregister()
+			}
+		}(r)
+	}
+
+	// Sampler (and, when controlled, the controller's clock): the
+	// envelope verdict is the maximum these samples ever saw.
+	var res campaignResult
+	start := time.Now()
+	for time.Since(start) < p.run {
+		if c != nil {
+			c.Step()
+		}
+		if age := rec.OldestAge(); age > res.maxAge {
+			res.maxAge = age
+		}
+		if b := rec.Pending(); b > res.maxBacklog {
+			res.maxBacklog = b
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if c != nil {
+		st := c.State()
+		res.decisions = st.Decisions
+		res.finalMode = c.Mode()
+		c.Close()
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer ccancel()
+	if err := rec.CloseCtx(cctx); err != nil {
+		t.Fatalf("reclaimer close: %v", err)
+	}
+	return res
+}
+
+// TestCampaignEnvelope is the self-tuning acceptance proof, per flavor:
+// under the standard chaos campaign with a misconfigured batching
+// window, the uncontrolled runtime provably violates the age envelope
+// (the oldest callback outlives MaxAge), while the controller — same
+// seed, same storm, same misconfiguration — detects the climb inside
+// its headroom band, re-tunes pacing/watermarks, and keeps every
+// sampled age and backlog inside the envelope.
+func TestCampaignEnvelope(t *testing.T) {
+	if testing.Short() && testing.Verbose() {
+		t.Log("short mode: halved storm clock")
+	}
+	p := params()
+	for name, mk := range engines(16) {
+		t.Run(name, func(t *testing.T) {
+			off := runCampaign(t, mk, false, p)
+			if off.maxAge <= p.maxAge {
+				t.Fatalf("uncontrolled baseline stayed in envelope (max age %v <= %v): the storm is not a valid stressor",
+					off.maxAge, p.maxAge)
+			}
+
+			on := runCampaign(t, mk, true, p)
+			if on.decisions == 0 {
+				t.Fatalf("controller never actuated under the storm (final mode %v)", on.finalMode)
+			}
+			if on.maxAge > p.maxAge {
+				t.Errorf("controlled max age %v exceeds the %v envelope (uncontrolled saw %v)",
+					on.maxAge, p.maxAge, off.maxAge)
+			}
+			if on.maxBacklog > p.maxPending {
+				t.Errorf("controlled max backlog %d exceeds the %d envelope",
+					on.maxBacklog, p.maxPending)
+			}
+			t.Logf("max age: uncontrolled %v, controlled %v (envelope %v); controlled backlog peak %d; %d decisions, final mode %v",
+				off.maxAge, on.maxAge, p.maxAge, on.maxBacklog, on.decisions, on.finalMode)
+		})
+	}
+}

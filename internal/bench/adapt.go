@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prcu"
+	"prcu/internal/chaos"
+)
+
+// Adapt demonstrates the self-tuning controller under the standard
+// chaos campaign (stall bursts, an update flood, reader churn spikes):
+// the same storm runs twice against a D-PRCU engine whose reclaimer was
+// deliberately misconfigured with a batching window far above the age
+// envelope — once uncontrolled, once with an Autotuner sampling and
+// actuating. A live line per refresh shows the mode ladder and the age
+// and backlog gauges moving; the summary table is the envelope verdict:
+// the uncontrolled run's max data age blows through the envelope, the
+// controlled run's stays inside it.
+func Adapt(cfg Config, total, refresh time.Duration) error {
+	if total <= 0 {
+		total = 10 * time.Second
+	}
+	if refresh <= 0 {
+		refresh = time.Second
+	}
+	// The storm schedule fills the first ~3/8 of the run (15 campaign
+	// units); the tail is calm so recovery is visible. The "wrong"
+	// batching window outlasts the whole run; the envelope sits at a
+	// third of it, and the unit is sized so the storm's longest wait
+	// hold (4 units) plus the controller's reaction lag stays inside
+	// the envelope once the controller has re-tuned pacing.
+	unit := total / 40
+	badPacing := total
+	maxAge := total / 3
+
+	cfg.printf("=== self-tuning: chaos campaign on d-prcu, %v/run, age envelope %v, misconfigured pacing %v ===\n",
+		total, maxAge.Round(time.Millisecond), badPacing.Round(time.Millisecond))
+
+	tbl := &table{
+		title:   "Self-tuning controller: envelope verdict under the chaos campaign",
+		unit:    "max observed vs envelope (ms); decisions = mode transitions",
+		columns: []string{"max age ms", "age envelope ms", "backlog peak", "decisions"},
+	}
+	for _, controlled := range []bool{false, true} {
+		label := "controller off"
+		if controlled {
+			label = "controller on"
+		}
+		res, err := adaptRun(cfg, controlled, total, refresh, unit, badPacing, maxAge)
+		if err != nil {
+			return err
+		}
+		tbl.addRow(label, []float64{
+			float64(res.maxAge.Milliseconds()),
+			float64(maxAge.Milliseconds()),
+			float64(res.maxBacklog),
+			float64(res.decisions),
+		})
+	}
+	tbl.emit(cfg)
+	return nil
+}
+
+type adaptResult struct {
+	maxAge     time.Duration
+	maxBacklog int
+	decisions  uint64
+}
+
+// adaptRun plays the campaign once. The storm walker owns both the
+// fault mix and the workload hints so they cannot drift; the sampler
+// doubles as the live display.
+func adaptRun(cfg Config, controlled bool, total, refresh, unit, badPacing, maxAge time.Duration) (adaptResult, error) {
+	met := prcu.NewMetrics()
+	inner, err := prcu.New(prcu.FlavorD, cfg.options())
+	if err != nil {
+		return adaptResult{}, err
+	}
+	eng := chaos.Wrap(inner, chaos.Config{Seed: 0x5eed_ad47})
+	rec := prcu.NewReclaimer(eng, prcu.ReclaimConfig{
+		Shards:     2,
+		FlushDelay: badPacing,
+		Metrics:    met,
+	})
+
+	var c *prcu.Autotuner
+	if controlled {
+		c = prcu.NewAutotuner(prcu.AutotuneConfig{
+			Name:      "prcubench-adapt",
+			Interval:  refresh / 4,
+			Envelope:  prcu.AutotuneEnvelope{MaxAge: maxAge, MaxPending: 4096, Headroom: 0.35},
+			Metrics:   met,
+			Reclaimer: rec,
+			Engines:   []prcu.RCU{eng},
+			EaseAfter: 8,
+		})
+		c.Start()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var flood, churn atomic.Bool
+
+	sched := chaos.Campaign(unit)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer eng.SetConfig(chaos.Config{})
+		for _, ph := range sched {
+			eng.SetConfig(ph.Cfg)
+			flood.Store(ph.UpdateFlood)
+			churn.Store(ph.ReaderChurn)
+			select {
+			case <-time.After(ph.Dur):
+			case <-ctx.Done():
+				return
+			}
+		}
+		flood.Store(false)
+		churn.Store(false)
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			rec.Retire(struct{}{}, prcu.All(), 64, nil)
+			d := 500 * time.Microsecond
+			if flood.Load() {
+				d = 50 * time.Microsecond
+			}
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var rd prcu.Reader
+			for i := 0; ctx.Err() == nil; i++ {
+				if rd == nil {
+					var err error
+					if rd, err = eng.Register(); err != nil {
+						return
+					}
+				}
+				v := prcu.Value((seed*31 + i) % 64)
+				rd.Enter(v)
+				rd.Exit(v)
+				if churn.Load() {
+					rd.Unregister()
+					rd = nil
+				}
+				if i%64 == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			if rd != nil {
+				rd.Unregister()
+			}
+		}(r)
+	}
+
+	var res adaptResult
+	start := time.Now()
+	next := start.Add(refresh)
+	for time.Since(start) < total {
+		if age := rec.OldestAge(); age > res.maxAge {
+			res.maxAge = age
+		}
+		if b := rec.Pending(); b > res.maxBacklog {
+			res.maxBacklog = b
+		}
+		if now := time.Now(); now.After(next) {
+			next = now.Add(refresh)
+			mode := "off"
+			if c != nil {
+				mode = c.Mode().String()
+			}
+			cfg.printf("t=%-6s mode=%-8s age=%-10s backlog=%-6d\n",
+				time.Since(start).Round(time.Second), mode,
+				rec.OldestAge().Round(time.Millisecond), rec.Pending())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if c != nil {
+		res.decisions = c.State().Decisions
+		c.Close()
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer ccancel()
+	if err := rec.CloseCtx(cctx); err != nil {
+		return res, err
+	}
+	return res, nil
+}

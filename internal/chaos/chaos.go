@@ -92,19 +92,42 @@ type Counts struct {
 	WaitHolds    uint64
 }
 
+// params is a compiled fault mix: Config's probabilities turned into
+// comparison thresholds. The whole struct swaps atomically on SetConfig
+// so every fault decision sees one coherent mix (never a new
+// probability paired with an old duration).
+type params struct {
+	enterThr uint64
+	delayThr uint64
+	stallThr uint64
+	waitThr  uint64
+	holdThr  uint64
+	delayDur time.Duration
+	stallDur time.Duration
+	holdDur  time.Duration
+	cfg      Config // as given, for readback
+}
+
+func compile(cfg Config) *params {
+	return &params{
+		enterThr: threshold(cfg.EnterJitter),
+		delayThr: threshold(cfg.ExitDelay),
+		stallThr: threshold(cfg.Stall),
+		waitThr:  threshold(cfg.WaitJitter),
+		holdThr:  threshold(cfg.WaitHold),
+		delayDur: cfg.ExitDelayDur,
+		stallDur: cfg.StallDur,
+		holdDur:  cfg.WaitHoldDur,
+		cfg:      cfg,
+	}
+}
+
 // Engine is a fault-injecting core.RCU wrapper; construct with Wrap.
 type Engine struct {
 	inner core.RCU
 
 	seed       uint64
-	enterThr   uint64
-	delayThr   uint64
-	stallThr   uint64
-	waitThr    uint64
-	holdThr    uint64
-	delayDur   time.Duration
-	stallDur   time.Duration
-	holdDur    time.Duration
+	par        atomic.Pointer[params]
 	readers    atomic.Uint64 // registration index stream
 	waitSeq    atomic.Uint64 // wait-side decision stream
 	holdSeq    atomic.Uint64 // wait-hold decision stream
@@ -117,19 +140,28 @@ type Engine struct {
 
 // Wrap returns inner behind the fault injector configured by cfg.
 func Wrap(inner core.RCU, cfg Config) *Engine {
-	return &Engine{
-		inner:    inner,
-		seed:     splitmix64(cfg.Seed ^ 0x9e3779b97f4a7c15),
-		enterThr: threshold(cfg.EnterJitter),
-		delayThr: threshold(cfg.ExitDelay),
-		stallThr: threshold(cfg.Stall),
-		waitThr:  threshold(cfg.WaitJitter),
-		holdThr:  threshold(cfg.WaitHold),
-		delayDur: cfg.ExitDelayDur,
-		stallDur: cfg.StallDur,
-		holdDur:  cfg.WaitHoldDur,
+	e := &Engine{
+		inner: inner,
+		seed:  splitmix64(cfg.Seed ^ 0x9e3779b97f4a7c15),
 	}
+	e.par.Store(compile(cfg))
+	return e
 }
+
+// SetConfig atomically replaces the live fault mix — the mechanism a
+// storm Schedule scripts phases through. Operations in flight finish
+// under the mix they observed. The decision streams and the seed are
+// fixed at Wrap time (cfg.Seed is ignored here): the wait-side streams
+// stay deterministic in the count of waits issued across re-configs,
+// and per-reader streams advance only for fault classes enabled when
+// the operation ran.
+func (e *Engine) SetConfig(cfg Config) {
+	cfg.Seed = e.par.Load().cfg.Seed
+	e.par.Store(compile(cfg))
+}
+
+// Config returns the live fault mix (Seed as given to Wrap).
+func (e *Engine) Config() Config { return e.par.Load().cfg }
 
 // threshold converts a probability to a uint64 comparison bound.
 func threshold(p float64) uint64 {
@@ -189,6 +221,24 @@ func (e *Engine) SetStallConfig(cfg core.StallConfig) {
 	}
 }
 
+// SetWaitTuning forwards a wait-side back-off discipline to the inner
+// engine, when it has the hook (every internal/core engine does), so the
+// adaptive controller can actuate engines through their chaos wrappers.
+func (e *Engine) SetWaitTuning(t core.WaitTuning) {
+	if wt, ok := e.inner.(core.WaitTuner); ok {
+		wt.SetWaitTuning(t)
+	}
+}
+
+// WaitTuning reports the inner engine's tuning (zero when the inner
+// engine has no hook).
+func (e *Engine) WaitTuning() core.WaitTuning {
+	if wt, ok := e.inner.(core.WaitTuner); ok {
+		return wt.WaitTuning()
+	}
+	return core.WaitTuning{}
+}
+
 // Register implements core.RCU, wrapping the inner reader with the
 // fault injector. Each reader gets its own decision stream keyed by
 // its registration index.
@@ -208,48 +258,51 @@ func (e *Engine) Register() (core.Reader, error) {
 // waitShake maybe-yields ahead of a grace-period wait. The decision
 // stream is keyed by a shared atomic sequence: deterministic in the
 // count of waits issued, independent of which goroutine issues them.
-func (e *Engine) waitShake() {
-	if e.waitThr == 0 {
+func (e *Engine) waitShake(p *params) {
+	if p.waitThr == 0 {
 		return
 	}
-	if splitmix64(e.seed^e.waitSeq.Add(1)*0x94d049bb133111eb) < e.waitThr {
+	if splitmix64(e.seed^e.waitSeq.Add(1)*0x94d049bb133111eb) < p.waitThr {
 		e.nWaitShake.Add(1)
 		yield()
 	}
 }
 
-// holdDecision reports whether this wait should be held, from its own
-// shared decision stream (deterministic in the count of waits issued).
-func (e *Engine) holdDecision() bool {
-	if e.holdThr == 0 {
-		return false
+// holdSpan decides whether this wait is held, from its own shared
+// decision stream (deterministic in the count of waits issued), and
+// returns the hold duration (which may be zero — degrades to a yield).
+func (e *Engine) holdSpan(p *params) (time.Duration, bool) {
+	if p.holdThr == 0 {
+		return 0, false
 	}
-	if splitmix64(e.seed^e.holdSeq.Add(1)*0xbf58476d1ce4e5b9) >= e.holdThr {
-		return false
+	if splitmix64(e.seed^e.holdSeq.Add(1)*0xbf58476d1ce4e5b9) >= p.holdThr {
+		return 0, false
 	}
 	e.nWaitHold.Add(1)
-	return true
+	return p.holdDur, true
 }
 
 // WaitForReaders implements core.RCU.
 func (e *Engine) WaitForReaders(p core.Predicate) {
-	e.waitShake()
-	if e.holdDecision() {
-		sleep(e.holdDur)
+	par := e.par.Load()
+	e.waitShake(par)
+	if d, held := e.holdSpan(par); held {
+		sleep(d)
 	}
 	e.inner.WaitForReaders(p)
 }
 
 // WaitForReadersCtx implements core.RCU.
 func (e *Engine) WaitForReadersCtx(ctx context.Context, p core.Predicate) error {
-	e.waitShake()
-	if e.holdDecision() {
+	par := e.par.Load()
+	e.waitShake(par)
+	if d, held := e.holdSpan(par); held {
 		// Honor ctx during the hold: a deadline that lands mid-hold means
 		// the grace period never completed, which is the truthful result.
-		if e.holdDur <= 0 {
+		if d <= 0 {
 			yield()
 		} else {
-			t := time.NewTimer(e.holdDur)
+			t := time.NewTimer(d)
 			select {
 			case <-t.C:
 			case <-ctx.Done():
@@ -272,7 +325,8 @@ type reader struct {
 
 // Enter implements core.Reader: maybe jitter, then enter.
 func (c *reader) Enter(v core.Value) {
-	if c.e.enterThr != 0 && c.r.next() < c.e.enterThr {
+	p := c.e.par.Load()
+	if p.enterThr != 0 && c.r.next() < p.enterThr {
 		c.e.nJitter.Add(1)
 		yield()
 	}
@@ -285,12 +339,13 @@ func (c *reader) Enter(v core.Value) {
 // the critical section genuinely stays open — waiters must wait it out
 // and the stall watchdog must see it.
 func (c *reader) Exit(v core.Value) {
-	if c.e.stallThr != 0 && c.r.next() < c.e.stallThr {
+	p := c.e.par.Load()
+	if p.stallThr != 0 && c.r.next() < p.stallThr {
 		c.e.nStall.Add(1)
-		sleep(c.e.stallDur)
-	} else if c.e.delayThr != 0 && c.r.next() < c.e.delayThr {
+		sleep(p.stallDur)
+	} else if p.delayThr != 0 && c.r.next() < p.delayThr {
 		c.e.nDelay.Add(1)
-		sleep(c.e.delayDur)
+		sleep(p.delayDur)
 	}
 	c.rd.Exit(v)
 }

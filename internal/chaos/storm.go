@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"context"
+	"time"
+)
+
+// A Phase is one segment of a storm schedule: a fault mix the Engine
+// applies for Dur, plus workload hints the campaign driver (a test or
+// benchmark loop) interprets. The chaos Engine actuates only Cfg; the
+// hints exist so one Schedule value can script both sides of a storm —
+// the faults injected under the workload and the shape of the workload
+// itself — without the driver hard-coding phase names.
+type Phase struct {
+	Name string
+	Dur  time.Duration
+	// Cfg is the fault mix for the span. Its Seed field is ignored:
+	// the Engine keeps the seed it was wrapped with.
+	Cfg Config
+
+	// UpdateFlood asks the driver to run update/retire traffic at full
+	// rate for the span (off: its steady background rate).
+	UpdateFlood bool
+	// ReaderChurn asks the driver to register and unregister readers
+	// during the span instead of keeping a fixed set.
+	ReaderChurn bool
+}
+
+// Schedule is an ordered storm script. Run plays it against an Engine;
+// the campaign driver walks the same slice to pace its workload.
+type Schedule []Phase
+
+// Total returns the schedule's wall-clock length.
+func (s Schedule) Total() time.Duration {
+	var d time.Duration
+	for _, p := range s {
+		d += p.Dur
+	}
+	return d
+}
+
+// Run applies each phase's fault mix to e in order, holding it for the
+// phase's duration, then clears the mix (zero Config — no faults).
+// It returns early, clearing the mix, if ctx ends mid-schedule.
+func (s Schedule) Run(ctx context.Context, e *Engine) {
+	defer e.SetConfig(Config{})
+	for _, p := range s {
+		e.SetConfig(p.Cfg)
+		if p.Dur <= 0 {
+			continue
+		}
+		t := time.NewTimer(p.Dur)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
+// StallBursts scripts the "slow grace period" storm: bursts where a
+// large fraction of waits are held for hold (the WaitHold fault —
+// retirements keep arriving while grace periods crawl, so reclamation
+// backlog and data age climb), separated by calm spans that let a
+// controller's hysteresis ease back off. cycles repeats the
+// burst/calm pair.
+func StallBursts(burst, calm, hold time.Duration, cycles int) Schedule {
+	var s Schedule
+	for i := 0; i < cycles; i++ {
+		s = append(s,
+			Phase{
+				Name: "stall-burst",
+				Dur:  burst,
+				Cfg:  Config{WaitHold: 0.9, WaitHoldDur: hold},
+			},
+			Phase{Name: "calm", Dur: calm},
+		)
+	}
+	return s
+}
+
+// UpdateFlood scripts the backlog storm: the driver floods updates at
+// full rate while exits are lightly delayed, so retirement outruns
+// grace periods and the watermark/pacing machinery must engage.
+func UpdateFlood(dur, calm time.Duration) Schedule {
+	return Schedule{
+		Phase{
+			Name:        "update-flood",
+			Dur:         dur,
+			Cfg:         Config{ExitDelay: 0.2, ExitDelayDur: 200 * time.Microsecond},
+			UpdateFlood: true,
+		},
+		Phase{Name: "calm", Dur: calm},
+	}
+}
+
+// ReaderChurnSpikes scripts the registration storm: readers register
+// and unregister throughout while Enter jitter widens the race windows
+// a churning reader population opens against concurrent wait scans.
+func ReaderChurnSpikes(spike, calm time.Duration, cycles int) Schedule {
+	var s Schedule
+	for i := 0; i < cycles; i++ {
+		s = append(s,
+			Phase{
+				Name:        "reader-churn",
+				Dur:         spike,
+				Cfg:         Config{EnterJitter: 0.3, WaitJitter: 0.3},
+				ReaderChurn: true,
+			},
+			Phase{Name: "calm", Dur: calm},
+		)
+	}
+	return s
+}
+
+// Campaign concatenates the three storm families — stall bursts, an
+// update flood, reader churn spikes — into the standard chaos campaign
+// used by the self-tuning acceptance tests, scaled by unit (each
+// active phase lasts 2·unit, each calm phase 1·unit, wait holds 4·unit).
+func Campaign(unit time.Duration) Schedule {
+	var s Schedule
+	s = append(s, StallBursts(2*unit, unit, 4*unit, 2)...)
+	s = append(s, UpdateFlood(2*unit, unit)...)
+	s = append(s, ReaderChurnSpikes(2*unit, unit, 2)...)
+	return s
+}

@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"prcu/internal/core"
+)
+
+// TestSetConfigLive re-scripts a running engine's fault mix and checks
+// each phase injects only its own fault classes: enter jitter under the
+// jitter mix, exit delays under the delay mix, nothing once cleared.
+func TestSetConfigLive(t *testing.T) {
+	e := Wrap(core.NewEER(4, nil), Config{Seed: 99, EnterJitter: 1.0})
+	rd, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Unregister()
+	spin := func(n int) {
+		for i := 0; i < n; i++ {
+			rd.Enter(core.Value(i % 8))
+			rd.Exit(core.Value(i % 8))
+		}
+	}
+
+	spin(50)
+	afterJitter := e.Counts()
+	if afterJitter.EnterJitters != 50 {
+		t.Fatalf("jitter mix injected %d enter jitters over 50 ops, want 50", afterJitter.EnterJitters)
+	}
+	if afterJitter.ExitDelays != 0 {
+		t.Fatalf("jitter mix injected %d exit delays, want 0", afterJitter.ExitDelays)
+	}
+
+	e.SetConfig(Config{ExitDelay: 1.0, ExitDelayDur: 1})
+	spin(50)
+	afterDelay := e.Counts()
+	if afterDelay.EnterJitters != afterJitter.EnterJitters {
+		t.Fatalf("delay mix still injecting enter jitters: %d -> %d",
+			afterJitter.EnterJitters, afterDelay.EnterJitters)
+	}
+	if afterDelay.ExitDelays != 50 {
+		t.Fatalf("delay mix injected %d exit delays over 50 ops, want 50", afterDelay.ExitDelays)
+	}
+
+	e.SetConfig(Config{})
+	spin(50)
+	if got := e.Counts(); got != afterDelay {
+		t.Fatalf("cleared mix still injecting faults: %+v -> %+v", afterDelay, got)
+	}
+}
+
+// TestSetConfigKeepsSeed pins the contract that re-configs cannot
+// re-seed: the Wrap seed survives any SetConfig and Config() reports it.
+func TestSetConfigKeepsSeed(t *testing.T) {
+	e := Wrap(core.NewEER(4, nil), Config{Seed: 0xabcdef})
+	e.SetConfig(Config{Seed: 123, WaitJitter: 0.5})
+	if got := e.Config().Seed; got != 0xabcdef {
+		t.Fatalf("SetConfig replaced the seed: got %#x, want %#x", got, 0xabcdef)
+	}
+	if got := e.Config().WaitJitter; got != 0.5 {
+		t.Fatalf("SetConfig dropped the new mix: WaitJitter = %v, want 0.5", got)
+	}
+}
+
+// TestScheduleShapes checks the storm presets script what their names
+// promise: stall bursts hold waits, the flood phase flags UpdateFlood,
+// churn spikes flag ReaderChurn, and every preset ends on a calm phase
+// so a controller gets a recovery window.
+func TestScheduleShapes(t *testing.T) {
+	u := 10 * time.Millisecond
+	cases := map[string]Schedule{
+		"StallBursts":       StallBursts(2*u, u, 4*u, 2),
+		"UpdateFlood":       UpdateFlood(2*u, u),
+		"ReaderChurnSpikes": ReaderChurnSpikes(2*u, u, 2),
+		"Campaign":          Campaign(u),
+	}
+	for name, s := range cases {
+		if len(s) == 0 {
+			t.Fatalf("%s: empty schedule", name)
+		}
+		if s[len(s)-1].Name != "calm" {
+			t.Errorf("%s: ends on %q, want a calm phase", name, s[len(s)-1].Name)
+		}
+		if s.Total() <= 0 {
+			t.Errorf("%s: non-positive total duration", name)
+		}
+	}
+	var holds, floods, churns int
+	for _, p := range Campaign(u) {
+		if p.Cfg.WaitHold > 0 {
+			holds++
+		}
+		if p.UpdateFlood {
+			floods++
+		}
+		if p.ReaderChurn {
+			churns++
+		}
+	}
+	if holds == 0 || floods == 0 || churns == 0 {
+		t.Fatalf("Campaign missing a storm family: holds=%d floods=%d churns=%d",
+			holds, floods, churns)
+	}
+}
+
+// TestScheduleRun plays a short schedule against a live engine and
+// checks the mix tracks the phases and clears at the end; a cancelled
+// context also clears the mix.
+func TestScheduleRun(t *testing.T) {
+	e := Wrap(core.NewEER(4, nil), Config{Seed: 7})
+	s := Schedule{
+		Phase{Name: "a", Dur: 20 * time.Millisecond, Cfg: Config{EnterJitter: 0.5}},
+		Phase{Name: "b", Dur: 20 * time.Millisecond, Cfg: Config{WaitJitter: 0.5}},
+	}
+	done := make(chan struct{})
+	go func() { s.Run(context.Background(), e); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	if got := e.Config().EnterJitter; got != 0.5 {
+		t.Errorf("mid-phase-a mix: EnterJitter = %v, want 0.5", got)
+	}
+	<-done
+	if got := e.Config(); got != (Config{Seed: 7}) {
+		t.Errorf("schedule end left mix %+v, want cleared", got)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	Schedule{Phase{Name: "x", Dur: time.Hour, Cfg: Config{Stall: 1}}}.Run(ctx, e)
+	if got := e.Config().Stall; got != 0 {
+		t.Errorf("cancelled run left Stall = %v, want cleared", got)
+	}
+}

@@ -24,6 +24,7 @@ const DefaultNodesPerReader = 16
 type DEER struct {
 	metered
 	resilient
+	tunable
 	reg   *registry
 	clock Clock
 	// Each segment's state is one flat []timeNode allocation, carved into
@@ -163,7 +164,7 @@ func (d *DEER) WaitForReaders(p Predicate) {
 		start = m.WaitBegin()
 	}
 	t0 := d.clock.Now()
-	var w spin.Waiter
+	w := d.waiter()
 	var scanned, waited, parked uint64
 	d.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
@@ -219,7 +220,7 @@ func (d *DEER) waitReaders(p Predicate, wc *waitControl) error {
 		start = m.WaitBegin()
 	}
 	t0 := d.clock.Now()
-	var w spin.Waiter
+	w := d.waiter()
 	var scanned, waited, parked uint64
 	var werr error
 	d.reg.forEachActive(func(sg *segment, i int) {

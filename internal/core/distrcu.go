@@ -5,7 +5,6 @@ import (
 
 	"prcu/internal/obs"
 	"prcu/internal/pad"
-	"prcu/internal/spin"
 )
 
 // DistRCU implements the distributed-counters RCU of Arbel and Attiya
@@ -22,6 +21,7 @@ import (
 type DistRCU struct {
 	metered
 	resilient
+	tunable
 	reg *registry
 }
 
@@ -115,7 +115,7 @@ func (d *DistRCU) WaitForReaders(p Predicate) {
 	if m != nil {
 		start = m.WaitBegin()
 	}
-	var w spin.Waiter
+	w := d.waiter()
 	var scanned, waited, parked uint64
 	d.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
@@ -153,7 +153,7 @@ func (d *DistRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	if m != nil {
 		start = m.WaitBegin()
 	}
-	var w spin.Waiter
+	w := d.waiter()
 	var scanned, waited, parked uint64
 	var werr error
 	d.reg.forEachActive(func(sg *segment, i int) {

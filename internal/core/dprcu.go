@@ -68,6 +68,7 @@ func (t *dTable) index(v Value) uint64 { return hashValue(v) & t.mask }
 type D struct {
 	metered
 	resilient
+	tunable
 	reg *registry
 	tbl atomic.Pointer[dTable]
 	// old holds the previous table generation while a Resize drains it;
@@ -447,11 +448,11 @@ func (d *D) drainNode(n *dNode, wc *waitControl) (drainInfo, error) {
 			return info, nil // clean: no readers present on first look
 		}
 		info.waited = true
-		if spin.UntilBudget(func() bool {
+		if spin.UntilBudgetTuned(func() bool {
 			seen0 = seen0 || n.readers[0].Load() == 0
 			seen1 = seen1 || n.readers[1].Load() == 0
 			return seen0 && seen1
-		}, d.optBudget) {
+		}, d.optBudget, d.tuning()) {
 			return info, nil
 		}
 	}
@@ -464,7 +465,7 @@ func (d *D) drainNode(n *dNode, wc *waitControl) (drainInfo, error) {
 	// drain s0+2 started after s0+1 finished, i.e. after we arrived, so
 	// its two-phase sweep covers every reader we are obliged to wait for.
 	s0 := n.drains.Load()
-	var w spin.Waiter
+	w := d.waiter()
 	for !n.mu.TryLock() {
 		if n.drains.Load() >= s0+2 {
 			info.outcome = obs.DrainPiggyback

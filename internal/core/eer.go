@@ -5,7 +5,6 @@ import (
 
 	"prcu/internal/obs"
 	"prcu/internal/pad"
-	"prcu/internal/spin"
 	"prcu/internal/tsc"
 )
 
@@ -42,6 +41,7 @@ func newTimeNodeSeg(n int) []timeNode {
 type EER struct {
 	metered
 	resilient
+	tunable
 	reg   *registry
 	clock Clock
 }
@@ -155,7 +155,7 @@ func (e *EER) WaitForReaders(p Predicate) {
 	// before reading the clock) is implied by SC ordering of the atomic
 	// node loads below against the caller's preceding atomic stores.
 	t0 := e.clock.Now()
-	var w spin.Waiter
+	w := e.waiter()
 	var scanned, waited, parked uint64
 	e.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
@@ -212,7 +212,7 @@ func (e *EER) waitReaders(p Predicate, wc *waitControl) error {
 	// before reading the clock) is implied by SC ordering of the atomic
 	// node loads below against the caller's preceding atomic stores.
 	t0 := e.clock.Now()
-	var w spin.Waiter
+	w := e.waiter()
 	var scanned, waited, parked uint64
 	var werr error
 	e.reg.forEachActive(func(sg *segment, i int) {

@@ -5,7 +5,6 @@ import (
 
 	"prcu/internal/obs"
 	"prcu/internal/pad"
-	"prcu/internal/spin"
 )
 
 // Packed implements the packed-state epoch RCU: the yanet2-style variant
@@ -54,6 +53,7 @@ import (
 type Packed struct {
 	metered
 	resilient
+	tunable
 	reg *registry
 	// gp is the global epoch, pre-shifted into bits 1..31 (always even).
 	// It only ever advances, via Add — the RMW doubles as the seq-cst
@@ -178,7 +178,7 @@ func (p *Packed) WaitForReaders(pred Predicate) {
 	var scanned, waited, parked uint64
 	for phase := 0; phase < 2; phase++ {
 		g := p.gp.Add(packedEpochInc)
-		var w spin.Waiter
+		w := p.waiter()
 		p.reg.forEachActive(func(sg *segment, i int) {
 			scanned++
 			c := &sg.state.([]pad.Uint32)[i]
@@ -224,7 +224,7 @@ func (p *Packed) waitReaders(_ Predicate, wc *waitControl) error {
 	var werr error
 	for phase := 0; phase < 2 && werr == nil; phase++ {
 		g := p.gp.Add(packedEpochInc)
-		var w spin.Waiter
+		w := p.waiter()
 		p.reg.forEachActive(func(sg *segment, i int) {
 			if werr != nil {
 				return

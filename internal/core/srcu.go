@@ -21,6 +21,7 @@ import (
 type SRCU struct {
 	metered
 	resilient
+	tunable
 	reg  *registry
 	node dNode
 }
@@ -134,11 +135,11 @@ func (s *SRCU) WaitForReaders(p Predicate) {
 		return
 	}
 	seen0, seen1 := false, false
-	if spin.UntilBudget(func() bool {
+	if spin.UntilBudgetTuned(func() bool {
 		seen0 = seen0 || n.readers[0].Load() == 0
 		seen1 = seen1 || n.readers[1].Load() == 0
 		return seen0 && seen1
-	}, optimisticBudget) {
+	}, optimisticBudget, s.tuning()) {
 		if m != nil {
 			m.DrainCounts(1, 0, 0)
 			m.WaitEnd(start, 1, 1, 0)
@@ -146,7 +147,7 @@ func (s *SRCU) WaitForReaders(p Predicate) {
 		return
 	}
 	s0 := n.drains.Load()
-	var w spin.Waiter
+	w := s.waiter()
 	for !n.mu.TryLock() {
 		if n.drains.Load() >= s0+2 {
 			if m != nil {
@@ -208,11 +209,11 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		return nil
 	}
 	seen0, seen1 := false, false
-	if spin.UntilBudget(func() bool {
+	if spin.UntilBudgetTuned(func() bool {
 		seen0 = seen0 || n.readers[0].Load() == 0
 		seen1 = seen1 || n.readers[1].Load() == 0
 		return seen0 && seen1
-	}, optimisticBudget) {
+	}, optimisticBudget, s.tuning()) {
 		if m != nil {
 			m.DrainCounts(1, 0, 0)
 			m.WaitEnd(start, 1, 1, 0)
@@ -220,7 +221,7 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		return nil
 	}
 	s0 := n.drains.Load()
-	var w spin.Waiter
+	w := s.waiter()
 	for !n.mu.TryLock() {
 		if n.drains.Load() >= s0+2 {
 			if m != nil {

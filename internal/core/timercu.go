@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"prcu/internal/obs"
-	"prcu/internal/spin"
 	"prcu/internal/tsc"
 )
 
@@ -16,6 +15,7 @@ import (
 type TimeRCU struct {
 	metered
 	resilient
+	tunable
 	reg   *registry
 	clock Clock
 }
@@ -115,7 +115,7 @@ func (t *TimeRCU) WaitForReaders(p Predicate) {
 		start = m.WaitBegin()
 	}
 	t0 := t.clock.Now()
-	var w spin.Waiter
+	w := t.waiter()
 	var scanned, waited, parked uint64
 	t.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
@@ -155,7 +155,7 @@ func (t *TimeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		start = m.WaitBegin()
 	}
 	t0 := t.clock.Now()
-	var w spin.Waiter
+	w := t.waiter()
 	var scanned, waited, parked uint64
 	var werr error
 	t.reg.forEachActive(func(sg *segment, i int) {

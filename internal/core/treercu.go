@@ -7,7 +7,6 @@ import (
 
 	"prcu/internal/obs"
 	"prcu/internal/pad"
-	"prcu/internal/spin"
 )
 
 // treeFanout is the number of child bits packed per tree word. The Linux
@@ -77,6 +76,7 @@ func buildTree(slots int) *treeLevels {
 type TreeRCU struct {
 	metered
 	resilient
+	tunable
 	reg *registry
 	mu  sync.Mutex
 	// tree is the current combining-tree generation. Swapped only under mu
@@ -297,7 +297,7 @@ func (t *TreeRCU) WaitForReaders(p Predicate) {
 		}
 	}
 	root := &tl.levels[len(tl.levels)-1][0]
-	var w spin.Waiter
+	w := t.waiter()
 	for root.Load() != 0 {
 		w.Wait()
 	}
@@ -387,7 +387,7 @@ func (t *TreeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		}
 	}
 	root := &tl.levels[len(tl.levels)-1][0]
-	var w spin.Waiter
+	w := t.waiter()
 	var werr error
 	for root.Load() != 0 {
 		if err := wc.step(&w); err != nil {

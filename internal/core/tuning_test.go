@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitTuningRoundTrip(t *testing.T) {
+	for name, mk := range engines(8) {
+		t.Run(name, func(t *testing.T) {
+			r := mk()
+			wt, ok := r.(WaitTuner)
+			if !ok {
+				t.Fatalf("%s does not implement WaitTuner", name)
+			}
+			if got := wt.WaitTuning(); got != (WaitTuning{}) {
+				t.Fatalf("fresh engine tuning = %+v, want zero", got)
+			}
+			wt.SetWaitTuning(WaitTuningPark)
+			if got := wt.WaitTuning(); got != WaitTuningPark {
+				t.Fatalf("tuning = %+v, want %+v", got, WaitTuningPark)
+			}
+			// Clearing back to the zero tuning restores the default (and the
+			// nil fast path inside waiter()).
+			wt.SetWaitTuning(WaitTuning{})
+			if got := wt.WaitTuning(); got != (WaitTuning{}) {
+				t.Fatalf("cleared tuning = %+v, want zero", got)
+			}
+		})
+	}
+}
+
+// TestWaitTuningLiveness runs every flavor's wait under each preset
+// tuning against a reader that exits while the wait is in flight: a
+// tuned wait must still observe the exit and return. This is the
+// liveness property a bad park/spin configuration would break first.
+func TestWaitTuningLiveness(t *testing.T) {
+	presets := map[string]WaitTuning{
+		"spin":  WaitTuningSpin,
+		"yield": WaitTuningYield,
+		"park":  WaitTuningPark,
+	}
+	for name, mk := range engines(8) {
+		for pname, preset := range presets {
+			t.Run(name+"/"+pname, func(t *testing.T) {
+				r := mk()
+				r.(WaitTuner).SetWaitTuning(preset)
+				rd, err := r.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				entered := make(chan struct{})
+				release := make(chan struct{})
+				go func() {
+					rd.Enter(5)
+					close(entered)
+					<-release
+					rd.Exit(5)
+					rd.Unregister()
+				}()
+				<-entered
+				returned := make(chan struct{})
+				go func() {
+					r.WaitForReaders(Singleton(5))
+					close(returned)
+				}()
+				select {
+				case <-returned:
+					t.Fatal("WaitForReaders returned while a covered critical section was open")
+				case <-time.After(20 * time.Millisecond):
+				}
+				close(release)
+				select {
+				case <-returned:
+				case <-time.After(10 * time.Second):
+					t.Fatalf("tuned (%s) WaitForReaders did not return after the reader exited", pname)
+				}
+			})
+		}
+	}
+}

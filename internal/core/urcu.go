@@ -6,7 +6,6 @@ import (
 
 	"prcu/internal/obs"
 	"prcu/internal/pad"
-	"prcu/internal/spin"
 )
 
 // urcuPhase is the grace-period phase bit in the global counter and in
@@ -29,6 +28,7 @@ const (
 type URCU struct {
 	metered
 	resilient
+	tunable
 	reg *registry
 	gp  pad.Uint64
 	mu  sync.Mutex
@@ -138,7 +138,7 @@ func (u *URCU) WaitForReaders(p Predicate) {
 	for phase := 0; phase < 2; phase++ {
 		newGP := u.gp.Load() ^ urcuPhase
 		u.gp.Store(newGP)
-		var w spin.Waiter
+		w := u.waiter()
 		u.reg.forEachActive(func(sg *segment, i int) {
 			scanned++
 			c := &sg.state.([]pad.Uint64)[i]
@@ -187,7 +187,7 @@ func (u *URCU) waitReaders(_ Predicate, wc *waitControl) error {
 	for phase := 0; phase < 2 && werr == nil; phase++ {
 		newGP := u.gp.Load() ^ urcuPhase
 		u.gp.Store(newGP)
-		var w spin.Waiter
+		w := u.waiter()
 		u.reg.forEachActive(func(sg *segment, i int) {
 			if werr != nil {
 				return

@@ -79,8 +79,8 @@ type attrHolder struct {
 	p atomic.Pointer[attrib]
 }
 
-func (h *attrHolder) Load() *attrib     { return h.p.Load() }
-func (h *attrHolder) Store(a *attrib)   { h.p.Store(a) }
+func (h *attrHolder) Load() *attrib          { return h.p.Load() }
+func (h *attrHolder) Store(a *attrib)        { h.p.Store(a) }
 func (h *attrHolder) Swap(a *attrib) *attrib { return h.p.Swap(a) }
 
 // WaitSpan is the per-wait handle WaitBegin returns and WaitEnd

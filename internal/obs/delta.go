@@ -50,7 +50,10 @@ type Rates struct {
 	// grace periods.
 	ReclaimBacklog      int64
 	ReclaimBacklogBytes int64
-	BacklogSlope        float64
+	// OldestAgeNs is the oldest unresolved callback's age at cur (a
+	// gauge, not a delta) — the data-age input to the target envelope.
+	OldestAgeNs  int64
+	BacklogSlope float64
 	// RetiresPerSec / FreesPerSec / GracesPerSec are the reclaimer's
 	// windowed rates.
 	RetiresPerSec float64
@@ -73,6 +76,7 @@ func Delta(prev, cur Snapshot, dt time.Duration) Rates {
 		Stalls:              sub(cur.Stalls, prev.Stalls),
 		ReclaimBacklog:      cur.ReclaimPending,
 		ReclaimBacklogBytes: cur.ReclaimBytes,
+		OldestAgeNs:         cur.ReclaimOldestNs,
 		Overloads: sub(cur.ReclaimBackpressure, prev.ReclaimBackpressure) +
 			sub(cur.ReclaimInline, prev.ReclaimInline),
 	}

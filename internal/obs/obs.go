@@ -30,6 +30,7 @@ import (
 	"runtime/pprof"
 	rttrace "runtime/trace"
 	"sync"
+	"sync/atomic"
 
 	"prcu/internal/pad"
 	"prcu/internal/stats"
@@ -100,6 +101,17 @@ type Metrics struct {
 	reclaimInline       pad.Uint64
 	reclaimBatch        stats.Histogram
 	reclaimFlushNs      stats.Histogram
+
+	// ageProbe, when set, reports the reclaimer's oldest-unresolved-
+	// callback age in nanoseconds at snapshot time — the data-age gauge
+	// the adaptive controller regulates. It is a pull probe rather than a
+	// pushed gauge because age advances with wall time even when no
+	// reclaim transition fires to update it.
+	ageProbe atomic.Pointer[func() int64]
+
+	// adaptDecisions counts adaptive-controller actuation decisions
+	// recorded against this Metrics (mode changes, watermark retunes).
+	adaptDecisions pad.Uint64
 
 	// retiredEnters accumulates the enter counts of dead readers: when a
 	// slot is recycled its lane restarts from zero for the new owner
@@ -319,6 +331,49 @@ func (m *Metrics) ReclaimOverload(kind OverloadKind, backlog uint64) {
 	}
 }
 
+// SetReclaimAgeProbe installs (or, with nil, removes) the pull probe
+// behind Snapshot.ReclaimOldestNs. The reclaimer installs its
+// OldestAgeNs at construction; a Metrics shared by several reclaimers
+// keeps the last probe installed.
+func (m *Metrics) SetReclaimAgeProbe(probe func() int64) {
+	if m == nil {
+		return
+	}
+	if probe == nil {
+		m.ageProbe.Store(nil)
+		return
+	}
+	m.ageProbe.Store(&probe)
+}
+
+// ReclaimOldestNs reports the age probe's current reading (0 when no
+// probe is installed or the backlog is empty).
+func (m *Metrics) ReclaimOldestNs() int64 {
+	if m == nil {
+		return 0
+	}
+	if p := m.ageProbe.Load(); p != nil {
+		return (*p)()
+	}
+	return 0
+}
+
+// AdaptDecision records one adaptive-controller decision: code is the
+// controller's packed decision word (mode in the low bits; see
+// internal/adapt). The decision lands in the trace ring as an EvAdapt
+// event, giving post-mortems the controller's actuation history in line
+// with the waits and overloads that drove it. The controller rate-limits
+// its own logging; this hook records whatever it is handed.
+func (m *Metrics) AdaptDecision(code uint64) {
+	if m == nil {
+		return
+	}
+	m.adaptDecisions.Add(1)
+	if tr := m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: m.now(), Kind: EvAdapt, Reader: -1, Value: code})
+	}
+}
+
 // ReaderLane is one reader slot's private metrics cell. Its counter is a
 // padded atomic written only by the owning reader (Snapshot reads it),
 // and the sampling scratch fields are owner-only.
@@ -398,6 +453,7 @@ func (m *Metrics) Reset() {
 	m.reclaimInline.Store(0)
 	m.reclaimBatch.Reset()
 	m.reclaimFlushNs.Reset()
+	m.adaptDecisions.Store(0)
 	m.sectionNs.Reset()
 	m.retiredEnters.Store(0)
 	m.laneMu.Lock()

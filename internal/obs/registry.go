@@ -63,3 +63,81 @@ func EachRegistered(f func(name string, m *Metrics)) {
 		}
 	}
 }
+
+// ControllerState is an adaptive controller's self-report for the export
+// plane: its mode ladder position, decision counters, and the last tick's
+// measurements against the operator's target envelope (limit 0 =
+// unbounded on that axis). internal/adapt publishes one per controller
+// via RegisterController; /debug/prcu/health and /metrics render them.
+type ControllerState struct {
+	Name      string `json:"name"`
+	Mode      string `json:"mode"`      // "normal", "elevated", "degraded"
+	ModeCode  int    `json:"mode_code"` // 0, 1, 2 — the /metrics encoding
+	Ticks     uint64 `json:"ticks"`
+	Decisions uint64 `json:"decisions"` // actuations (mode transitions)
+	Breaches  uint64 `json:"breaches"`  // ticks with ≥1 envelope violation
+
+	// Last-tick measurements against the envelope.
+	AgeNs           int64   `json:"age_ns"`
+	MaxAgeNs        int64   `json:"max_age_ns"`
+	Backlog         int64   `json:"backlog"`
+	MaxBacklog      int64   `json:"max_backlog"`
+	BacklogBytes    int64   `json:"backlog_bytes"`
+	MaxBacklogBytes int64   `json:"max_backlog_bytes"`
+	WaitP99Ns       float64 `json:"wait_p99_ns"`
+	MaxWaitP99Ns    int64   `json:"max_wait_p99_ns"`
+}
+
+// Breached reports whether the last tick's measurements violate the
+// envelope on any bounded axis.
+func (c ControllerState) Breached() bool {
+	return (c.MaxAgeNs > 0 && c.AgeNs > c.MaxAgeNs) ||
+		(c.MaxBacklog > 0 && c.Backlog > c.MaxBacklog) ||
+		(c.MaxBacklogBytes > 0 && c.BacklogBytes > c.MaxBacklogBytes) ||
+		(c.MaxWaitP99Ns > 0 && c.WaitP99Ns > float64(c.MaxWaitP99Ns))
+}
+
+var (
+	ctrlMu      sync.Mutex
+	controllers = map[string]func() ControllerState{}
+)
+
+// RegisterController binds a controller's state probe under name in the
+// process-wide export registry (rebinding like Register; nil probe
+// removes the binding). The probe is called on every scrape and must be
+// safe for concurrent use.
+func RegisterController(name string, probe func() ControllerState) {
+	if name == "" {
+		return
+	}
+	ctrlMu.Lock()
+	defer ctrlMu.Unlock()
+	if probe == nil {
+		delete(controllers, name)
+		return
+	}
+	controllers[name] = probe
+}
+
+// Controllers returns every registered controller's current state in
+// sorted name order. Probes run outside the registry lock.
+func Controllers() []ControllerState {
+	ctrlMu.Lock()
+	names := make([]string, 0, len(controllers))
+	for n := range controllers {
+		names = append(names, n)
+	}
+	probes := make([]func() ControllerState, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		probes = append(probes, controllers[n])
+	}
+	ctrlMu.Unlock()
+	out := make([]ControllerState, 0, len(names))
+	for i, p := range probes {
+		st := p()
+		st.Name = names[i]
+		out = append(out, st)
+	}
+	return out
+}

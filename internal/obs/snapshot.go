@@ -92,6 +92,14 @@ type Snapshot struct {
 	// the flush latency distribution.
 	ReclaimBatch   HistSummary
 	ReclaimFlushNs HistSummary
+	// ReclaimOldestNs is the age of the oldest unresolved callback at
+	// snapshot time (0 = empty backlog or no age probe installed) — the
+	// data-age gauge: how stale the most overdue deferred free is.
+	ReclaimOldestNs int64
+
+	// AdaptDecisions counts adaptive-controller actuation decisions
+	// recorded against this Metrics.
+	AdaptDecisions uint64
 
 	// Enters is the total number of read-side critical sections across
 	// all reader lanes, including readers that have since unregistered
@@ -137,6 +145,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		ReclaimInline:       m.reclaimInline.Load(),
 		ReclaimBatch:        summarize(&m.reclaimBatch),
 		ReclaimFlushNs:      summarize(&m.reclaimFlushNs),
+		ReclaimOldestNs:     m.ReclaimOldestNs(),
+		AdaptDecisions:      m.adaptDecisions.Load(),
 	}
 	if s.ReadersScanned > 0 {
 		s.Selectivity = float64(s.ReadersWaited) / float64(s.ReadersScanned)

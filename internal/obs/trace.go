@@ -25,6 +25,10 @@ const (
 	// a caller blocked for backpressure or degraded to an inline grace
 	// period. Value carries the backlog (pending callbacks) at that moment.
 	EvReclaimOverload
+	// EvAdapt marks an adaptive-controller decision (mode change or
+	// actuation); Value carries the controller's packed decision word
+	// (see internal/adapt).
+	EvAdapt
 )
 
 // String returns the event kind's mnemonic.
@@ -44,6 +48,8 @@ func (k EventKind) String() string {
 		return "reclaim-flush"
 	case EvReclaimOverload:
 		return "reclaim-overload"
+	case EvAdapt:
+		return "adapt"
 	default:
 		return "?"
 	}
@@ -137,6 +143,32 @@ func (m *Metrics) EnableTrace(capacity int) {
 
 // TraceEnabled reports whether an event ring is attached.
 func (m *Metrics) TraceEnabled() bool { return m != nil && m.trace.load() != nil }
+
+// DisableTrace detaches the event ring, returning its capacity (0 when
+// none was attached). Hooks racing the detach may finish writing into
+// the old ring, which is then unreachable and collected; re-enable with
+// EnableTrace. The adaptive controller uses this to shed tracing
+// overhead in degraded mode and restore it afterwards.
+func (m *Metrics) DisableTrace() int {
+	if m == nil {
+		return 0
+	}
+	if tr := m.trace.p.Swap(nil); tr != nil {
+		return len(tr.slots)
+	}
+	return 0
+}
+
+// TraceCapacity returns the attached ring's slot count (0 = disabled).
+func (m *Metrics) TraceCapacity() int {
+	if m == nil {
+		return 0
+	}
+	if tr := m.trace.load(); tr != nil {
+		return len(tr.slots)
+	}
+	return 0
+}
 
 func (t *trace) add(ev Event) {
 	idx := t.head.Add(1) - 1

@@ -43,6 +43,7 @@ type engineHealth struct {
 	Stalls        uint64  `json:"stalls"`
 	Backlog       int64   `json:"backlog"`
 	BacklogSlope  float64 `json:"backlog_slope_per_sec"`
+	OldestAgeNs   int64   `json:"oldest_age_ns"`
 	Overloads     uint64  `json:"overloads"`
 }
 
@@ -77,6 +78,7 @@ func (h *healthState) serve(w http.ResponseWriter, _ *http.Request) {
 			Stalls:        rt.Stalls,
 			Backlog:       rt.ReclaimBacklog,
 			BacklogSlope:  rt.BacklogSlope,
+			OldestAgeNs:   rt.OldestAgeNs,
 			Overloads:     rt.Overloads,
 		}
 		if rt.Stalls > 0 {
@@ -95,6 +97,26 @@ func (h *healthState) serve(w http.ResponseWriter, _ *http.Request) {
 		engines[name] = eh
 	})
 
+	// Adaptive controllers report alongside the engines: a controller in
+	// degraded mode, or one whose last tick breached its envelope, marks
+	// the process degraded even when no raw-rate heuristic fired — the
+	// controller has strictly more context (hysteresis, the operator's
+	// declared envelope) than the per-window checks above.
+	controllers := map[string]controllerHealth{}
+	for _, cs := range obs.Controllers() {
+		ch := controllerHealth{ControllerState: cs}
+		if cs.Breached() {
+			ch.Reasons = append(ch.Reasons, "target envelope breached at last tick")
+		}
+		if cs.Mode == "degraded" {
+			ch.Reasons = append(ch.Reasons, "controller in degraded mode")
+		}
+		if len(ch.Reasons) > 0 {
+			degraded = true
+		}
+		controllers[cs.Name] = ch
+	}
+
 	status, code := "ok", http.StatusOK
 	if degraded {
 		status, code = "degraded", http.StatusServiceUnavailable
@@ -104,7 +126,15 @@ func (h *healthState) serve(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(struct {
-		Status  string                  `json:"status"`
-		Engines map[string]engineHealth `json:"engines"`
-	}{status, engines})
+		Status      string                      `json:"status"`
+		Engines     map[string]engineHealth     `json:"engines"`
+		Controllers map[string]controllerHealth `json:"controllers,omitempty"`
+	}{status, engines, controllers})
+}
+
+// controllerHealth is one adaptive controller's row in the health
+// report: its full self-reported state plus the health verdict's reasons.
+type controllerHealth struct {
+	obs.ControllerState
+	Reasons []string `json:"reasons,omitempty"`
 }

@@ -74,9 +74,65 @@ func writePrometheus(w *bufio.Writer) {
 		1, func(s obs.Snapshot) obs.HistSummary { return s.ReclaimBatch })
 	f.histogram("prcu_reclaim_flush_duration_seconds", "Reclaimer flush latency (grace period plus callback runs).",
 		1e-9, func(s obs.Snapshot) obs.HistSummary { return s.ReclaimFlushNs })
+	f.gauge("prcu_reclaim_oldest_age_seconds", "Age of the oldest unresolved reclamation callback (0 = empty backlog).",
+		func(s obs.Snapshot) float64 { return float64(s.ReclaimOldestNs) * 1e-9 })
+
+	f.counter("prcu_adapt_decisions_total", "Adaptive-controller actuation decisions recorded against the engine's metrics.",
+		func(s obs.Snapshot) float64 { return float64(s.AdaptDecisions) })
 
 	f.gauge("prcu_trace_buffered_events", "Events currently held in the engine's trace ring (0 when tracing is off).",
 		func(s obs.Snapshot) float64 { return float64(s.TraceLen) })
+
+	writeControllers(w)
+}
+
+// writeControllers renders every registered adaptive controller's state
+// as prcu_autotune_* families labelled controller="name": the mode
+// ladder position, the decision counters, and the last tick's
+// measurements against the operator's envelope so a dashboard can plot
+// measured-vs-limit on each axis.
+func writeControllers(w *bufio.Writer) {
+	states := obs.Controllers()
+	if len(states) == 0 {
+		return
+	}
+	c := ctrlFamWriter{w: w, states: states}
+	c.family("prcu_autotune_mode", "Controller mode: 0 normal, 1 elevated, 2 degraded.", "gauge",
+		func(s obs.ControllerState) float64 { return float64(s.ModeCode) })
+	c.family("prcu_autotune_ticks_total", "Controller sampling ticks executed.", "counter",
+		func(s obs.ControllerState) float64 { return float64(s.Ticks) })
+	c.family("prcu_autotune_decisions_total", "Controller actuation decisions (mode transitions).", "counter",
+		func(s obs.ControllerState) float64 { return float64(s.Decisions) })
+	c.family("prcu_autotune_breaches_total", "Ticks on which the target envelope was violated.", "counter",
+		func(s obs.ControllerState) float64 { return float64(s.Breaches) })
+	c.family("prcu_autotune_age_seconds", "Oldest-callback age measured at the last tick.", "gauge",
+		func(s obs.ControllerState) float64 { return float64(s.AgeNs) * 1e-9 })
+	c.family("prcu_autotune_age_limit_seconds", "Envelope limit on data age (0 = unbounded).", "gauge",
+		func(s obs.ControllerState) float64 { return float64(s.MaxAgeNs) * 1e-9 })
+	c.family("prcu_autotune_backlog", "Reclaimer backlog measured at the last tick.", "gauge",
+		func(s obs.ControllerState) float64 { return float64(s.Backlog) })
+	c.family("prcu_autotune_backlog_limit", "Envelope limit on reclaimer backlog (0 = unbounded).", "gauge",
+		func(s obs.ControllerState) float64 { return float64(s.MaxBacklog) })
+	c.family("prcu_autotune_backlog_bytes", "Reclaimer backlog bytes measured at the last tick.", "gauge",
+		func(s obs.ControllerState) float64 { return float64(s.BacklogBytes) })
+	c.family("prcu_autotune_backlog_bytes_limit", "Envelope limit on backlog bytes (0 = unbounded).", "gauge",
+		func(s obs.ControllerState) float64 { return float64(s.MaxBacklogBytes) })
+	c.family("prcu_autotune_wait_p99_seconds", "Windowed wait p99 measured at the last tick.", "gauge",
+		func(s obs.ControllerState) float64 { return s.WaitP99Ns * 1e-9 })
+	c.family("prcu_autotune_wait_p99_limit_seconds", "Envelope limit on wait p99 (0 = unbounded).", "gauge",
+		func(s obs.ControllerState) float64 { return float64(s.MaxWaitP99Ns) * 1e-9 })
+}
+
+type ctrlFamWriter struct {
+	w      *bufio.Writer
+	states []obs.ControllerState
+}
+
+func (c *ctrlFamWriter) family(name, help, typ string, v func(obs.ControllerState) float64) {
+	fmt.Fprintf(c.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	for _, s := range c.states {
+		fmt.Fprintf(c.w, "%s{controller=\"%s\"} %s\n", name, escapeLabel(s.Name), fmtFloat(v(s)))
+	}
 }
 
 // famWriter emits one metric family at a time across every engine, so

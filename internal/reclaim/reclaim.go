@@ -42,6 +42,7 @@ import (
 
 	"prcu/internal/core"
 	"prcu/internal/obs"
+	"prcu/internal/tsc"
 )
 
 // Policy selects how Retire behaves once the backlog crosses the hard
@@ -81,6 +82,14 @@ type Config struct {
 	// soft watermark. A single retirement declaring more than MaxBytes is
 	// resolved inline under any policy (it could never fit).
 	MaxBytes int64
+	// SoftPending overrides the derived soft watermark on callback count
+	// (0 = half of MaxPending). It must not exceed MaxPending when both
+	// are set — New panics on inverted watermarks.
+	SoftPending int
+	// SoftBytes overrides the derived soft watermark on declared bytes
+	// (0 = half of MaxBytes). It must not exceed MaxBytes when both are
+	// set.
+	SoftBytes int64
 	// Policy selects the hard-watermark behavior; see PolicyBlock.
 	Policy Policy
 	// FlushDelay overrides the batch-accumulation window: 0 means
@@ -107,6 +116,9 @@ type callback struct {
 	fn    func()
 	fnErr func(error)
 	bytes int64
+	// atNs is the submission timestamp on the reclaimer's monotonic
+	// clock — the basis of the data-age gauge (OldestAge).
+	atNs int64
 }
 
 // run resolves the callback with its wait's outcome and reports whether
@@ -134,12 +146,20 @@ func (cb *callback) run(err error) bool {
 // Construct with New; Close (or CloseCtx) must be called to release the
 // flush workers.
 type Reclaimer struct {
-	rcu        core.RCU
-	met        *obs.Metrics
-	policy     Policy
-	maxPending int
-	maxBytes   int64
-	flushDelay time.Duration
+	rcu   core.RCU
+	met   *obs.Metrics
+	clock *tsc.Monotonic // age-gauge timebase
+
+	// Tunable knobs. policy and the watermarks are guarded by capMu (the
+	// lock already held on every read path that consults them), so
+	// SetWatermarks/SetPolicy can never be observed torn. flushDelay is
+	// read locklessly by the shard workers and is therefore atomic.
+	policy      Policy
+	maxPending  int
+	maxBytes    int64
+	softPending int          // 0 = derived (half of maxPending)
+	softBytes   int64        // 0 = derived (half of maxBytes)
+	flushDelay  atomic.Int64 // nanoseconds; 0 = flush immediately
 
 	// workCtx is cancelled at bounded shutdown to abort in-flight waits;
 	// workers survive cancelled waits and keep draining (fast-failing).
@@ -184,20 +204,17 @@ type Reclaimer struct {
 type affinity struct{ idx uint32 }
 
 // New returns a running Reclaimer flushing through r's grace periods.
+// It panics on an invalid Config: negative watermarks, or a soft
+// watermark above its hard counterpart (an inversion that would
+// otherwise silently disable expedited flushing until overload).
 func New(r core.RCU, cfg Config) *Reclaimer {
+	validate(cfg)
 	n := cfg.Shards
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 		if n > 8 {
 			n = 8
 		}
-	}
-	delay := cfg.FlushDelay
-	if delay == 0 {
-		delay = DefaultFlushDelay
-	}
-	if delay < 0 {
-		delay = 0
 	}
 	met := cfg.Metrics
 	if met == nil {
@@ -209,12 +226,16 @@ func New(r core.RCU, cfg Config) *Reclaimer {
 	rc := &Reclaimer{
 		rcu:         r,
 		met:         met,
+		clock:       tsc.NewMonotonic(),
 		policy:      cfg.Policy,
 		maxPending:  cfg.MaxPending,
 		maxBytes:    cfg.MaxBytes,
-		flushDelay:  delay,
+		softPending: cfg.SoftPending,
+		softBytes:   cfg.SoftBytes,
 		closedPanic: "prcu: Retire on closed Reclaimer",
 	}
+	rc.flushDelay.Store(int64(normalizeDelay(cfg.FlushDelay)))
+	met.SetReclaimAgeProbe(rc.OldestAgeNs)
 	rc.workCtx, rc.cancelWork = context.WithCancel(context.Background())
 	rc.space = sync.NewCond(&rc.capMu)
 	rc.aff.New = func() any { return &affinity{idx: rc.rr.Add(1)} }
@@ -223,6 +244,43 @@ func New(r core.RCU, cfg Config) *Reclaimer {
 		rc.shards[i] = newShard(rc)
 	}
 	return rc
+}
+
+// validate panics on a Config New must refuse. The messages name the
+// field so a misconfigured service fails loudly at construction instead
+// of silently never expediting (inverted soft marks) or never bounding
+// (negative marks, which over()/soft() would treat as unbounded).
+func validate(cfg Config) {
+	if cfg.MaxPending < 0 {
+		panic("prcu/reclaim: negative MaxPending watermark")
+	}
+	if cfg.MaxBytes < 0 {
+		panic("prcu/reclaim: negative MaxBytes watermark")
+	}
+	if cfg.SoftPending < 0 {
+		panic("prcu/reclaim: negative SoftPending watermark")
+	}
+	if cfg.SoftBytes < 0 {
+		panic("prcu/reclaim: negative SoftBytes watermark")
+	}
+	if cfg.MaxPending > 0 && cfg.SoftPending > cfg.MaxPending {
+		panic("prcu/reclaim: inverted watermarks: SoftPending exceeds MaxPending")
+	}
+	if cfg.MaxBytes > 0 && cfg.SoftBytes > cfg.MaxBytes {
+		panic("prcu/reclaim: inverted watermarks: SoftBytes exceeds MaxBytes")
+	}
+}
+
+// normalizeDelay maps the FlushDelay convention (0 = default, negative =
+// immediate) onto the stored pacing value.
+func normalizeDelay(d time.Duration) time.Duration {
+	if d == 0 {
+		return DefaultFlushDelay
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // shard returns the submitting goroutine's shard.
@@ -260,6 +318,7 @@ func (r *Reclaimer) Defer(p core.Predicate, bytes int, fn func(error)) {
 // refused by admission (inline degradation or closed-while-blocked) are
 // resolved synchronously by admit and never enqueued.
 func (r *Reclaimer) submit(cb callback) {
+	cb.atNs = r.clock.Now()
 	soft, ok := r.admit(&cb)
 	if !ok {
 		return
@@ -274,11 +333,25 @@ func (r *Reclaimer) over(bytes int64) bool {
 		(r.maxBytes > 0 && r.pendingBytes+bytes > r.maxBytes)
 }
 
-// soft reports whether the backlog has reached a soft watermark (half
-// the hard limit). Caller holds capMu.
+// soft reports whether the backlog has reached a soft watermark
+// (explicitly configured, or half the hard limit). Caller holds capMu.
 func (r *Reclaimer) soft() bool {
-	return (r.maxPending > 0 && 2*r.pending >= r.maxPending) ||
-		(r.maxBytes > 0 && 2*r.pendingBytes >= r.maxBytes)
+	sp, sb := r.softMarks()
+	return (sp > 0 && r.pending >= sp) || (sb > 0 && r.pendingBytes >= sb)
+}
+
+// softMarks resolves the effective soft watermarks (0 = none). Caller
+// holds capMu.
+func (r *Reclaimer) softMarks() (int, int64) {
+	sp := r.softPending
+	if sp == 0 && r.maxPending > 0 {
+		sp = (r.maxPending + 1) / 2
+	}
+	sb := r.softBytes
+	if sb == 0 && r.maxBytes > 0 {
+		sb = (r.maxBytes + 1) / 2
+	}
+	return sp, sb
 }
 
 // admit reserves backlog capacity for cb, applying the configured
@@ -286,10 +359,13 @@ func (r *Reclaimer) soft() bool {
 // (inline wait, or the reclaimer closed while the caller was blocked);
 // soft = true tells the enqueuer to expedite its shard's flush.
 func (r *Reclaimer) admit(cb *callback) (soft, ok bool) {
-	oversize := r.maxBytes > 0 && cb.bytes > r.maxBytes
 	overloaded := false
 	for {
 		r.capMu.Lock()
+		// Evaluated under capMu (and per iteration): the watermarks are
+		// retunable, so a callback that could never fit under the old
+		// limit may fit after a SetWatermarks loosened it, and vice versa.
+		oversize := r.maxBytes > 0 && cb.bytes > r.maxBytes
 		if r.closed {
 			r.capMu.Unlock()
 			if overloaded {
@@ -352,8 +428,9 @@ func (r *Reclaimer) release(cb *callback, freed bool) {
 	r.pending--
 	r.pendingBytes -= cb.bytes
 	r.met.ReclaimResolve(cb.bytes, freed)
+	bounded := r.maxPending > 0 || r.maxBytes > 0
 	r.capMu.Unlock()
-	if r.maxPending > 0 || r.maxBytes > 0 {
+	if bounded {
 		r.space.Broadcast()
 	}
 }
@@ -429,6 +506,104 @@ func (r *Reclaimer) InlineWaits() uint64 { return r.inline.Load() }
 // BackpressureWaits returns the number of retirements that blocked at
 // the hard watermark before being accepted.
 func (r *Reclaimer) BackpressureWaits() uint64 { return r.bp.Load() }
+
+// SetWatermarks retunes the hard watermarks at runtime (0 = unbounded)
+// and re-derives the soft watermarks as their halves, discarding any
+// explicit Config.SoftPending/SoftBytes. It is safe against concurrent
+// Retire/Flush/Close. Tightening below the current backlog does not
+// drop anything: the backlog drains normally while new retirements see
+// the new limits (blocking or degrading inline per the policy);
+// expedited flushing is kicked so the drain starts immediately.
+// Loosening wakes callers parked at the old watermark. SetWatermarks
+// panics on negative values.
+func (r *Reclaimer) SetWatermarks(maxPending int, maxBytes int64) {
+	if maxPending < 0 {
+		panic("prcu/reclaim: negative MaxPending watermark")
+	}
+	if maxBytes < 0 {
+		panic("prcu/reclaim: negative MaxBytes watermark")
+	}
+	r.capMu.Lock()
+	r.maxPending = maxPending
+	r.maxBytes = maxBytes
+	r.softPending = 0
+	r.softBytes = 0
+	expedite := r.soft()
+	r.capMu.Unlock()
+	// Parked PolicyBlock callers re-check over() against the new limits.
+	r.space.Broadcast()
+	if expedite {
+		r.expediteAll()
+	}
+}
+
+// Watermarks returns the hard watermarks in force (0 = unbounded).
+func (r *Reclaimer) Watermarks() (maxPending int, maxBytes int64) {
+	r.capMu.Lock()
+	defer r.capMu.Unlock()
+	return r.maxPending, r.maxBytes
+}
+
+// SetPacing retunes the batch-accumulation window at runtime, with the
+// Config.FlushDelay convention: 0 restores DefaultFlushDelay, negative
+// means flush immediately. The next batch a shard opens uses the new
+// window; a window already being slept out is not cut short (use Flush
+// for that).
+func (r *Reclaimer) SetPacing(d time.Duration) {
+	r.flushDelay.Store(int64(normalizeDelay(d)))
+}
+
+// Pacing returns the batch-accumulation window in force (0 = flush
+// immediately).
+func (r *Reclaimer) Pacing() time.Duration {
+	return time.Duration(r.flushDelay.Load())
+}
+
+// SetPolicy retunes the hard-watermark overload behavior at runtime.
+// Callers parked at the watermark under PolicyBlock are woken and, under
+// a new PolicyInline, degrade to their own inline grace period.
+func (r *Reclaimer) SetPolicy(p Policy) {
+	r.capMu.Lock()
+	r.policy = p
+	r.capMu.Unlock()
+	r.space.Broadcast()
+}
+
+// Policy returns the overload policy in force.
+func (r *Reclaimer) Policy() Policy {
+	r.capMu.Lock()
+	defer r.capMu.Unlock()
+	return r.policy
+}
+
+// OldestAge returns the age of the oldest unresolved callback — the
+// reclaimer's data-age gauge: how stale the most overdue deferred
+// free is. 0 means an empty backlog. The estimate is conservative
+// within one batch (a batch's age is its oldest member's) and is taken
+// on the same monotonic clock that stamps submissions.
+func (r *Reclaimer) OldestAge() time.Duration {
+	ns := r.OldestAgeNs()
+	return time.Duration(ns)
+}
+
+// OldestAgeNs is OldestAge in integer nanoseconds, the form the obs
+// age probe exports.
+func (r *Reclaimer) OldestAgeNs() int64 {
+	oldest := int64(0)
+	for _, s := range r.shards {
+		if at := s.oldestNs(); at > 0 && (oldest == 0 || at < oldest) {
+			oldest = at
+		}
+	}
+	if oldest == 0 {
+		return 0
+	}
+	age := r.clock.Now() - oldest
+	if age < 0 {
+		age = 0
+	}
+	return age
+}
 
 // Stats returns the attached Metrics' snapshot (zero Snapshot when no
 // Metrics was configured).

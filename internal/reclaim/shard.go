@@ -21,6 +21,13 @@ type shard struct {
 	inFlight int  // callbacks handed to the worker, not yet resolved
 	expedite bool // skip the accumulation delay for the current queue
 
+	// Age tracking for the oldest-callback gauge, under mu. queueOldestNs
+	// is the minimum submission stamp over queue (0 when empty; exact:
+	// enqueues min-update it and the worker always takes the whole
+	// queue); inFlightOldestNs covers the batch the worker holds.
+	queueOldestNs    int64
+	inFlightOldestNs int64
+
 	kick chan struct{} // cap 1: submission/flush/close doorbell
 	done chan struct{} // closed when the worker exits
 }
@@ -43,6 +50,9 @@ func newShard(r *Reclaimer) *shard {
 func (s *shard) enqueue(cb callback, soft bool) {
 	s.mu.Lock()
 	s.queue = append(s.queue, cb)
+	if s.queueOldestNs == 0 || cb.atNs < s.queueOldestNs {
+		s.queueOldestNs = cb.atNs
+	}
 	if soft {
 		s.expedite = true
 	}
@@ -102,15 +112,18 @@ func (s *shard) worker() {
 			s.mu.Unlock()
 			return
 		}
-		wait := r.flushDelay > 0 && !s.expedite && !r.isClosed()
+		delay := r.Pacing()
+		wait := delay > 0 && !s.expedite && !r.isClosed()
 		s.mu.Unlock()
 		if wait {
-			s.accumulate(r.flushDelay)
+			s.accumulate(delay)
 		}
 		s.mu.Lock()
 		batch := s.queue
 		s.queue = nil
 		s.inFlight = len(batch)
+		s.inFlightOldestNs = s.queueOldestNs
+		s.queueOldestNs = 0
 		expedited := s.expedite
 		s.expedite = false
 		s.mu.Unlock()
@@ -119,9 +132,26 @@ func (s *shard) worker() {
 
 		s.mu.Lock()
 		s.inFlight = 0
+		s.inFlightOldestNs = 0
 		s.mu.Unlock()
 		s.idle.Broadcast()
 	}
+}
+
+// oldestNs returns the submission stamp of the shard's oldest
+// unresolved callback, queued or in flight (0 = none).
+func (s *shard) oldestNs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldest := int64(0)
+	if s.inFlight > 0 {
+		oldest = s.inFlightOldestNs
+	}
+	if len(s.queue) > 0 && s.queueOldestNs > 0 &&
+		(oldest == 0 || s.queueOldestNs < oldest) {
+		oldest = s.queueOldestNs
+	}
+	return oldest
 }
 
 // accumulate sleeps out the batching window so a retirement burst can

@@ -1,0 +1,220 @@
+package reclaim
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prcu/internal/core"
+)
+
+// mustPanic runs fn and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic mentioning %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := core.NewTimeRCU(4, nil)
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative MaxPending", Config{MaxPending: -1}, "negative MaxPending"},
+		{"negative MaxBytes", Config{MaxBytes: -1}, "negative MaxBytes"},
+		{"negative SoftPending", Config{SoftPending: -5}, "negative SoftPending"},
+		{"negative SoftBytes", Config{SoftBytes: -5}, "negative SoftBytes"},
+		{"inverted pending", Config{MaxPending: 10, SoftPending: 11}, "SoftPending exceeds MaxPending"},
+		{"inverted bytes", Config{MaxBytes: 10, SoftBytes: 11}, "SoftBytes exceeds MaxBytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mustPanic(t, tc.want, func() { New(eng, tc.cfg) })
+		})
+	}
+	// Soft marks without a hard bound are legal (expedite-only config),
+	// as is soft == hard (expedite exactly at the limit).
+	for _, cfg := range []Config{
+		{SoftPending: 8},
+		{SoftBytes: 1 << 20},
+		{MaxPending: 8, SoftPending: 8},
+		{MaxBytes: 100, SoftBytes: 100},
+	} {
+		r := New(eng, cfg)
+		r.Close()
+	}
+}
+
+func TestSetWatermarksValidation(t *testing.T) {
+	r := New(core.NewTimeRCU(4, nil), Config{})
+	defer r.Close()
+	mustPanic(t, "negative MaxPending", func() { r.SetWatermarks(-1, 0) })
+	mustPanic(t, "negative MaxBytes", func() { r.SetWatermarks(0, -1) })
+}
+
+func TestWatermarksAndPacingRoundTrip(t *testing.T) {
+	r := New(core.NewTimeRCU(4, nil), Config{MaxPending: 100, MaxBytes: 1 << 20})
+	defer r.Close()
+	if mp, mb := r.Watermarks(); mp != 100 || mb != 1<<20 {
+		t.Fatalf("Watermarks() = %d, %d; want 100, %d", mp, mb, 1<<20)
+	}
+	r.SetWatermarks(42, 4096)
+	if mp, mb := r.Watermarks(); mp != 42 || mb != 4096 {
+		t.Fatalf("after SetWatermarks: %d, %d; want 42, 4096", mp, mb)
+	}
+	if got := r.Pacing(); got != DefaultFlushDelay {
+		t.Fatalf("default Pacing() = %v, want %v", got, DefaultFlushDelay)
+	}
+	r.SetPacing(-1)
+	if got := r.Pacing(); got != 0 {
+		t.Fatalf("immediate Pacing() = %v, want 0", got)
+	}
+	r.SetPacing(3 * time.Millisecond)
+	if got := r.Pacing(); got != 3*time.Millisecond {
+		t.Fatalf("Pacing() = %v, want 3ms", got)
+	}
+	r.SetPacing(0)
+	if got := r.Pacing(); got != DefaultFlushDelay {
+		t.Fatalf("restored Pacing() = %v, want %v", got, DefaultFlushDelay)
+	}
+	if r.Policy() != PolicyBlock {
+		t.Fatal("default policy must be PolicyBlock")
+	}
+	r.SetPolicy(PolicyInline)
+	if r.Policy() != PolicyInline {
+		t.Fatal("SetPolicy(PolicyInline) did not take")
+	}
+}
+
+// TestSetWatermarksRaces hammers retire/flush/re-tune concurrently under
+// the race detector: watermark reads must never tear, and the backlog
+// bound must hold mid-retune against the loosest watermark any caller
+// could legitimately have observed.
+func TestSetWatermarksRaces(t *testing.T) {
+	const (
+		loose = 256
+		tight = 32
+	)
+	r := New(core.NewTimeRCU(8, nil), Config{
+		Shards:     2,
+		MaxPending: loose,
+		FlushDelay: 100 * time.Microsecond,
+	})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Retirement storm across several goroutines.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				r.Retire(nil, core.Singleton(core.Value((g*31+i)%16)), 16, nil)
+			}
+		}(g)
+	}
+	// Re-tuner flips between tight and loose watermarks and pacing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if i%2 == 0 {
+				r.SetWatermarks(tight, 0)
+				r.SetPacing(-1)
+			} else {
+				r.SetWatermarks(loose, 0)
+				r.SetPacing(50 * time.Microsecond)
+			}
+			r.SetPolicy(Policy(i % 2)) // alternate Block/Inline
+		}
+	}()
+	// Flusher and bound checker. Pending() may transiently reflect either
+	// watermark depending on interleaving with the re-tuner, but it must
+	// never exceed the loosest limit in play.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			r.Flush()
+			if p := r.Pending(); p > loose {
+				t.Errorf("backlog %d exceeded the loosest watermark %d mid-retune", p, loose)
+				stop.Store(true)
+			}
+			mp, _ := r.Watermarks()
+			if mp != tight && mp != loose {
+				t.Errorf("torn watermark read: %d", mp)
+				stop.Store(true)
+			}
+		}
+	}()
+
+	time.AfterFunc(200*time.Millisecond, func() { stop.Store(true) })
+	wg.Wait()
+	r.SetPolicy(PolicyBlock)
+	r.Barrier()
+	if p := r.Pending(); p != 0 {
+		t.Fatalf("backlog %d after Barrier, want 0", p)
+	}
+	r.Close()
+}
+
+// TestOldestAgeGauge checks the data-age estimate: zero on an empty
+// backlog, growing while a callback is stuck behind a wedged grace
+// period, and zero again once resolved.
+func TestOldestAgeGauge(t *testing.T) {
+	eng := core.NewTimeRCU(4, nil)
+	r := New(eng, Config{Shards: 1, FlushDelay: -1})
+	defer r.Close()
+	if age := r.OldestAge(); age != 0 {
+		t.Fatalf("empty backlog age = %v, want 0", age)
+	}
+
+	// Hold a covered critical section open so the flush wedges.
+	rd, err := eng.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Enter(7)
+	freed := make(chan struct{})
+	r.Retire(nil, core.Singleton(core.Value(7)), 1, func(any) { close(freed) })
+	r.Flush()
+
+	// The callback is now queued or in flight behind the open reader;
+	// its age must become visible and grow.
+	deadline := time.After(5 * time.Second)
+	for r.OldestAge() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("age gauge never saw the pending callback")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	a1 := r.OldestAge()
+	time.Sleep(5 * time.Millisecond)
+	a2 := r.OldestAge()
+	if a2 <= a1 {
+		t.Fatalf("age did not grow while wedged: %v then %v", a1, a2)
+	}
+
+	rd.Exit(7)
+	rd.Unregister()
+	<-freed
+	r.Barrier()
+	if age := r.OldestAge(); age != 0 {
+		t.Fatalf("drained backlog age = %v, want 0", age)
+	}
+}

@@ -73,26 +73,127 @@ func TestUntilBudgetObservesLateSuccess(t *testing.T) {
 	}
 }
 
-func TestWaiterReset(t *testing.T) {
+// TestUntilBudgetNonPositive pins the documented budget ≤ 0 contract: no
+// back-off steps, exactly one condition evaluation, result returned
+// as-is. The Ctx wait paths rely on this when the optimistic phase is
+// configured away.
+func TestUntilBudgetNonPositive(t *testing.T) {
+	for _, budget := range []int{0, -1, -1000} {
+		calls := 0
+		if UntilBudget(func() bool { calls++; return true }, budget) != true {
+			t.Fatalf("budget %d: true condition must report success", budget)
+		}
+		if calls != 1 {
+			t.Fatalf("budget %d: cond evaluated %d times, want exactly 1", budget, calls)
+		}
+		calls = 0
+		if UntilBudget(func() bool { calls++; return false }, budget) {
+			t.Fatalf("budget %d: false condition must report failure", budget)
+		}
+		if calls != 1 {
+			t.Fatalf("budget %d: cond evaluated %d times, want exactly 1", budget, calls)
+		}
+	}
+}
+
+// TestWaiterYieldTransitionBoundary pins the exact step at which a waiter
+// crosses from pure spinning into scheduler yields — the boundary the Ctx
+// waits and the stall watchdog key their checks on (waitControl.step only
+// polls cancellation once Yielded reports true).
+func TestWaiterYieldTransitionBoundary(t *testing.T) {
 	var w Waiter
-	for i := 0; i < spinBudget+5; i++ {
+	for i := 0; i < DefaultSpinBudget; i++ {
+		w.Wait()
+		if w.Yielded() {
+			t.Fatalf("waiter yielded at spin step %d, inside the budget of %d", i+1, DefaultSpinBudget)
+		}
+	}
+	w.Wait() // first step past the budget
+	if !w.Yielded() {
+		t.Fatalf("waiter did not yield on step %d, first past the spin budget", DefaultSpinBudget+1)
+	}
+}
+
+func TestWaiterReset(t *testing.T) {
+	w := Waiter{T: &Tuning{SpinBudget: 4}}
+	for i := 0; i < DefaultSpinBudget+5; i++ {
 		w.Wait()
 	}
 	if w.burst == 0 {
 		t.Fatal("waiter never escalated to yielding")
 	}
 	w.Reset()
-	if w.spins != 0 || w.burst != 0 {
+	if w.spins != 0 || w.burst != 0 || w.steps != 0 || w.parked {
 		t.Fatal("Reset did not clear state")
+	}
+	if w.T == nil {
+		t.Fatal("Reset must keep the waiter's Tuning")
 	}
 }
 
 func TestWaiterBurstCapped(t *testing.T) {
 	var w Waiter
-	for i := 0; i < spinBudget+maxYieldBurst*4; i++ {
+	for i := 0; i < DefaultSpinBudget+DefaultYieldBurst*4; i++ {
 		w.Wait()
 	}
-	if w.burst > maxYieldBurst {
-		t.Fatalf("burst %d exceeds cap %d", w.burst, maxYieldBurst)
+	if w.burst > DefaultYieldBurst {
+		t.Fatalf("burst %d exceeds cap %d", w.burst, DefaultYieldBurst)
+	}
+}
+
+func TestTuningSpinBudgetOverride(t *testing.T) {
+	// Negative budget: yield from the very first step.
+	w := Waiter{T: &Tuning{SpinBudget: -1}}
+	w.Wait()
+	if !w.Yielded() {
+		t.Fatal("SpinBudget < 0 must yield on the first step")
+	}
+	// Enlarged budget: still spinning where the default would have yielded.
+	w = Waiter{T: &Tuning{SpinBudget: DefaultSpinBudget * 4}}
+	for i := 0; i < DefaultSpinBudget*2; i++ {
+		w.Wait()
+	}
+	if w.Yielded() {
+		t.Fatal("enlarged SpinBudget must extend the spin phase")
+	}
+}
+
+func TestTuningParkEscalation(t *testing.T) {
+	tun := &Tuning{SpinBudget: 1, ParkAfter: 2, Park: time.Microsecond}
+	w := Waiter{T: tun}
+	// 1 spin step + 2 yield steps: not yet parked.
+	for i := 0; i < 3; i++ {
+		w.Wait()
+	}
+	if w.Parked() {
+		t.Fatal("parked before ParkAfter yield steps elapsed")
+	}
+	w.Wait() // third yield-phase step: past ParkAfter, must park
+	if !w.Parked() {
+		t.Fatal("did not park after ParkAfter yield steps")
+	}
+	if !w.Yielded() {
+		t.Fatal("a parked waiter must also report Yielded (it left the spin phase)")
+	}
+	w.Reset()
+	if w.Parked() {
+		t.Fatal("Reset did not clear the parked flag")
+	}
+}
+
+func TestZeroTuningMatchesDefaults(t *testing.T) {
+	// A zero Tuning must behave exactly like the nil default: same spin
+	// budget boundary, same burst cap, no parking.
+	wd, wt := Waiter{}, Waiter{T: &Tuning{}}
+	for i := 0; i < DefaultSpinBudget+64; i++ {
+		wd.Wait()
+		wt.Wait()
+		if wd.Yielded() != wt.Yielded() || wd.burst != wt.burst {
+			t.Fatalf("step %d: zero Tuning diverged from defaults (burst %d vs %d)",
+				i, wt.burst, wd.burst)
+		}
+	}
+	if wt.Parked() {
+		t.Fatal("zero Tuning must never park")
 	}
 }

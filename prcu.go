@@ -79,6 +79,17 @@
 // ReaderPool.Close releases pooled slots deterministically at shutdown.
 // The internal chaos engine exercises all of this under fault injection
 // in the torture suite.
+//
+// # Self-tuning
+//
+// NewAutotuner closes the loop from observability back to actuation: a
+// sampling controller that holds the runtime inside an operator-declared
+// envelope (max data age, max retained backlog, max wait p99) by
+// re-tuning reclaimer pacing and watermarks, the engines' wait back-off
+// discipline (WaitTuner), and — as graceful degradation — the overload
+// policy and observability overhead, easing everything back once the
+// pressure passes. The chaos storm suite proves the envelope holds
+// under stall bursts, update floods and reader churn.
 package prcu
 
 import (
@@ -87,6 +98,7 @@ import (
 	"time"
 
 	"prcu/guard"
+	"prcu/internal/adapt"
 	"prcu/internal/core"
 	"prcu/internal/obs"
 	"prcu/internal/obshttp"
@@ -570,3 +582,82 @@ type Rates = obs.Rates
 // apart (prev first). A zero prev yields since-start rates; counters
 // that moved backwards (Metrics reset between samples) clamp to zero.
 func DeltaStats(prev, cur Snapshot, dt time.Duration) Rates { return obs.Delta(prev, cur, dt) }
+
+// WaitTuning is the spin→yield→park back-off discipline an engine's
+// waiters follow while polling readers: how many spins before yielding
+// the processor, how many yields per burst, and whether (and after how
+// many yield steps) to park the goroutine in the scheduler between
+// polls. The zero value is the built-in default (a short spin budget,
+// burst-capped yields, no parking). Apply it at runtime through
+// WaitTuner — every engine implements it.
+type WaitTuning = core.WaitTuning
+
+// The stock wait disciplines. WaitTuningSpin trades CPU for latency
+// (long spin budget, rare yields) — right when waits are short and
+// cores are idle. WaitTuningYield is the zero default spelled out.
+// WaitTuningPark spins briefly then parks between polls — right on
+// oversubscribed hosts where a spinning waiter steals cycles from the
+// very readers it is waiting on. The Autotuner actuates these.
+var (
+	WaitTuningSpin  = core.WaitTuningSpin
+	WaitTuningYield = core.WaitTuningYield
+	WaitTuningPark  = core.WaitTuningPark
+)
+
+// WaitTuner is implemented by every engine: SetWaitTuning installs a
+// wait discipline atomically (a zero WaitTuning restores the default);
+// WaitTuning reads back the discipline in force. In-flight waits keep
+// the discipline they started with.
+type WaitTuner = core.WaitTuner
+
+// AutotuneEnvelope is the operator's target envelope: the bounds the
+// Autotuner must keep the runtime inside. Zero on any axis means
+// unbounded there. Headroom (default 0.7) is the fraction of each
+// bound at which the controller starts reacting — escalation begins
+// before the envelope is crossed, not after.
+type AutotuneEnvelope = adapt.Envelope
+
+// AutotuneConfig parameterizes NewAutotuner: the envelope, the sensors
+// and actuators (Metrics, Reclaimer, Engines — each optional), the
+// sampling interval, and the hysteresis (BreachAfter ticks to escalate,
+// EaseAfter calm ticks to ease; recovery is deliberately the slower of
+// the two).
+type AutotuneConfig = adapt.Config
+
+// Autotuner is the self-tuning runtime controller: a sampling feedback
+// loop from the observability plane to the runtime's own knobs. Each
+// tick it reads the reclaimer's backlog and data-age gauges and the
+// windowed wait-latency and stall rates, judges them against the
+// operator's envelope, and walks a three-mode ladder:
+//
+//	normal    the configuration the operator chose
+//	elevated  reclaim pacing drops to immediate, watermarks tighten to
+//	          the envelope, waiters yield instead of spinning
+//	degraded  additionally PolicyBlock degrades to PolicyInline (the
+//	          backlog provably cannot grow past the watermark), waiters
+//	          park between polls, and trace/attribution overhead is
+//	          shed (unless KeepObservability), all restored on the way
+//	          back down
+//
+// Drive it with Start/Stop (its own ticker) or Step (one synchronous
+// tick). Every transition is counted in Metrics and traced as an
+// "adapt" event; the controller's mode, counters and last measurements
+// are visible on /metrics (prcu_autotune_*) and /debug/prcu/health
+// under its Name. Close restores the baseline configuration.
+type Autotuner = adapt.Controller
+
+// AutotuneMode is the Autotuner's ladder rung (normal, elevated,
+// degraded).
+type AutotuneMode = adapt.Mode
+
+// The Autotuner's ladder rungs.
+const (
+	AutotuneNormal   = adapt.ModeNormal
+	AutotuneElevated = adapt.ModeElevated
+	AutotuneDegraded = adapt.ModeDegraded
+)
+
+// NewAutotuner builds a self-tuning controller over the given sensors
+// and actuators and registers its state under cfg.Name in the export
+// plane. The controller does not tick until Start (or Step) is called.
+func NewAutotuner(cfg AutotuneConfig) *Autotuner { return adapt.New(cfg) }
