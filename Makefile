@@ -4,7 +4,7 @@ GO ?= go
 # -short; the full run stays well inside this on a laptop-class host.
 TEST_TIMEOUT ?= 300s
 
-.PHONY: all build vet test race short fuzz bench monitor chaos adapt ci clean
+.PHONY: all build vet test race short fuzz bench monitor chaos adapt migrate ci clean
 
 all: ci
 
@@ -60,6 +60,11 @@ monitor:
 # misconfigured reclaimer, controller off vs on, envelope verdict table.
 adapt:
 	$(GO) run ./cmd/prcubench -monitor-for $(MONITOR_FOR) adapt
+
+# Live migration demo: held grace periods on the source engine, the
+# autotuner's escape hatch off vs on, handover verdict table.
+migrate:
+	$(GO) run ./cmd/prcubench -monitor-for $(MONITOR_FOR) migrate
 
 ci:
 	./ci.sh

@@ -18,6 +18,9 @@ rm -f /tmp/prcuvet.ci
 echo "== go test (full) =="
 go test -timeout 300s ./...
 
+echo "== go test -shuffle=on (order-independence pass) =="
+go test -short -shuffle=on -timeout 300s ./...
+
 echo "== go test -race -short (API + engines + structures + typed guard layer) =="
 go test -race -short -timeout 300s . ./internal/core ./citrus ./hashtable ./guard
 

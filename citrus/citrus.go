@@ -114,9 +114,19 @@ func DefaultDomain(flavor prcu.Flavor) Domain {
 	}
 }
 
+// enginePair is the tree's engine binding, swapped wholesale behind an
+// atomic pointer. Outside a live migration old is nil; during one, old
+// holds the engine being drained and the synchronous two-child-delete
+// wait covers both (readers may exist on either engine until the
+// migrator settles the pair — over-covering is always safe).
+type enginePair struct {
+	cur prcu.RCU
+	old prcu.RCU
+}
+
 // Tree is a CITRUS tree. Construct with New; obtain a Handle per goroutine.
 type Tree struct {
-	rcu    prcu.RCU
+	eng    atomic.Pointer[enginePair]
 	pool   *prcu.ReaderPool
 	domain Domain
 	root   *node
@@ -166,13 +176,60 @@ func New(r prcu.RCU, domain Domain) *Tree {
 	if domain.MapKey == nil || domain.WaitPredicate == nil {
 		panic("citrus: Domain with nil functions")
 	}
-	return &Tree{
-		rcu:    r,
+	t := &Tree{
 		pool:   prcu.NewReaderPool(r),
 		domain: domain,
 		root:   &node{key: sentinelKey},
 	}
+	t.eng.Store(&enginePair{cur: r})
+	return t
 }
+
+// Engine returns the engine new readers currently register on.
+func (t *Tree) Engine() prcu.RCU { return t.eng.Load().cur }
+
+// waitForReaders runs one grace period covering pred on every engine in
+// the pair — during a live migration window readers may exist on both.
+func (t *Tree) waitForReaders(pred prcu.Predicate) {
+	ep := t.eng.Load()
+	ep.cur.WaitForReaders(pred)
+	if ep.old != nil {
+		ep.old.WaitForReaders(pred)
+	}
+}
+
+// SwapEngine implements the live-migration front contract: new handles
+// register on target, and until SettleEngine the tree's synchronous
+// deletion waits cover both target and the previous engine. Returns the
+// previous engine. Normally called only by a prcu.Migrator, which also
+// drains the previous engine's readers before settling.
+func (t *Tree) SwapEngine(target prcu.RCU) prcu.RCU {
+	for {
+		ep := t.eng.Load()
+		if t.eng.CompareAndSwap(ep, &enginePair{cur: target, old: ep.cur}) {
+			t.pool.SwapEngine(target)
+			return ep.cur
+		}
+	}
+}
+
+// SettleEngine drops the drained engine from the pair once the migrator
+// has verified it is quiescent.
+func (t *Tree) SettleEngine() {
+	for {
+		ep := t.eng.Load()
+		if ep.old == nil {
+			return
+		}
+		if t.eng.CompareAndSwap(ep, &enginePair{cur: ep.cur}) {
+			return
+		}
+	}
+}
+
+// DrainStale releases pool-cached readers stranded on a pre-swap
+// engine; the migrator calls it between registry-drain re-checks.
+func (t *Tree) DrainStale() { t.pool.DrainStale() }
 
 // Handle is one goroutine's access to the tree, wrapping its reader slot
 // in a typed guard: every traversal happens inside a *prcu.Scope obtained
@@ -188,7 +245,7 @@ type Handle struct {
 // when the engine was built with a reader cap; prefer Handle for ephemeral
 // goroutines.
 func (t *Tree) NewHandle() (*Handle, error) {
-	rd, err := t.rcu.Register()
+	rd, err := t.Engine().Register()
 	if err != nil {
 		return nil, err
 	}
@@ -474,7 +531,10 @@ func (t *Tree) deleteInternal(prev *node, dir int, curr, right *node) bool {
 		rec.Defer(pred, nodeApproxBytes, finish)
 		return true
 	}
-	t.rcu.WaitForReaders(pred)
+	t.waitForReaders(pred)
 	finish(nil)
 	return true
 }
+
+// Compile-time check of the live-migration front contract.
+var _ prcu.EngineFront = (*Tree)(nil)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|adapt|all
+//	prcubench [flags] fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|adapt|migrate|all
 //
 // The stats subcommand runs the mixed workload with the observability
 // layer attached and dumps each engine's internal metrics: grace-period
@@ -16,7 +16,11 @@
 // the chaos storm campaign against a deliberately misconfigured
 // reclaimer twice — with and without the self-tuning controller — and
 // reports whether each run held the operator's age/backlog envelope
-// (-monitor-for sizes one run, -refresh the live display).
+// (-monitor-for sizes one run, -refresh the live display). The migrate
+// subcommand holds most grace periods on the source engine — a failure
+// no reclaimer re-tuning can fix — and runs the same storm with and
+// without the autotuner's live-migration escape hatch armed, reporting
+// whether the workload was handed over to a clean engine mid-storm.
 //
 // With -serve ADDR any subcommand also serves the live export plane
 // while it runs — Prometheus /metrics, /debug/prcu/stats,
@@ -163,7 +167,7 @@ func main() {
 
 // subcommands is the canonical experiment list, shared by the usage
 // text and the unknown-subcommand error.
-const subcommands = "fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|adapt|all"
+const subcommands = "fig1|fig5|fig6|fig7|fig8|fig9|ablation|stats|reclaim|monitor|adapt|migrate|all"
 
 func dispatch(cmd string, cfg bench.Config, includeLF bool, monitorFor, refresh time.Duration) error {
 	switch cmd {
@@ -189,6 +193,8 @@ func dispatch(cmd string, cfg bench.Config, includeLF bool, monitorFor, refresh 
 		return bench.Monitor(cfg, monitorFor, refresh)
 	case "adapt":
 		return bench.Adapt(cfg, monitorFor, refresh)
+	case "migrate":
+		return bench.Migrate(cfg, monitorFor, refresh)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return bench.Fig1(cfg) },

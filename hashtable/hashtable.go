@@ -64,10 +64,20 @@ func newTable[K comparable, V any](buckets int) *table[K, V] {
 	}
 }
 
+// enginePair is the map's engine binding, swapped wholesale behind an
+// atomic pointer. Outside a live migration old is nil; during one, old
+// holds the engine being drained and every updater-side wait covers
+// both (readers may exist on either engine until the migrator settles
+// the pair — over-covering is always safe).
+type enginePair struct {
+	cur prcu.RCU
+	old prcu.RCU
+}
+
 // Map is the resizable hash table. Lookups go through per-goroutine
 // Handles; Insert, Delete and Expand may be called from any goroutine.
 type Map[K comparable, V any] struct {
-	rcu  prcu.RCU
+	eng  atomic.Pointer[enginePair]
 	pool *prcu.ReaderPool
 	hash func(K) uint64
 	// tbl is the current generation, RCU-published: readers reach it only
@@ -186,7 +196,8 @@ func NewWithHash[K comparable, V any](r prcu.RCU, initialBuckets int, hash func(
 	if hash == nil {
 		panic("hashtable: NewWithHash with nil hash")
 	}
-	m := &Map[K, V]{rcu: r, pool: prcu.NewReaderPool(r), hash: hash}
+	m := &Map[K, V]{pool: prcu.NewReaderPool(r), hash: hash}
+	m.eng.Store(&enginePair{cur: r})
 	t := newTable[K, V](initialBuckets)
 	m.tbl.Publish(t)
 	m.maskHint.Store(t.mask)
@@ -199,6 +210,53 @@ func NewWithHash[K comparable, V any](r prcu.RCU, initialBuckets int, hash func(
 func NewModulo(r prcu.RCU, initialBuckets int) *Map[uint64, uint64] {
 	return NewWithHash[uint64, uint64](r, initialBuckets, func(k uint64) uint64 { return k })
 }
+
+// Engine returns the engine new readers currently register on.
+func (m *Map[K, V]) Engine() prcu.RCU { return m.eng.Load().cur }
+
+// waitForReaders runs one grace period covering pred on every engine in
+// the pair — during a live migration window readers may exist on both.
+func (m *Map[K, V]) waitForReaders(pred prcu.Predicate) {
+	ep := m.eng.Load()
+	ep.cur.WaitForReaders(pred)
+	if ep.old != nil {
+		ep.old.WaitForReaders(pred)
+	}
+}
+
+// SwapEngine implements the live-migration front contract: new handles
+// register on target, and until SettleEngine the map's updater-side
+// waits cover both target and the previous engine. Returns the previous
+// engine. Normally called only by a prcu.Migrator, which also drains
+// the previous engine's readers before settling.
+func (m *Map[K, V]) SwapEngine(target prcu.RCU) prcu.RCU {
+	for {
+		ep := m.eng.Load()
+		if m.eng.CompareAndSwap(ep, &enginePair{cur: target, old: ep.cur}) {
+			m.pool.SwapEngine(target)
+			return ep.cur
+		}
+	}
+}
+
+// SettleEngine drops the drained engine from the pair once the migrator
+// has verified it is quiescent; updater-side waits return to covering
+// the current engine alone.
+func (m *Map[K, V]) SettleEngine() {
+	for {
+		ep := m.eng.Load()
+		if ep.old == nil {
+			return
+		}
+		if m.eng.CompareAndSwap(ep, &enginePair{cur: ep.cur}) {
+			return
+		}
+	}
+}
+
+// DrainStale releases pool-cached readers stranded on a pre-swap
+// engine; the migrator calls it between registry-drain re-checks.
+func (m *Map[K, V]) DrainStale() { m.pool.DrainStale() }
 
 // Buckets returns the current bucket count.
 func (m *Map[K, V]) Buckets() int { return len(m.tbl.LoadLocked().heads) }
@@ -225,7 +283,7 @@ type Handle[K comparable, V any] struct {
 // fails when the engine was built with a reader cap; prefer Handle for
 // ephemeral goroutines.
 func (m *Map[K, V]) NewHandle() (*Handle[K, V], error) {
-	rd, err := m.rcu.Register()
+	rd, err := m.Engine().Register()
 	if err != nil {
 		return nil, err
 	}
@@ -470,8 +528,13 @@ func (m *Map[K, V]) unzip(old, nt *table[K, V], b, oldSize uint64) {
 		// run to reach their nodes beyond it; let them finish before
 		// cutting the link.
 		m.waits.Add(1)
-		m.rcu.WaitForReaders(pred)
+		m.waitForReaders(pred)
 		cur.next.Store(q)
 		cur = next
 	}
 }
+
+// Compile-time check of the live-migration front contract.
+var (
+	_ prcu.EngineFront = (*Map[int, int])(nil)
+)

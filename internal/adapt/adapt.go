@@ -36,6 +36,7 @@
 package adapt
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -164,6 +165,19 @@ type Config struct {
 	// KeepObservability stops degraded mode from shedding the trace
 	// ring and runtime attribution.
 	KeepObservability bool
+
+	// MigrateTo and Migrate together arm the degraded-state escape
+	// hatch: when the controller has sat at the degraded rung for
+	// MigrateAfter consecutive ticks — in-engine actuation has run out
+	// of room — it calls Migrate(ctx, MigrateTo) once, asynchronously.
+	// Migrate is typically a prcu.Migrator's AutotuneHook; a failed
+	// migration rolls itself back, and the hatch re-arms only after the
+	// ladder eases out of degraded. Both must be set for the hatch to
+	// exist.
+	MigrateTo string
+	Migrate   func(ctx context.Context, flavor string) error
+	// MigrateAfter is the consecutive-degraded-tick threshold (0 = 8).
+	MigrateAfter int
 }
 
 // Controller is the sampling feedback loop; construct with New, drive
@@ -182,6 +196,12 @@ type Controller struct {
 	hotRun    int
 	calmRun   int
 	last      measurements
+
+	// Escape-hatch state: consecutive degraded ticks, whether the hatch
+	// fired for the current degraded stay, and lifetime firings.
+	degrRun   int
+	migrFired bool
+	escapes   uint64
 
 	prev     obs.Snapshot
 	prevAt   time.Time
@@ -213,6 +233,9 @@ func New(cfg Config) *Controller {
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.MigrateAfter <= 0 {
+		cfg.MigrateAfter = 8
 	}
 	c := &Controller{cfg: cfg}
 	for _, e := range cfg.Engines {
@@ -306,6 +329,7 @@ func (c *Controller) State() obs.ControllerState {
 		Ticks:           c.ticks,
 		Decisions:       c.decisions,
 		Breaches:        c.breaches,
+		Escapes:         c.escapes,
 		AgeNs:           c.last.ageNs,
 		MaxAgeNs:        int64(c.cfg.Envelope.MaxAge),
 		Backlog:         c.last.backlog,
@@ -344,6 +368,23 @@ func (c *Controller) Step() {
 	case c.calmRun >= c.cfg.EaseAfter && c.mode > ModeNormal:
 		c.transition(c.mode - 1)
 		c.calmRun = 0
+	}
+	// Escape hatch: a sustained degraded stay means in-engine actuation
+	// is out of room — hand the workload to a different flavor.
+	if c.mode == ModeDegraded {
+		c.degrRun++
+	} else {
+		c.degrRun = 0
+		c.migrFired = false
+	}
+	if c.cfg.Migrate != nil && c.cfg.MigrateTo != "" && !c.migrFired && c.degrRun >= c.cfg.MigrateAfter {
+		c.migrFired = true
+		c.escapes++
+		// Fire outside the controller lock and off the tick path: the
+		// migration drains readers and flushes backlog, which can take
+		// many tick intervals. Failure needs no handling here — the
+		// migrator restores the source wiring itself.
+		go func() { _ = c.cfg.Migrate(context.Background(), c.cfg.MigrateTo) }()
 	}
 }
 

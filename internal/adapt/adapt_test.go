@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -284,5 +285,90 @@ func TestStartStop(t *testing.T) {
 	time.Sleep(10 * time.Millisecond)
 	if got := c.State().Ticks; got != ticksAtStop {
 		t.Errorf("ticks advanced %d → %d after Stop", ticksAtStop, got)
+	}
+}
+
+// TestMigrateEscapeHatch pins the degraded-state escape: the Migrate
+// hook fires exactly once per degraded stay after MigrateAfter
+// consecutive degraded ticks, re-arms only after the controller eases
+// out of degraded, and counts into State().Escapes. The envelope is
+// age-only so the elevated rung leaves the watermarks unbounded and
+// the test's own retirements never block.
+func TestMigrateEscapeHatch(t *testing.T) {
+	eng := core.NewTimeRCU(8, nil)
+	met := obs.New()
+	rec := reclaim.New(eng, reclaim.Config{Shards: 1, FlushDelay: time.Millisecond, Metrics: met})
+	defer rec.Close()
+
+	const maxAge = time.Millisecond
+	fired := make(chan string, 4)
+	c := New(Config{
+		Envelope:  Envelope{MaxAge: maxAge},
+		Metrics:   met,
+		Reclaimer: rec,
+		Engines:   []core.RCU{eng},
+		EaseAfter: 1,
+		MigrateTo: "packed",
+		Migrate: func(ctx context.Context, flavor string) error {
+			fired <- flavor
+			return nil
+		},
+		MigrateAfter: 2,
+	})
+	defer c.Close()
+
+	breach := func() func() {
+		release := wedge(t, eng)
+		for i := 0; i < 4; i++ {
+			rec.Retire(nil, core.Singleton(7), 8, func(any) {})
+		}
+		time.Sleep(4 * maxAge) // let the wedged retirements age past the envelope
+		return release
+	}
+
+	release := breach()
+	c.Step() // normal → elevated
+	c.Step() // elevated → degraded (degraded run = 1)
+	select {
+	case <-fired:
+		t.Fatal("escape fired before MigrateAfter degraded ticks")
+	default:
+	}
+	c.Step() // degraded run = 2: escape fires
+	select {
+	case got := <-fired:
+		if got != "packed" {
+			t.Fatalf("escape fired with flavor %q, want packed", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("escape never fired")
+	}
+	// Still degraded: must NOT fire again this stay.
+	c.Step()
+	c.Step()
+	select {
+	case <-fired:
+		t.Fatal("escape fired twice in one degraded stay")
+	default:
+	}
+	if st := c.State(); st.Escapes != 1 {
+		t.Fatalf("State().Escapes = %d, want 1", st.Escapes)
+	}
+
+	// Ease out of degraded, breach again: the hatch is re-armed.
+	release()
+	rec.Barrier()
+	c.Step() // calm tick: degraded → elevated; the degraded run resets
+	release2 := breach()
+	defer release2()
+	c.Step() // elevated → degraded (run = 1)
+	c.Step() // run = 2: fires again
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("escape did not re-arm after easing out of degraded")
+	}
+	if st := c.State(); st.Escapes != 2 {
+		t.Fatalf("State().Escapes = %d after second stay, want 2", st.Escapes)
 	}
 }

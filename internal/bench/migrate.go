@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prcu"
+	"prcu/internal/chaos"
+)
+
+// Migrate demonstrates the live engine-migration escape hatch: a
+// workload (pooled readers + an update flood) runs on a D-PRCU engine
+// whose grace periods have gone pathological — chaos holds most waits
+// for several envelope-widths, a failure mode no amount of reclaimer
+// re-tuning can fix, because the slowness is in the engine itself. The
+// same storm runs twice with an identical Autotuner watching the age
+// envelope: once with in-engine actuation only, once with the
+// degraded-state escape hatch armed (AutotuneConfig.MigrateTo +
+// Migrator.AutotuneHook). The verdict table shows the hooked run
+// handing the workload over to a clean packed engine mid-storm and the
+// time-in-breach collapsing, while the unhooked run stays in breach
+// for the duration.
+func Migrate(cfg Config, total, refresh time.Duration) error {
+	if total <= 0 {
+		total = 10 * time.Second
+	}
+	if refresh <= 0 {
+		refresh = time.Second
+	}
+	// Each held wait stalls by 4 units against a 2-unit age envelope:
+	// every hold is a breach the controller can see but not fix. The
+	// migration's phase deadline must outlive a hold (the handover
+	// itself needs source grace periods), so it gets the whole run.
+	unit := total / 40
+	holdDur := 4 * unit
+	maxAge := 2 * unit
+
+	cfg.printf("=== live migration: held grace periods on d-prcu, %v/run, age envelope %v, wait holds %v ===\n",
+		total, maxAge.Round(time.Millisecond), holdDur.Round(time.Millisecond))
+
+	tbl := &table{
+		title:   "Live migration: escape-hatch verdict under held grace periods",
+		unit:    "breach secs = time the data age exceeded the envelope; migrated 1 = workload handed over to packed",
+		columns: []string{"max age ms", "age envelope ms", "breach secs", "migrated"},
+	}
+	for _, hooked := range []bool{false, true} {
+		label := "escape hatch off"
+		if hooked {
+			label = "escape hatch on"
+		}
+		res, err := migrateRun(cfg, hooked, total, refresh, holdDur, maxAge)
+		if err != nil {
+			return err
+		}
+		migrated := 0.0
+		if res.migrated {
+			migrated = 1
+		}
+		tbl.addRow(label, []float64{
+			float64(res.maxAge.Milliseconds()),
+			float64(maxAge.Milliseconds()),
+			res.breach.Seconds(),
+			migrated,
+		})
+	}
+	tbl.emit(cfg)
+	return nil
+}
+
+type migrateResult struct {
+	maxAge   time.Duration
+	breach   time.Duration
+	migrated bool
+}
+
+// migrateRun plays the storm once. The workload's readers all come
+// from a ReaderPool — the migration front — so a handover can drain
+// them; the reclaimer is carried across the handover by the Migrator.
+func migrateRun(cfg Config, hooked bool, total, refresh, holdDur, maxAge time.Duration) (migrateResult, error) {
+	met := prcu.NewMetrics()
+	inner, err := prcu.New(prcu.FlavorD, cfg.options())
+	if err != nil {
+		return migrateResult{}, err
+	}
+	eng := chaos.Wrap(inner, chaos.Config{
+		Seed:        0x5eed_419a,
+		WaitHold:    0.85,
+		WaitHoldDur: holdDur,
+	})
+	pool := prcu.NewReaderPool(eng)
+	rec := prcu.NewReclaimer(eng, prcu.ReclaimConfig{
+		Shards:     2,
+		FlushDelay: time.Millisecond,
+		Metrics:    met,
+	})
+
+	mig := prcu.NewMigrator(prcu.MigratorConfig{
+		Name:         "prcubench-migrate",
+		Engine:       eng,
+		Flavor:       prcu.FlavorD,
+		Fronts:       []prcu.EngineFront{pool},
+		Reclaimer:    rec,
+		Options:      cfg.options(),
+		PhaseTimeout: total,
+		Metrics:      met,
+	})
+	defer mig.Close()
+
+	acfg := prcu.AutotuneConfig{
+		Name:      "prcubench-migrate",
+		Interval:  refresh / 4,
+		Envelope:  prcu.AutotuneEnvelope{MaxAge: maxAge, Headroom: 0.35},
+		Metrics:   met,
+		Reclaimer: rec,
+		Engines:   []prcu.RCU{eng},
+		EaseAfter: 1 << 20, // the storm never lets up; don't oscillate
+	}
+	if hooked {
+		acfg.MigrateTo = string(prcu.FlavorPacked)
+		acfg.Migrate = mig.AutotuneHook()
+		acfg.MigrateAfter = 2
+	}
+	c := prcu.NewAutotuner(acfg)
+	c.Start()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+
+	var reclaimed atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			rec.Retire(struct{}{}, prcu.All(), 64, func(any) { reclaimed.Add(1) })
+			select {
+			case <-time.After(200 * time.Microsecond):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				v := prcu.Value((seed*31 + i) % 64)
+				pool.Critical(v, func() {})
+				if i%64 == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}(r)
+	}
+
+	var res migrateResult
+	const tick = 2 * time.Millisecond
+	start := time.Now()
+	next := start.Add(refresh)
+	for time.Since(start) < total {
+		age := rec.OldestAge()
+		if age > res.maxAge {
+			res.maxAge = age
+		}
+		if age > maxAge {
+			res.breach += tick
+		}
+		if now := time.Now(); now.After(next) {
+			next = now.Add(refresh)
+			cfg.printf("t=%-6s mode=%-8s flavor=%-7s age=%-10s backlog=%-6d\n",
+				time.Since(start).Round(time.Second), c.Mode().String(), mig.Flavor(),
+				age.Round(time.Millisecond), rec.Pending())
+		}
+		time.Sleep(tick)
+	}
+	cancel()
+	wg.Wait()
+	res.migrated = mig.Flavor() != prcu.FlavorD
+	c.Close()
+	pool.Close()
+	cctx, ccancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer ccancel()
+	if err := rec.CloseCtx(cctx); err != nil {
+		return res, err
+	}
+	return res, nil
+}

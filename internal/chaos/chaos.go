@@ -239,6 +239,43 @@ func (e *Engine) WaitTuning() core.WaitTuning {
 	return core.WaitTuning{}
 }
 
+// LiveReaders forwards the inner engine's registry gauge (0 when the
+// inner engine has no hook), so live migration can drain a
+// chaos-wrapped source like any other.
+func (e *Engine) LiveReaders() int {
+	if rc, ok := e.inner.(core.ReaderCounter); ok {
+		return rc.LiveReaders()
+	}
+	return 0
+}
+
+// SetFlavor forwards the flavor token to the inner engine, when it
+// carries one.
+func (e *Engine) SetFlavor(f string) {
+	if fc, ok := e.inner.(core.FlavorCarrier); ok {
+		fc.SetFlavor(f)
+	}
+}
+
+// FlavorToken reports the inner engine's flavor token (empty when the
+// inner engine has no hook).
+func (e *Engine) FlavorToken() string {
+	if fc, ok := e.inner.(core.FlavorCarrier); ok {
+		return fc.FlavorToken()
+	}
+	return ""
+}
+
+// StallConfigInForce forwards the inner engine's armed watchdog
+// configuration, so the migrator's escalate/restore discipline works
+// through the chaos wrapper.
+func (e *Engine) StallConfigInForce() (core.StallConfig, bool) {
+	if si, ok := e.inner.(core.StallInspector); ok {
+		return si.StallConfigInForce()
+	}
+	return core.StallConfig{}, false
+}
+
 // Register implements core.RCU, wrapping the inner reader with the
 // fault injector. Each reader gets its own decision stream keyed by
 // its registration index.

@@ -72,6 +72,15 @@ type SlotCapacitor interface {
 	SlotCapacity() int
 }
 
+// ReaderCounter is implemented by every engine backed by the segmented
+// reader registry: LiveReaders reports the number of currently
+// registered readers. Live migration polls it to detect the source
+// engine's registry draining empty once new readers are redirected to
+// the target.
+type ReaderCounter interface {
+	LiveReaders() int
+}
+
 // metered is the observability hook point embedded by every engine. The
 // met pointer is nil while observability is disabled, which every hook
 // guards with a single predictable branch.

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +69,12 @@ type StalledReader struct {
 type StallReport struct {
 	// Engine is the engine's Name().
 	Engine string
+	// Flavor is the flavor token the engine was constructed under
+	// ("eer", "packed", ...), empty when the engine was built outside
+	// the flavor registry. In a multi-engine process — and especially in
+	// a mid-migration window, where two engines are live at once — it is
+	// what attributes a stall to the right engine instance.
+	Flavor string
 	// Predicate describes the wait's predicate (Predicate.String).
 	Predicate string
 	// Elapsed is how long the reporting wait had been blocked.
@@ -74,6 +82,37 @@ type StallReport struct {
 	// Readers are the offending open critical sections, scanned from the
 	// engine's per-slot state at report time.
 	Readers []StalledReader
+}
+
+// String renders the report as a single kernel-style watchdog log line:
+//
+//	prcu: stall on EER-PRCU [flavor eer] pred=all elapsed=1.5s readers=2 [slot 3 (value 7, open 1.2s); slot 9]
+func (r StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prcu: stall on %s", r.Engine)
+	if r.Flavor != "" {
+		fmt.Fprintf(&b, " [flavor %s]", r.Flavor)
+	}
+	fmt.Fprintf(&b, " pred=%s elapsed=%v readers=%d", r.Predicate, r.Elapsed, len(r.Readers))
+	if len(r.Readers) > 0 {
+		b.WriteString(" [")
+		for i, rd := range r.Readers {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "slot %d", rd.Slot)
+			switch {
+			case rd.HasValue && rd.OpenFor > 0:
+				fmt.Fprintf(&b, " (value %d, open %v)", rd.Value, rd.OpenFor)
+			case rd.HasValue:
+				fmt.Fprintf(&b, " (value %d)", rd.Value)
+			case rd.OpenFor > 0:
+				fmt.Fprintf(&b, " (open %v)", rd.OpenFor)
+			}
+		}
+		b.WriteString("]")
+	}
+	return b.String()
 }
 
 // stallState is the armed watchdog: the normalized config plus the
@@ -89,9 +128,11 @@ type stallState struct {
 }
 
 // resilient is the resilience hook point embedded by every engine,
-// alongside metered. The zero value is an unarmed watchdog.
+// alongside metered. The zero value is an unarmed watchdog with no
+// flavor token.
 type resilient struct {
 	stallCfg atomic.Pointer[stallState]
+	flavor   atomic.Pointer[string]
 }
 
 // StallCarrier is implemented by every engine in this package: arming a
@@ -99,6 +140,45 @@ type resilient struct {
 // re-armed or disarmed at any time.
 type StallCarrier interface {
 	SetStallConfig(StallConfig)
+}
+
+// FlavorCarrier is implemented by every engine via the resilient embed:
+// the flavor registry stamps each engine it constructs with its flavor
+// token so stall reports (and migration state) can attribute activity to
+// the right engine instance when several are live.
+type FlavorCarrier interface {
+	SetFlavor(string)
+	FlavorToken() string
+}
+
+// SetFlavor implements FlavorCarrier.
+func (r *resilient) SetFlavor(f string) { r.flavor.Store(&f) }
+
+// FlavorToken implements FlavorCarrier; empty until SetFlavor.
+func (r *resilient) FlavorToken() string {
+	if p := r.flavor.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// StallInspector exposes the watchdog configuration currently in force.
+// The migrator uses it to capture the source engine's baseline before
+// escalating the watchdog for a drain phase, and to restore that exact
+// baseline on completion or rollback.
+type StallInspector interface {
+	StallConfigInForce() (StallConfig, bool)
+}
+
+// StallConfigInForce implements StallInspector: it returns the armed
+// configuration (as normalized by SetStallConfig) and true, or the zero
+// config and false when the watchdog is disarmed.
+func (r *resilient) StallConfigInForce() (StallConfig, bool) {
+	st := r.stallCfg.Load()
+	if st == nil {
+		return StallConfig{}, false
+	}
+	return st.cfg, true
 }
 
 // SetStallConfig implements StallCarrier.
@@ -125,11 +205,13 @@ func (r *resilient) SetStallConfig(cfg StallConfig) {
 }
 
 // stallProber is what a waitControl needs from its engine to assemble a
-// StallReport: the engine's name, its metrics (for the stall counters;
-// every engine provides it via the embedded metered), and a read-only
-// scan of the open critical sections a predicate's wait is blocked on.
+// StallReport: the engine's name and flavor token, its metrics (for the
+// stall counters; every engine provides it via the embedded metered),
+// and a read-only scan of the open critical sections a predicate's wait
+// is blocked on.
 type stallProber interface {
 	Name() string
+	FlavorToken() string
 	Metrics() *obs.Metrics
 	stalledReaders(p Predicate) []StalledReader
 }
@@ -240,6 +322,7 @@ func (wc *waitControl) checkStall() {
 	}
 	rep := StallReport{
 		Engine:    wc.prober.Name(),
+		Flavor:    wc.prober.FlavorToken(),
 		Predicate: wc.pred.String(),
 		Elapsed:   time.Duration(now - wc.startNs),
 		Readers:   wc.prober.stalledReaders(wc.pred),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -486,4 +487,52 @@ func TestSimulatedAndNopCtx(t *testing.T) {
 		t.Fatal("nop Do did not run")
 	}
 	rd.Unregister()
+}
+
+// TestStallReportCarriesFlavor pins the flavor token in the watchdog's
+// diagnostics: an engine tagged via SetFlavor reports it (and the log
+// line renders it), an untagged engine reports none — the attribution
+// that matters when two engines are live at once mid-migration.
+func TestStallReportCarriesFlavor(t *testing.T) {
+	const timeoutNs = 1_000
+	r := NewEER(16, nil)
+	r.SetFlavor("eer")
+	if got := r.FlavorToken(); got != "eer" {
+		t.Fatalf("FlavorToken = %q after SetFlavor, want %q", got, "eer")
+	}
+	clk := tsc.NewManual(0)
+	var col stallCollector
+	r.SetStallConfig(StallConfig{
+		Timeout:   timeoutNs,
+		RateLimit: 1_000_000,
+		Clock:     clk,
+		OnStall:   col.add,
+	})
+	release := parkReader(t, r, 5)
+	waited := make(chan struct{})
+	go func() {
+		r.WaitForReaders(Singleton(5))
+		close(waited)
+	}()
+	awaitReports(t, &col, clk, 2*timeoutNs, 1)
+	rep := col.last()
+	if rep.Flavor != "eer" {
+		t.Errorf("report flavor %q, want %q", rep.Flavor, "eer")
+	}
+	if line := rep.String(); !strings.Contains(line, "[flavor eer]") {
+		t.Errorf("log line %q does not carry the flavor tag", line)
+	}
+	release()
+	select {
+	case <-waited:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled wait did not return after the reader exited")
+	}
+
+	// An engine built outside the flavor registry has no token and the
+	// log line omits the tag.
+	bare := StallReport{Engine: "X", Predicate: "all"}
+	if s := bare.String(); strings.Contains(s, "flavor") {
+		t.Errorf("untagged report renders a flavor tag: %q", s)
+	}
 }

@@ -1,0 +1,243 @@
+package migrate
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prcu/internal/core"
+	"prcu/internal/obs"
+	"prcu/internal/reclaim"
+)
+
+// testFront is the minimal Front: an atomic engine cell plus counters
+// for the settle/drain hooks the protocol is expected to call.
+type testFront struct {
+	mu       sync.Mutex
+	eng      core.RCU
+	settles  int
+	drains   int
+	settleOK bool
+}
+
+func newTestFront(r core.RCU) *testFront { return &testFront{eng: r, settleOK: true} }
+
+func (f *testFront) SwapEngine(target core.RCU) core.RCU {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prev := f.eng
+	f.eng = target
+	return prev
+}
+
+func (f *testFront) Engine() core.RCU {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eng
+}
+
+func (f *testFront) SettleEngine() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.settles++
+}
+
+func (f *testFront) DrainStale() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drains++
+}
+
+func TestMigrateSuccess(t *testing.T) {
+	source := core.NewEER(8, nil)
+	target := core.NewPacked(8)
+	met := obs.New()
+	rec := reclaim.New(source, reclaim.Config{Shards: 1, FlushDelay: -1})
+	defer rec.Close()
+
+	var freed atomic.Int64
+	for i := 0; i < 32; i++ {
+		rec.Retire(i, core.All(), 0, func(any) { freed.Add(1) })
+	}
+
+	front := newTestFront(source)
+	m := New(Config{Name: "test-success", Metrics: met})
+	defer m.Close()
+
+	if err := m.Migrate(context.Background(), source, target, []Front{front}, rec); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if front.Engine() != target {
+		t.Fatalf("front not on target after migration")
+	}
+	if rec.Engine() != target {
+		t.Fatalf("reclaimer not on target after migration")
+	}
+	if rec.HandoverTarget() != nil {
+		t.Fatalf("dual coverage still in force after completion")
+	}
+	if got := freed.Load(); got != 32 {
+		t.Fatalf("pre-flip backlog not drained: %d of 32 freed", got)
+	}
+	if front.settles == 0 {
+		t.Fatalf("SettleEngine never called on the front")
+	}
+
+	st := m.State()
+	if st.Active || st.Phase != "idle" || st.Completed != 1 || st.RolledBack != 0 || st.LastError != "" {
+		t.Fatalf("bad terminal state: %+v", st)
+	}
+	if st.From != source.Name() || st.To != target.Name() {
+		t.Fatalf("state names %q -> %q", st.From, st.To)
+	}
+	if met.Snapshot().MigrateEvents == 0 {
+		t.Fatalf("no migrate events recorded")
+	}
+}
+
+func TestMigrateRollbackOnTimeout(t *testing.T) {
+	source := core.NewEER(8, nil)
+	target := core.NewPacked(8)
+	rec := reclaim.New(source, reclaim.Config{Shards: 1, FlushDelay: -1})
+	defer rec.Close()
+
+	// A reader parked on the source for the whole test: phase 1 can
+	// never drain it, so the migration must roll back on its deadline.
+	rd, err := source.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Unregister()
+	rd.Enter(1)
+	defer rd.Exit(1)
+
+	front := newTestFront(source)
+	m := New(Config{Name: "test-rollback", PhaseTimeout: 30 * time.Millisecond})
+	defer m.Close()
+
+	err = m.Migrate(context.Background(), source, target, []Front{front}, rec)
+	if err == nil {
+		t.Fatalf("Migrate succeeded with a parked source reader")
+	}
+	if !strings.Contains(err.Error(), "rolled back") || !strings.Contains(err.Error(), "phase 1") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if front.Engine() != source {
+		t.Fatalf("front not restored to source after rollback")
+	}
+	if rec.Engine() != source {
+		t.Fatalf("reclaimer not restored to source after rollback")
+	}
+	if rec.HandoverTarget() != nil {
+		t.Fatalf("dual coverage still in force after rollback")
+	}
+
+	st := m.State()
+	if st.Active || st.Phase != "idle" || st.RolledBack != 1 || st.Completed != 0 {
+		t.Fatalf("bad terminal state: %+v", st)
+	}
+	if st.LastError == "" {
+		t.Fatalf("rollback left no LastError")
+	}
+
+	// The parked reader still drains grace periods correctly on the
+	// restored wiring: a post-rollback retirement resolves once the
+	// reader leaves.
+	var freed atomic.Bool
+	rec.Retire(1, core.All(), 0, func(any) { freed.Store(true) })
+	rd.Exit(1)
+	rec.Flush()
+	deadline := time.Now().Add(2 * time.Second)
+	for !freed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("post-rollback retirement never freed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rd.Enter(1) // rebalance the deferred Exit
+}
+
+func TestMigrateRestoresStallConfig(t *testing.T) {
+	source := core.NewEER(8, nil)
+	target := core.NewPacked(8)
+
+	prior := core.StallConfig{Timeout: 123 * time.Millisecond, RateLimit: 456 * time.Millisecond}
+	source.SetStallConfig(prior)
+
+	front := newTestFront(source)
+	m := New(Config{StallTimeout: 50 * time.Millisecond})
+	if err := m.Migrate(context.Background(), source, target, []Front{front}, nil); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+
+	got, ok := source.StallConfigInForce()
+	if !ok {
+		t.Fatalf("stall watchdog disarmed after migration")
+	}
+	if got.Timeout != prior.Timeout || got.RateLimit != prior.RateLimit {
+		t.Fatalf("stall config not restored: got %+v want %+v", got, prior)
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	eng := core.NewEER(8, nil)
+	m := New(Config{})
+	if err := m.Migrate(context.Background(), eng, eng, nil, nil); err == nil {
+		t.Fatalf("same-engine migration accepted")
+	}
+	if err := m.Migrate(context.Background(), nil, eng, nil, nil); err == nil {
+		t.Fatalf("nil source accepted")
+	}
+	if err := m.Migrate(context.Background(), eng, nil, nil, nil); err == nil {
+		t.Fatalf("nil target accepted")
+	}
+	st := m.State()
+	if st.Started != 0 {
+		t.Fatalf("validation failures counted as started migrations: %+v", st)
+	}
+}
+
+// TestMigrateWatchdogEscalation proves the escalated watchdog turns a
+// source stall into an immediate rollback (well before the phase
+// deadline) and that the exported state records it.
+func TestMigrateWatchdogEscalation(t *testing.T) {
+	source := core.NewEER(8, nil)
+	target := core.NewPacked(8)
+
+	rd, err := source.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Unregister()
+	rd.Enter(1)
+	defer rd.Exit(1)
+
+	var reports atomic.Int64
+	front := newTestFront(source)
+	m := New(Config{
+		PhaseTimeout: 10 * time.Second, // far beyond the test; the watchdog must fire first
+		StallTimeout: 20 * time.Millisecond,
+		OnStall:      func(core.StallReport) { reports.Add(1) },
+	})
+
+	start := time.Now()
+	err = m.Migrate(context.Background(), source, target, []Front{front}, nil)
+	if err == nil {
+		t.Fatalf("Migrate succeeded with a parked source reader")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog escalation did not short-circuit the phase deadline (%v)", elapsed)
+	}
+	if reports.Load() == 0 {
+		t.Fatalf("escalated OnStall never fired")
+	}
+	if front.Engine() != source {
+		t.Fatalf("front not restored after watchdog rollback")
+	}
+	if _, armed := source.StallConfigInForce(); armed {
+		t.Fatalf("watchdog left armed after migration (source had none before)")
+	}
+}

@@ -113,6 +113,11 @@ type Metrics struct {
 	// recorded against this Metrics (mode changes, watermark retunes).
 	adaptDecisions pad.Uint64
 
+	// migrateEvents counts live engine-migration protocol transitions
+	// recorded against this Metrics (begin, drained, handover, complete,
+	// rollback).
+	migrateEvents pad.Uint64
+
 	// retiredEnters accumulates the enter counts of dead readers: when a
 	// slot is recycled its lane restarts from zero for the new owner
 	// (per-slot stats must not smear across owners), and the old owner's
@@ -374,6 +379,21 @@ func (m *Metrics) AdaptDecision(code uint64) {
 	}
 }
 
+// MigrateEvent records one live engine-migration protocol transition:
+// code is the migrator's packed phase word (see internal/migrate). The
+// transition lands in the trace ring as an EvMigrate event, putting the
+// handover's begin/drain/complete/rollback history in line with the
+// waits and stalls that surrounded it.
+func (m *Metrics) MigrateEvent(code uint64) {
+	if m == nil {
+		return
+	}
+	m.migrateEvents.Add(1)
+	if tr := m.trace.load(); tr != nil {
+		tr.add(Event{TimeNs: m.now(), Kind: EvMigrate, Reader: -1, Value: code})
+	}
+}
+
 // ReaderLane is one reader slot's private metrics cell. Its counter is a
 // padded atomic written only by the owning reader (Snapshot reads it),
 // and the sampling scratch fields are owner-only.
@@ -454,6 +474,7 @@ func (m *Metrics) Reset() {
 	m.reclaimBatch.Reset()
 	m.reclaimFlushNs.Reset()
 	m.adaptDecisions.Store(0)
+	m.migrateEvents.Store(0)
 	m.sectionNs.Reset()
 	m.retiredEnters.Store(0)
 	m.laneMu.Lock()

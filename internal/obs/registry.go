@@ -74,8 +74,9 @@ type ControllerState struct {
 	Mode      string `json:"mode"`      // "normal", "elevated", "degraded"
 	ModeCode  int    `json:"mode_code"` // 0, 1, 2 — the /metrics encoding
 	Ticks     uint64 `json:"ticks"`
-	Decisions uint64 `json:"decisions"` // actuations (mode transitions)
-	Breaches  uint64 `json:"breaches"`  // ticks with ≥1 envelope violation
+	Decisions uint64 `json:"decisions"`         // actuations (mode transitions)
+	Breaches  uint64 `json:"breaches"`          // ticks with ≥1 envelope violation
+	Escapes   uint64 `json:"escapes,omitempty"` // degraded-state escape-hatch firings (live migrations requested)
 
 	// Last-tick measurements against the envelope.
 	AgeNs           int64   `json:"age_ns"`
@@ -134,6 +135,79 @@ func Controllers() []ControllerState {
 	}
 	ctrlMu.Unlock()
 	out := make([]ControllerState, 0, len(names))
+	for i, p := range probes {
+		st := p()
+		st.Name = names[i]
+		out = append(out, st)
+	}
+	return out
+}
+
+// MigrationState is a live engine-migrator's self-report for the export
+// plane: which handover (if any) is in flight, lifetime outcome
+// counters, and the last run's duration and error. internal/migrate
+// publishes one per migrator via RegisterMigration; /debug/prcu/health
+// and /metrics render them.
+type MigrationState struct {
+	Name string `json:"name"`
+	// From/To name the engines of the migration in flight, or of the
+	// most recent one when idle.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Phase is "idle", "drain", "handover" or "rollback"; PhaseCode is
+	// the /metrics encoding (0-3 in that order).
+	Phase     string `json:"phase"`
+	PhaseCode int    `json:"phase_code"`
+	Active    bool   `json:"active"`
+
+	Started    uint64 `json:"started"`
+	Completed  uint64 `json:"completed"`
+	RolledBack uint64 `json:"rolled_back"`
+	Failed     uint64 `json:"failed"`
+
+	// LastDurationNs is the wall time of the most recently finished
+	// migration (successful or not); LastError is empty after a success.
+	LastDurationNs int64  `json:"last_duration_ns"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+var (
+	migMu      sync.Mutex
+	migrations = map[string]func() MigrationState{}
+)
+
+// RegisterMigration binds a migrator's state probe under name in the
+// process-wide export registry (rebinding like Register; nil probe
+// removes the binding). The probe is called on every scrape and must be
+// safe for concurrent use.
+func RegisterMigration(name string, probe func() MigrationState) {
+	if name == "" {
+		return
+	}
+	migMu.Lock()
+	defer migMu.Unlock()
+	if probe == nil {
+		delete(migrations, name)
+		return
+	}
+	migrations[name] = probe
+}
+
+// Migrations returns every registered migrator's current state in sorted
+// name order. Probes run outside the registry lock.
+func Migrations() []MigrationState {
+	migMu.Lock()
+	names := make([]string, 0, len(migrations))
+	for n := range migrations {
+		names = append(names, n)
+	}
+	probes := make([]func() MigrationState, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		probes = append(probes, migrations[n])
+	}
+	migMu.Unlock()
+	out := make([]MigrationState, 0, len(names))
 	for i, p := range probes {
 		st := p()
 		st.Name = names[i]

@@ -101,6 +101,10 @@ type Snapshot struct {
 	// recorded against this Metrics.
 	AdaptDecisions uint64
 
+	// MigrateEvents counts live engine-migration protocol transitions
+	// recorded against this Metrics.
+	MigrateEvents uint64
+
 	// Enters is the total number of read-side critical sections across
 	// all reader lanes, including readers that have since unregistered
 	// (their counts retire when a slot is recycled); SectionNs is the
@@ -147,6 +151,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		ReclaimFlushNs:      summarize(&m.reclaimFlushNs),
 		ReclaimOldestNs:     m.ReclaimOldestNs(),
 		AdaptDecisions:      m.adaptDecisions.Load(),
+		MigrateEvents:       m.migrateEvents.Load(),
 	}
 	if s.ReadersScanned > 0 {
 		s.Selectivity = float64(s.ReadersWaited) / float64(s.ReadersScanned)

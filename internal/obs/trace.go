@@ -29,6 +29,9 @@ const (
 	// actuation); Value carries the controller's packed decision word
 	// (see internal/adapt).
 	EvAdapt
+	// EvMigrate marks a live engine-migration protocol transition; Value
+	// carries the migrator's packed phase word (see internal/migrate).
+	EvMigrate
 )
 
 // String returns the event kind's mnemonic.
@@ -50,6 +53,8 @@ func (k EventKind) String() string {
 		return "reclaim-overload"
 	case EvAdapt:
 		return "adapt"
+	case EvMigrate:
+		return "migrate"
 	default:
 		return "?"
 	}

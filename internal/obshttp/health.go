@@ -117,6 +117,24 @@ func (h *healthState) serve(w http.ResponseWriter, _ *http.Request) {
 		controllers[cs.Name] = ch
 	}
 
+	// Live migrations report alongside: an in-flight migration is
+	// informational (the process keeps serving through the window), but
+	// a migration whose last run failed or rolled back marks the process
+	// degraded until a later run succeeds — the operator asked for an
+	// engine the workload is not on.
+	migrations := map[string]migrationHealth{}
+	for _, ms := range obs.Migrations() {
+		mh := migrationHealth{MigrationState: ms}
+		if ms.Active {
+			mh.Reasons = append(mh.Reasons, "migration in flight: "+ms.From+" -> "+ms.To)
+		}
+		if ms.LastError != "" && !ms.Active {
+			mh.Reasons = append(mh.Reasons, "last migration did not complete: "+ms.LastError)
+			degraded = true
+		}
+		migrations[ms.Name] = mh
+	}
+
 	status, code := "ok", http.StatusOK
 	if degraded {
 		status, code = "degraded", http.StatusServiceUnavailable
@@ -129,12 +147,20 @@ func (h *healthState) serve(w http.ResponseWriter, _ *http.Request) {
 		Status      string                      `json:"status"`
 		Engines     map[string]engineHealth     `json:"engines"`
 		Controllers map[string]controllerHealth `json:"controllers,omitempty"`
-	}{status, engines, controllers})
+		Migrations  map[string]migrationHealth  `json:"migrations,omitempty"`
+	}{status, engines, controllers, migrations})
 }
 
 // controllerHealth is one adaptive controller's row in the health
 // report: its full self-reported state plus the health verdict's reasons.
 type controllerHealth struct {
 	obs.ControllerState
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// migrationHealth is one live migrator's row in the health report: its
+// full self-reported state plus the health verdict's reasons.
+type migrationHealth struct {
+	obs.MigrationState
 	Reasons []string `json:"reasons,omitempty"`
 }

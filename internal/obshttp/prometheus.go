@@ -79,11 +79,56 @@ func writePrometheus(w *bufio.Writer) {
 
 	f.counter("prcu_adapt_decisions_total", "Adaptive-controller actuation decisions recorded against the engine's metrics.",
 		func(s obs.Snapshot) float64 { return float64(s.AdaptDecisions) })
+	f.counter("prcu_migrate_events_total", "Live engine-migration protocol transitions recorded against the engine's metrics.",
+		func(s obs.Snapshot) float64 { return float64(s.MigrateEvents) })
 
 	f.gauge("prcu_trace_buffered_events", "Events currently held in the engine's trace ring (0 when tracing is off).",
 		func(s obs.Snapshot) float64 { return float64(s.TraceLen) })
 
 	writeControllers(w)
+	writeMigrations(w)
+}
+
+// writeMigrations renders every registered live migrator's state as
+// prcu_migrate_* families labelled migrator="name": the phase in
+// flight, lifetime outcome counters, and the last run's duration.
+func writeMigrations(w *bufio.Writer) {
+	states := obs.Migrations()
+	if len(states) == 0 {
+		return
+	}
+	m := migFamWriter{w: w, states: states}
+	m.family("prcu_migrate_active", "1 while a migration is in flight.", "gauge",
+		func(s obs.MigrationState) float64 {
+			if s.Active {
+				return 1
+			}
+			return 0
+		})
+	m.family("prcu_migrate_phase", "Protocol phase: 0 idle, 1 drain, 2 handover, 3 rollback.", "gauge",
+		func(s obs.MigrationState) float64 { return float64(s.PhaseCode) })
+	m.family("prcu_migrate_started_total", "Migrations started.", "counter",
+		func(s obs.MigrationState) float64 { return float64(s.Started) })
+	m.family("prcu_migrate_completed_total", "Migrations completed (workload now on the target engine).", "counter",
+		func(s obs.MigrationState) float64 { return float64(s.Completed) })
+	m.family("prcu_migrate_rolled_back_total", "Migrations rolled back to the source wiring after a phase failure.", "counter",
+		func(s obs.MigrationState) float64 { return float64(s.RolledBack) })
+	m.family("prcu_migrate_failed_total", "Migrations that could not start (dual coverage refused).", "counter",
+		func(s obs.MigrationState) float64 { return float64(s.Failed) })
+	m.family("prcu_migrate_last_duration_seconds", "Wall time of the most recently finished migration.", "gauge",
+		func(s obs.MigrationState) float64 { return float64(s.LastDurationNs) * 1e-9 })
+}
+
+type migFamWriter struct {
+	w      *bufio.Writer
+	states []obs.MigrationState
+}
+
+func (m *migFamWriter) family(name, help, typ string, v func(obs.MigrationState) float64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	for _, s := range m.states {
+		fmt.Fprintf(m.w, "%s{migrator=\"%s\"} %s\n", name, escapeLabel(s.Name), fmtFloat(v(s)))
+	}
 }
 
 // writeControllers renders every registered adaptive controller's state
@@ -105,6 +150,8 @@ func writeControllers(w *bufio.Writer) {
 		func(s obs.ControllerState) float64 { return float64(s.Decisions) })
 	c.family("prcu_autotune_breaches_total", "Ticks on which the target envelope was violated.", "counter",
 		func(s obs.ControllerState) float64 { return float64(s.Breaches) })
+	c.family("prcu_autotune_escapes_total", "Degraded-state escape-hatch firings (live migrations requested).", "counter",
+		func(s obs.ControllerState) float64 { return float64(s.Escapes) })
 	c.family("prcu_autotune_age_seconds", "Oldest-callback age measured at the last tick.", "gauge",
 		func(s obs.ControllerState) float64 { return float64(s.AgeNs) * 1e-9 })
 	c.family("prcu_autotune_age_limit_seconds", "Envelope limit on data age (0 = unbounded).", "gauge",

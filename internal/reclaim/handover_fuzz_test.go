@@ -1,0 +1,134 @@
+package reclaim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prcu/internal/core"
+)
+
+// FuzzMigrateReclaim drives a reclaimer through fuzzer-chosen
+// interleavings of retirement, flushing, open reader sections on two
+// engines, and the live-migration handover operations
+// (BeginHandover/CompleteHandover/AbortHandover), checking the
+// invariant the migration protocol rests on: no schedule of handovers
+// and aborts can double-resolve or drop a callback — every accepted
+// retirement resolves exactly once and shutdown terminates.
+func FuzzMigrateReclaim(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 3, 0, 2, 4, 0, 2})
+	f.Add(uint64(42), []byte{6, 0, 3, 0, 7, 2, 6, 5, 0, 2, 7})
+	f.Add(uint64(0xbeef), []byte{3, 5, 3, 4, 3, 5, 0, 0, 2})
+	f.Add(uint64(7), []byte{0, 1, 6, 3, 1, 7, 2, 4, 1, 6, 2, 3, 0, 5, 1})
+	f.Add(uint64(0xfeed), []byte{3, 0, 6, 2, 7, 0, 4, 3, 1, 5, 2, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		engines := [2]core.RCU{core.NewTimeRCU(8, nil), core.NewPacked(8)}
+		cur := 0
+		r := New(engines[cur], Config{Shards: 1, FlushDelay: -1})
+
+		// One reader per engine; ops toggle their sections open/closed so
+		// grace periods genuinely block across handover transitions.
+		var rds [2]core.Reader
+		var open [2]bool
+		var openVal [2]core.Value
+		for i, eng := range engines {
+			rd, err := eng.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rds[i] = rd
+		}
+		toggle := func(i int, v core.Value) {
+			if open[i] {
+				rds[i].Exit(openVal[i])
+				open[i] = false
+				return
+			}
+			rds[i].Enter(v)
+			open[i], openVal[i] = true, v
+		}
+
+		var retired, freed atomic.Int64
+		inHandover := false
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s := seed
+			for _, op := range script {
+				s = s*6364136223846793005 + 1442695040888963407
+				switch op % 8 {
+				case 0, 1: // retire with a varied predicate
+					var p core.Predicate
+					switch s % 3 {
+					case 0:
+						p = core.All()
+					case 1:
+						p = core.Singleton(core.Value(s % 64))
+					default:
+						lo := core.Value(s>>32) % 64
+						p = core.Interval(lo, lo+core.Value(s%16))
+					}
+					retired.Add(1)
+					r.Retire(nil, p, int(s%256), func(any) { freed.Add(1) })
+				case 2:
+					r.Flush()
+				case 3:
+					if !inHandover {
+						if err := r.BeginHandover(engines[1-cur]); err != nil {
+							t.Errorf("BeginHandover: %v", err)
+							return
+						}
+						inHandover = true
+					}
+				case 4:
+					if inHandover {
+						if got := r.CompleteHandover(); got != engines[cur] {
+							t.Errorf("CompleteHandover returned the wrong source")
+							return
+						}
+						cur = 1 - cur
+						inHandover = false
+					}
+				case 5:
+					if inHandover {
+						if got := r.AbortHandover(); got != engines[1-cur] {
+							t.Errorf("AbortHandover returned the wrong target")
+							return
+						}
+						inHandover = false
+					}
+				case 6:
+					toggle(cur, core.Value(s%64))
+				case 7:
+					toggle(1-cur, core.Value(s%64))
+				}
+			}
+			// Close any section still open so shutdown's grace periods can
+			// complete, then drain everything.
+			for i := range open {
+				if open[i] {
+					rds[i].Exit(openVal[i])
+					open[i] = false
+				}
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("fuzz driver wedged")
+		}
+		r.Close()
+		for i := range rds {
+			rds[i].Unregister()
+		}
+		if got, want := freed.Load(), retired.Load(); got != want {
+			t.Fatalf("freed %d of %d retirements across handovers", got, want)
+		}
+		if p := r.Pending(); p != 0 {
+			t.Fatalf("Pending = %d after Close", p)
+		}
+	})
+}

@@ -35,6 +35,7 @@ package reclaim
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -142,11 +143,24 @@ func (cb *callback) run(err error) bool {
 	}
 }
 
+// engineSet is the reclaimer's engine wiring, swapped wholesale behind
+// an atomic pointer. Outside a migration old is nil and every grace
+// period runs on cur. During a live handover window (BeginHandover →
+// CompleteHandover/AbortHandover) old holds the engine being drained:
+// read-side critical sections exist on BOTH engines in that window, so
+// every wait covers both — a wait on only one engine could miss a
+// reader still inside the other and free memory out from under it.
+// Over-covering the window's waits is always safe (PRCU §3.1).
+type engineSet struct {
+	cur core.RCU
+	old core.RCU
+}
+
 // Reclaimer is the sharded, bounded deferred-reclamation engine.
 // Construct with New; Close (or CloseCtx) must be called to release the
 // flush workers.
 type Reclaimer struct {
-	rcu   core.RCU
+	eng   atomic.Pointer[engineSet]
 	met   *obs.Metrics
 	clock *tsc.Monotonic // age-gauge timebase
 
@@ -224,7 +238,6 @@ func New(r core.RCU, cfg Config) *Reclaimer {
 		met = obs.New()
 	}
 	rc := &Reclaimer{
-		rcu:         r,
 		met:         met,
 		clock:       tsc.NewMonotonic(),
 		policy:      cfg.Policy,
@@ -234,6 +247,7 @@ func New(r core.RCU, cfg Config) *Reclaimer {
 		softBytes:   cfg.SoftBytes,
 		closedPanic: "prcu: Retire on closed Reclaimer",
 	}
+	rc.eng.Store(&engineSet{cur: r})
 	rc.flushDelay.Store(int64(normalizeDelay(cfg.FlushDelay)))
 	met.SetReclaimAgeProbe(rc.OldestAgeNs)
 	rc.workCtx, rc.cancelWork = context.WithCancel(context.Background())
@@ -440,16 +454,104 @@ func (r *Reclaimer) release(cb *callback, freed bool) {
 func (r *Reclaimer) waitFor(cb *callback) error { return r.waitPred(cb.ctx, cb.pred) }
 
 // waitPred waits a grace period covering p, bounded by the shutdown
-// context and, when cctx is non-nil, by the callback's own context.
+// context and, when cctx is non-nil, by the callback's own context. The
+// engine set is loaded once per wait: a handover beginning mid-wait
+// does not retroactively widen it, which is safe because BeginHandover
+// runs before any reader front flips to the target — a wait wired to
+// the source alone can only have started while all readers were still
+// on the source.
 func (r *Reclaimer) waitPred(cctx context.Context, p core.Predicate) error {
+	es := r.eng.Load()
 	if cctx == nil {
-		return r.rcu.WaitForReadersCtx(r.workCtx, p)
+		return es.wait(r.workCtx, p)
 	}
 	mctx, cancel := context.WithCancel(cctx)
 	defer cancel()
 	stop := context.AfterFunc(r.workCtx, cancel)
 	defer stop()
-	return r.rcu.WaitForReadersCtx(mctx, p)
+	return es.wait(mctx, p)
+}
+
+// wait runs one grace period covering p on every engine in the set. An
+// error from either engine means the grace period is incomplete and the
+// batch's callbacks must not free.
+func (es *engineSet) wait(ctx context.Context, p core.Predicate) error {
+	if err := es.cur.WaitForReadersCtx(ctx, p); err != nil {
+		return err
+	}
+	if es.old != nil {
+		return es.old.WaitForReadersCtx(ctx, p)
+	}
+	return nil
+}
+
+// Engine returns the engine grace periods currently run on (during a
+// handover window, the target).
+func (r *Reclaimer) Engine() core.RCU { return r.eng.Load().cur }
+
+// HandoverTarget reports the engine being drained during a handover
+// window (nil outside one). Note the naming from the migrator's view:
+// cur is the migration target, the returned engine is the source.
+func (r *Reclaimer) HandoverTarget() core.RCU { return r.eng.Load().old }
+
+// BeginHandover enters the dual-coverage migration window: from this
+// call until CompleteHandover or AbortHandover, every grace period the
+// reclaimer runs covers both target and the previous engine. The
+// migrator calls it BEFORE flipping any reader front to the target, so
+// no wait can miss a reader — waits issued in the begin→flip window
+// merely over-cover. Callbacks never move between queues, so each still
+// resolves exactly once, on whichever engine set its flush loads.
+func (r *Reclaimer) BeginHandover(target core.RCU) error {
+	if target == nil {
+		return errors.New("prcu/reclaim: BeginHandover with nil target")
+	}
+	for {
+		es := r.eng.Load()
+		if es.old != nil {
+			return errors.New("prcu/reclaim: handover already in progress")
+		}
+		if es.cur == target {
+			return errors.New("prcu/reclaim: handover target is already the current engine")
+		}
+		if r.eng.CompareAndSwap(es, &engineSet{cur: target, old: es.cur}) {
+			return nil
+		}
+	}
+}
+
+// CompleteHandover ends the window, decommissioning the drained source:
+// future grace periods run on the target alone. Returns the source
+// engine, or nil if no handover was in progress. The caller must have
+// already drained the source's readers and flushed the backlog that was
+// submitted before the flip (the migrator's phase 1 and 2).
+func (r *Reclaimer) CompleteHandover() core.RCU {
+	for {
+		es := r.eng.Load()
+		if es.old == nil {
+			return nil
+		}
+		if r.eng.CompareAndSwap(es, &engineSet{cur: es.cur}) {
+			return es.old
+		}
+	}
+}
+
+// AbortHandover rolls the wiring back to the pre-handover engine
+// exactly, discarding the target. Returns the abandoned target, or nil
+// if no handover was in progress. The caller must have already flipped
+// every reader front back to the source and drained the target's
+// readers (the migrator's rollback path), because waits stop covering
+// the target the moment this returns.
+func (r *Reclaimer) AbortHandover() core.RCU {
+	for {
+		es := r.eng.Load()
+		if es.old == nil {
+			return nil
+		}
+		if r.eng.CompareAndSwap(es, &engineSet{cur: es.old}) {
+			return es.cur
+		}
+	}
 }
 
 // Flush expedites every shard: queued callbacks are batched and their
@@ -589,12 +691,7 @@ func (r *Reclaimer) OldestAge() time.Duration {
 // OldestAgeNs is OldestAge in integer nanoseconds, the form the obs
 // age probe exports.
 func (r *Reclaimer) OldestAgeNs() int64 {
-	oldest := int64(0)
-	for _, s := range r.shards {
-		if at := s.oldestNs(); at > 0 && (oldest == 0 || at < oldest) {
-			oldest = at
-		}
-	}
+	oldest := r.OldestSubmittedNs()
 	if oldest == 0 {
 		return 0
 	}
@@ -603,6 +700,25 @@ func (r *Reclaimer) OldestAgeNs() int64 {
 		age = 0
 	}
 	return age
+}
+
+// NowNs reads the reclaimer's monotonic clock — the timebase submission
+// stamps (OldestSubmittedNs) are on. The migrator samples it before the
+// flip so "backlog submitted before the flip has drained" is a simple
+// stamp comparison.
+func (r *Reclaimer) NowNs() int64 { return r.clock.Now() }
+
+// OldestSubmittedNs returns the submission stamp (on the NowNs clock) of
+// the oldest unresolved callback across all shards, or 0 for an empty
+// backlog. Conservative within one batch, like OldestAge.
+func (r *Reclaimer) OldestSubmittedNs() int64 {
+	oldest := int64(0)
+	for _, s := range r.shards {
+		if at := s.oldestNs(); at > 0 && (oldest == 0 || at < oldest) {
+			oldest = at
+		}
+	}
+	return oldest
 }
 
 // Stats returns the attached Metrics' snapshot (zero Snapshot when no

@@ -1,0 +1,362 @@
+package prcu_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prcu"
+	"prcu/internal/chaos"
+)
+
+// campaignTarget picks a migration target different from the source
+// flavor. Packed is the canonical escape target (cheapest clean
+// engine); packed sources go to D.
+func campaignTarget(src prcu.Flavor) prcu.Flavor {
+	if src == prcu.FlavorPacked {
+		return prcu.FlavorD
+	}
+	return prcu.FlavorPacked
+}
+
+// campaignNode is the guarded data: readers check the b == 2*a
+// invariant that every published node satisfies, so a torn or
+// prematurely freed node is visible as a read-side failure.
+type campaignNode struct {
+	a, b int64
+}
+
+// campaignToken tracks one retirement's callback count: exactly-once
+// reclamation means every token ends the campaign at 1.
+type campaignToken struct {
+	freed atomic.Int32
+}
+
+// TestMigrationCampaign is the tentpole's chaos proof, per source
+// flavor: a live workload (pooled reader churn validating guarded
+// data, an update flood retiring tracked tokens) runs on a
+// chaos-wrapped source engine with wait-hold faults injected.
+//
+// First a migration that CANNOT succeed (every source wait held longer
+// than the phase deadline) is forced to roll back, and the test
+// asserts the exact pre-migration wiring is restored: same source
+// engine on the pool and the reclaimer, dual coverage dropped, the
+// source's stall-watchdog configuration bit-identical. Then, with the
+// storm eased, a real migration must complete: the workload lands on
+// the target flavor, the source registry drains to zero, and after
+// shutdown every retired token was reclaimed exactly once — no lost
+// reads, no double or dropped reclamations, across both the rollback
+// and the handover.
+func TestMigrationCampaign(t *testing.T) {
+	for _, f := range prcu.Flavors() {
+		t.Run(string(f), func(t *testing.T) {
+			t.Parallel()
+			migrationCampaign(t, f)
+		})
+	}
+}
+
+func migrationCampaign(t *testing.T, src prcu.Flavor) {
+	target := campaignTarget(src)
+	inner := prcu.MustNew(src, prcu.Options{})
+	eng := chaos.Wrap(inner, chaos.Config{
+		Seed:        0xca0_0000 + uint64(len(src)),
+		WaitHold:    0.4,
+		WaitHoldDur: 2 * time.Millisecond,
+	})
+	pool := prcu.NewReaderPool(eng)
+	rec := prcu.NewReclaimer(eng, prcu.ReclaimConfig{Shards: 2, FlushDelay: -1})
+
+	// The workload. Readers validate the guarded invariant under
+	// pool.Critical; updaters publish fresh nodes and retire the old via
+	// tracked tokens.
+	var cur atomic.Pointer[campaignNode]
+	cur.Store(&campaignNode{a: 1, b: 2})
+	var (
+		tokMu     sync.Mutex
+		tokens    []*campaignToken
+		badReads  atomic.Int64
+		overFrees atomic.Int64
+	)
+	free := func(v any) {
+		if v.(*campaignToken).freed.Add(1) != 1 {
+			overFrees.Add(1)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pool.Critical(prcu.Value(g*64+i%64), func() {
+					n := cur.Load()
+					if n.b != 2*n.a {
+						badReads.Add(1)
+					}
+				})
+				if i%128 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	for u := 0; u < 2; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for i := int64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cur.Store(&campaignNode{a: i, b: 2 * i})
+				tok := &campaignToken{}
+				tokMu.Lock()
+				tokens = append(tokens, tok)
+				tokMu.Unlock()
+				rec.Retire(tok, prcu.All(), 16, free)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(u)
+	}
+
+	// Let the storm and workload establish themselves.
+	time.Sleep(20 * time.Millisecond)
+
+	t.Run("forced-rollback", func(t *testing.T) {
+		// Every source wait held far past the phase deadline: phase 1 can
+		// never finish, so the protocol MUST roll back — and restore the
+		// exact pre-migration configuration.
+		prior := prcu.StallConfig{Timeout: 123 * time.Millisecond, RateLimit: 456 * time.Millisecond}
+		eng.SetStallConfig(prior)
+		eng.SetConfig(chaos.Config{WaitHold: 1.0, WaitHoldDur: 500 * time.Millisecond})
+
+		mig := prcu.NewMigrator(prcu.MigratorConfig{
+			Name:         "campaign-rollback-" + string(src),
+			Engine:       eng,
+			Flavor:       src,
+			Fronts:       []prcu.EngineFront{pool},
+			Reclaimer:    rec,
+			PhaseTimeout: 25 * time.Millisecond,
+			StallTimeout: 50 * time.Millisecond,
+		})
+		defer mig.Close()
+
+		err := mig.To(context.Background(), target)
+		if err == nil {
+			t.Fatalf("migration succeeded with every source wait held 500ms against a 25ms phase deadline")
+		}
+		if !strings.Contains(err.Error(), "rolled back") {
+			t.Fatalf("error does not report rollback: %v", err)
+		}
+
+		// Exact restoration: the fronts and reclaimer are back on the
+		// same source engine pointer, dual coverage is dropped, and the
+		// watchdog config matches the pre-migration one field for field.
+		if pool.Engine() != prcu.RCU(eng) {
+			t.Fatalf("pool not restored to source after rollback")
+		}
+		if rec.Engine() != prcu.RCU(eng) {
+			t.Fatalf("reclaimer not restored to source after rollback")
+		}
+		if rec.HandoverTarget() != nil {
+			t.Fatalf("dual coverage still in force after rollback")
+		}
+		if mig.Flavor() != src || mig.Engine() != prcu.RCU(eng) {
+			t.Fatalf("migrator tracking %q after rollback, want source %q", mig.Flavor(), src)
+		}
+		got, armed := eng.StallConfigInForce()
+		if !armed {
+			t.Fatalf("source watchdog disarmed by rollback")
+		}
+		if got.Timeout != prior.Timeout || got.RateLimit != prior.RateLimit {
+			t.Fatalf("watchdog config not restored: got %+v want %+v", got, prior)
+		}
+		if st := mig.State(); st.RolledBack != 1 || st.Completed != 0 || st.Active {
+			t.Fatalf("bad migrator state after rollback: %+v", st)
+		}
+	})
+
+	t.Run("live", func(t *testing.T) {
+		// Ease the storm back to survivable and migrate for real.
+		eng.SetConfig(chaos.Config{WaitHold: 0.3, WaitHoldDur: time.Millisecond})
+
+		mig := prcu.NewMigrator(prcu.MigratorConfig{
+			Name:         "campaign-live-" + string(src),
+			Engine:       eng,
+			Flavor:       src,
+			Fronts:       []prcu.EngineFront{pool},
+			Reclaimer:    rec,
+			PhaseTimeout: 30 * time.Second,
+		})
+		defer mig.Close()
+
+		if err := mig.To(context.Background(), target); err != nil {
+			t.Fatalf("live migration failed: %v", err)
+		}
+		if mig.Flavor() != target {
+			t.Fatalf("migrator on %q, want %q", mig.Flavor(), target)
+		}
+		if pool.Engine() != mig.Engine() {
+			t.Fatalf("pool and migrator disagree on the engine after handover")
+		}
+		if rec.Engine() != mig.Engine() {
+			t.Fatalf("reclaimer and migrator disagree on the engine after handover")
+		}
+		if rec.HandoverTarget() != nil {
+			t.Fatalf("dual coverage still in force after handover")
+		}
+		// Phase 1 drained the source registry to zero before handover.
+		if n := eng.LiveReaders(); n != 0 {
+			t.Fatalf("source still has %d live readers after handover", n)
+		}
+		// The constructed target carries its flavor token, so a stall on
+		// it mid-window is attributed to the right engine instance.
+		if fc, ok := mig.Engine().(interface{ FlavorToken() string }); !ok || fc.FlavorToken() != string(target) {
+			t.Fatalf("target engine does not carry flavor token %q", target)
+		}
+	})
+
+	// Let the workload run on the target briefly, then shut down and
+	// audit: zero bad reads, and every token reclaimed exactly once.
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rec.CloseCtx(ctx); err != nil {
+		t.Fatalf("reclaimer close: %v", err)
+	}
+	pool.Close()
+
+	if n := badReads.Load(); n != 0 {
+		t.Fatalf("%d guarded reads saw a violated invariant", n)
+	}
+	if n := overFrees.Load(); n != 0 {
+		t.Fatalf("%d tokens freed more than once", n)
+	}
+	tokMu.Lock()
+	defer tokMu.Unlock()
+	lost := 0
+	for _, tok := range tokens {
+		if tok.freed.Load() != 1 {
+			lost++
+		}
+	}
+	if lost != 0 {
+		t.Fatalf("%d of %d tokens never reclaimed", lost, len(tokens))
+	}
+	if len(tokens) == 0 {
+		t.Fatalf("update flood retired nothing; campaign proved nothing")
+	}
+}
+
+// TestReaderPoolCloseDuringChurn races Close against concurrent
+// Critical borrowers: the only defined panic is Get-after-Close, a
+// late Put is a no-op that releases its slot, and every registered
+// reader is eventually released.
+func TestReaderPoolCloseDuringChurn(t *testing.T) {
+	r := prcu.NewD(prcu.Options{})
+	pool := prcu.NewReaderPool(r)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							s, ok := p.(string)
+							if !ok || !strings.Contains(s, "Get after Close") {
+								panic(p)
+							}
+						}
+					}()
+					pool.Critical(prcu.Value(g*64+i%64), func() {})
+				}()
+			}
+		}(g)
+	}
+
+	time.Sleep(10 * time.Millisecond)
+	pool.Close()
+	close(stop)
+	wg.Wait()
+
+	// Every slot drains: cached handles by Close's drain (or a borrower's
+	// post-Close Put), anything sync.Pool hid from both by the finalizer.
+	deadline := time.Now().Add(20 * time.Second)
+	for liveReaders(t, r) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("LiveReaders still %d after Close during churn", liveReaders(t, r))
+		}
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReaderPoolSwapEngineDrains checks the migration front contract
+// directly: SwapEngine redirects new borrows onto the target, cached
+// source handles are retired, a checked-out source handle releases its
+// slot on Put, and the source registry drains to zero.
+func TestReaderPoolSwapEngineDrains(t *testing.T) {
+	src := prcu.NewD(prcu.Options{})
+	dst := prcu.NewEER(prcu.Options{})
+	pool := prcu.NewReaderPool(src)
+
+	out := pool.Get() // checked out across the swap
+	cached := pool.Get()
+	pool.Put(cached) // parked in the cache at swap time
+
+	if prev := pool.SwapEngine(dst); prev != prcu.RCU(src) {
+		t.Fatalf("SwapEngine returned %v, want the source engine", prev)
+	}
+	if pool.Engine() != prcu.RCU(dst) {
+		t.Fatalf("pool still on source after SwapEngine")
+	}
+
+	// New borrows land on the target.
+	rd := pool.Get()
+	rd.Enter(1)
+	rd.Exit(1)
+	pool.Put(rd)
+	if n := liveReaders(t, dst); n < 1 {
+		t.Fatalf("no readers registered on the target after swap, LiveReaders = %d", n)
+	}
+
+	// The stale checked-out handle is retired on Put, not re-cached; the
+	// cached one was retired by the swap (or falls to the finalizer when
+	// sync.Pool hid it). The source drains to zero.
+	pool.Put(out)
+	deadline := time.Now().Add(20 * time.Second)
+	for liveReaders(t, src) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("source LiveReaders still %d after swap drain", liveReaders(t, src))
+		}
+		pool.DrainStale()
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
+	}
+	pool.Close()
+}

@@ -23,6 +23,13 @@ import (
 // leaked), a finalizer unregisters the underlying reader as a fallback,
 // so pooled slots are reclaimed rather than leaked either way.
 //
+// The pool's engine sits behind an atomic indirection: SwapEngine
+// redirects all future Gets onto a new engine while handles registered on
+// the old engine drain off it naturally as they are returned (a returned
+// handle whose engine no longer matches is unregistered, not re-cached).
+// That indirection is what live migration (Migrator) flips; it costs the
+// unswapped fast path one atomic load that the pool lookup already paid.
+//
 // Long-lived, pinned goroutines should still call RCU.Register directly
 // and keep their Reader for life — that is one pointer dereference cheaper
 // per section and gives stable per-reader observability lanes. The pool is
@@ -30,16 +37,90 @@ import (
 //
 // A ReaderPool must not be copied after first use.
 type ReaderPool struct {
-	r      RCU
+	eng    atomic.Pointer[poolEngine]
 	pool   sync.Pool
 	closed atomic.Bool
+	// drainMu serializes the cache drains (SwapEngine, DrainStale, Close)
+	// against each other; Get/Put/Critical stay lock-free.
+	drainMu sync.Mutex
+}
+
+// poolEngine is the indirection cell: one immutable engine binding,
+// swapped wholesale so Get reads a consistent engine with a single load.
+type poolEngine struct {
+	r RCU
 }
 
 // NewReaderPool returns a pool of registered readers of r. Use it with an
 // uncapped engine (Options.MaxReaders == 0, the default): Get panics if
 // the engine refuses to register a reader.
 func NewReaderPool(r RCU) *ReaderPool {
-	return &ReaderPool{r: r}
+	p := &ReaderPool{}
+	p.eng.Store(&poolEngine{r: r})
+	return p
+}
+
+// Engine returns the engine new readers currently register on.
+func (p *ReaderPool) Engine() RCU {
+	return p.eng.Load().r
+}
+
+// SwapEngine atomically redirects all future Gets onto target and returns
+// the previous engine. Cached idle readers registered on the previous
+// engine are unregistered immediately; handles currently checked out keep
+// reading on their original engine and release its slot when returned
+// (Put detects the mismatch). The caller — normally the Migrator — is
+// responsible for waiting out the drained engine's readers before
+// reclaiming anything only its grace periods covered.
+func (p *ReaderPool) SwapEngine(target RCU) RCU {
+	if target == nil {
+		panic("prcu: ReaderPool.SwapEngine with nil engine")
+	}
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
+	prev := p.eng.Swap(&poolEngine{r: target}).r
+	if p.closed.Load() {
+		p.drainCache(nil)
+	} else {
+		p.drainCache(target)
+	}
+	return prev
+}
+
+// DrainStale unregisters cached idle readers that are still registered on
+// a pre-swap engine (sync.Pool's per-P caches can hide entries from the
+// drain SwapEngine already did). Migration's registry-drain loop calls it
+// between backoff re-checks; it is a no-op when every cached reader is on
+// the current engine.
+func (p *ReaderPool) DrainStale() {
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
+	if p.closed.Load() {
+		p.drainCache(nil)
+		return
+	}
+	p.drainCache(p.eng.Load().r)
+}
+
+// drainCache empties the sync.Pool cache, unregistering every cached
+// handle except those registered on keep, which are re-cached. Callers
+// hold drainMu.
+func (p *ReaderPool) drainCache(keep RCU) {
+	var kept []*pooledReader
+	for {
+		h, _ := p.pool.Get().(*pooledReader)
+		if h == nil {
+			break
+		}
+		if keep != nil && h.r == keep {
+			kept = append(kept, h)
+			continue
+		}
+		h.retire()
+	}
+	for _, h := range kept {
+		p.pool.Put(h)
+	}
 }
 
 // pooledReader is the handle Get lends out. Its Unregister returns the
@@ -47,12 +128,21 @@ func NewReaderPool(r RCU) *ReaderPool {
 // written against the plain Reader contract (register, use, unregister)
 // works unchanged on a pooled handle.
 type pooledReader struct {
-	rd   Reader
+	rd Reader
+	// r is the engine rd is registered on — compared against the pool's
+	// current engine on Get/Put to drain handles stranded by SwapEngine.
+	r    RCU
 	pool *ReaderPool
 	// out is true while the handle is checked out. Like the rest of the
 	// Reader contract it is single-goroutine state: it exists to turn
 	// use-after-Put bugs into immediate panics, not to synchronize.
 	out bool
+}
+
+// retire releases the handle's registry slot and drops its finalizer.
+func (h *pooledReader) retire() {
+	runtime.SetFinalizer(h, nil)
+	h.rd.Unregister()
 }
 
 // Get borrows a registered reader, registering a fresh one if the pool is
@@ -63,15 +153,25 @@ func (p *ReaderPool) Get() Reader {
 	if p.closed.Load() {
 		panic("prcu: ReaderPool.Get after Close")
 	}
-	if h, _ := p.pool.Get().(*pooledReader); h != nil {
-		h.out = true
-		return h
+	eng := p.eng.Load().r
+	for {
+		h, _ := p.pool.Get().(*pooledReader)
+		if h == nil {
+			break
+		}
+		if h.r == eng {
+			h.out = true
+			return h
+		}
+		// Stranded by an engine swap: release the old engine's slot and
+		// keep looking for a current handle.
+		h.retire()
 	}
-	rd, err := p.r.Register()
+	rd, err := eng.Register()
 	if err != nil {
 		panic("prcu: ReaderPool.Get: " + err.Error())
 	}
-	h := &pooledReader{rd: rd, pool: p, out: true}
+	h := &pooledReader{rd: rd, r: eng, pool: p, out: true}
 	// If the handle becomes unreachable — leaked by a borrower, or parked
 	// in the pool when the GC purges the pool's cache — release its
 	// registry slot instead of leaking it.
@@ -82,7 +182,10 @@ func (p *ReaderPool) Get() Reader {
 // Put returns a handle obtained from Get to the pool. The handle must be
 // quiescent (outside any critical section) and must not be used again
 // until re-borrowed. Put panics on a handle from another pool or on a
-// second Put of the same handle.
+// second Put of the same handle. A Put that arrives after (or concurrent
+// with) Close is a defined no-op beyond releasing the handle's slot —
+// never a panic — so shutdown does not have to order Close against
+// in-flight borrowers.
 func (p *ReaderPool) Put(rd Reader) {
 	h, ok := rd.(*pooledReader)
 	if !ok || h.pool != p {
@@ -92,33 +195,38 @@ func (p *ReaderPool) Put(rd Reader) {
 		panic("prcu: ReaderPool.Put called twice")
 	}
 	h.out = false
-	if p.closed.Load() {
-		// The pool is shut down: release the slot now instead of parking
-		// the reader in a cache no one will drain again.
-		runtime.SetFinalizer(h, nil)
-		h.rd.Unregister()
+	if p.closed.Load() || h.r != p.eng.Load().r {
+		// The pool is shut down, or the handle was stranded by an engine
+		// swap: release the slot now instead of parking a reader no Get
+		// will hand out again.
+		h.retire()
 		return
 	}
 	p.pool.Put(h)
+	if p.closed.Load() {
+		// Close ran between the check above and the cache insert and may
+		// have finished its drain already; re-drain so the handle cannot
+		// linger registered in a cache nobody will empty.
+		p.drainMu.Lock()
+		p.drainCache(nil)
+		p.drainMu.Unlock()
+	}
 }
 
 // Close drains the pool and unregisters every cached reader synchronously,
 // releasing their registry slots. After Close, Get panics and Put releases
-// the returned handle's slot immediately. Close is idempotent.
+// the returned handle's slot immediately. Close is idempotent and safe to
+// race against concurrent Get/Put/Critical: borrowers that lose the race
+// release their slots on Put.
 //
 // Handles still checked out are not touched — they release on their Put —
 // and any cache entries sync.Pool keeps out of reach of a drain fall back
 // to the finalizer, as unpooled leaks always have.
 func (p *ReaderPool) Close() {
 	p.closed.Store(true)
-	for {
-		h, _ := p.pool.Get().(*pooledReader)
-		if h == nil {
-			return
-		}
-		runtime.SetFinalizer(h, nil)
-		h.rd.Unregister()
-	}
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
+	p.drainCache(nil)
 }
 
 // Critical runs fn inside a read-side critical section on v, borrowing a
@@ -164,9 +272,9 @@ func (h *pooledReader) Do(v Value, fn func()) {
 }
 
 // Unregister implements Reader by returning the handle to its pool — the
-// underlying reader stays registered and warm (or, after Close, releasing
-// its slot). This keeps Close/teardown code portable between pinned and
-// pooled readers.
+// underlying reader stays registered and warm (or, after Close or an
+// engine swap, releasing its slot). This keeps Close/teardown code
+// portable between pinned and pooled readers.
 func (h *pooledReader) Unregister() {
 	h.pool.Put(h)
 }

@@ -276,28 +276,36 @@ func (o Options) attach(r RCU) RCU {
 // New constructs the engine named by flavor.
 func New(flavor Flavor, opt Options) (RCU, error) {
 	opt = opt.withDefaults()
+	var r RCU
 	switch flavor {
 	case FlavorEER:
-		return opt.attach(core.NewEER(opt.MaxReaders, opt.Clock)), nil
+		r = core.NewEER(opt.MaxReaders, opt.Clock)
 	case FlavorD:
-		return opt.attach(core.NewD(opt.MaxReaders, opt.CounterTableSize)), nil
+		r = core.NewD(opt.MaxReaders, opt.CounterTableSize)
 	case FlavorDEER:
-		return opt.attach(core.NewDEER(opt.MaxReaders, opt.NodesPerReader, opt.Clock)), nil
+		r = core.NewDEER(opt.MaxReaders, opt.NodesPerReader, opt.Clock)
 	case FlavorTime:
-		return opt.attach(core.NewTimeRCU(opt.MaxReaders, opt.Clock)), nil
+		r = core.NewTimeRCU(opt.MaxReaders, opt.Clock)
 	case FlavorURCU:
-		return opt.attach(core.NewURCU(opt.MaxReaders)), nil
+		r = core.NewURCU(opt.MaxReaders)
 	case FlavorTree:
-		return opt.attach(core.NewTreeRCU(opt.MaxReaders)), nil
+		r = core.NewTreeRCU(opt.MaxReaders)
 	case FlavorDist:
-		return opt.attach(core.NewDistRCU(opt.MaxReaders)), nil
+		r = core.NewDistRCU(opt.MaxReaders)
 	case FlavorSRCU:
-		return opt.attach(core.NewSRCU(opt.MaxReaders)), nil
+		r = core.NewSRCU(opt.MaxReaders)
 	case FlavorPacked:
-		return opt.attach(core.NewPacked(opt.MaxReaders)), nil
+		r = core.NewPacked(opt.MaxReaders)
 	default:
 		return nil, fmt.Errorf("prcu: unknown flavor %q", flavor)
 	}
+	// Stamp the flavor token before any watchdog can fire: StallReport
+	// carries it so multi-engine processes (and mid-migration windows)
+	// attribute stalls to the right engine instance.
+	if fc, ok := r.(core.FlavorCarrier); ok {
+		fc.SetFlavor(string(flavor))
+	}
+	return opt.attach(r), nil
 }
 
 // MustNew is New for known-good flavors; it panics on error.
