@@ -245,11 +245,23 @@ type Handle struct {
 // when the engine was built with a reader cap; prefer Handle for ephemeral
 // goroutines.
 func (t *Tree) NewHandle() (*Handle, error) {
-	rd, err := t.Engine().Register()
-	if err != nil {
-		return nil, err
+	for {
+		eng := t.Engine()
+		rd, err := eng.Register()
+		if err != nil {
+			return nil, err
+		}
+		// Re-check the engine indirection after Register: a live
+		// migration flipping the tree between the load and the Register
+		// could otherwise strand this reader on a source engine whose
+		// drain already read an empty registry (DESIGN.md "Handover
+		// safety"). Passing the re-check means the registration was
+		// visible before the swap, so the drain's poll observes it.
+		if t.Engine() == eng {
+			return &Handle{t: t, g: prcu.WrapReader(rd)}, nil
+		}
+		rd.Unregister()
 	}
-	return &Handle{t: t, g: prcu.WrapReader(rd)}, nil
 }
 
 // Handle borrows a pooled reader and returns a handle around it — the

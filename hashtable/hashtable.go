@@ -283,11 +283,23 @@ type Handle[K comparable, V any] struct {
 // fails when the engine was built with a reader cap; prefer Handle for
 // ephemeral goroutines.
 func (m *Map[K, V]) NewHandle() (*Handle[K, V], error) {
-	rd, err := m.Engine().Register()
-	if err != nil {
-		return nil, err
+	for {
+		eng := m.Engine()
+		rd, err := eng.Register()
+		if err != nil {
+			return nil, err
+		}
+		// Re-check the engine indirection after Register: a live
+		// migration flipping the map between the load and the Register
+		// could otherwise strand this reader on a source engine whose
+		// drain already read an empty registry (DESIGN.md "Handover
+		// safety"). Passing the re-check means the registration was
+		// visible before the swap, so the drain's poll observes it.
+		if m.Engine() == eng {
+			return &Handle[K, V]{m: m, g: guard.Wrap(rd)}, nil
+		}
+		rd.Unregister()
 	}
-	return &Handle[K, V]{m: m, g: guard.Wrap(rd)}, nil
 }
 
 // Handle borrows a pooled reader and returns a handle around it — the

@@ -118,7 +118,20 @@ const (
 	EventHandover
 	EventComplete
 	EventRollback
+	// EventStuck marks a rollback whose mandatory target drain has
+	// failed stuckRollbackAttempts times in a row; the migrator is
+	// parked retrying it in the visible "stuck-rollback" phase.
+	EventStuck
 )
+
+// stuckRollbackAttempts is how many consecutive target-drain failures a
+// rollback tolerates before parking in the "stuck-rollback" phase
+// (PhaseCode 4, degraded on /debug/prcu/health). The drain itself never
+// gives up — dual coverage stays in force while it loops, so the system
+// is slow, never unsafe — but past this point the condition is an
+// operator-visible incident (a reader registered outside the configured
+// fronts, or a leaked handle) rather than a transient.
+const stuckRollbackAttempts = 3
 
 // Migrator runs live migrations. One migration runs at a time; a
 // second Migrate call blocks until the first finishes.
@@ -187,6 +200,8 @@ func (m *Migrator) update(fn func(*obs.MigrationState)) {
 		m.st.PhaseCode = 2
 	case "rollback":
 		m.st.PhaseCode = 3
+	case "stuck-rollback":
+		m.st.PhaseCode = 4
 	default:
 		m.st.PhaseCode = 0
 	}
@@ -275,21 +290,42 @@ func (m *Migrator) Migrate(ctx context.Context, source, target core.RCU, fronts 
 		// This drain is therefore not abandonable — it retries past its
 		// deadline (each attempt bounded by PhaseTimeout), which is safe
 		// to do indefinitely because dual coverage stays in force while
-		// it loops.
-		for {
+		// it loops. It is never invisible, though: every failed attempt
+		// bumps RollbackRetries and records its error in the export
+		// state, and after stuckRollbackAttempts consecutive failures
+		// the migrator parks in the "stuck-rollback" phase (EventStuck,
+		// PhaseCode 4, degraded on /debug/prcu/health) while it keeps
+		// retrying — that plateau means a reader outside the configured
+		// fronts or a leaked handle, an incident, not a transient.
+		for attempt := 1; ; attempt++ {
 			dctx, cancel := context.WithTimeout(context.Background(), m.cfg.PhaseTimeout)
 			err := m.drainEngine(dctx, target, fronts)
 			cancel()
 			if err == nil {
 				break
 			}
+			retryErr := err
+			m.update(func(st *obs.MigrationState) {
+				st.RollbackRetries++
+				st.LastError = retryErr.Error()
+				if attempt >= stuckRollbackAttempts {
+					st.Phase = "stuck-rollback"
+				}
+			})
+			if attempt == stuckRollbackAttempts {
+				m.event(EventStuck)
+			}
 		}
+		m.update(func(st *obs.MigrationState) { st.Phase = "rollback" })
 		m.settleFronts(fronts)
 		if rec != nil {
 			rec.AbortHandover()
 		}
 		restoreStall()
-		m.update(func(st *obs.MigrationState) { st.RolledBack++ })
+		// A rollback is also a failure of the migration it reversed:
+		// Failed counts every run that did not land on the target, with
+		// RolledBack the subset that flipped and came back.
+		m.update(func(st *obs.MigrationState) { st.RolledBack++; st.Failed++ })
 		return finish(fmt.Errorf("prcu/migrate: %s -> %s rolled back: %w", source.Name(), target.Name(), cause))
 	}
 

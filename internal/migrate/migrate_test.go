@@ -241,3 +241,72 @@ func TestMigrateWatchdogEscalation(t *testing.T) {
 		t.Fatalf("watchdog left armed after migration (source had none before)")
 	}
 }
+
+// TestMigrateStuckRollbackSurfaced forces a rollback whose mandatory
+// target drain cannot complete (a reader registered on the target
+// outside every front) and asserts the condition is visible rather than
+// a silent spin: retries and the drain error surface in the export
+// state, the migrator parks in the "stuck-rollback" phase (PhaseCode
+// 4), and once the foreign reader leaves, the rollback completes and
+// the run counts as failed.
+func TestMigrateStuckRollbackSurfaced(t *testing.T) {
+	source := core.NewEER(8, nil)
+	target := core.NewPacked(8)
+
+	// Phase 1 can never drain this source reader: rollback is forced.
+	srd, err := source.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srd.Unregister()
+	srd.Enter(1)
+	defer srd.Exit(1)
+
+	// And the rollback's target drain cannot finish while this foreign
+	// reader stays registered.
+	trd, err := target.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	front := newTestFront(source)
+	m := New(Config{PhaseTimeout: 20 * time.Millisecond})
+
+	done := make(chan error, 1)
+	go func() { done <- m.Migrate(context.Background(), source, target, []Front{front}, nil) }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := m.State()
+		if st.Phase == "stuck-rollback" {
+			if st.PhaseCode != 4 {
+				t.Fatalf("stuck-rollback PhaseCode = %d, want 4", st.PhaseCode)
+			}
+			if st.RollbackRetries < stuckRollbackAttempts {
+				t.Fatalf("RollbackRetries = %d in stuck-rollback, want >= %d", st.RollbackRetries, stuckRollbackAttempts)
+			}
+			if !strings.Contains(st.LastError, "registry drain") {
+				t.Fatalf("stuck-rollback LastError = %q, want the drain attempt's error", st.LastError)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("migrator never surfaced stuck-rollback; state %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Free the target: the mandatory drain lands and rollback completes.
+	trd.Unregister()
+	err = <-done
+	if err == nil || !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("Migrate = %v, want rollback error", err)
+	}
+	if front.Engine() != source {
+		t.Fatalf("front not restored after stuck rollback")
+	}
+	st := m.State()
+	if st.Active || st.Phase != "idle" || st.RolledBack != 1 || st.Failed != 1 || st.Completed != 0 {
+		t.Fatalf("bad terminal state: %+v", st)
+	}
+}

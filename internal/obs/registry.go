@@ -154,16 +154,29 @@ type MigrationState struct {
 	// most recent one when idle.
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
-	// Phase is "idle", "drain", "handover" or "rollback"; PhaseCode is
-	// the /metrics encoding (0-3 in that order).
+	// Phase is "idle", "drain", "handover", "rollback" or
+	// "stuck-rollback" (a rollback whose mandatory target drain keeps
+	// failing); PhaseCode is the /metrics encoding (0-4 in that order).
 	Phase     string `json:"phase"`
 	PhaseCode int    `json:"phase_code"`
 	Active    bool   `json:"active"`
 
+	// Failed counts every migration that did not land the workload on
+	// the target, including rollbacks: Started == Completed + Failed,
+	// and RolledBack ⊆ Failed distinguishes failures that ran (and
+	// reversed) the handover from those refused before anything flipped.
 	Started    uint64 `json:"started"`
 	Completed  uint64 `json:"completed"`
 	RolledBack uint64 `json:"rolled_back"`
 	Failed     uint64 `json:"failed"`
+
+	// RollbackRetries counts failed target-drain attempts across all
+	// rollbacks. The drain is mandatory (dual coverage must outlive the
+	// last target reader) and retries until it succeeds; each failed
+	// attempt increments this counter and records the attempt's error in
+	// LastError, and a rollback several attempts deep parks in the
+	// "stuck-rollback" phase until the drain lands.
+	RollbackRetries uint64 `json:"rollback_retries,omitempty"`
 
 	// LastDurationNs is the wall time of the most recently finished
 	// migration (successful or not); LastError is empty after a success.

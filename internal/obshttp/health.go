@@ -128,6 +128,14 @@ func (h *healthState) serve(w http.ResponseWriter, _ *http.Request) {
 		if ms.Active {
 			mh.Reasons = append(mh.Reasons, "migration in flight: "+ms.From+" -> "+ms.To)
 		}
+		if ms.Phase == "stuck-rollback" {
+			// A rollback whose mandatory target drain keeps failing is
+			// an incident even while technically "in flight": dual
+			// coverage is pinned open until a reader outside the
+			// migration's fronts drains or is hunted down.
+			mh.Reasons = append(mh.Reasons, "rollback target drain stuck: "+ms.LastError)
+			degraded = true
+		}
 		if ms.LastError != "" && !ms.Active {
 			mh.Reasons = append(mh.Reasons, "last migration did not complete: "+ms.LastError)
 			degraded = true

@@ -105,16 +105,18 @@ func writeMigrations(w *bufio.Writer) {
 			}
 			return 0
 		})
-	m.family("prcu_migrate_phase", "Protocol phase: 0 idle, 1 drain, 2 handover, 3 rollback.", "gauge",
+	m.family("prcu_migrate_phase", "Protocol phase: 0 idle, 1 drain, 2 handover, 3 rollback, 4 stuck-rollback.", "gauge",
 		func(s obs.MigrationState) float64 { return float64(s.PhaseCode) })
 	m.family("prcu_migrate_started_total", "Migrations started.", "counter",
 		func(s obs.MigrationState) float64 { return float64(s.Started) })
 	m.family("prcu_migrate_completed_total", "Migrations completed (workload now on the target engine).", "counter",
 		func(s obs.MigrationState) float64 { return float64(s.Completed) })
-	m.family("prcu_migrate_rolled_back_total", "Migrations rolled back to the source wiring after a phase failure.", "counter",
+	m.family("prcu_migrate_rolled_back_total", "Migrations rolled back to the source wiring after a phase failure (a subset of failed).", "counter",
 		func(s obs.MigrationState) float64 { return float64(s.RolledBack) })
-	m.family("prcu_migrate_failed_total", "Migrations that could not start (dual coverage refused).", "counter",
+	m.family("prcu_migrate_failed_total", "Migrations that did not land on the target (rolled back or refused before anything flipped); started = completed + failed.", "counter",
 		func(s obs.MigrationState) float64 { return float64(s.Failed) })
+	m.family("prcu_migrate_rollback_retries_total", "Failed rollback target-drain attempts; the drain retries until it succeeds, parking in stuck-rollback past a threshold.", "counter",
+		func(s obs.MigrationState) float64 { return float64(s.RollbackRetries) })
 	m.family("prcu_migrate_last_duration_seconds", "Wall time of the most recently finished migration.", "gauge",
 		func(s obs.MigrationState) float64 { return float64(s.LastDurationNs) * 1e-9 })
 }

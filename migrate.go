@@ -115,10 +115,35 @@ func (m *Migrator) To(ctx context.Context, flavor Flavor) error {
 		return err
 	}
 	if err := m.inner.Migrate(ctx, m.cur, target, m.fronts, m.rec); err != nil {
+		// The abandoned target's export binding (installed by
+		// Options.attach under the target's name) would otherwise linger
+		// as a stale /metrics series for an engine nothing runs on.
+		m.dropObsBinding(target)
 		return err
 	}
+	source := m.cur
 	m.cur, m.flavor = target, flavor
+	// Same for the decommissioned source after a successful handover.
+	m.dropObsBinding(source)
 	return nil
+}
+
+// dropObsBinding removes the export-plane binding Options.attach
+// installed for an engine that no longer serves the workload — the
+// abandoned target of a rolled-back migration, or the decommissioned
+// source of a completed one. Guarded so it can only undo a binding this
+// migrator's own Options made: the name must be bound to our Metrics and
+// must not be the live engine's name (same-flavor rebinds share both).
+// Callers hold m.mu.
+func (m *Migrator) dropObsBinding(eng RCU) {
+	if m.opt.Metrics == nil || eng == nil {
+		return
+	}
+	name := eng.Name()
+	if name == m.cur.Name() || obs.Registered(name) != m.opt.Metrics {
+		return
+	}
+	obs.Register(name, nil)
 }
 
 // Engine returns the engine currently serving the workload.

@@ -10,7 +10,10 @@ import (
 	"time"
 
 	"prcu"
+	"prcu/citrus"
+	"prcu/hashtable"
 	"prcu/internal/chaos"
+	"prcu/internal/obs"
 )
 
 // campaignTarget picks a migration target different from the source
@@ -359,4 +362,160 @@ func TestReaderPoolSwapEngineDrains(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	pool.Close()
+}
+
+// gatedEngine wraps an engine so a test can park exactly one Register
+// call in the window between a front's engine load and the registration
+// itself — the TOCTOU the post-Register re-check closes.
+type gatedEngine struct {
+	prcu.RCU
+	entered chan struct{}
+	release chan struct{}
+	armed   atomic.Bool
+}
+
+func (g *gatedEngine) Register() (prcu.Reader, error) {
+	if g.armed.CompareAndSwap(true, false) {
+		g.entered <- struct{}{}
+		<-g.release
+	}
+	return g.RCU.Register()
+}
+
+// TestRegisterSwapRace pins the TOCTOU between a front's engine load
+// and its Register call: a borrower parked in that window while the
+// front flips engines — and the source's registry drain consequently
+// reads empty — must not come back holding a source reader. The
+// post-Register re-check in ReaderPool.Get and the structures'
+// NewHandle detects the flip and retries on the live engine; without
+// it the reader would sit on an engine no grace period covers.
+func TestRegisterSwapRace(t *testing.T) {
+	newGated := func() (src, dst prcu.RCU, g *gatedEngine) {
+		src = prcu.NewD(prcu.Options{})
+		dst = prcu.NewEER(prcu.Options{})
+		g = &gatedEngine{RCU: src, entered: make(chan struct{}), release: make(chan struct{})}
+		return src, dst, g
+	}
+
+	t.Run("pool-get", func(t *testing.T) {
+		src, dst, g := newGated()
+		pool := prcu.NewReaderPool(g)
+		probeRegisterSwapRace(t, src, dst, g,
+			func() { pool.SwapEngine(dst) },
+			func() func() {
+				rd := pool.Get()
+				rd.Enter(1)
+				rd.Exit(1)
+				return func() { pool.Put(rd); pool.Close() }
+			})
+	})
+
+	t.Run("hashtable-handle", func(t *testing.T) {
+		src, dst, g := newGated()
+		m := hashtable.NewModulo(g, 16)
+		probeRegisterSwapRace(t, src, dst, g,
+			func() { m.SwapEngine(dst) },
+			func() func() {
+				h, err := m.NewHandle()
+				if err != nil {
+					panic(err)
+				}
+				h.Get(1)
+				return func() { h.Close() }
+			})
+	})
+
+	t.Run("citrus-handle", func(t *testing.T) {
+		src, dst, g := newGated()
+		tr := citrus.New(g, citrus.WildcardDomain())
+		probeRegisterSwapRace(t, src, dst, g,
+			func() { tr.SwapEngine(dst) },
+			func() func() {
+				h, err := tr.NewHandle()
+				if err != nil {
+					panic(err)
+				}
+				h.Contains(1)
+				return func() { h.Close() }
+			})
+	})
+}
+
+// probeRegisterSwapRace drives the race deterministically: arm the
+// gate, let the borrower park between its engine load and Register,
+// flip the front, verify the source looks fully drained — exactly what
+// a migrator's registry poll would conclude — then release the parked
+// registration and require the borrower's reader to surface on the
+// target, leaving the drained source empty.
+func probeRegisterSwapRace(t *testing.T, src, dst prcu.RCU, g *gatedEngine, swap func(), acquire func() func()) {
+	t.Helper()
+	g.armed.Store(true)
+	done := make(chan func(), 1)
+	go func() { done <- acquire() }()
+	<-g.entered
+
+	swap()
+	src.WaitForReaders(prcu.All())
+	if n := liveReaders(t, src); n != 0 {
+		t.Fatalf("source LiveReaders = %d before the parked Register, want 0", n)
+	}
+
+	close(g.release)
+	release := <-done
+	if n := liveReaders(t, src); n != 0 {
+		t.Fatalf("parked Register landed a reader on the drained source: LiveReaders = %d", n)
+	}
+	if n := liveReaders(t, dst); n != 1 {
+		t.Fatalf("target LiveReaders = %d after the re-checked registration, want 1", n)
+	}
+	release()
+}
+
+// TestMigratorDropsStaleObsBindings checks Migrator.To's export-plane
+// hygiene: a rolled-back migration unbinds the abandoned target's
+// metrics registration, a successful one unbinds the decommissioned
+// source's, and the live engine stays bound throughout.
+func TestMigratorDropsStaleObsBindings(t *testing.T) {
+	met := prcu.NewMetrics()
+	src := prcu.MustNew(prcu.FlavorEER, prcu.Options{Metrics: met})
+	pool := prcu.NewReaderPool(src)
+	defer pool.Close()
+
+	mig := prcu.NewMigrator(prcu.MigratorConfig{
+		Engine:       src,
+		Flavor:       prcu.FlavorEER,
+		Fronts:       []prcu.EngineFront{pool},
+		Options:      prcu.Options{Metrics: met},
+		PhaseTimeout: 50 * time.Millisecond,
+	})
+	defer mig.Close()
+
+	// A reader registered outside every front pins phase 1 past its
+	// deadline: the migration to D must roll back, and the abandoned
+	// D target's binding must go with it.
+	rd, err := src.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abandonedName := prcu.MustNew(prcu.FlavorD, prcu.Options{}).Name()
+	if err := mig.To(context.Background(), prcu.FlavorD); err == nil {
+		t.Fatalf("To succeeded with a parked source reader")
+	}
+	if obs.Registered(abandonedName) != nil {
+		t.Fatalf("abandoned target %q still bound in the export registry", abandonedName)
+	}
+	if obs.Registered(src.Name()) == nil {
+		t.Fatalf("source %q unbound by a rolled-back migration", src.Name())
+	}
+	rd.Unregister()
+
+	if err := mig.To(context.Background(), prcu.FlavorPacked); err != nil {
+		t.Fatalf("To: %v", err)
+	}
+	if obs.Registered(src.Name()) != nil {
+		t.Fatalf("decommissioned source %q still bound in the export registry", src.Name())
+	}
+	if obs.Registered(mig.Engine().Name()) == nil {
+		t.Fatalf("live engine %q not bound in the export registry", mig.Engine().Name())
+	}
 }

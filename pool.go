@@ -167,16 +167,32 @@ func (p *ReaderPool) Get() Reader {
 		// keep looking for a current handle.
 		h.retire()
 	}
-	rd, err := eng.Register()
-	if err != nil {
-		panic("prcu: ReaderPool.Get: " + err.Error())
+	for {
+		rd, err := eng.Register()
+		if err != nil {
+			panic("prcu: ReaderPool.Get: " + err.Error())
+		}
+		// Re-check the indirection after Register: SwapEngine may have
+		// flipped between the load above and the Register, and a
+		// registration landing on a drained source after the migrator's
+		// registry poll read zero would open critical sections no grace
+		// period covers. Passing the re-check means the registration was
+		// in the registry before the swap's store, so a post-swap
+		// LiveReaders poll observes it (atomics are seqcst); failing it
+		// means the slot may be on a draining engine — release and retry
+		// on the current one.
+		if cur := p.eng.Load().r; cur != eng {
+			rd.Unregister()
+			eng = cur
+			continue
+		}
+		h := &pooledReader{rd: rd, r: eng, pool: p, out: true}
+		// If the handle becomes unreachable — leaked by a borrower, or
+		// parked in the pool when the GC purges the pool's cache — release
+		// its registry slot instead of leaking it.
+		runtime.SetFinalizer(h, finalizePooledReader)
+		return h
 	}
-	h := &pooledReader{rd: rd, r: eng, pool: p, out: true}
-	// If the handle becomes unreachable — leaked by a borrower, or parked
-	// in the pool when the GC purges the pool's cache — release its
-	// registry slot instead of leaking it.
-	runtime.SetFinalizer(h, finalizePooledReader)
-	return h
 }
 
 // Put returns a handle obtained from Get to the pool. The handle must be
@@ -209,6 +225,19 @@ func (p *ReaderPool) Put(rd Reader) {
 		// linger registered in a cache nobody will empty.
 		p.drainMu.Lock()
 		p.drainCache(nil)
+		p.drainMu.Unlock()
+	} else if h.r != p.eng.Load().r {
+		// Likewise SwapEngine: its drain may have run between the
+		// mismatch check above and the cache insert, re-caching a handle
+		// still registered on the drained engine. Retire it
+		// deterministically instead of leaving it to a GC finalizer — a
+		// direct SwapEngine caller gets no migrator re-nudges.
+		p.drainMu.Lock()
+		if p.closed.Load() {
+			p.drainCache(nil)
+		} else {
+			p.drainCache(p.eng.Load().r)
+		}
 		p.drainMu.Unlock()
 	}
 }
