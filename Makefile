@@ -4,7 +4,7 @@ GO ?= go
 # -short; the full run stays well inside this on a laptop-class host.
 TEST_TIMEOUT ?= 300s
 
-.PHONY: all build vet test race short fuzz bench monitor chaos adapt migrate ci clean
+.PHONY: all build vet test race short fuzz bench monitor chaos adapt migrate blame ci clean
 
 all: ci
 
@@ -65,6 +65,11 @@ adapt:
 # autotuner's escape hatch off vs on, handover verdict table.
 migrate:
 	$(GO) run ./cmd/prcubench -monitor-for $(MONITOR_FOR) migrate
+
+# Reader-blame demo: flight recorder armed, one deterministically slow
+# reader planted via chaos injection, verdict names the guilty slot.
+blame:
+	$(GO) run ./cmd/prcubench -monitor-for $(MONITOR_FOR) blame
 
 ci:
 	./ci.sh

@@ -68,7 +68,11 @@ case "$out" in
     ;;
 esac
 
-echo "== export plane HTTP smoke (loopback /metrics + /debug/prcu/health) =="
+echo "== export plane HTTP smoke (loopback /metrics, health+blame, tracez) =="
 go run ./cmd/obssmoke
+
+echo "== recorder-off read fast-path benches (flight recorder must not tax disabled hot paths) =="
+go test -run '^$' -bench 'BenchmarkEnterExit' -benchtime 100x -timeout 120s .
+go test -run '^$' -bench 'BenchmarkGuardedRead' -benchtime 100x -timeout 120s ./hashtable
 
 echo "CI PASS"

@@ -22,9 +22,13 @@
 //     PolicyInline (the paper's §2.1 synchronous variant as a safety
 //     valve: the backlog provably cannot grow past the watermark),
 //     waiters park between polls, and — unless KeepObservability is
-//     set — the trace ring and runtime attribution are shed to drop
-//     their overhead from the hot path. Everything shed is remembered
-//     and restored on the way back down.
+//     set — the trace ring, flight recorder, and runtime attribution
+//     are shed to drop their overhead from the hot path. Everything
+//     shed is remembered and restored on the way back down.
+//
+// Expedited flushes kicked on escalation are announced to the flight
+// recorder first (obs.FlightExpedite), so the recorder can link the
+// autotuner's decision to the coalesce span of the flush it caused.
 //
 // Every transition is recorded through obs.AdaptDecision, which counts
 // it and emits an EvAdapt trace event; the hysteresis is itself the
@@ -215,8 +219,9 @@ type Controller struct {
 	baseTunings []core.WaitTuning
 
 	// Observability shed in degraded mode, remembered for restore.
-	shedTraceCap int
-	shedAttr     bool
+	shedTraceCap  int
+	shedFlightCap int
+	shedAttr      bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -459,6 +464,7 @@ func (c *Controller) apply(mode Mode) {
 			r.SetPacing(-1)
 			tp, tb := c.tightMarks()
 			r.SetWatermarks(tp, tb)
+			c.cfg.Metrics.FlightExpedite("adapt: elevated")
 			r.Flush()
 		}
 		for _, t := range c.tuners {
@@ -471,6 +477,7 @@ func (c *Controller) apply(mode Mode) {
 			r.SetPacing(-1)
 			tp, tb := c.tightMarks()
 			r.SetWatermarks(tp, tb)
+			c.cfg.Metrics.FlightExpedite("adapt: degraded")
 			r.Flush()
 		}
 		for _, t := range c.tuners {
@@ -506,6 +513,9 @@ func (c *Controller) shedObservability() {
 	if n := met.DisableTrace(); n > 0 {
 		c.shedTraceCap = n
 	}
+	if n := met.DisableFlightRecorder(); n > 0 {
+		c.shedFlightCap = n
+	}
 	if met.AttributionEnabled() {
 		c.shedAttr = true
 		met.DisableRuntimeAttribution()
@@ -521,6 +531,10 @@ func (c *Controller) restoreObservability() {
 	if c.shedTraceCap > 0 {
 		met.EnableTrace(c.shedTraceCap)
 		c.shedTraceCap = 0
+	}
+	if c.shedFlightCap > 0 {
+		met.EnableFlightRecorder(c.shedFlightCap)
+		c.shedFlightCap = 0
 	}
 	if c.shedAttr {
 		met.EnableRuntimeAttribution(c.attrName())

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"prcu"
+	"prcu/internal/chaos"
+)
+
+// guiltyReader is the chaos registration index (1-based) the blame demo
+// plants its deterministically slow reader at. Readers register
+// sequentially before the workload starts, so chaos index k is engine
+// slot k-1: the recorder must convict slot guiltyReader-1.
+const guiltyReader = 2
+
+// Blame demonstrates the flight recorder's reader-blame attribution:
+// an EER engine runs a steady read workload with one deterministically
+// slow reader planted via chaos fault injection (every one of its Exits
+// holds the critical section open; every other reader runs clean), a
+// waiter loop issues grace periods against it, and the per-slot blame
+// the blocked waits charge is read back through Metrics.TopBlame. The
+// verdict table names the convicted slot; the demo fails loudly if the
+// recorder convicts anyone but the planted reader.
+func Blame(cfg Config, total time.Duration) error {
+	if total <= 0 {
+		total = 3 * time.Second
+	}
+	const readers = 4
+	const holdDur = 2 * time.Millisecond
+
+	met := prcu.NewMetrics()
+	inner, err := prcu.New(prcu.FlavorEER, prcu.Options{
+		Metrics:        met,
+		FlightRecorder: true,
+	})
+	if err != nil {
+		return err
+	}
+	eng := chaos.Wrap(inner, chaos.Config{
+		Seed:         0xb1a3e,
+		ExitDelay:    1.0, // every Exit of the guilty reader holds...
+		ExitDelayDur: holdDur,
+		OnlyReader:   guiltyReader, // ...and only the guilty reader faults
+	})
+
+	cfg.printf("=== reader blame: eer + flight recorder, %d readers, reader #%d holds every section %v, %v run ===\n",
+		readers, guiltyReader, holdDur, total)
+
+	// Register sequentially so chaos registration index k is engine slot
+	// k-1 — the determinism the verdict depends on.
+	rds := make([]prcu.Reader, readers)
+	for i := range rds {
+		if rds[i], err = eng.Register(); err != nil {
+			return err
+		}
+	}
+
+	// Clean readers keep their sections sub-microsecond and sleep between
+	// them: the sleep yields the processor, so even on GOMAXPROCS=1 a
+	// clean reader is almost never preempted *inside* a section — which is
+	// what would earn it scheduler-quantum-sized spurious blame. The
+	// guilty reader's chaos hold sleeps inside the section, so it spends
+	// ~90% of its time in-section and soaks up the real blame.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i, rd := range rds {
+		wg.Add(1)
+		go func(i int, rd prcu.Reader) {
+			defer wg.Done()
+			for j := 0; ctx.Err() == nil; j++ {
+				v := prcu.Value((i*31 + j) % 64)
+				rd.Enter(v)
+				rd.Exit(v)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(i, rd)
+	}
+
+	waits := 0
+	for start := time.Now(); time.Since(start) < total; waits++ {
+		eng.WaitForReaders(prcu.All())
+	}
+	cancel()
+	wg.Wait()
+	for _, rd := range rds {
+		rd.Unregister()
+	}
+
+	top := met.TopBlame(0)
+	tbl := &table{
+		title:   "Reader blame: cumulative delay charged per slot",
+		unit:    fmt.Sprintf("%d grace periods issued; planted offender: slot %d", waits, guiltyReader-1),
+		columns: []string{"samples", "total ms", "max ms"},
+	}
+	for _, e := range top {
+		tbl.addRow(fmt.Sprintf("slot %d", e.Slot), []float64{
+			float64(e.Samples),
+			float64(e.TotalNs) / 1e6,
+			float64(e.MaxNs) / 1e6,
+		})
+	}
+	tbl.emit(cfg)
+
+	if len(top) == 0 {
+		return fmt.Errorf("blame: no blame samples recorded (expected waits to block on reader #%d)", guiltyReader)
+	}
+	if got := top[0].Slot; got != guiltyReader-1 {
+		return fmt.Errorf("blame: verdict convicted slot %d, planted offender is slot %d", got, guiltyReader-1)
+	}
+	cfg.printf("\nverdict: slot %d convicted — %.1fms cumulative delay over %d blocked waits (planted: reader #%d)\n",
+		top[0].Slot, float64(top[0].TotalNs)/1e6, top[0].Samples, guiltyReader)
+	cfg.printf("flight recorder: %d spans buffered; scrape /debug/prcu/tracez?engine=%s with -serve to see the chains\n",
+		met.FlightLen(), inner.Name())
+	return nil
+}

@@ -22,10 +22,17 @@ type monitorRow struct {
 // concurrently for total, rendering a live table of windowed rates
 // (obs.Delta between refresh ticks) to cfg.Out: waits/s, section
 // entries/s, windowed selectivity, wait p50/p99, section p50 and the
-// reclamation backlog. On a terminal the table redraws in place; on a
-// pipe each tick appends a block. The engines' collectors are also
-// registered in the export plane, so a -serve listener exposes the same
-// run on /metrics while the monitor renders it.
+// reclamation backlog. Engines registered in the export plane after the
+// monitor started (a migration target wired up mid-run, say) are
+// adopted as new rows on the next tick. On a terminal the table redraws
+// in place — re-homing by the previous block's height and clearing to
+// the end of the screen, so a changing row count cannot leave stale
+// lines — with the name column clamped so narrow terminals don't wrap.
+// On a pipe each tick appends a block. Engines with an armed flight
+// recorder additionally get a blame line naming their top offender
+// slots. The engines' collectors are also registered in the export
+// plane, so a -serve listener exposes the same run on /metrics while
+// the monitor renders it.
 func Monitor(cfg Config, total, refresh time.Duration) error {
 	cfg.Observe = true
 	if refresh <= 0 {
@@ -74,8 +81,13 @@ func Monitor(cfg Config, total, refresh time.Duration) error {
 			running = false
 		case <-ticker.C:
 		}
+		rows = adoptNewEngines(rows)
 		if printed > 0 && live {
-			cfg.printf("\033[%dA", printed) // redraw in place
+			// Re-home by the *previous* block's height and clear to the end
+			// of the screen: adopted engines and blame lines change the row
+			// count between ticks, and a bare cursor-up would misalign or
+			// leave stale tail lines.
+			cfg.printf("\033[%dA\033[J", printed)
 		}
 		now := time.Now()
 		printed = renderMonitor(cfg, rows, now.Sub(start), now.Sub(last))
@@ -90,24 +102,59 @@ func Monitor(cfg Config, total, refresh time.Duration) error {
 	return nil
 }
 
+// adoptNewEngines appends a row for every engine registered in the
+// export plane since the last tick, so a monitor started before (say) a
+// live migration still shows the target engine once it is wired up.
+func adoptNewEngines(rows []*monitorRow) []*monitorRow {
+	known := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		known[r.name] = true
+	}
+	for _, name := range obs.RegisteredNames() {
+		if known[name] {
+			continue
+		}
+		if m := obs.Registered(name); m != nil {
+			rows = append(rows, &monitorRow{name: name, m: m})
+		}
+	}
+	return rows
+}
+
 // renderMonitor prints one refresh of the rate table — each row is the
 // window since the previous tick — and returns the number of lines
-// written (for in-place redraw).
+// written (for in-place redraw). The name column is clamped to its
+// header width so long engine names cannot wrap a narrow terminal and
+// break the in-place redraw arithmetic.
 func renderMonitor(cfg Config, rows []*monitorRow, elapsed, window time.Duration) int {
-	cfg.printf("%-11s %10s %12s %6s %10s %10s %10s %8s\n",
+	cfg.printf("%-11.11s %10s %12s %6s %10s %10s %10s %8s\n",
 		fmt.Sprintf("t=%s", elapsed.Round(time.Second)),
 		"waits/s", "enters/s", "sel", "wait p50", "wait p99", "sect p50", "backlog")
+	printed := 1
 	for _, r := range rows {
 		cur := r.m.Snapshot()
 		rt := obs.Delta(r.prev, cur, window)
 		r.prev = cur
-		cfg.printf("%-11s %10s %12s %6.3f %10s %10s %10s %8d\n",
+		cfg.printf("%-11.11s %10s %12s %6.3f %10s %10s %10s %8d\n",
 			r.name,
 			formatValue(rt.WaitsPerSec), formatValue(rt.EntersPerSec), rt.Selectivity,
 			fmtMonNs(rt.WaitP50Ns), fmtMonNs(rt.WaitP99Ns), fmtMonNs(rt.SectionP50Ns),
 			rt.ReclaimBacklog)
+		printed++
+		if len(cur.BlameTop) > 0 {
+			line := "  blame:"
+			for i, e := range cur.BlameTop {
+				if i >= 3 {
+					break
+				}
+				line += fmt.Sprintf(" slot %d %s/%d", e.Slot,
+					fmtMonNs(float64(e.TotalNs)), e.Samples)
+			}
+			cfg.printf("%.76s\n", line)
+			printed++
+		}
 	}
-	return 1 + len(rows)
+	return printed
 }
 
 // fmtMonNs renders a nanosecond quantity at a human scale ("-" when the

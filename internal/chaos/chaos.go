@@ -81,6 +81,15 @@ type Config struct {
 	// period then never completed, which is the truthful outcome).
 	WaitHold    float64
 	WaitHoldDur time.Duration
+
+	// OnlyReader, when non-zero, restricts the reader-side fault
+	// classes (EnterJitter, ExitDelay, Stall) to the single reader with
+	// that 1-based registration index; every other reader runs clean.
+	// Combined with probability 1.0 this injects a *deterministic*
+	// misbehaving reader — the blame demo uses it to plant one known
+	// slow reader and check the flight recorder convicts exactly that
+	// slot. Zero (the default) faults all readers.
+	OnlyReader uint64
 }
 
 // Counts reports how many faults of each class an Engine injected.
@@ -105,6 +114,7 @@ type params struct {
 	delayDur time.Duration
 	stallDur time.Duration
 	holdDur  time.Duration
+	onlyIdx  uint64 // 0 = fault all readers
 	cfg      Config // as given, for readback
 }
 
@@ -118,6 +128,7 @@ func compile(cfg Config) *params {
 		delayDur: cfg.ExitDelayDur,
 		stallDur: cfg.StallDur,
 		holdDur:  cfg.WaitHoldDur,
+		onlyIdx:  cfg.OnlyReader,
 		cfg:      cfg,
 	}
 }
@@ -286,9 +297,10 @@ func (e *Engine) Register() (core.Reader, error) {
 	}
 	idx := e.readers.Add(1)
 	return &reader{
-		e:  e,
-		rd: rd,
-		r:  rng{state: splitmix64(e.seed ^ idx*0xbf58476d1ce4e5b9)},
+		e:   e,
+		rd:  rd,
+		idx: idx,
+		r:   rng{state: splitmix64(e.seed ^ idx*0xbf58476d1ce4e5b9)},
 	}, nil
 }
 
@@ -353,17 +365,25 @@ func (e *Engine) WaitForReadersCtx(ctx context.Context, p core.Predicate) error 
 
 var _ core.RCU = (*Engine)(nil)
 
-// reader injects faults around one inner reader.
+// reader injects faults around one inner reader. idx is the 1-based
+// registration index Config.OnlyReader selects by.
 type reader struct {
-	e  *Engine
-	rd core.Reader
-	r  rng
+	e   *Engine
+	rd  core.Reader
+	idx uint64
+	r   rng
+}
+
+// faultable reports whether this reader is in the fault mix's scope
+// (all readers, or the one OnlyReader names).
+func (c *reader) faultable(p *params) bool {
+	return p.onlyIdx == 0 || p.onlyIdx == c.idx
 }
 
 // Enter implements core.Reader: maybe jitter, then enter.
 func (c *reader) Enter(v core.Value) {
 	p := c.e.par.Load()
-	if p.enterThr != 0 && c.r.next() < p.enterThr {
+	if p.enterThr != 0 && c.faultable(p) && c.r.next() < p.enterThr {
 		c.e.nJitter.Add(1)
 		yield()
 	}
@@ -377,6 +397,10 @@ func (c *reader) Enter(v core.Value) {
 // and the stall watchdog must see it.
 func (c *reader) Exit(v core.Value) {
 	p := c.e.par.Load()
+	if !c.faultable(p) {
+		c.rd.Exit(v)
+		return
+	}
 	if p.stallThr != 0 && c.r.next() < p.stallThr {
 		c.e.nStall.Add(1)
 		sleep(p.stallDur)

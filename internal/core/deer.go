@@ -169,6 +169,10 @@ func (d *DEER) WaitForReaders(p Predicate) {
 	d.reg.forEachActive(func(sg *segment, i int) {
 		scanned++
 		readerWaited, readerParked := false, false
+		// The blame sample brackets the whole per-reader table scan — the
+		// per-node waits dominate it — and is only charged if the scan
+		// actually blocked on one of this reader's nodes.
+		bs := m.BlameStart(&start)
 		table := d.readerTable(sg, i)
 		if p.Enumerable() {
 			var visited uint64 // nodesPer <= 64 covered by one word
@@ -194,6 +198,7 @@ func (d *DEER) WaitForReaders(p Predicate) {
 		}
 		if readerWaited {
 			waited++
+			m.BlameSample(&start, sg.base+i, bs)
 			if readerParked {
 				parked++
 			}
@@ -217,7 +222,7 @@ func (d *DEER) waitReaders(p Predicate, wc *waitControl) error {
 	m := d.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	t0 := d.clock.Now()
 	w := d.waiter()
@@ -229,6 +234,8 @@ func (d *DEER) waitReaders(p Predicate, wc *waitControl) error {
 		}
 		scanned++
 		readerWaited, readerParked := false, false
+		// See the fast path: the sample brackets the reader's table scan.
+		bs := m.BlameStart(&start)
 		table := d.readerTable(sg, i)
 		if p.Enumerable() {
 			var visited uint64 // nodesPer <= 64 covered by one word
@@ -264,6 +271,7 @@ func (d *DEER) waitReaders(p Predicate, wc *waitControl) error {
 		}
 		if readerWaited {
 			waited++
+			m.BlameSample(&start, sg.base+i, bs)
 			if readerParked {
 				parked++
 			}

@@ -125,10 +125,12 @@ func (d *DistRCU) WaitForReaders(p Predicate) {
 			return
 		}
 		waited++
+		bs := m.BlameStart(&start)
 		w.Reset()
 		for g.Load() == s {
 			w.Wait()
 		}
+		m.BlameSample(&start, sg.base+i, bs)
 		if w.Yielded() {
 			parked++
 		}
@@ -151,7 +153,7 @@ func (d *DistRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := d.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	w := d.waiter()
 	var scanned, waited, parked uint64
@@ -167,6 +169,7 @@ func (d *DistRCU) waitReaders(_ Predicate, wc *waitControl) error {
 			return
 		}
 		waited++
+		bs := m.BlameStart(&start)
 		w.Reset()
 		for g.Load() == s {
 			if err := wc.step(&w); err != nil {
@@ -174,6 +177,7 @@ func (d *DistRCU) waitReaders(_ Predicate, wc *waitControl) error {
 				break
 			}
 		}
+		m.BlameSample(&start, sg.base+i, bs)
 		if w.Yielded() {
 			parked++
 		}

@@ -238,15 +238,15 @@ func (d *D) WaitForReaders(p Predicate) {
 	t := d.tbl.Load()
 	if !p.Enumerable() {
 		for j := range t.nodes {
-			info, _ := d.drainNode(&t.nodes[j], nil)
+			info, _ := d.drainNodeBlamed(&t.nodes[j], j, &start, nil)
 			agg.add(info)
 		}
 	} else {
-		d.drainCoveredFast(t, p, &agg)
+		d.drainCoveredFast(t, p, &agg, &start)
 	}
 	if o := d.old.Load(); o != nil && o != t {
 		for j := range o.nodes {
-			info, _ := d.drainNode(&o.nodes[j], nil)
+			info, _ := d.drainNodeBlamed(&o.nodes[j], j, &start, nil)
 			agg.add(info)
 		}
 	}
@@ -273,7 +273,7 @@ func (d *D) waitReaders(p Predicate, wc *waitControl) error {
 	m := d.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	var agg drainAgg
 	var werr error
@@ -282,7 +282,7 @@ func (d *D) waitReaders(p Predicate, wc *waitControl) error {
 	t := d.tbl.Load()
 	if !p.Enumerable() {
 		for j := range t.nodes {
-			info, err := d.drainNode(&t.nodes[j], wc)
+			info, err := d.drainNodeBlamed(&t.nodes[j], j, &start, wc)
 			agg.add(info)
 			if err != nil {
 				werr = err
@@ -290,12 +290,12 @@ func (d *D) waitReaders(p Predicate, wc *waitControl) error {
 			}
 		}
 	} else {
-		werr = d.drainCovered(t, p, &agg, wc)
+		werr = d.drainCovered(t, p, &agg, &start, wc)
 	}
 	if werr == nil {
 		if o := d.old.Load(); o != nil && o != t {
 			for j := range o.nodes {
-				info, err := d.drainNode(&o.nodes[j], wc)
+				info, err := d.drainNodeBlamed(&o.nodes[j], j, &start, wc)
 				agg.add(info)
 				if err != nil {
 					werr = err
@@ -352,7 +352,7 @@ func (a *drainAgg) add(i drainInfo) {
 // unarmed WaitForReaders fast path (a nil wait control never errors, so
 // the error plumbing and its closure are dropped entirely). Keep the
 // dedup logic in sync with drainCovered.
-func (d *D) drainCoveredFast(t *dTable, p Predicate, agg *drainAgg) {
+func (d *D) drainCoveredFast(t *dTable, p Predicate, agg *drainAgg, sp *obs.WaitSpan) {
 	var small [16]uint64
 	seen := small[:0]
 	var bitmap []uint64
@@ -366,7 +366,7 @@ func (d *D) drainCoveredFast(t *dTable, p Predicate, agg *drainAgg) {
 			}
 			if len(seen) < cap(seen) {
 				seen = append(seen, idx)
-				info, _ := d.drainNode(&t.nodes[idx], nil)
+				info, _ := d.drainNodeBlamed(&t.nodes[idx], int(idx), sp, nil)
 				agg.add(info)
 				return true
 			}
@@ -380,13 +380,13 @@ func (d *D) drainCoveredFast(t *dTable, p Predicate, agg *drainAgg) {
 			return true
 		}
 		bitmap[idx/64] |= 1 << (idx % 64)
-		info, _ := d.drainNode(&t.nodes[idx], nil)
+		info, _ := d.drainNodeBlamed(&t.nodes[idx], int(idx), sp, nil)
 		agg.add(info)
 		return true
 	})
 }
 
-func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg, wc *waitControl) error {
+func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg, sp *obs.WaitSpan, wc *waitControl) error {
 	// Dedup covered indices. Predicates in practice cover very few values
 	// (a bucket pair, a small key interval), so a small linear buffer
 	// avoids allocation; large predicates spill into a bitmap.
@@ -395,7 +395,7 @@ func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg, wc *waitControl)
 	var bitmap []uint64
 	var werr error
 	drain := func(idx uint64) bool {
-		info, err := d.drainNode(&t.nodes[idx], wc)
+		info, err := d.drainNodeBlamed(&t.nodes[idx], int(idx), sp, wc)
 		agg.add(info)
 		if err != nil {
 			werr = err
@@ -428,6 +428,18 @@ func (d *D) drainCovered(t *dTable, p Predicate, agg *drainAgg, wc *waitControl)
 		return drain(idx)
 	})
 	return werr
+}
+
+// drainNodeBlamed wraps drainNode with a flight-recorder blame sample.
+// D-PRCU waits block on counter nodes, not readers, so blame slots are
+// counter-node indices — the same unit stalledReaders reports.
+func (d *D) drainNodeBlamed(n *dNode, idx int, sp *obs.WaitSpan, wc *waitControl) (drainInfo, error) {
+	bs := d.met.BlameStart(sp)
+	info, err := d.drainNode(n, wc)
+	if info.waited {
+		d.met.BlameSample(sp, idx, bs)
+	}
+	return info, err
 }
 
 // drainNode waits until node n has been observed with zero readers in each

@@ -162,6 +162,7 @@ func (e *EER) WaitForReaders(p Predicate) {
 		n := &sg.state.([]timeNode)[i]
 		w.Reset()
 		looped := false
+		var bs int64
 		for {
 			// Re-evaluating the predicate each iteration (rather than once,
 			// as the pseudo code shows) only relaxes waiting: if the reader
@@ -178,11 +179,15 @@ func (e *EER) WaitForReaders(p Predicate) {
 				// writer, no nesting).
 				break
 			}
-			looped = true
+			if !looped {
+				looped = true
+				bs = m.BlameStart(&start)
+			}
 			w.Wait()
 		}
 		if looped {
 			waited++
+			m.BlameSample(&start, sg.base+i, bs)
 			if w.Yielded() {
 				parked++
 			}
@@ -206,7 +211,7 @@ func (e *EER) waitReaders(p Predicate, wc *waitControl) error {
 	m := e.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	// Algorithm 1 line 10's fence (make the updater's prior writes visible
 	// before reading the clock) is implied by SC ordering of the atomic
@@ -223,6 +228,7 @@ func (e *EER) waitReaders(p Predicate, wc *waitControl) error {
 		n := &sg.state.([]timeNode)[i]
 		w.Reset()
 		looped := false
+		var bs int64
 		for {
 			// Re-evaluating the predicate each iteration (rather than once,
 			// as the pseudo code shows) only relaxes waiting: if the reader
@@ -239,7 +245,10 @@ func (e *EER) waitReaders(p Predicate, wc *waitControl) error {
 				// writer, no nesting).
 				break
 			}
-			looped = true
+			if !looped {
+				looped = true
+				bs = m.BlameStart(&start)
+			}
 			if err := wc.step(&w); err != nil {
 				werr = err
 				break
@@ -247,6 +256,7 @@ func (e *EER) waitReaders(p Predicate, wc *waitControl) error {
 		}
 		if looped {
 			waited++
+			m.BlameSample(&start, sg.base+i, bs)
 			if w.Yielded() {
 				parked++
 			}

@@ -188,10 +188,12 @@ func (p *Packed) WaitForReaders(pred Predicate) {
 				return
 			}
 			waited++
+			bs := m.BlameStart(&start)
 			w.Reset()
 			for packedOngoing(c.Load(), g) {
 				w.Wait()
 			}
+			m.BlameSample(&start, sg.base+i, bs)
 			if w.Yielded() {
 				parked++
 			}
@@ -218,7 +220,7 @@ func (p *Packed) waitReaders(_ Predicate, wc *waitControl) error {
 	m := p.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	var scanned, waited, parked uint64
 	var werr error
@@ -235,6 +237,7 @@ func (p *Packed) waitReaders(_ Predicate, wc *waitControl) error {
 				return
 			}
 			waited++
+			bs := m.BlameStart(&start)
 			w.Reset()
 			for packedOngoing(c.Load(), g) {
 				if err := wc.step(&w); err != nil {
@@ -242,6 +245,7 @@ func (p *Packed) waitReaders(_ Predicate, wc *waitControl) error {
 					break
 				}
 			}
+			m.BlameSample(&start, sg.base+i, bs)
 			if w.Yielded() {
 				parked++
 			}

@@ -262,6 +262,17 @@ func newControl(ctx context.Context, st *stallState, p Predicate, prober stallPr
 	return wc
 }
 
+// Ctx returns the Context the wait runs under, nil for background waits
+// (or on the nil fast-path control). The flight recorder reads it to
+// pick up a grace-period ID threaded down from the reclaimer or
+// migrator.
+func (wc *waitControl) Ctx() context.Context {
+	if wc == nil {
+		return nil
+	}
+	return wc.ctx
+}
+
 // pre reports an already-expired Context before any waiting starts, so
 // WaitForReadersCtx with a dead Context fails fast instead of scanning.
 func (wc *waitControl) pre() error {

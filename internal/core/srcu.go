@@ -134,6 +134,9 @@ func (s *SRCU) WaitForReaders(p Predicate) {
 		}
 		return
 	}
+	// Readers are present, so the wait will block; SRCU has one counter
+	// node, so all blame lands on slot 0.
+	bs := m.BlameStart(&start)
 	seen0, seen1 := false, false
 	if spin.UntilBudgetTuned(func() bool {
 		seen0 = seen0 || n.readers[0].Load() == 0
@@ -141,6 +144,7 @@ func (s *SRCU) WaitForReaders(p Predicate) {
 		return seen0 && seen1
 	}, optimisticBudget, s.tuning()) {
 		if m != nil {
+			m.BlameSample(&start, 0, bs)
 			m.DrainCounts(1, 0, 0)
 			m.WaitEnd(start, 1, 1, 0)
 		}
@@ -155,6 +159,7 @@ func (s *SRCU) WaitForReaders(p Predicate) {
 				if w.Yielded() {
 					parked = 1
 				}
+				m.BlameSample(&start, 0, bs)
 				m.DrainCounts(0, 0, 1)
 				m.WaitEnd(start, 1, 1, parked)
 			}
@@ -178,6 +183,7 @@ func (s *SRCU) WaitForReaders(p Predicate) {
 		if w.Yielded() {
 			parked = 1
 		}
+		m.BlameSample(&start, 0, bs)
 		m.DrainCounts(0, 1, 0)
 		m.WaitEnd(start, 1, 1, parked)
 	}
@@ -198,7 +204,7 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := s.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	n := &s.node
 	if n.readers[0].Load() == 0 && n.readers[1].Load() == 0 {
@@ -208,6 +214,8 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		}
 		return nil
 	}
+	// See the fast path: blocked SRCU waits blame their single node, slot 0.
+	bs := m.BlameStart(&start)
 	seen0, seen1 := false, false
 	if spin.UntilBudgetTuned(func() bool {
 		seen0 = seen0 || n.readers[0].Load() == 0
@@ -215,6 +223,7 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		return seen0 && seen1
 	}, optimisticBudget, s.tuning()) {
 		if m != nil {
+			m.BlameSample(&start, 0, bs)
 			m.DrainCounts(1, 0, 0)
 			m.WaitEnd(start, 1, 1, 0)
 		}
@@ -229,12 +238,14 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 				if w.Yielded() {
 					parked = 1
 				}
+				m.BlameSample(&start, 0, bs)
 				m.DrainCounts(0, 0, 1)
 				m.WaitEnd(start, 1, 1, parked)
 			}
 			return nil
 		}
 		if err := wc.step(&w); err != nil {
+			m.BlameSample(&start, 0, bs)
 			s.waitAborted(m, start, &w)
 			return err
 		}
@@ -244,6 +255,7 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	for n.readers[1-g].Load() != 0 {
 		if err := wc.step(&w); err != nil {
 			n.mu.Unlock()
+			m.BlameSample(&start, 0, bs)
 			s.waitAborted(m, start, &w)
 			return err
 		}
@@ -252,6 +264,7 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	for n.readers[g].Load() != 0 {
 		if err := wc.step(&w); err != nil {
 			n.mu.Unlock()
+			m.BlameSample(&start, 0, bs)
 			s.waitAborted(m, start, &w)
 			return err
 		}
@@ -263,6 +276,7 @@ func (s *SRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		if w.Yielded() {
 			parked = 1
 		}
+		m.BlameSample(&start, 0, bs)
 		m.DrainCounts(0, 1, 0)
 		m.WaitEnd(start, 1, 1, parked)
 	}

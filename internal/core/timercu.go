@@ -122,12 +122,17 @@ func (t *TimeRCU) WaitForReaders(p Predicate) {
 		n := &sg.state.([]timeNode)[i]
 		w.Reset()
 		looped := false
+		var bs int64
 		for n.time.Load() <= t0 {
-			looped = true
+			if !looped {
+				looped = true
+				bs = m.BlameStart(&start)
+			}
 			w.Wait()
 		}
 		if looped {
 			waited++
+			m.BlameSample(&start, sg.base+i, bs)
 			if w.Yielded() {
 				parked++
 			}
@@ -152,7 +157,7 @@ func (t *TimeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := t.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	t0 := t.clock.Now()
 	w := t.waiter()
@@ -166,8 +171,12 @@ func (t *TimeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		n := &sg.state.([]timeNode)[i]
 		w.Reset()
 		looped := false
+		var bs int64
 		for n.time.Load() <= t0 {
-			looped = true
+			if !looped {
+				looped = true
+				bs = m.BlameStart(&start)
+			}
 			if err := wc.step(&w); err != nil {
 				werr = err
 				break
@@ -175,6 +184,7 @@ func (t *TimeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 		}
 		if looped {
 			waited++
+			m.BlameSample(&start, sg.base+i, bs)
 			if w.Yielded() {
 				parked++
 			}

@@ -298,8 +298,17 @@ func (t *TreeRCU) WaitForReaders(p Predicate) {
 	}
 	root := &tl.levels[len(tl.levels)-1][0]
 	w := t.waiter()
+	// The tree aggregates progress, so per-slot delays are invisible at
+	// the root; blame conservatively charges the whole root poll to every
+	// seeded slot (an exited-early reader is over-blamed, never missed).
+	bs := m.BlameStart(&start)
 	for root.Load() != 0 {
 		w.Wait()
+	}
+	if bs != 0 {
+		for _, wd := range tl.waited {
+			m.BlameSample(&start, wd.slot, bs)
+		}
 	}
 	if m != nil {
 		// The tree aggregates per-reader progress, so waited readers are
@@ -329,7 +338,7 @@ func (t *TreeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := t.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -388,11 +397,19 @@ func (t *TreeRCU) waitReaders(_ Predicate, wc *waitControl) error {
 	}
 	root := &tl.levels[len(tl.levels)-1][0]
 	w := t.waiter()
+	// See the fast path: the whole root poll is charged to every seeded
+	// slot, since the tree hides which of them actually held it up.
+	bs := m.BlameStart(&start)
 	var werr error
 	for root.Load() != 0 {
 		if err := wc.step(&w); err != nil {
 			werr = err
 			break
+		}
+	}
+	if bs != 0 {
+		for _, wd := range tl.waited {
+			m.BlameSample(&start, wd.slot, bs)
 		}
 	}
 	if m != nil {

@@ -144,12 +144,17 @@ func (u *URCU) WaitForReaders(p Predicate) {
 			c := &sg.state.([]pad.Uint64)[i]
 			w.Reset()
 			looped := false
+			var bs int64
 			for ongoing(c.Load(), newGP) {
-				looped = true
+				if !looped {
+					looped = true
+					bs = m.BlameStart(&start)
+				}
 				w.Wait()
 			}
 			if looped {
 				waited++
+				m.BlameSample(&start, sg.base+i, bs)
 				if w.Yielded() {
 					parked++
 				}
@@ -179,7 +184,7 @@ func (u *URCU) waitReaders(_ Predicate, wc *waitControl) error {
 	m := u.met
 	var start obs.WaitSpan
 	if m != nil {
-		start = m.WaitBegin()
+		start = m.WaitBeginCtx(wc.Ctx())
 	}
 	var scanned, waited, parked uint64
 	var werr error
@@ -196,8 +201,12 @@ func (u *URCU) waitReaders(_ Predicate, wc *waitControl) error {
 			c := &sg.state.([]pad.Uint64)[i]
 			w.Reset()
 			looped := false
+			var bs int64
 			for ongoing(c.Load(), newGP) {
-				looped = true
+				if !looped {
+					looped = true
+					bs = m.BlameStart(&start)
+				}
 				if err := wc.step(&w); err != nil {
 					werr = err
 					break
@@ -205,6 +214,7 @@ func (u *URCU) waitReaders(_ Predicate, wc *waitControl) error {
 			}
 			if looped {
 				waited++
+				m.BlameSample(&start, sg.base+i, bs)
 				if w.Yielded() {
 					parked++
 				}

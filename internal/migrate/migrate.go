@@ -413,8 +413,25 @@ func (m *Migrator) escalateStall(eng core.RCU) func() {
 // drainEngine waits one full grace period on eng, then polls its reader
 // registry down to zero with exponential backoff, draining stale
 // pool-cached readers between re-checks.
+//
+// With the flight recorder armed, the drain gets its own GP ID, threaded
+// into the engine wait's Context so the wait span joins the drain's
+// chain, plus a SpanMigrateDrain covering the handover grace period.
 func (m *Migrator) drainEngine(ctx context.Context, eng core.RCU, fronts []Front) error {
-	if err := eng.WaitForReadersCtx(ctx, core.All()); err != nil {
+	met := m.cfg.Metrics
+	if met.FlightEnabled() {
+		gp := obs.NextGP()
+		ctx = obs.WithGP(ctx, gp)
+		startNs := met.FlightNow()
+		err := eng.WaitForReadersCtx(ctx, core.All())
+		met.FlightRecord(obs.FlightSpan{
+			GP: gp, Kind: obs.SpanMigrateDrain, Track: "migrate",
+			StartNs: startNs, EndNs: met.FlightNow(), Label: eng.Name(),
+		})
+		if err != nil {
+			return fmt.Errorf("grace drain on %s: %w", eng.Name(), err)
+		}
+	} else if err := eng.WaitForReadersCtx(ctx, core.All()); err != nil {
 		return fmt.Errorf("grace drain on %s: %w", eng.Name(), err)
 	}
 	rc, ok := eng.(core.ReaderCounter)

@@ -95,6 +95,13 @@ type WaitSpan struct {
 	// labeled records that the waiter's goroutine labels were replaced
 	// and must be cleared at WaitEnd.
 	labeled bool
+	// gp / fr are the flight recorder's state: the wait's grace-period ID
+	// and the recorder it will report to, both zero when the recorder is
+	// off. blame accumulates per-slot BlameSamples as the wait's scan
+	// closes them; it only ever allocates with the recorder armed.
+	gp    uint64
+	fr    *flightRecorder
+	blame []BlameSample
 }
 
 // ReclaimFlushBegin opens a runtime-attribution region for one reclaimer

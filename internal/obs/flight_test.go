@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFlightGating(t *testing.T) {
+	m := New()
+	if m.FlightEnabled() {
+		t.Fatal("recorder armed before EnableFlightRecorder")
+	}
+	m.FlightRecord(FlightSpan{GP: 1, Kind: SpanWait}) // must be a no-op
+	if n := m.FlightLen(); n != 0 {
+		t.Fatalf("disabled recorder buffered %d spans", n)
+	}
+	m.EnableFlightRecorder(32)
+	if !m.FlightEnabled() {
+		t.Fatal("recorder not armed after EnableFlightRecorder")
+	}
+	m.FlightRecord(FlightSpan{GP: 1, Kind: SpanWait})
+	if n := m.FlightLen(); n != 1 {
+		t.Fatalf("FlightLen = %d, want 1", n)
+	}
+	if got := m.DisableFlightRecorder(); got != 32 {
+		t.Fatalf("DisableFlightRecorder = %d, want the armed capacity 32", got)
+	}
+	if m.FlightEnabled() || m.FlightLen() != 0 {
+		t.Fatal("recorder still live after DisableFlightRecorder")
+	}
+	if got := m.DisableFlightRecorder(); got != 0 {
+		t.Fatalf("second DisableFlightRecorder = %d, want 0", got)
+	}
+}
+
+func TestFlightRingWrap(t *testing.T) {
+	m := New()
+	m.EnableFlightRecorder(16) // the enforced minimum capacity
+	for gp := uint64(1); gp <= 40; gp++ {
+		m.FlightRecord(FlightSpan{GP: gp, Kind: SpanWait, StartNs: int64(gp)})
+	}
+	spans := m.FlightSnapshot()
+	if len(spans) != 16 {
+		t.Fatalf("snapshot has %d spans, want the ring capacity 16", len(spans))
+	}
+	// Oldest-first: the ring must hold exactly GPs 25..40 in order.
+	for i, sp := range spans {
+		if want := uint64(25 + i); sp.GP != want {
+			t.Fatalf("spans[%d].GP = %d, want %d", i, sp.GP, want)
+		}
+	}
+}
+
+func TestFlightSnapshotBeforeWrap(t *testing.T) {
+	m := New()
+	m.EnableFlightRecorder(16)
+	for gp := uint64(1); gp <= 3; gp++ {
+		m.FlightRecord(FlightSpan{GP: gp})
+	}
+	spans := m.FlightSnapshot()
+	if len(spans) != 3 {
+		t.Fatalf("snapshot has %d spans, want 3", len(spans))
+	}
+	for i, sp := range spans {
+		if sp.GP != uint64(i+1) {
+			t.Fatalf("spans[%d].GP = %d, want %d", i, sp.GP, i+1)
+		}
+	}
+}
+
+func TestTopBlameOrdering(t *testing.T) {
+	m := New()
+	m.EnableFlightRecorder(32)
+	// Blame flows in via wait spans' samples.
+	m.FlightRecord(FlightSpan{GP: 1, Kind: SpanWait, Blame: []BlameSample{
+		{Slot: 3, DelayNs: 100},
+		{Slot: 1, DelayNs: 500},
+	}})
+	m.FlightRecord(FlightSpan{GP: 2, Kind: SpanWait, Blame: []BlameSample{
+		{Slot: 3, DelayNs: 150},
+		{Slot: 7, DelayNs: 250}, // ties slot 3's total; lower slot must sort first
+	}})
+	top := m.TopBlame(0)
+	if len(top) != 3 {
+		t.Fatalf("TopBlame(0) returned %d entries, want 3", len(top))
+	}
+	wantOrder := []int{1, 3, 7} // 500 > 250==250 (slot asc)
+	for i, e := range top {
+		if e.Slot != wantOrder[i] {
+			t.Fatalf("TopBlame order: got slot %d at %d, want %d (full: %+v)", e.Slot, i, wantOrder[i], top)
+		}
+	}
+	if top[0].TotalNs != 500 || top[0].Samples != 1 || top[0].MaxNs != 500 {
+		t.Errorf("slot 1 aggregate wrong: %+v", top[0])
+	}
+	if top[1].TotalNs != 250 || top[1].Samples != 2 || top[1].MaxNs != 150 {
+		t.Errorf("slot 3 aggregate wrong: %+v", top[1])
+	}
+	if k1 := m.TopBlame(1); len(k1) != 1 || k1[0].Slot != 1 {
+		t.Errorf("TopBlame(1) = %+v, want just slot 1", k1)
+	}
+}
+
+func TestWithGPRoundTrip(t *testing.T) {
+	if gp := GPFromContext(nil); gp != 0 {
+		t.Fatalf("GPFromContext(nil) = %d, want 0", gp)
+	}
+	if gp := GPFromContext(context.Background()); gp != 0 {
+		t.Fatalf("GPFromContext(Background) = %d, want 0", gp)
+	}
+	ctx := WithGP(context.Background(), 99)
+	if gp := GPFromContext(ctx); gp != 99 {
+		t.Fatalf("GPFromContext after WithGP(99) = %d", gp)
+	}
+}
+
+func TestNextGPNeverZero(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		gp := NextGP()
+		if gp == 0 {
+			t.Fatal("NextGP minted 0")
+		}
+		if seen[gp] {
+			t.Fatalf("NextGP repeated %d", gp)
+		}
+		seen[gp] = true
+	}
+}
+
+// TestWaitSpanEmitsFlight checks the engine-facing path end to end: an
+// armed recorder turns a WaitBeginCtx/WaitEnd pair into a wait span
+// carrying the context's GP and the blame sampled between them.
+func TestWaitSpanEmitsFlight(t *testing.T) {
+	m := New()
+	m.EnableFlightRecorder(32)
+	ctx := WithGP(context.Background(), 1234)
+	sp := m.WaitBeginCtx(ctx)
+	bs := m.BlameStart(&sp)
+	if bs == 0 {
+		t.Fatal("BlameStart = 0 with the recorder armed")
+	}
+	m.BlameSample(&sp, 5, bs)
+	m.WaitEnd(sp, 4, 1, 0)
+
+	spans := m.FlightSnapshot()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1 wait span", len(spans))
+	}
+	got := spans[0]
+	if got.Kind != SpanWait || got.GP != 1234 || got.Track != "wait" {
+		t.Fatalf("wait span = %+v", got)
+	}
+	if len(got.Blame) != 1 || got.Blame[0].Slot != 5 {
+		t.Fatalf("wait span blame = %+v", got.Blame)
+	}
+	if got.Count != 1 {
+		t.Fatalf("wait span count = %d, want waited=1", got.Count)
+	}
+	// And the aggregation saw the same sample.
+	top := m.TopBlame(0)
+	if len(top) != 1 || top[0].Slot != 5 {
+		t.Fatalf("TopBlame = %+v", top)
+	}
+}
+
+// TestWaitSpanMintsGP: a wait without a reclaim-provided context still
+// gets a fresh non-zero GP so its span is traceable.
+func TestWaitSpanMintsGP(t *testing.T) {
+	m := New()
+	m.EnableFlightRecorder(32)
+	sp := m.WaitBegin()
+	m.WaitEnd(sp, 1, 0, 0)
+	spans := m.FlightSnapshot()
+	if len(spans) != 1 || spans[0].GP == 0 {
+		t.Fatalf("fast-path wait span missing a minted GP: %+v", spans)
+	}
+}
+
+func TestFlightExpediteLink(t *testing.T) {
+	m := New()
+	m.EnableFlightRecorder(32)
+	m.FlightExpedite("adapt: elevated")
+	link := m.FlightExpediteLink()
+	if link == 0 {
+		t.Fatal("FlightExpediteLink = 0 after FlightExpedite")
+	}
+	if again := m.FlightExpediteLink(); again != 0 {
+		t.Fatalf("expedite link consumed twice: %d", again)
+	}
+	spans := m.FlightSnapshot()
+	if len(spans) != 1 || spans[0].Kind != SpanExpedite || spans[0].GP != link {
+		t.Fatalf("expedite span = %+v, want kind expedite with GP %d", spans, link)
+	}
+	if spans[0].Track != "autotune" {
+		t.Fatalf("expedite span track = %q", spans[0].Track)
+	}
+}
+
+func TestFlightResetClears(t *testing.T) {
+	m := New()
+	m.EnableFlightRecorder(32)
+	m.FlightRecord(FlightSpan{GP: 1, Kind: SpanWait, Blame: []BlameSample{{Slot: 2, DelayNs: 10}}})
+	m.FlightExpedite("x")
+	m.Reset()
+	if m.FlightLen() != 0 {
+		t.Fatal("Reset did not clear the span ring")
+	}
+	if top := m.TopBlame(0); len(top) != 0 {
+		t.Fatalf("Reset did not clear blame: %+v", top)
+	}
+	if link := m.FlightExpediteLink(); link != 0 {
+		t.Fatalf("Reset did not clear the expedite link: %d", link)
+	}
+	if !m.FlightEnabled() {
+		t.Fatal("Reset disarmed the recorder (it must only clear contents)")
+	}
+}
+
+func TestBlameStartDisabled(t *testing.T) {
+	m := New()
+	sp := m.WaitBegin()
+	if bs := m.BlameStart(&sp); bs != 0 {
+		t.Fatalf("BlameStart = %d with recorder off, want 0", bs)
+	}
+	m.BlameSample(&sp, 1, 0) // must be a no-op, not a panic
+	m.WaitEnd(sp, 1, 1, 0)
+	if m.FlightLen() != 0 {
+		t.Fatal("disabled recorder recorded a span")
+	}
+	// And the fully-nil path engines take when built without metrics.
+	var nm *Metrics
+	var nsp WaitSpan
+	if bs := nm.BlameStart(&nsp); bs != 0 {
+		t.Fatalf("nil-Metrics BlameStart = %d", bs)
+	}
+	nm.BlameSample(&nsp, 0, 0)
+}

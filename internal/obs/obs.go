@@ -26,6 +26,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"runtime/pprof"
 	rttrace "runtime/trace"
@@ -124,8 +125,9 @@ type Metrics struct {
 	// count moves here so Snapshot.Enters stays a monotone total.
 	retiredEnters pad.Uint64
 
-	trace traceHolder
-	attr  attrHolder
+	trace  traceHolder
+	attr   attrHolder
+	flight flightHolder
 }
 
 // New returns an enabled Metrics with the default section sampling rate
@@ -170,7 +172,14 @@ func (m *Metrics) Lane(slot int) *ReaderLane {
 // WaitBegin marks the start of a WaitForReaders and returns its span
 // (start timestamp plus any open attribution state), to be handed back
 // to WaitEnd on the same goroutine.
-func (m *Metrics) WaitBegin() WaitSpan {
+func (m *Metrics) WaitBegin() WaitSpan { return m.WaitBeginCtx(nil) }
+
+// WaitBeginCtx is WaitBegin for waits opened under a Context that may
+// carry a grace-period ID from the layer that initiated the wait (the
+// reclaimer's coalescer, the migrator's drain). With the flight recorder
+// armed, the span joins that chain — or mints a fresh GP ID when the
+// context carries none (plain WaitForReaders calls). ctx may be nil.
+func (m *Metrics) WaitBeginCtx(ctx context.Context) WaitSpan {
 	sp := WaitSpan{StartNs: m.now()}
 	if a := m.attr.Load(); a != nil {
 		sp.region = rttrace.StartRegion(a.taskCtx, "prcu:wait")
@@ -179,6 +188,12 @@ func (m *Metrics) WaitBegin() WaitSpan {
 	}
 	if tr := m.trace.load(); tr != nil {
 		tr.add(Event{TimeNs: sp.StartNs, Kind: EvWaitBegin})
+	}
+	if fr := m.flight.load(); fr != nil {
+		sp.fr = fr
+		if sp.gp = GPFromContext(ctx); sp.gp == 0 {
+			sp.gp = NextGP()
+		}
 	}
 	return sp
 }
@@ -202,6 +217,13 @@ func (m *Metrics) WaitEnd(sp WaitSpan, scanned, waited, parked uint64) {
 	}
 	if tr := m.trace.load(); tr != nil {
 		tr.add(Event{TimeNs: end, Kind: EvWaitEnd, Value: waited})
+	}
+	if sp.fr != nil {
+		sp.fr.record(FlightSpan{
+			GP: sp.gp, Kind: SpanWait, Track: "wait",
+			StartNs: sp.StartNs, EndNs: end,
+			Count: int(waited), Blame: sp.blame,
+		})
 	}
 	if sp.region != nil {
 		sp.region.End()
@@ -484,6 +506,9 @@ func (m *Metrics) Reset() {
 	m.laneMu.Unlock()
 	if tr := m.trace.load(); tr != nil {
 		tr.reset()
+	}
+	if fr := m.flight.load(); fr != nil {
+		fr.reset()
 	}
 }
 

@@ -115,6 +115,16 @@ type Snapshot struct {
 	// TraceLen is the number of events currently buffered (0 when
 	// tracing is disabled).
 	TraceLen int
+
+	// FlightLen is the number of grace-period flight-recorder spans
+	// currently buffered (0 when the recorder is off).
+	FlightLen int
+	// BlameSamples / BlameNs total the flight recorder's per-slot blame
+	// attribution across all slots; BlameTop is the worst offender slots
+	// by cumulative delay (at most 5 here — ask TopBlame for more).
+	BlameSamples uint64
+	BlameNs      int64
+	BlameTop     []BlameEntry
 }
 
 // Snapshot aggregates the current metrics. Safe on a nil receiver and
@@ -167,6 +177,19 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.laneMu.Unlock()
 	if tr := m.trace.load(); tr != nil {
 		s.TraceLen = tr.len()
+	}
+	if m.FlightEnabled() {
+		s.FlightLen = m.FlightLen()
+		if all := m.TopBlame(0); len(all) > 0 {
+			for _, b := range all {
+				s.BlameSamples += b.Samples
+				s.BlameNs += b.TotalNs
+			}
+			if len(all) > 5 {
+				all = all[:5]
+			}
+			s.BlameTop = all
+		}
 	}
 	return s
 }
@@ -227,6 +250,17 @@ func (s Snapshot) Dump(w io.Writer, name string) {
 	}
 	if s.TraceLen > 0 {
 		fmt.Fprintf(w, "trace buffer:     %d events\n", s.TraceLen)
+	}
+	if s.FlightLen > 0 {
+		fmt.Fprintf(w, "flight recorder:  %d spans buffered\n", s.FlightLen)
+	}
+	if s.BlameSamples > 0 {
+		fmt.Fprintf(w, "reader blame:     %d samples, %s cumulative delay\n",
+			s.BlameSamples, fmtNs(float64(s.BlameNs)))
+		for _, b := range s.BlameTop {
+			fmt.Fprintf(w, "  slot %4d: %6d samples  total %-10s max %s\n",
+				b.Slot, b.Samples, fmtNs(float64(b.TotalNs)), fmtNs(float64(b.MaxNs)))
+		}
 	}
 }
 

@@ -45,6 +45,13 @@ type engineHealth struct {
 	BacklogSlope  float64 `json:"backlog_slope_per_sec"`
 	OldestAgeNs   int64   `json:"oldest_age_ns"`
 	Overloads     uint64  `json:"overloads"`
+
+	// Flight-recorder blame: populated only while the recorder is armed.
+	// Blame lists the top offender slots by cumulative delay charged.
+	FlightSpans  int              `json:"flight_spans,omitempty"`
+	BlameSamples uint64           `json:"blame_samples,omitempty"`
+	BlameNs      int64            `json:"blame_ns,omitempty"`
+	Blame        []obs.BlameEntry `json:"blame,omitempty"`
 }
 
 // serve reports 200 with status "ok" when every engine's window is
@@ -80,6 +87,10 @@ func (h *healthState) serve(w http.ResponseWriter, _ *http.Request) {
 			BacklogSlope:  rt.BacklogSlope,
 			OldestAgeNs:   rt.OldestAgeNs,
 			Overloads:     rt.Overloads,
+			FlightSpans:   cur.FlightLen,
+			BlameSamples:  cur.BlameSamples,
+			BlameNs:       cur.BlameNs,
+			Blame:         cur.BlameTop,
 		}
 		if rt.Stalls > 0 {
 			eh.Reasons = append(eh.Reasons, "grace-period stalls in window")

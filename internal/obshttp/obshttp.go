@@ -1,10 +1,11 @@
 // Package obshttp is the live export plane over the obs registry: every
 // engine registered with obs.Register (prcu.RegisterMetrics, or
-// automatically by Options.Metrics) is served on four endpoints —
+// automatically by Options.Metrics) is served on five endpoints —
 //
 //	GET /metrics            Prometheus text exposition (v0.0.4)
 //	GET /debug/prcu/stats   full JSON Snapshot per engine
 //	GET /debug/prcu/trace   event-ring dump for one engine (?engine=X)
+//	GET /debug/prcu/tracez  flight-recorder spans as Chrome trace JSON (?engine=X)
 //	GET /debug/prcu/health  stall/backlog-aware status (200 ok, 503 degraded)
 //
 // It is pull-only and stdlib-only: scraping takes Snapshots, which read
@@ -21,7 +22,7 @@ import (
 	"prcu/internal/obs"
 )
 
-// Handler returns the export-plane handler with all four endpoints
+// Handler returns the export-plane handler with all five endpoints
 // mounted at their canonical paths. Each call returns an independent
 // handler (the health endpoint keeps per-handler rate-window state);
 // mount one per server.
@@ -30,6 +31,7 @@ func Handler() http.Handler {
 	mux.HandleFunc("/metrics", get(metricsHandler))
 	mux.HandleFunc("/debug/prcu/stats", get(statsHandler))
 	mux.HandleFunc("/debug/prcu/trace", get(traceHandler))
+	mux.HandleFunc("/debug/prcu/tracez", get(tracezHandler))
 	mux.HandleFunc("/debug/prcu/health", get(newHealthState().serve))
 	return mux
 }
@@ -76,7 +78,8 @@ func traceHandler(w http.ResponseWriter, r *http.Request) {
 	}
 	m := obs.Registered(engine)
 	if m == nil {
-		http.Error(w, fmt.Sprintf("no engine registered as %q", engine), http.StatusNotFound)
+		http.Error(w, fmt.Sprintf("no engine registered as %q (registered: %s)",
+			engine, strings.Join(obs.RegisteredNames(), ", ")), http.StatusNotFound)
 		return
 	}
 	evs := m.TraceSnapshot()

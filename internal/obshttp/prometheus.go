@@ -85,6 +85,14 @@ func writePrometheus(w *bufio.Writer) {
 	f.gauge("prcu_trace_buffered_events", "Events currently held in the engine's trace ring (0 when tracing is off).",
 		func(s obs.Snapshot) float64 { return float64(s.TraceLen) })
 
+	f.gauge("prcu_flight_buffered_spans", "Spans currently held in the engine's flight recorder (0 when the recorder is off).",
+		func(s obs.Snapshot) float64 { return float64(s.FlightLen) })
+	f.counter("prcu_blame_samples_total", "Per-slot reader-blame samples recorded by blocked waits.",
+		func(s obs.Snapshot) float64 { return float64(s.BlameSamples) })
+	f.counter("prcu_blame_seconds_total", "Cumulative reader delay charged to slots by blocked waits.",
+		func(s obs.Snapshot) float64 { return float64(s.BlameNs) * 1e-9 })
+	f.blame()
+
 	writeControllers(w)
 	writeMigrations(w)
 }
@@ -223,6 +231,62 @@ func (f *famWriter) drains() {
 		fmt.Fprintf(f.w, "%s{engine=\"%s\",kind=\"optimistic\"} %d\n", name, e, s.DrainsOptimistic)
 		fmt.Fprintf(f.w, "%s{engine=\"%s\",kind=\"gate\"} %d\n", name, e, s.DrainsGate)
 		fmt.Fprintf(f.w, "%s{engine=\"%s\",kind=\"piggyback\"} %d\n", name, e, s.DrainsPiggyback)
+	}
+}
+
+// blame renders the per-slot blame families for engines whose flight
+// recorder is (or was) armed: cumulative delay, sample count, worst
+// single delay, and the per-slot delay histogram, all under a slot
+// label. Only the Snapshot's top offenders are exported — the full
+// per-slot map lives behind /debug/prcu/tracez and obs.TopBlame.
+func (f *famWriter) blame() {
+	type slotRow struct {
+		engine string
+		e      obs.BlameEntry
+	}
+	var rows []slotRow
+	for i, n := range f.names {
+		for _, be := range f.snaps[i].BlameTop {
+			rows = append(rows, slotRow{n, be})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	family := func(name, help, typ string, v func(obs.BlameEntry) float64) {
+		f.header(name, help, typ)
+		for _, r := range rows {
+			fmt.Fprintf(f.w, "%s{engine=\"%s\",slot=\"%d\"} %s\n",
+				name, escapeLabel(r.engine), r.e.Slot, fmtFloat(v(r.e)))
+		}
+	}
+	family("prcu_blame_slot_seconds_total", "Cumulative delay charged to the reader slot by blocked waits (top offenders only).", "counter",
+		func(e obs.BlameEntry) float64 { return float64(e.TotalNs) * 1e-9 })
+	family("prcu_blame_slot_samples_total", "Blame samples charged to the reader slot (top offenders only).", "counter",
+		func(e obs.BlameEntry) float64 { return float64(e.Samples) })
+	family("prcu_blame_slot_max_seconds", "Worst single delay charged to the reader slot (top offenders only).", "gauge",
+		func(e obs.BlameEntry) float64 { return float64(e.MaxNs) * 1e-9 })
+
+	const hist = "prcu_blame_slot_delay_seconds"
+	f.header(hist, "Per-slot distribution of delays charged by blocked waits (top offenders only).", "histogram")
+	for _, r := range rows {
+		h := r.e.DelayNs
+		e, slot := escapeLabel(r.engine), r.e.Slot
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.HiNs == math.MaxInt64 {
+				continue
+			}
+			fmt.Fprintf(f.w, "%s_bucket{engine=\"%s\",slot=\"%d\",le=\"%s\"} %d\n",
+				hist, e, slot, fmtFloat(float64(b.HiNs)*1e-9), cum)
+		}
+		if h.Count > cum {
+			cum = h.Count
+		}
+		fmt.Fprintf(f.w, "%s_bucket{engine=\"%s\",slot=\"%d\",le=\"+Inf\"} %d\n", hist, e, slot, cum)
+		fmt.Fprintf(f.w, "%s_sum{engine=\"%s\",slot=\"%d\"} %s\n", hist, e, slot, fmtFloat(float64(h.SumNs)*1e-9))
+		fmt.Fprintf(f.w, "%s_count{engine=\"%s\",slot=\"%d\"} %d\n", hist, e, slot, cum)
 	}
 }
 

@@ -255,7 +255,7 @@ func New(r core.RCU, cfg Config) *Reclaimer {
 	rc.aff.New = func() any { return &affinity{idx: rc.rr.Add(1)} }
 	rc.shards = make([]*shard, n)
 	for i := range rc.shards {
-		rc.shards[i] = newShard(rc)
+		rc.shards[i] = newShard(rc, i)
 	}
 	return rc
 }

@@ -1,8 +1,11 @@
 package reclaim
 
 import (
+	"strconv"
 	"sync"
 	"time"
+
+	"prcu/internal/obs"
 )
 
 // shard is one callback queue plus its flush worker. Submission is
@@ -14,6 +17,9 @@ import (
 // held while capMu is held and never held across a grace-period wait.
 type shard struct {
 	r *Reclaimer
+	// idx is the shard's position in Reclaimer.shards; it names the
+	// shard's flight-recorder track ("reclaim/<idx>").
+	idx int
 
 	mu       sync.Mutex
 	idle     *sync.Cond // on mu; signalled when queue+inFlight may be empty
@@ -32,9 +38,10 @@ type shard struct {
 	done chan struct{} // closed when the worker exits
 }
 
-func newShard(r *Reclaimer) *shard {
+func newShard(r *Reclaimer, idx int) *shard {
 	s := &shard{
 		r:    r,
+		idx:  idx,
 		kick: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
@@ -177,14 +184,65 @@ func (s *shard) accumulate(d time.Duration) {
 
 // process resolves one batch: coalesce into wait groups, run one grace
 // period per group, then complete and release every member.
+//
+// With the flight recorder armed, each wait group becomes one causal
+// span chain under a fresh GP ID: per-member retire spans (queue
+// residency, converted from the reclaimer's clock onto the metrics
+// clock), a coalesce span (linked to a pending autotuner expedite, if
+// any), the engine's own wait span (the GP ID travels down via the wait
+// Context), and a callback-execution span.
 func (s *shard) process(batch []callback, expedited bool) {
 	r := s.r
 	reg := r.met.ReclaimFlushBegin()
 	start := time.Now()
+	flight := r.met.FlightEnabled()
+	var track string
+	var takenNs, clockOff, coalescedNs int64
+	var link uint64
+	if flight {
+		track = "reclaim/" + strconv.Itoa(s.idx)
+		takenNs = r.met.FlightNow()
+		// Submission stamps are on the reclaimer's clock; spans are on the
+		// metrics clock. Converting durations (not instants) keeps the two
+		// bases from mixing.
+		clockOff = takenNs - r.clock.Now()
+		if expedited {
+			link = r.met.FlightExpediteLink()
+		}
+	}
 	groups := coalesce(batch)
+	if flight {
+		coalescedNs = r.met.FlightNow()
+	}
 	for gi := range groups {
 		g := &groups[gi]
-		err := r.waitPred(g.ctx, g.pred)
+		wctx := g.ctx
+		var gp uint64
+		if flight {
+			gp = obs.NextGP()
+			for _, ci := range g.cbs {
+				r.met.FlightRecord(obs.FlightSpan{
+					GP: gp, Kind: obs.SpanRetire, Track: track,
+					StartNs: batch[ci].atNs + clockOff, EndNs: takenNs, Count: 1,
+				})
+			}
+			r.met.FlightRecord(obs.FlightSpan{
+				GP: gp, Link: link, Kind: obs.SpanCoalesce, Track: track,
+				StartNs: takenNs, EndNs: coalescedNs,
+				Count: len(g.cbs), Label: g.pred.String(),
+			})
+			link = 0 // only the first group carries the expedite link
+			base := g.ctx
+			if base == nil {
+				base = r.workCtx
+			}
+			wctx = obs.WithGP(base, gp)
+		}
+		err := r.waitPred(wctx, g.pred)
+		var cbStart int64
+		if flight {
+			cbStart = r.met.FlightNow()
+		}
 		for _, ci := range g.cbs {
 			cb := &batch[ci]
 			freed := cb.run(err)
@@ -192,6 +250,12 @@ func (s *shard) process(batch []callback, expedited bool) {
 				r.dropped.Add(1)
 			}
 			r.release(cb, freed)
+		}
+		if flight {
+			r.met.FlightRecord(obs.FlightSpan{
+				GP: gp, Kind: obs.SpanCallback, Track: track,
+				StartNs: cbStart, EndNs: r.met.FlightNow(), Count: len(g.cbs),
+			})
 		}
 	}
 	r.graces.Add(uint64(len(groups)))

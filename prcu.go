@@ -68,6 +68,18 @@
 // work with runtime/trace regions and pprof labels. With Metrics unset
 // (the default) every hook reduces to one predictable nil-check branch.
 //
+// Options.FlightRecorder arms the grace-period flight recorder: every
+// grace period gets a monotonically increasing GP ID and a causal span
+// chain — retire → coalesce → wait → callback, plus linked spans for
+// migration drains and autotuner expedites — buffered in a fixed ring
+// and served as Chrome trace-event JSON on /debug/prcu/tracez (open the
+// capture in Perfetto or chrome://tracing). Blocked waits additionally
+// charge per-slot blame — which reader slots delayed the grace period,
+// and by how much — aggregated via Metrics.TopBlame, the prcu_blame_*
+// metric families, and the health endpoint's blame section. Off (the
+// default) the recorder costs one atomic pointer load and a
+// never-taken branch per hook.
+//
 // # Production hardening
 //
 // WaitForReadersCtx bounds a grace period by a context deadline or
@@ -226,6 +238,15 @@ type Options struct {
 	// labels replace any pprof labels the waiting goroutine already
 	// carried — attribution is per-engine opt-in for exactly that reason.
 	RuntimeAttribution bool
+	// FlightRecorder, when set together with Metrics, arms the
+	// grace-period flight recorder at its default capacity: causal span
+	// chains (retire → coalesce → wait → callback) under per-GP IDs,
+	// per-slot reader blame on blocked waits, and the /debug/prcu/tracez
+	// Chrome-trace endpoint. Equivalent to calling
+	// Metrics.EnableFlightRecorder; use that directly for a custom
+	// capacity. Off (the default) the recorder hooks cost one atomic
+	// pointer load and a never-taken branch.
+	FlightRecorder bool
 }
 
 func (o Options) withDefaults() Options {
@@ -258,6 +279,9 @@ func (o Options) attach(r RCU) RCU {
 			obs.Register(r.Name(), o.Metrics)
 			if o.RuntimeAttribution {
 				o.Metrics.EnableRuntimeAttribution(r.Name())
+			}
+			if o.FlightRecorder {
+				o.Metrics.EnableFlightRecorder(obs.DefaultFlightCapacity)
 			}
 		}
 	}
@@ -468,6 +492,37 @@ type HistSummary = obs.HistSummary
 // (enable with Metrics.EnableTrace, read with Metrics.TraceSnapshot).
 type TraceEvent = obs.Event
 
+// FlightSpan is one entry of the grace-period flight recorder: a causal
+// span (retire, coalesce, wait, callback, migrate-drain or expedite)
+// stamped with its grace period's GP ID. Enable the recorder with
+// Options.FlightRecorder or Metrics.EnableFlightRecorder, read spans
+// back with Metrics.FlightSnapshot, or serve them as Chrome trace JSON
+// on /debug/prcu/tracez.
+type FlightSpan = obs.FlightSpan
+
+// SpanKind labels what phase of a grace period's life a FlightSpan
+// covers.
+type SpanKind = obs.SpanKind
+
+// The FlightSpan kinds.
+const (
+	SpanRetire       = obs.SpanRetire
+	SpanCoalesce     = obs.SpanCoalesce
+	SpanWait         = obs.SpanWait
+	SpanCallback     = obs.SpanCallback
+	SpanMigrateDrain = obs.SpanMigrateDrain
+	SpanExpedite     = obs.SpanExpedite
+)
+
+// BlameSample names one reader slot a blocked wait was delayed by and
+// for how long; FlightSpan.Blame carries the samples of one wait.
+type BlameSample = obs.BlameSample
+
+// BlameEntry is one reader slot's aggregated blame: how many blocked
+// waits charged it, the cumulative and worst-case delay, and the delay
+// distribution. Read the top offenders with Metrics.TopBlame.
+type BlameEntry = obs.BlameEntry
+
 // StallReport is the stall watchdog's diagnostic snapshot of a wedged
 // grace period, delivered to Options.OnStall: engine name, predicate
 // description, how long the reporting wait had been blocked, and the
@@ -515,6 +570,7 @@ func RegisterMetrics(name string, m *Metrics) { obs.Register(name, m) }
 //	GET /metrics            Prometheus text exposition (v0.0.4)
 //	GET /debug/prcu/stats   full JSON Snapshot per engine
 //	GET /debug/prcu/trace   event-ring dump for one engine (?engine=X)
+//	GET /debug/prcu/tracez  flight-recorder spans as Chrome trace JSON (?engine=X)
 //	GET /debug/prcu/health  stall/backlog-aware status (200 ok, 503 degraded)
 //
 // Mount it on any server: http.ListenAndServe(addr, prcu.ObsHandler()).
